@@ -1,0 +1,33 @@
+//! Ablation: the FMA pipeline depth `P`.
+//!
+//! DESIGN.md calls out `P = 3` as a design choice: it sets the phase width
+//! `H*(P+1)` and therefore the memory transaction width, the column
+//! offsets and the drain length. This ablation sweeps `P` at fixed
+//! `H = 4, L = 8` and reports utilization and area so the trade-off is
+//! visible: deeper pipelines widen the memory interface and lengthen tile
+//! drain, shallower ones raise the W-load rate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use redmule::{AccelConfig, Accelerator};
+use redmule_bench::workloads;
+use redmule_fp16::vector::GemmShape;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", redmule_bench::experiments::ablation_pipeline());
+    let shape = GemmShape::new(64, 64, 64);
+
+    let mut group = c.benchmark_group("ablation_pipeline");
+    group.sample_size(10);
+    for p in [1usize, 3] {
+        let accel = Accelerator::new(AccelConfig::new(4, 8, p));
+        let (x, w) = workloads::gemm_operands(shape, 7);
+        group.bench_with_input(BenchmarkId::new("gemm64", p), &p, |b, _| {
+            b.iter(|| black_box(accel.gemm(shape, &x, &w).unwrap().report.cycles))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Ablation: the streamer's interleaved schedule and W prefetch.
+//!
+//! The paper's Fig. 2c schedule interleaves X loads and Z stores between
+//! adjacent W accesses, with W groups prefetched one phase ahead. This
+//! ablation quantifies both choices on the same workload:
+//!
+//! * `half-bandwidth` — the shallow branch issues at most every other
+//!   cycle (half the 288-bit port);
+//! * `single-buffered W` — no W prefetch: a group is fetched only after
+//!   its register drains, stalling each phase boundary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use redmule::{AccelConfig, Engine, Job, StreamerPolicy};
+use redmule_bench::workloads;
+use redmule_cluster::{ClusterConfig, Hci, Tcdm};
+use redmule_fp16::vector::GemmShape;
+use std::hint::black_box;
+
+fn run_policy(policy: StreamerPolicy, shape: GemmShape) -> (u64, u64) {
+    let (x, w) = workloads::gemm_operands(shape, 3);
+    let ccfg = ClusterConfig::default();
+    let mut mem = Tcdm::new(&ccfg);
+    let mut hci = Hci::new(&ccfg);
+    mem.store_f16_slice(0, &x).expect("X fits");
+    mem.store_f16_slice(0x4000, &w).expect("W fits");
+    let engine = Engine::new(AccelConfig::paper()).with_streamer_policy(policy);
+    let job = Job::new(0, 0x4000, 0x8000, shape.m, shape.n, shape.k);
+    let report = engine.run(job, &mut mem, &mut hci).expect("job runs");
+    (report.cycles.count(), report.stall_cycles)
+}
+
+fn bench(c: &mut Criterion) {
+    let shape = GemmShape::new(32, 64, 32);
+    println!("{}", redmule_bench::experiments::ablation_streamer());
+
+    let mut group = c.benchmark_group("ablation_streamer");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("interleaved", StreamerPolicy::Interleaved),
+        ("single_buffered_w", StreamerPolicy::SingleBufferedW),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(run_policy(policy, shape)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Ablation: sensitivity of the headline speedup to the software baseline.
+//!
+//! The paper's "up to 22x speedup" is measured against *a* software
+//! kernel. This ablation runs the accelerator against two baseline
+//! variants — the naive scalar three-loop kernel (our default, believed to
+//! match the paper's) and a packed-SIMD `vfmac.h` kernel that retires two
+//! MACs per FP instruction — showing how much of the factor is baseline
+//! choice rather than accelerator merit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use redmule_bench::workloads;
+use redmule_cluster::baseline::{KernelVariant, SwGemm};
+use redmule_cluster::ClusterConfig;
+use redmule_fp16::vector::GemmShape;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let shape = GemmShape::new(64, 64, 64);
+    let (x, w) = workloads::gemm_operands(shape, 17);
+    println!("{}", redmule_bench::experiments::ablation_sw_kernel());
+
+    let mut group = c.benchmark_group("ablation_sw_kernel");
+    group.sample_size(10);
+    for (name, variant) in [
+        ("scalar", KernelVariant::Scalar),
+        ("simd2", KernelVariant::Simd2),
+    ] {
+        let sw = SwGemm::new(&ClusterConfig::default()).with_variant(variant);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(sw.run(shape, &x, &w).cycles))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

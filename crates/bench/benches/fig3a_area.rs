@@ -1,0 +1,21 @@
+//! Fig. 3a: RedMulE area breakdown.
+//!
+//! Prints the component shares for the paper instance, then benchmarks
+//! the parametric area-model evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use redmule_bench::experiments;
+use redmule_energy::{AreaModel, Technology};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::fig3a());
+
+    let model = AreaModel::new(Technology::Gf22Fdx);
+    c.bench_function("fig3a/area_model_eval", |b| {
+        b.iter(|| black_box(model.redmule(black_box(4), black_box(8), black_box(3)).total()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Fig. 3b: RedMulE power breakdown.
+//!
+//! Prints the component shares at the peak-efficiency point, then
+//! benchmarks the power-model evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use redmule_bench::experiments;
+use redmule_energy::{OperatingPoint, PowerModel, Technology};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::fig3b());
+
+    let model = PowerModel::new(Technology::Gf22Fdx, OperatingPoint::peak_efficiency());
+    c.bench_function("fig3b/power_model_eval", |b| {
+        b.iter(|| black_box(model.cluster_power_mw(black_box(0.97)).total()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Fig. 3c: cluster energy per MAC operation vs matrix size.
+//!
+//! Prints the regenerated series (utilization-dependent energy at the
+//! 0.65 V point), then benchmarks the accelerator simulation at the
+//! smallest and a mid-size point of the sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use redmule::Accelerator;
+use redmule_bench::{experiments, workloads};
+use redmule_fp16::vector::GemmShape;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::fig3c(&workloads::sweep_sizes(false)));
+
+    let accel = Accelerator::paper_instance();
+    let mut group = c.benchmark_group("fig3c/accelerator_gemm");
+    group.sample_size(10);
+    for size in [16usize, 64] {
+        let shape = GemmShape::new(size, size, size);
+        let (x, w) = workloads::gemm_operands(shape, size as u32);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| black_box(accel.gemm(shape, &x, &w).unwrap().report.macs))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Fig. 3d: throughput at the maximum cluster frequency vs matrix size.
+//!
+//! Prints the regenerated GFLOPS series at 666 MHz, then benchmarks the
+//! simulator's tile pipeline on a rectangular workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use redmule::Accelerator;
+use redmule_bench::{experiments, workloads};
+use redmule_fp16::vector::GemmShape;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::fig3d(&workloads::sweep_sizes(false)));
+
+    let accel = Accelerator::paper_instance();
+    let shape = GemmShape::new(32, 128, 48);
+    let (x, w) = workloads::gemm_operands(shape, 5);
+    c.bench_function("fig3d/accelerator_gemm_32x128x48", |b| {
+        b.iter(|| black_box(accel.gemm(shape, &x, &w).unwrap().report.cycles))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Fig. 4a: HW vs SW computational performance vs the 32 MAC/cycle ideal.
+//!
+//! Prints the regenerated series (cycles, MAC/cycle, % of ideal, speedup
+//! per size) plus the energy-efficiency headline, then benchmarks both
+//! simulators on the same mid-size GEMM.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use redmule::Accelerator;
+use redmule_bench::{experiments, workloads};
+use redmule_cluster::{baseline::SwGemm, ClusterConfig};
+use redmule_fp16::vector::GemmShape;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::fig4a(&workloads::sweep_sizes(false)));
+    println!(
+        "energy-efficiency gain over SW: {:.2}x (paper: up to 4.65x)\n",
+        experiments::efficiency_gain(false)
+    );
+
+    let shape = GemmShape::new(32, 32, 32);
+    let (x, w) = workloads::gemm_operands(shape, 9);
+    let accel = Accelerator::paper_instance();
+    let sw = SwGemm::new(&ClusterConfig::default());
+    let mut group = c.benchmark_group("fig4a");
+    group.sample_size(10);
+    group.bench_function("hw_sim_32x32x32", |b| {
+        b.iter(|| black_box(accel.gemm(shape, &x, &w).unwrap().report.cycles))
+    });
+    group.bench_function("sw_sim_32x32x32", |b| {
+        b.iter(|| black_box(sw.run(shape, &x, &w).cycles))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Fig. 4b: RedMulE area as a function of H and L (P = 3).
+//!
+//! Prints the regenerated sweep (area, cluster ratio, port count per
+//! configuration), then benchmarks the sweep evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use redmule_bench::experiments;
+use redmule_energy::{AreaModel, Technology};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::fig4b());
+
+    let model = AreaModel::new(Technology::Gf22Fdx);
+    let pairs = [(2, 4), (2, 8), (4, 8), (4, 16), (8, 16), (8, 32), (16, 32)];
+    c.bench_function("fig4b/area_sweep_eval", |b| {
+        b.iter(|| black_box(model.sweep(black_box(&pairs), 3).len()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Fig. 4c: RedMulE on the TinyMLPerf AutoEncoder benchmark (B = 1).
+//!
+//! Prints the regenerated per-layer forward/backward comparison, then
+//! benchmarks one forward pass of the autoencoder on each backend.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use redmule_bench::{experiments, workloads};
+use redmule_nn::autoencoder;
+use redmule_nn::backend::{Backend, CycleLedger};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::fig4c());
+
+    let x = workloads::autoencoder_batch(1, 3);
+    let mut group = c.benchmark_group("fig4c/autoencoder_forward_b1");
+    group.sample_size(10);
+    group.bench_function("hw", |b| {
+        let mut backend = Backend::hw();
+        b.iter(|| {
+            let mut net = autoencoder::mlperf_tiny(7);
+            let mut ledger = CycleLedger::new();
+            black_box(net.forward(&x, &mut backend, &mut ledger).rows())
+        })
+    });
+    group.bench_function("sw", |b| {
+        let mut backend = Backend::sw();
+        b.iter(|| {
+            let mut net = autoencoder::mlperf_tiny(7);
+            let mut ledger = CycleLedger::new();
+            black_box(net.forward(&x, &mut backend, &mut ledger).rows())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Fig. 4d: effect of batching on HW/SW benchmark execution.
+//!
+//! Prints the regenerated B = 1 vs B = 16 comparison (including the
+//! per-sample batching gains and the memory-footprint check), then
+//! benchmarks a batched forward pass on the accelerator backend.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use redmule_bench::{experiments, workloads};
+use redmule_nn::autoencoder;
+use redmule_nn::backend::{Backend, CycleLedger};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::fig4d());
+
+    let x = workloads::autoencoder_batch(16, 5);
+    c.bench_function("fig4d/autoencoder_forward_b16_hw", |b| {
+        let mut backend = Backend::hw();
+        b.iter(|| {
+            let mut net = autoencoder::mlperf_tiny(7);
+            let mut ledger = CycleLedger::new();
+            black_box(net.forward(&x, &mut backend, &mut ledger).cols())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

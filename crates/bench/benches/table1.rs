@@ -1,0 +1,32 @@
+//! Table I: state-of-the-art comparison.
+//!
+//! Prints the regenerated table (literature rows + our three computed
+//! rows driven by the measured MAC/cycle), then benchmarks the simulator
+//! kernel behind it: the cycle-accurate accelerator running a large GEMM.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use redmule::Accelerator;
+use redmule_bench::{experiments, workloads};
+use redmule_fp16::vector::GemmShape;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::table1(false));
+
+    let accel = Accelerator::paper_instance();
+    let shape = GemmShape::new(64, 64, 64);
+    let (x, w) = workloads::gemm_operands(shape, 1);
+    c.bench_function("table1/accelerator_gemm_64x64x64", |b| {
+        b.iter(|| {
+            let run = accel.gemm(shape, black_box(&x), black_box(&w)).unwrap();
+            black_box(run.report.cycles)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

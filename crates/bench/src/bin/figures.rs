@@ -1,0 +1,58 @@
+//! Regenerates the paper's tables and figures from the simulation models.
+//!
+//! ```text
+//! cargo run --release -p redmule-bench --bin figures -- all --full
+//! cargo run --release -p redmule-bench --bin figures -- table1 fig4a
+//! ```
+//!
+//! Without `--full`, the size sweeps stop at 128 (fast); with it they
+//! extend to 512 like the paper (the software baseline simulation of
+//! 512^3 takes ~30 s in release mode).
+
+use redmule_bench::{experiments, workloads};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let mut wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    if wanted.is_empty() || wanted.contains(&"all") {
+        wanted = vec![
+            "table1", "fig3a", "fig3b", "fig3c", "fig3d", "fig4a", "fig4b", "fig4c", "fig4d",
+            "ablations",
+        ];
+    }
+    let sizes = workloads::sweep_sizes(full);
+
+    for item in wanted {
+        match item {
+            "table1" => println!("{}", experiments::table1(full)),
+            "fig3a" => println!("{}", experiments::fig3a()),
+            "fig3b" => println!("{}", experiments::fig3b()),
+            "fig3c" => println!("{}", experiments::fig3c(&sizes)),
+            "fig3d" => println!("{}", experiments::fig3d(&sizes)),
+            "fig4a" => {
+                println!("{}", experiments::fig4a(&sizes));
+                println!(
+                    "energy-efficiency gain over SW: {:.2}x (paper: up to 4.65x)\n",
+                    experiments::efficiency_gain(full)
+                );
+            }
+            "fig4b" => println!("{}", experiments::fig4b()),
+            "fig4c" => println!("{}", experiments::fig4c()),
+            "fig4d" => println!("{}", experiments::fig4d()),
+            "ablations" => {
+                println!("{}", experiments::ablation_pipeline());
+                println!("{}", experiments::ablation_streamer());
+                println!("{}", experiments::ablation_sw_kernel());
+                println!("{}", experiments::contention());
+            }
+            other => eprintln!(
+                "unknown item `{other}` (try: all, table1, fig3a..fig4d, ablations)"
+            ),
+        }
+    }
+}

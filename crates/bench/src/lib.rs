@@ -1,0 +1,30 @@
+//! Benchmark harness regenerating every table and figure of the RedMulE
+//! paper (DATE 2022).
+//!
+//! Each experiment of the evaluation section has a function here that
+//! *runs the models* (cycle-accurate accelerator, software baseline,
+//! area/power models, autoencoder training) and renders the same rows or
+//! series the paper reports:
+//!
+//! | paper artefact | function |
+//! |---|---|
+//! | Table I | [`experiments::table1`] |
+//! | Fig. 3a area breakdown | [`experiments::fig3a`] |
+//! | Fig. 3b power breakdown | [`experiments::fig3b`] |
+//! | Fig. 3c energy per MAC vs size | [`experiments::fig3c`] |
+//! | Fig. 3d throughput vs size | [`experiments::fig3d`] |
+//! | Fig. 4a HW vs SW vs ideal | [`experiments::fig4a`] |
+//! | Fig. 4b area sweep over (H, L) | [`experiments::fig4b`] |
+//! | Fig. 4c autoencoder per-layer | [`experiments::fig4c`] |
+//! | Fig. 4d batching effect | [`experiments::fig4d`] |
+//!
+//! The `figures` binary prints any subset (`cargo run --release -p
+//! redmule-bench --bin figures -- all --full`); the Criterion benches in
+//! `benches/` wrap the same functions and additionally measure simulator
+//! throughput.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod workloads;

@@ -1,0 +1,76 @@
+//! Deterministic workload generators shared by all experiments.
+
+use redmule_fp16::vector::GemmShape;
+use redmule_fp16::F16;
+use redmule_nn::Tensor;
+
+/// Matrix sizes swept by the size-dependent figures. `full` adds the
+/// largest points (slow under the software simulator).
+pub fn sweep_sizes(full: bool) -> Vec<usize> {
+    let mut sizes = vec![16, 32, 64, 128];
+    if full {
+        sizes.extend([256, 512]);
+    }
+    sizes
+}
+
+/// Deterministic, well-conditioned FP16 operands for a GEMM shape.
+///
+/// Values are small enough that no accumulation overflows even at
+/// `N = 512`, so utilization and cycle measurements are not perturbed by
+/// special-case handling.
+pub fn gemm_operands(shape: GemmShape, seed: u32) -> (Vec<F16>, Vec<F16>) {
+    let gen = |len: usize, s: u32| -> Vec<F16> {
+        (0..len)
+            .map(|i| {
+                let h = ((i as u32).wrapping_mul(2654435761) ^ s.wrapping_mul(0x85EB_CA6B)) >> 17;
+                F16::from_f32((h % 64) as f32 / 64.0 - 0.5)
+            })
+            .collect()
+    };
+    (
+        gen(shape.x_len(), seed),
+        gen(shape.w_len(), seed ^ 0x9E37_79B9),
+    )
+}
+
+/// A deterministic batch of autoencoder inputs (`640 x batch`),
+/// spectrogram-like in scale.
+pub fn autoencoder_batch(batch: usize, seed: u32) -> Tensor {
+    let s = seed as usize;
+    Tensor::from_fn(640, batch, |r, c| {
+        let h = ((r * 131 + c * 31 + s * 17) as u32).wrapping_mul(2654435761) >> 18;
+        (h % 128) as f32 / 128.0 - 0.5
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_depend_on_full_flag() {
+        assert_eq!(sweep_sizes(false).last(), Some(&128));
+        assert_eq!(sweep_sizes(true).last(), Some(&512));
+    }
+
+    #[test]
+    fn operands_are_deterministic_and_bounded() {
+        let shape = GemmShape::new(8, 8, 8);
+        let (x1, w1) = gemm_operands(shape, 1);
+        let (x2, _) = gemm_operands(shape, 1);
+        let (x3, _) = gemm_operands(shape, 2);
+        assert_eq!(x1, x2);
+        assert_ne!(x1, x3);
+        assert_eq!(x1.len(), 64);
+        assert_eq!(w1.len(), 64);
+        assert!(x1.iter().all(|v| v.to_f32().abs() <= 0.5));
+    }
+
+    #[test]
+    fn autoencoder_batch_shape() {
+        let b = autoencoder_batch(16, 3);
+        assert_eq!((b.rows(), b.cols()), (640, 16));
+        assert!(b.as_slice().iter().all(|v| v.to_f32().abs() <= 0.5));
+    }
+}

@@ -1,0 +1,208 @@
+//! Cluster-level configuration.
+
+/// Instruction-timing parameters of one RISC-V cluster core.
+///
+/// The cores are modelled as single-issue, in-order RV32 pipelines with the
+/// PULP FP16 extension (`fmadd.h` through FPnew). Only the parameters that
+/// influence the GEMM baseline are exposed.
+///
+/// # Example
+///
+/// ```
+/// use redmule_cluster::CoreTimings;
+/// let t = CoreTimings::default();
+/// assert_eq!(t.fma_latency, 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreTimings {
+    /// Result latency of `fmadd.h` in cycles (FPnew FP16 FMA, pipelined).
+    /// A dependent `fmadd.h` on the same accumulator stalls until the
+    /// previous result is ready.
+    pub fma_latency: u32,
+    /// Issue cost of a TCDM load/store when the bank grant is won
+    /// (single-cycle latency through the HCI logarithmic branch).
+    pub mem_issue: u32,
+    /// Issue cost of an integer ALU op (address computation).
+    pub alu: u32,
+    /// Issue cost of a not-taken/taken branch (the cores have no branch
+    /// predictor; taken backwards branches of tight loops cost this much).
+    pub branch: u32,
+}
+
+impl Default for CoreTimings {
+    fn default() -> CoreTimings {
+        CoreTimings {
+            fma_latency: 4,
+            mem_issue: 1,
+            alu: 1,
+            branch: 1,
+        }
+    }
+}
+
+/// Static configuration of the modelled PULP cluster.
+///
+/// The defaults mirror the paper's prototype: 8 RISC-V cores, a
+/// word-interleaved TCDM behind the HCI with a 9 x 32-bit shallow port
+/// (256-bit payload + 32-bit for non-word-aligned accesses) reserved for
+/// the HWPE.
+///
+/// # Example
+///
+/// ```
+/// use redmule_cluster::ClusterConfig;
+///
+/// let cfg = ClusterConfig::default();
+/// assert_eq!(cfg.n_cores, 8);
+/// assert_eq!(cfg.shallow_banks, 9);
+/// assert_eq!(cfg.tcdm_bytes(), 128 * 1024);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Number of RISC-V cores (paper: 8).
+    pub n_cores: usize,
+    /// Number of 32-bit TCDM banks (PULP default: 16).
+    pub n_banks: usize,
+    /// Words (32-bit) per TCDM bank.
+    pub bank_words: usize,
+    /// Banks ganged into the shallow 288-bit branch (paper: 9).
+    pub shallow_banks: usize,
+    /// Maximum consecutive contended cycles the shallow branch may win
+    /// before rotating one grant to the logarithmic branch
+    /// (the HCI's "configurable latency").
+    pub rotation_streak: u32,
+    /// Core pipeline timings.
+    pub core: CoreTimings,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> ClusterConfig {
+        ClusterConfig {
+            n_cores: 8,
+            n_banks: 16,
+            bank_words: 2048, // 16 banks * 2048 words * 4 B = 128 KiB
+            shallow_banks: 9,
+            rotation_streak: 4,
+            core: CoreTimings::default(),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Creates the default 8-core configuration.
+    pub fn new() -> ClusterConfig {
+        ClusterConfig::default()
+    }
+
+    /// Returns a copy with the TCDM resized to at least `kib` KiB
+    /// (rounded up to a whole number of words per bank).
+    ///
+    /// The paper's kernel-level experiments assume operands resident in L1;
+    /// sweeps above 128 KiB use this to model an enlarged scratchpad.
+    #[must_use]
+    pub fn with_tcdm_kib(mut self, kib: usize) -> ClusterConfig {
+        let bytes = kib * 1024;
+        self.bank_words = bytes.div_ceil(self.n_banks * 4);
+        self
+    }
+
+    /// Returns a copy with a different core count (the paper's SW scaling
+    /// comparisons use 1..8 cores).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn with_cores(mut self, n: usize) -> ClusterConfig {
+        assert!(n > 0, "a cluster needs at least one core");
+        self.n_cores = n;
+        self
+    }
+
+    /// Total TCDM capacity in bytes.
+    pub fn tcdm_bytes(&self) -> usize {
+        self.n_banks * self.bank_words * 4
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_cores == 0 {
+            return Err("n_cores must be at least 1".into());
+        }
+        if self.n_banks == 0 {
+            return Err("n_banks must be at least 1".into());
+        }
+        if self.shallow_banks == 0 || self.shallow_banks > self.n_banks {
+            return Err(format!(
+                "shallow_banks ({}) must be in 1..={}",
+                self.shallow_banks, self.n_banks
+            ));
+        }
+        if self.rotation_streak == 0 {
+            return Err("rotation_streak must be at least 1".into());
+        }
+        if self.bank_words == 0 {
+            return Err("bank_words must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_prototype() {
+        let cfg = ClusterConfig::default();
+        assert_eq!(cfg.n_cores, 8);
+        assert_eq!(cfg.n_banks, 16);
+        assert_eq!(cfg.shallow_banks, 9);
+        assert_eq!(cfg.tcdm_bytes(), 131072);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn resize_tcdm_rounds_up() {
+        let cfg = ClusterConfig::default().with_tcdm_kib(1000);
+        assert!(cfg.tcdm_bytes() >= 1000 * 1024);
+        assert!(cfg.tcdm_bytes() < 1000 * 1024 + cfg.n_banks * 4);
+    }
+
+    #[test]
+    fn with_cores_changes_count() {
+        assert_eq!(ClusterConfig::default().with_cores(1).n_cores, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn with_cores_rejects_zero() {
+        let _ = ClusterConfig::default().with_cores(0);
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)]
+    fn validate_catches_bad_configs() {
+        let mut cfg = ClusterConfig::default();
+        cfg.shallow_banks = 17;
+        assert!(cfg.validate().is_err());
+        cfg.shallow_banks = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = ClusterConfig::default();
+        cfg.rotation_streak = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = ClusterConfig::default();
+        cfg.n_banks = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = ClusterConfig::default();
+        cfg.bank_words = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = ClusterConfig::default();
+        cfg.n_cores = 0;
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! Cluster DMA cycle-cost model.
+
+use redmule_hwsim::Cycle;
+
+/// The cluster's lightweight DMA engine moving data between L2 and the
+/// TCDM.
+///
+/// The paper's use-case experiments (TinyMLPerf autoencoder, Fig. 4c/4d)
+/// keep activations in L2 and stream tiles into the TCDM; this model
+/// provides the corresponding cycle costs: a fixed programming/setup
+/// overhead plus a 64-bit-per-cycle transfer rate on the AXI port.
+///
+/// # Example
+///
+/// ```
+/// use redmule_cluster::Dma;
+///
+/// let dma = Dma::default();
+/// let c = dma.transfer_cycles(1024);
+/// assert_eq!(c.count(), dma.setup_cycles() as u64 + 128);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dma {
+    setup: u32,
+    bytes_per_cycle: u32,
+}
+
+impl Default for Dma {
+    fn default() -> Dma {
+        Dma {
+            setup: 12,
+            bytes_per_cycle: 8,
+        }
+    }
+}
+
+impl Dma {
+    /// Creates a DMA model with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_cycle` is zero.
+    pub fn new(setup: u32, bytes_per_cycle: u32) -> Dma {
+        assert!(bytes_per_cycle > 0, "transfer rate must be positive");
+        Dma {
+            setup,
+            bytes_per_cycle,
+        }
+    }
+
+    /// Fixed programming overhead per transfer, in cycles.
+    pub fn setup_cycles(&self) -> u32 {
+        self.setup
+    }
+
+    /// Streaming bandwidth in bytes per cycle.
+    pub fn bytes_per_cycle(&self) -> u32 {
+        self.bytes_per_cycle
+    }
+
+    /// Cycles to move `bytes` in one programmed transfer.
+    pub fn transfer_cycles(&self, bytes: usize) -> Cycle {
+        if bytes == 0 {
+            return Cycle::ZERO;
+        }
+        Cycle::new(u64::from(self.setup) + bytes.div_ceil(self.bytes_per_cycle as usize) as u64)
+    }
+
+    /// Cycles to move `bytes` split into `n_tiles` equal transfers (double
+    /// buffering pays the setup once per tile).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_tiles` is zero.
+    pub fn tiled_transfer_cycles(&self, bytes: usize, n_tiles: usize) -> Cycle {
+        assert!(n_tiles > 0, "at least one tile required");
+        let per_tile = bytes.div_ceil(n_tiles);
+        Cycle::new(
+            (0..n_tiles)
+                .map(|i| {
+                    let this = per_tile.min(bytes - (i * per_tile).min(bytes));
+                    self.transfer_cycles(this).count()
+                })
+                .sum(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_bytes_cost_nothing() {
+        assert_eq!(Dma::default().transfer_cycles(0), Cycle::ZERO);
+    }
+
+    #[test]
+    fn rate_rounds_up() {
+        let dma = Dma::new(10, 8);
+        assert_eq!(dma.transfer_cycles(1).count(), 11);
+        assert_eq!(dma.transfer_cycles(8).count(), 11);
+        assert_eq!(dma.transfer_cycles(9).count(), 12);
+    }
+
+    #[test]
+    fn tiling_pays_setup_per_tile() {
+        let dma = Dma::new(10, 8);
+        let whole = dma.transfer_cycles(800).count();
+        let tiled = dma.tiled_transfer_cycles(800, 4).count();
+        assert_eq!(tiled, whole + 3 * 10);
+    }
+
+    #[test]
+    fn tiling_handles_remainders() {
+        let dma = Dma::new(0, 8);
+        // 10 bytes in 3 tiles: 4 + 4 + 2 bytes -> 1 + 1 + 1 cycles.
+        assert_eq!(dma.tiled_transfer_cycles(10, 3).count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        let _ = Dma::new(0, 0);
+    }
+
+    #[test]
+    fn accessors() {
+        let dma = Dma::default();
+        assert_eq!(dma.setup_cycles(), 12);
+        assert_eq!(dma.bytes_per_cycle(), 8);
+    }
+}

@@ -1,0 +1,298 @@
+//! Word-interleaved Tightly-Coupled Data Memory.
+
+use crate::config::ClusterConfig;
+use redmule_fp16::F16;
+use std::fmt;
+
+/// Error for invalid TCDM accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// Address beyond the end of the scratchpad.
+    OutOfBounds {
+        /// Offending byte address.
+        addr: u32,
+        /// Memory size in bytes.
+        size: u32,
+    },
+    /// Address not aligned to the access width.
+    Misaligned {
+        /// Offending byte address.
+        addr: u32,
+        /// Required alignment in bytes.
+        align: u32,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfBounds { addr, size } => {
+                write!(f, "address {addr:#x} outside TCDM of {size} bytes")
+            }
+            MemError::Misaligned { addr, align } => {
+                write!(f, "address {addr:#x} not aligned to {align} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// The cluster scratchpad: `n_banks` single-ported 32-bit banks,
+/// word-interleaved so consecutive words live in consecutive banks.
+///
+/// Interleaving is what makes both access patterns of the paper work:
+/// cores spread scalar accesses across banks (logarithmic branch), and a
+/// 256-bit accelerator row access touches [`ClusterConfig::shallow_banks`]
+/// *adjacent* banks exactly once each (shallow branch).
+///
+/// # Example
+///
+/// ```
+/// use redmule_cluster::{ClusterConfig, Tcdm};
+///
+/// let mut mem = Tcdm::new(&ClusterConfig::default());
+/// mem.write_u32(0x40, 0xDEAD_BEEF)?;
+/// assert_eq!(mem.read_u32(0x40)?, 0xDEAD_BEEF);
+/// assert_eq!(mem.bank_of(0x40), (0x40 / 4) % 16);
+/// # Ok::<(), redmule_cluster::MemError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tcdm {
+    n_banks: usize,
+    words: Vec<u32>,
+}
+
+impl Tcdm {
+    /// Allocates a zero-initialised scratchpad per the cluster config.
+    pub fn new(cfg: &ClusterConfig) -> Tcdm {
+        Tcdm {
+            n_banks: cfg.n_banks,
+            words: vec![0; cfg.n_banks * cfg.bank_words],
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * 4
+    }
+
+    /// Number of banks.
+    pub fn n_banks(&self) -> usize {
+        self.n_banks
+    }
+
+    /// Bank index serving byte address `addr`.
+    pub fn bank_of(&self, addr: u32) -> usize {
+        (addr as usize / 4) % self.n_banks
+    }
+
+    fn word_index(&self, addr: u32, align: u32) -> Result<usize, MemError> {
+        if !addr.is_multiple_of(align) {
+            return Err(MemError::Misaligned { addr, align });
+        }
+        let idx = addr as usize / 4;
+        if idx >= self.words.len() {
+            return Err(MemError::OutOfBounds {
+                addr,
+                size: self.size_bytes() as u32,
+            });
+        }
+        Ok(idx)
+    }
+
+    /// Reads an aligned 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::Misaligned`] or [`MemError::OutOfBounds`].
+    pub fn read_u32(&self, addr: u32) -> Result<u32, MemError> {
+        Ok(self.words[self.word_index(addr, 4)?])
+    }
+
+    /// Writes an aligned 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::Misaligned`] or [`MemError::OutOfBounds`].
+    pub fn write_u32(&mut self, addr: u32, value: u32) -> Result<(), MemError> {
+        let idx = self.word_index(addr, 4)?;
+        self.words[idx] = value;
+        Ok(())
+    }
+
+    /// Reads an aligned 16-bit halfword (an FP16 element).
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::Misaligned`] or [`MemError::OutOfBounds`].
+    pub fn read_u16(&self, addr: u32) -> Result<u16, MemError> {
+        if !addr.is_multiple_of(2) {
+            return Err(MemError::Misaligned { addr, align: 2 });
+        }
+        let word = self.words[self.word_index(addr & !3, 4)?];
+        Ok(if addr & 2 == 0 {
+            word as u16
+        } else {
+            (word >> 16) as u16
+        })
+    }
+
+    /// Writes an aligned 16-bit halfword.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::Misaligned`] or [`MemError::OutOfBounds`].
+    pub fn write_u16(&mut self, addr: u32, value: u16) -> Result<(), MemError> {
+        if !addr.is_multiple_of(2) {
+            return Err(MemError::Misaligned { addr, align: 2 });
+        }
+        let idx = self.word_index(addr & !3, 4)?;
+        let word = &mut self.words[idx];
+        if addr & 2 == 0 {
+            *word = (*word & 0xFFFF_0000) | u32::from(value);
+        } else {
+            *word = (*word & 0x0000_FFFF) | (u32::from(value) << 16);
+        }
+        Ok(())
+    }
+
+    /// Reads an FP16 element.
+    ///
+    /// # Errors
+    ///
+    /// As [`Tcdm::read_u16`].
+    pub fn read_f16(&self, addr: u32) -> Result<F16, MemError> {
+        Ok(F16::from_bits(self.read_u16(addr)?))
+    }
+
+    /// Writes an FP16 element.
+    ///
+    /// # Errors
+    ///
+    /// As [`Tcdm::write_u16`].
+    pub fn write_f16(&mut self, addr: u32, value: F16) -> Result<(), MemError> {
+        self.write_u16(addr, value.to_bits())
+    }
+
+    /// Copies a slice of FP16 values into memory starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Tcdm::write_u16`]; partial writes are possible on error.
+    pub fn store_f16_slice(&mut self, addr: u32, data: &[F16]) -> Result<(), MemError> {
+        for (i, v) in data.iter().enumerate() {
+            self.write_f16(addr + 2 * i as u32, *v)?;
+        }
+        Ok(())
+    }
+
+    /// Reads `n` FP16 values starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Tcdm::read_u16`].
+    pub fn load_f16_slice(&self, addr: u32, n: usize) -> Result<Vec<F16>, MemError> {
+        (0..n).map(|i| self.read_f16(addr + 2 * i as u32)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> Tcdm {
+        Tcdm::new(&ClusterConfig::default())
+    }
+
+    #[test]
+    fn sizes_match_config() {
+        let m = mem();
+        assert_eq!(m.size_bytes(), 128 * 1024);
+        assert_eq!(m.n_banks(), 16);
+    }
+
+    #[test]
+    fn word_interleaving() {
+        let m = mem();
+        assert_eq!(m.bank_of(0), 0);
+        assert_eq!(m.bank_of(4), 1);
+        assert_eq!(m.bank_of(60), 15);
+        assert_eq!(m.bank_of(64), 0); // wraps after 16 banks
+    }
+
+    #[test]
+    fn u32_round_trip() {
+        let mut m = mem();
+        m.write_u32(0, 0x1234_5678).unwrap();
+        m.write_u32(4, 0x9ABC_DEF0).unwrap();
+        assert_eq!(m.read_u32(0).unwrap(), 0x1234_5678);
+        assert_eq!(m.read_u32(4).unwrap(), 0x9ABC_DEF0);
+    }
+
+    #[test]
+    fn u16_halves_pack_into_words() {
+        let mut m = mem();
+        m.write_u16(8, 0xAAAA).unwrap();
+        m.write_u16(10, 0x5555).unwrap();
+        assert_eq!(m.read_u32(8).unwrap(), 0x5555_AAAA); // little-endian halves
+        assert_eq!(m.read_u16(8).unwrap(), 0xAAAA);
+        assert_eq!(m.read_u16(10).unwrap(), 0x5555);
+        // Writing one half must not clobber the other.
+        m.write_u16(8, 0x1111).unwrap();
+        assert_eq!(m.read_u16(10).unwrap(), 0x5555);
+    }
+
+    #[test]
+    fn alignment_enforced() {
+        let mut m = mem();
+        assert!(matches!(
+            m.read_u32(2),
+            Err(MemError::Misaligned { align: 4, .. })
+        ));
+        assert!(matches!(
+            m.write_u16(1, 0),
+            Err(MemError::Misaligned { align: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn bounds_enforced() {
+        let mut m = mem();
+        let size = m.size_bytes() as u32;
+        assert!(matches!(
+            m.read_u32(size),
+            Err(MemError::OutOfBounds { .. })
+        ));
+        assert!(m.write_u32(size - 4, 1).is_ok());
+        assert!(matches!(
+            m.read_u16(size),
+            Err(MemError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn f16_slices_round_trip() {
+        let mut m = mem();
+        let data: Vec<F16> = (0..20).map(|i| F16::from_f32(i as f32 * 0.5)).collect();
+        m.store_f16_slice(100 * 2, &data).unwrap();
+        let back = m.load_f16_slice(100 * 2, 20).unwrap();
+        for (a, b) in data.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = MemError::OutOfBounds {
+            addr: 0x100,
+            size: 64,
+        };
+        assert!(e.to_string().contains("0x100"));
+        let e = MemError::Misaligned {
+            addr: 0x3,
+            align: 4,
+        };
+        assert!(e.to_string().contains("aligned"));
+    }
+}

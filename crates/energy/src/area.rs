@@ -1,0 +1,248 @@
+//! Parametric area model.
+//!
+//! Component areas are linear in the structural quantities of an
+//! accelerator instance:
+//!
+//! * datapath — proportional to the FMA count `H*L`;
+//! * X/Z buffers — proportional to their storage, `L * H*(P+1)` elements
+//!   each (double-buffered X, single Z);
+//! * W buffer — `H` shift registers of `H*(P+1)` elements;
+//! * streamer — proportional to the TCDM port count `2H + 1` (for
+//!   `P = 3`);
+//! * controller + scheduler — a fixed block.
+//!
+//! The five coefficients are calibrated against the paper's three area
+//! anchors — 0.07 mm² for the 32-FMA instance, "comparable to the whole
+//! cluster" (0.5 mm²) at 256 FMAs (`H=8, L=32`), and "double" (1.0 mm²)
+//! at 512 FMAs (`H=16, L=32`) — so the Fig. 4b sweep reproduces the
+//! paper's curve by construction of the *model*, not of each data point.
+
+use crate::tech::Technology;
+use std::fmt;
+
+/// Cluster area (22 nm) excluding RedMulE-instance variation, per the
+/// paper: "RedMulE occupies 0.07 mm², corresponding to 14 % of the entire
+/// PULP cluster" => cluster = 0.5 mm² including the default instance.
+const CLUSTER_AREA_22NM_MM2: f64 = 0.5;
+
+/// Calibrated coefficients (mm² in 22 nm). See module docs. With these,
+/// the model yields 0.0709 / 0.499 / 0.998 mm² at the paper's three
+/// anchors (32 / 256 / 512 FMAs).
+const AREA_PER_FMA: f64 = 1.40e-3;
+const AREA_PER_XZBUF_ELEM: f64 = 1.225e-4;
+const AREA_PER_WBUF_ELEM: f64 = 9.765e-6;
+const AREA_PER_PORT: f64 = 4.6875e-4;
+const AREA_CONTROLLER: f64 = 5.0e-3;
+
+/// Per-component area of one RedMulE instance, in mm².
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaBreakdown {
+    /// The FMA array.
+    pub datapath: f64,
+    /// X, W and Z buffers together.
+    pub buffers: f64,
+    /// The streamer (memory ports, address generation).
+    pub streamer: f64,
+    /// Controller + scheduler + register file.
+    pub controller: f64,
+}
+
+impl AreaBreakdown {
+    /// Total instance area in mm².
+    pub fn total(&self) -> f64 {
+        self.datapath + self.buffers + self.streamer + self.controller
+    }
+
+    /// Component shares as fractions of the total, in the order
+    /// (datapath, buffers, streamer, controller).
+    pub fn shares(&self) -> [f64; 4] {
+        let t = self.total();
+        [
+            self.datapath / t,
+            self.buffers / t,
+            self.streamer / t,
+            self.controller / t,
+        ]
+    }
+}
+
+impl fmt::Display for AreaBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "datapath   {:8.4} mm2", self.datapath)?;
+        writeln!(f, "buffers    {:8.4} mm2", self.buffers)?;
+        writeln!(f, "streamer   {:8.4} mm2", self.streamer)?;
+        writeln!(f, "controller {:8.4} mm2", self.controller)?;
+        write!(f, "total      {:8.4} mm2", self.total())
+    }
+}
+
+/// The area model for a technology node.
+///
+/// # Example
+///
+/// ```
+/// use redmule_energy::{AreaModel, Technology};
+///
+/// let m = AreaModel::new(Technology::Gf22Fdx);
+/// // Fig. 4b: at H=8, L=32 (256 FMAs) RedMulE alone is about as large as
+/// // the whole cluster.
+/// let big = m.redmule(8, 32, 3).total();
+/// assert!((big / m.cluster_mm2() - 1.0).abs() < 0.15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AreaModel {
+    tech: Technology,
+}
+
+impl AreaModel {
+    /// Creates the model for a node.
+    pub fn new(tech: Technology) -> AreaModel {
+        AreaModel { tech }
+    }
+
+    /// Area breakdown of a RedMulE instance with the given parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` or `l` is zero.
+    pub fn redmule(&self, h: usize, l: usize, p: usize) -> AreaBreakdown {
+        assert!(h > 0 && l > 0, "H and L must be positive");
+        let s = self.tech.area_scale();
+        let pw = h * (p + 1);
+        let ports = pw * 16 / 32 + 1;
+        AreaBreakdown {
+            datapath: s * AREA_PER_FMA * (h * l) as f64,
+            buffers: s * (AREA_PER_XZBUF_ELEM * (l * pw) as f64
+                + AREA_PER_WBUF_ELEM * (h * pw) as f64),
+            streamer: s * AREA_PER_PORT * ports as f64,
+            controller: s * AREA_CONTROLLER,
+        }
+    }
+
+    /// Area of the full PULP cluster (8 cores, TCDM, interconnect,
+    /// including the default RedMulE instance).
+    pub fn cluster_mm2(&self) -> f64 {
+        self.tech.area_scale() * CLUSTER_AREA_22NM_MM2
+    }
+
+    /// RedMulE's share of the cluster for the paper instance (≈ 14 %).
+    pub fn redmule_cluster_fraction(&self) -> f64 {
+        self.redmule(4, 8, 3).total() / self.cluster_mm2()
+    }
+
+    /// The Fig. 4b area sweep: instance area and its ratio to the cluster
+    /// for each `(H, L)` pair, at fixed `P`.
+    pub fn sweep(&self, pairs: &[(usize, usize)], p: usize) -> Vec<AreaSweepPoint> {
+        pairs
+            .iter()
+            .map(|&(h, l)| {
+                let area = self.redmule(h, l, p).total();
+                AreaSweepPoint {
+                    h,
+                    l,
+                    fmas: h * l,
+                    area_mm2: area,
+                    cluster_ratio: area / self.cluster_mm2(),
+                }
+            })
+            .collect()
+    }
+}
+
+/// One point of the Fig. 4b area sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaSweepPoint {
+    /// Columns.
+    pub h: usize,
+    /// Rows.
+    pub l: usize,
+    /// FMA count.
+    pub fmas: usize,
+    /// Instance area.
+    pub area_mm2: f64,
+    /// Area relative to the whole PULP cluster.
+    pub cluster_ratio: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m22() -> AreaModel {
+        AreaModel::new(Technology::Gf22Fdx)
+    }
+
+    #[test]
+    fn paper_instance_is_seven_hundredths_mm2() {
+        let a = m22().redmule(4, 8, 3);
+        assert!(
+            (a.total() - 0.07).abs() < 0.007,
+            "paper instance area = {}",
+            a.total()
+        );
+    }
+
+    #[test]
+    fn paper_instance_is_about_14_percent_of_cluster() {
+        let frac = m22().redmule_cluster_fraction();
+        assert!((0.12..=0.16).contains(&frac), "fraction = {frac}");
+    }
+
+    #[test]
+    fn datapath_dominates_the_breakdown() {
+        let a = m22().redmule(4, 8, 3);
+        let shares = a.shares();
+        assert!(shares[0] > 0.5, "datapath share = {}", shares[0]);
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig4b_anchors() {
+        let m = m22();
+        // 256 FMAs comparable to the cluster.
+        let a256 = m.redmule(8, 32, 3).total();
+        assert!((a256 / 0.5 - 1.0).abs() < 0.15, "256-FMA area = {a256}");
+        // 512 FMAs about double the cluster.
+        let a512 = m.redmule(16, 32, 3).total();
+        assert!((a512 / 1.0 - 1.0).abs() < 0.15, "512-FMA area = {a512}");
+    }
+
+    #[test]
+    fn area_grows_monotonically_in_h_and_l() {
+        let m = m22();
+        let mut last = 0.0;
+        for (h, l) in [(2, 4), (4, 8), (4, 16), (8, 16), (8, 32), (16, 32)] {
+            let a = m.redmule(h, l, 3).total();
+            assert!(a > last, "area must grow: {a} at ({h},{l})");
+            last = a;
+        }
+    }
+
+    #[test]
+    fn sweep_reports_ratios() {
+        let pts = m22().sweep(&[(4, 8), (8, 32)], 3);
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].fmas, 32);
+        assert!(pts[1].cluster_ratio > 5.0 * pts[0].cluster_ratio);
+    }
+
+    #[test]
+    fn node65_scales_everything_up() {
+        let a22 = m22().redmule(4, 8, 3).total();
+        let a65 = AreaModel::new(Technology::Node65).redmule(4, 8, 3).total();
+        assert!((a65 / a22 - 7.7).abs() < 1e-9);
+        assert!((AreaModel::new(Technology::Node65).cluster_mm2() - 3.85).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_lists_components() {
+        let text = m22().redmule(4, 8, 3).to_string();
+        assert!(text.contains("datapath") && text.contains("total"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_h_rejected() {
+        let _ = m22().redmule(0, 8, 3);
+    }
+}

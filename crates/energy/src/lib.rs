@@ -1,0 +1,50 @@
+//! Area, power and energy models for RedMulE and its PULP cluster.
+//!
+//! The paper's silicon results (Synopsys DC synthesis + Cadence Innovus
+//! place-and-route in GF22FDX, post-layout power analysis) cannot be
+//! regenerated without the PDK. What *can* be reproduced — and what the
+//! paper's claims actually consist of — are the ratios and trends: RedMulE
+//! is 14 % of the cluster area, dominates 69 % of its power, reaches
+//! 688 GFLOPS/W at the efficiency point, and its area grows along a
+//! specific curve in `(H, L)`. This crate provides analytical models
+//! **calibrated once against the paper's anchor numbers** and driven
+//! everywhere else by structural quantities from the simulator (FMA count,
+//! buffer bits, port count, utilization), so every figure is derived, not
+//! hard-coded per plot:
+//!
+//! * [`Technology`] — GF22FDX and the 65 nm port, with capacitance/area
+//!   scale factors.
+//! * [`OperatingPoint`] — the paper's named voltage/frequency corners.
+//! * [`AreaModel`] — per-component area, parametric in `(H, L, P)`
+//!   (Fig. 3a breakdown, Fig. 4b sweep, Table I area column).
+//! * [`PowerModel`] — `C·V²·f`-scaled cluster power with
+//!   utilization-dependent dynamic share (Fig. 3b/3c, Table I).
+//! * [`table1`] — the state-of-the-art comparison database.
+//!
+//! # Example
+//!
+//! ```
+//! use redmule_energy::{AreaModel, OperatingPoint, PowerModel, Technology};
+//!
+//! let area = AreaModel::new(Technology::Gf22Fdx);
+//! let breakdown = area.redmule(4, 8, 3);
+//! assert!((breakdown.total() - 0.07).abs() < 0.01); // ~0.07 mm^2
+//!
+//! let power = PowerModel::new(Technology::Gf22Fdx, OperatingPoint::peak_efficiency());
+//! let cluster = power.cluster_power_mw(0.988);
+//! assert!((cluster.total() - 43.5).abs() < 2.0); // ~43.5 mW
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod area;
+mod oppoint;
+mod power;
+pub mod table1;
+mod tech;
+
+pub use area::{AreaBreakdown, AreaModel};
+pub use oppoint::OperatingPoint;
+pub use power::{PowerBreakdown, PowerModel};
+pub use tech::Technology;

@@ -1,0 +1,224 @@
+//! Table I: the state-of-the-art comparison.
+//!
+//! The literature rows are constants taken from the paper; the "Our work"
+//! rows are **computed** from the area/power models and a measured
+//! MAC/cycle figure supplied by the cycle-accurate simulator, so the table
+//! regenerates rather than merely reprints the paper's numbers.
+
+use crate::area::AreaModel;
+use crate::oppoint::OperatingPoint;
+use crate::power::PowerModel;
+use crate::tech::Technology;
+use std::fmt;
+
+/// One comparison row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Design category ("GPU", "Inference Chips", ...).
+    pub category: &'static str,
+    /// Design name.
+    pub design: String,
+    /// Technology node in nm.
+    pub tech_nm: u32,
+    /// Die/block area in mm² (None when unreported).
+    pub area_mm2: Option<f64>,
+    /// Clock in MHz.
+    pub freq_mhz: f64,
+    /// Supply in volts (None when unreported).
+    pub volt: Option<f64>,
+    /// Power in mW (None when unreported).
+    pub power_mw: Option<f64>,
+    /// Throughput in GOPS (None when unreported).
+    pub perf_gops: Option<f64>,
+    /// Efficiency in GOPS/W (None when unreported).
+    pub eff_gops_w: Option<f64>,
+    /// MAC units.
+    pub mac_units: u32,
+    /// Arithmetic precision.
+    pub precision: &'static str,
+}
+
+/// Literature rows of Table I (best-efficiency operating points).
+pub fn literature_rows() -> Vec<Row> {
+    let r = |category,
+             design: &str,
+             tech_nm,
+             area_mm2,
+             freq_mhz,
+             volt,
+             power_mw,
+             perf_gops,
+             eff_gops_w,
+             mac_units,
+             precision| Row {
+        category,
+        design: design.to_owned(),
+        tech_nm,
+        area_mm2,
+        freq_mhz,
+        volt,
+        power_mw,
+        perf_gops,
+        eff_gops_w,
+        mac_units,
+        precision,
+    };
+    vec![
+        r("GPU", "NVIDIA A100", 7, None, 1410.0, None, Some(300000.0), None, None, 256, "FP16"),
+        r("Inference", "Eyeriss", 65, Some(12.25), 250.0, Some(1.0), Some(278.0), Some(46.0), Some(166.0), 168, "INT16"),
+        r("Inference", "EIE", 45, Some(40.8), 800.0, None, Some(590.0), Some(102.0), Some(173.0), 64, "INT8"),
+        r("Inference", "Zeng et al.", 65, Some(2.14), 250.0, None, Some(478.0), Some(1152.0), Some(2410.0), 256, "INT8"),
+        r("Inference", "Simba", 16, Some(6.0), 161.0, Some(0.42), None, Some(4000.0), Some(9100.0), 1024, "INT8"),
+        r("Training", "IBM", 7, Some(19.6), 1000.0, Some(0.55), Some(4400.0), Some(8000.0), Some(1800.0), 4096, "FP16"),
+        r("Training", "Cambricon-Q", 45, None, 1000.0, Some(0.6), Some(1030.0), Some(2000.0), Some(2240.0), 1024, "INT8"),
+        r("HPC", "Manticore", 22, None, 500.0, Some(0.6), Some(200.0), Some(25.0), Some(188.0), 24, "FP64"),
+        r("Mat-Mul Acc.", "Anders et al.", 14, Some(0.024), 2.1, Some(0.26), Some(0.023), Some(0.068), Some(2970.0), 16, "FP16"),
+    ]
+}
+
+/// Computes one "Our work" row from the models and a simulated
+/// throughput.
+pub fn our_row(tech: Technology, op: OperatingPoint, macs_per_cycle: f64, util: f64) -> Row {
+    let area = AreaModel::new(tech);
+    let power = PowerModel::new(tech, op);
+    let breakdown = power.cluster_power_mw(util);
+    Row {
+        category: "Our work",
+        design: format!("PULP+RedMulE @{:.2}V", op.vdd()),
+        tech_nm: tech.nm(),
+        area_mm2: Some(area.cluster_mm2()),
+        freq_mhz: op.frequency().as_mhz(),
+        volt: Some(op.vdd()),
+        power_mw: Some(breakdown.total()),
+        perf_gops: Some(power.gops(macs_per_cycle)),
+        eff_gops_w: Some(power.efficiency_gflops_w(macs_per_cycle, util)),
+        mac_units: 32,
+        precision: "FP16",
+    }
+}
+
+/// The three "Our work" rows of Table I (22 nm best-efficiency, 22 nm
+/// peak-performance, 65 nm), computed from a simulated MAC/cycle figure.
+pub fn our_rows(macs_per_cycle: f64, util: f64) -> Vec<Row> {
+    vec![
+        our_row(Technology::Gf22Fdx, OperatingPoint::peak_efficiency(), macs_per_cycle, util),
+        our_row(Technology::Gf22Fdx, OperatingPoint::peak_performance(), macs_per_cycle, util),
+        our_row(Technology::Node65, OperatingPoint::node65(), macs_per_cycle, util),
+    ]
+}
+
+/// Renders rows as an aligned text table (the regenerated Table I).
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:<28} {:>5} {:>8} {:>7} {:>5} {:>9} {:>9} {:>9} {:>5} {:>7}\n",
+        "Category", "Design", "Tech", "Area", "Freq", "Volt", "Power", "Perf", "Eff", "MACs", "Prec"
+    ));
+    out.push_str(&format!(
+        "{:<12} {:<28} {:>5} {:>8} {:>7} {:>5} {:>9} {:>9} {:>9} {:>5} {:>7}\n",
+        "", "", "nm", "mm2", "MHz", "V", "mW", "GOPS", "GOPS/W", "", ""
+    ));
+    let opt = |v: Option<f64>, prec: usize| match v {
+        // Sub-unit values (e.g. Anders et al.'s 0.023 mW) keep three
+        // significant decimals regardless of the column's usual precision.
+        Some(x) if x.abs() < 1.0 && x != 0.0 => format!("{x:.3}"),
+        Some(x) => format!("{x:.prec$}"),
+        None => "-".to_owned(),
+    };
+    for row in rows {
+        out.push_str(&format!(
+            "{:<12} {:<28} {:>5} {:>8} {:>7.0} {:>5} {:>9} {:>9} {:>9} {:>5} {:>7}\n",
+            row.category,
+            row.design,
+            row.tech_nm,
+            opt(row.area_mm2, 3),
+            row.freq_mhz,
+            opt(row.volt, 2),
+            opt(row.power_mw, 1),
+            opt(row.perf_gops, 1),
+            opt(row.eff_gops_w, 0),
+            row.mac_units,
+            row.precision,
+        ));
+    }
+    out
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} nm, {})", self.design, self.tech_nm, self.precision)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literature_has_nine_rows() {
+        let rows = literature_rows();
+        assert_eq!(rows.len(), 9);
+        assert!(rows.iter().any(|r| r.design == "Eyeriss"));
+        assert!(rows.iter().any(|r| r.design.contains("Anders")));
+    }
+
+    #[test]
+    fn our_rows_reproduce_paper_numbers() {
+        let rows = our_rows(31.6, 0.988);
+        assert_eq!(rows.len(), 3);
+
+        let eff = &rows[0];
+        assert!((eff.power_mw.unwrap() - 43.5).abs() < 1.0);
+        assert!((eff.perf_gops.unwrap() - 30.0).abs() < 0.5);
+        assert!((eff.eff_gops_w.unwrap() - 688.0).abs() < 15.0);
+        assert!((eff.area_mm2.unwrap() - 0.5).abs() < 0.01);
+
+        let perf = &rows[1];
+        assert!((perf.power_mw.unwrap() - 90.7).abs() < 3.0);
+        assert!((perf.perf_gops.unwrap() - 42.0).abs() < 0.5);
+        assert!((perf.eff_gops_w.unwrap() - 462.0).abs() < 15.0);
+
+        let n65 = &rows[2];
+        assert_eq!(n65.tech_nm, 65);
+        assert!((n65.power_mw.unwrap() - 89.1).abs() < 2.0);
+        assert!((n65.perf_gops.unwrap() - 12.6).abs() < 0.3);
+        assert!((n65.area_mm2.unwrap() - 3.85).abs() < 0.05);
+    }
+
+    #[test]
+    fn headline_claims_hold() {
+        // "4.65x higher energy efficiency ... than a software counterpart"
+        // is checked in the bench harness; here check the cross-design
+        // claims of Section III: IBM is ~2.6x more efficient, Anders ~4.3x.
+        let ours = our_rows(31.6, 0.988);
+        let eff = ours[0].eff_gops_w.unwrap();
+        let lit = literature_rows();
+        let ibm = lit.iter().find(|r| r.design == "IBM").unwrap();
+        let anders = lit.iter().find(|r| r.design.contains("Anders")).unwrap();
+        let ibm_ratio = ibm.eff_gops_w.unwrap() / eff;
+        let anders_ratio = anders.eff_gops_w.unwrap() / eff;
+        assert!((ibm_ratio - 2.6).abs() < 0.3, "IBM ratio = {ibm_ratio}");
+        assert!(
+            (anders_ratio - 4.3).abs() < 0.4,
+            "Anders ratio = {anders_ratio}"
+        );
+    }
+
+    #[test]
+    fn render_is_aligned_and_complete() {
+        let mut rows = literature_rows();
+        rows.extend(our_rows(31.6, 0.988));
+        let text = render(&rows);
+        assert_eq!(text.lines().count(), 2 + rows.len());
+        assert!(text.contains("GOPS/W"));
+        assert!(text.contains("PULP+RedMulE"));
+        // Missing values render as '-'.
+        assert!(text.lines().any(|l| l.contains("A100") && l.contains('-')));
+    }
+
+    #[test]
+    fn row_display() {
+        let rows = literature_rows();
+        assert!(rows[0].to_string().contains("A100"));
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the area/power/energy models: the structural
+//! monotonicities that make the models trustworthy between their
+//! calibration anchors.
+
+use proptest::prelude::*;
+use redmule_energy::{AreaModel, OperatingPoint, PowerModel, Technology};
+
+proptest! {
+    /// Area grows strictly with each structural parameter.
+    #[test]
+    fn area_is_monotone_in_every_parameter(
+        h in 1usize..16,
+        l in 1usize..32,
+        p in 0usize..6,
+    ) {
+        let m = AreaModel::new(Technology::Gf22Fdx);
+        let base = m.redmule(h, l, p).total();
+        prop_assert!(m.redmule(h + 1, l, p).total() > base);
+        prop_assert!(m.redmule(h, l + 1, p).total() > base);
+        prop_assert!(m.redmule(h, l, p + 1).total() > base);
+        // And the 65 nm port scales by a constant factor.
+        let scaled = AreaModel::new(Technology::Node65).redmule(h, l, p).total();
+        prop_assert!((scaled / base - Technology::Node65.area_scale()).abs() < 1e-9);
+    }
+
+    /// Component shares are a valid partition of the total.
+    #[test]
+    fn area_shares_partition_the_total(
+        h in 1usize..16,
+        l in 1usize..32,
+        p in 0usize..6,
+    ) {
+        let b = AreaModel::new(Technology::Gf22Fdx).redmule(h, l, p);
+        let shares = b.shares();
+        prop_assert!(shares.iter().all(|&s| s > 0.0 && s < 1.0));
+        prop_assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    /// Cluster power grows with utilization, voltage and frequency.
+    #[test]
+    fn power_is_monotone(
+        util in 0.0f64..1.0,
+        mv in 460u32..990,
+        mhz in 100u32..900,
+    ) {
+        let vdd = mv as f64 / 1000.0;
+        let op = OperatingPoint::custom("t", vdd, mhz as f64);
+        let m = PowerModel::new(Technology::Gf22Fdx, op);
+        let base = m.cluster_power_mw(util).total();
+        prop_assert!(m.cluster_power_mw((util + 0.01).min(1.0)).total() >= base);
+
+        let up_v = PowerModel::new(
+            Technology::Gf22Fdx,
+            OperatingPoint::custom("t", vdd + 0.01, mhz as f64),
+        );
+        prop_assert!(up_v.cluster_power_mw(util).total() > base);
+
+        let up_f = PowerModel::new(
+            Technology::Gf22Fdx,
+            OperatingPoint::custom("t", vdd, mhz as f64 + 10.0),
+        );
+        prop_assert!(up_f.cluster_power_mw(util).total() > base);
+    }
+
+    /// Energy per MAC is inversely monotone in throughput at fixed power,
+    /// and efficiency in GFLOPS/W times power recovers the GOPS.
+    #[test]
+    fn energy_and_efficiency_are_consistent(
+        mpc in 1.0f64..32.0,
+        util in 0.05f64..1.0,
+    ) {
+        let m = PowerModel::new(Technology::Gf22Fdx, OperatingPoint::peak_efficiency());
+        let e1 = m.energy_per_mac_pj(mpc, util);
+        let e2 = m.energy_per_mac_pj(mpc * 1.1, util);
+        prop_assert!(e2 < e1, "more throughput at equal power must cost less per MAC");
+
+        let eff = m.efficiency_gflops_w(mpc, util);
+        let power_w = m.cluster_power_mw(util).total() / 1e3;
+        let gops = m.gops(mpc);
+        prop_assert!((eff * power_w - gops).abs() / gops < 1e-9);
+
+        // pJ/MAC and GFLOPS/W are reciprocal up to the 2-ops-per-MAC factor.
+        prop_assert!((e1 * eff - 2000.0).abs() / 2000.0 < 1e-9);
+    }
+
+    /// The DVFS curve is monotone and bounds the paper's corners.
+    #[test]
+    fn dvfs_curve_is_monotone(mv in 460u32..995) {
+        let vdd = mv as f64 / 1000.0;
+        let f = OperatingPoint::at_vdd(vdd).frequency().as_mhz();
+        let f_up = OperatingPoint::at_vdd(vdd + 0.005).frequency().as_mhz();
+        prop_assert!(f_up > f);
+        // Within the validated interval the frequency stays physical.
+        prop_assert!(f > 50.0 && f < 1500.0);
+    }
+
+    /// Efficiency falls monotonically with voltage along the DVFS curve
+    /// (the reason the paper's best-efficiency point is its lowest V).
+    #[test]
+    fn efficiency_falls_with_voltage(mv in 460u32..980) {
+        let vdd = mv as f64 / 1000.0;
+        let lo = PowerModel::new(Technology::Gf22Fdx, OperatingPoint::at_vdd(vdd));
+        let hi = PowerModel::new(Technology::Gf22Fdx, OperatingPoint::at_vdd(vdd + 0.02));
+        prop_assert!(
+            lo.efficiency_gflops_w(31.6, 0.988) > hi.efficiency_gflops_w(31.6, 0.988)
+        );
+    }
+}

@@ -1,0 +1,794 @@
+//! Correctly rounded binary16 arithmetic on raw bit patterns.
+//!
+//! Everything in this module operates on `u16` IEEE 754 binary16 bit
+//! patterns and performs **exact integer arithmetic** followed by a single
+//! rounding step, exactly like a hardware FPU datapath. The fused
+//! multiply-add ([`fma`]) is the operation RedMulE's datapath is made of; the
+//! other operations complete the FPnew-equivalent operation set.
+//!
+//! The functions here are the free-function layer; prefer the methods on
+//! [`F16`](crate::F16) (e.g. [`F16::mul_add`](crate::F16::mul_add)) in
+//! application code.
+
+use crate::round::Round;
+use crate::CANONICAL_QNAN;
+
+/// Number of fraction bits in binary16.
+pub const FRAC_BITS: u32 = 10;
+/// Exponent bias of binary16.
+pub const EXP_BIAS: i32 = 15;
+/// Maximum unbiased exponent of a finite binary16 value.
+pub const EXP_MAX: i32 = 15;
+/// Minimum unbiased exponent of a *normal* binary16 value.
+pub const EXP_MIN: i32 = -14;
+
+const SIGN_MASK: u16 = 0x8000;
+const EXP_MASK: u16 = 0x7C00;
+const FRAC_MASK: u16 = 0x03FF;
+const HIDDEN_BIT: u32 = 1 << FRAC_BITS;
+
+/// A finite, non-zero binary16 value decomposed as `(-1)^sign * sig * 2^q`
+/// with `sig` in `[2^10, 2^11)` (i.e. normalised).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Unpacked {
+    pub sign: bool,
+    /// Exponent of the least significant bit of `sig`.
+    pub q: i32,
+    /// Normalised significand, `2^10 <= sig < 2^11`.
+    pub sig: u32,
+}
+
+/// Coarse class of a raw binary16 bit pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Class {
+    Nan,
+    Inf { sign: bool },
+    Zero { sign: bool },
+    Finite(Unpacked),
+}
+
+/// Classifies and unpacks a raw bit pattern.
+pub(crate) fn classify(bits: u16) -> Class {
+    let sign = bits & SIGN_MASK != 0;
+    let exp_field = (bits & EXP_MASK) >> FRAC_BITS;
+    let frac = u32::from(bits & FRAC_MASK);
+    match exp_field {
+        0x1F => {
+            if frac != 0 {
+                Class::Nan
+            } else {
+                Class::Inf { sign }
+            }
+        }
+        0 => {
+            if frac == 0 {
+                Class::Zero { sign }
+            } else {
+                // Subnormal: value = frac * 2^-24. Normalise.
+                let shift = frac.leading_zeros() - HIDDEN_BIT.leading_zeros();
+                Class::Finite(Unpacked {
+                    sign,
+                    q: 1 - EXP_BIAS - FRAC_BITS as i32 - shift as i32,
+                    sig: frac << shift,
+                })
+            }
+        }
+        e => Class::Finite(Unpacked {
+            sign,
+            q: i32::from(e) - EXP_BIAS - FRAC_BITS as i32,
+            sig: HIDDEN_BIT | frac,
+        }),
+    }
+}
+
+fn pack_inf(sign: bool) -> u16 {
+    if sign {
+        SIGN_MASK | EXP_MASK
+    } else {
+        EXP_MASK
+    }
+}
+
+fn pack_zero(sign: bool) -> u16 {
+    if sign {
+        SIGN_MASK
+    } else {
+        0
+    }
+}
+
+fn pack_max_finite(sign: bool) -> u16 {
+    // 0x7BFF = 65504.0
+    pack_zero(sign) | 0x7BFF
+}
+
+/// Rounds the exact value `(-1)^sign * mag * 2^q` (with `mag != 0`) to the
+/// nearest representable binary16 under `mode`, producing the result bits.
+///
+/// This is the single rounding step shared by every operation; it implements
+/// normalisation, gradual underflow into subnormals, round-up carry
+/// propagation and mode-dependent overflow saturation.
+pub(crate) fn round_pack(sign: bool, mag: u128, q: i32, mode: Round) -> u16 {
+    debug_assert!(mag != 0, "round_pack requires a non-zero magnitude");
+    let msb = 127 - mag.leading_zeros() as i32;
+    let e = msb + q; // value is in [2^e, 2^(e+1))
+
+    if e > EXP_MAX {
+        return overflow(sign, mode);
+    }
+
+    // Number of low bits to discard so the kept significand has its leading
+    // bit at position 10 (normal) or is expressed in units of 2^-24
+    // (subnormal).
+    let drop = if e >= EXP_MIN {
+        msb - FRAC_BITS as i32
+    } else {
+        -(EXP_BIAS - 1 + FRAC_BITS as i32) - q // = -24 - q
+    };
+
+    let (mut kept, round, sticky) = if drop <= 0 {
+        // Exact: shift left cannot lose bits (drop >= -127 always in range).
+        ((mag << (-drop) as u32) as u32, false, false)
+    } else {
+        let d = drop as u32;
+        let kept = shr_or_zero(mag, d) as u32;
+        let round = d >= 1 && (shr_or_zero(mag, d - 1) & 1) != 0;
+        let sticky = if d >= 2 {
+            mag & low_mask(d - 1) != 0
+        } else {
+            false
+        };
+        (kept, round, sticky)
+    };
+
+    if mode.increments(sign, kept & 1 != 0, round, sticky) {
+        kept += 1;
+    }
+
+    if e >= EXP_MIN {
+        let mut e = e;
+        if kept == (HIDDEN_BIT << 1) {
+            kept >>= 1;
+            e += 1;
+            if e > EXP_MAX {
+                return overflow(sign, mode);
+            }
+        }
+        debug_assert!((HIDDEN_BIT..HIDDEN_BIT << 1).contains(&kept));
+        let exp_field = (e + EXP_BIAS) as u16;
+        pack_zero(sign) | (exp_field << FRAC_BITS) | (kept as u16 & FRAC_MASK)
+    } else {
+        // Subnormal result; `kept` counts units of 2^-24. If rounding carried
+        // into 2^10 the encoding is, conveniently, exactly the minimum
+        // normal number.
+        debug_assert!(kept <= HIDDEN_BIT);
+        pack_zero(sign) | kept as u16
+    }
+}
+
+fn overflow(sign: bool, mode: Round) -> u16 {
+    if mode.overflow_saturates(sign) {
+        pack_max_finite(sign)
+    } else {
+        pack_inf(sign)
+    }
+}
+
+fn shr_or_zero(v: u128, by: u32) -> u128 {
+    if by >= 128 {
+        0
+    } else {
+        v >> by
+    }
+}
+
+fn low_mask(bits: u32) -> u128 {
+    if bits >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << bits) - 1
+    }
+}
+
+/// Fused multiply-add: computes `a * b + c` with a **single** rounding.
+///
+/// This is the exact operation performed by each FMA unit in RedMulE's
+/// datapath every cycle. All IEEE 754 special cases are handled:
+///
+/// * any NaN input (or an invalid operation) produces the canonical quiet
+///   NaN `0x7E00`;
+/// * `0 * inf` is invalid regardless of `c`;
+/// * `inf * finite + inf` of opposite signs is invalid;
+/// * exact zero results take the IEEE sign (`+0`, or `-0` in round-down).
+pub fn fma(a: u16, b: u16, c: u16, mode: Round) -> u16 {
+    let (ca, cb, cc) = (classify(a), classify(b), classify(c));
+
+    if matches!(ca, Class::Nan) || matches!(cb, Class::Nan) || matches!(cc, Class::Nan) {
+        return CANONICAL_QNAN;
+    }
+
+    // Product sign (valid for all non-NaN inputs).
+    let sa = sign_of(ca);
+    let sb = sign_of(cb);
+    let sp = sa ^ sb;
+
+    // Infinity handling in the product.
+    let a_inf = matches!(ca, Class::Inf { .. });
+    let b_inf = matches!(cb, Class::Inf { .. });
+    let a_zero = matches!(ca, Class::Zero { .. });
+    let b_zero = matches!(cb, Class::Zero { .. });
+
+    if (a_inf && b_zero) || (a_zero && b_inf) {
+        return CANONICAL_QNAN; // 0 * inf
+    }
+    if a_inf || b_inf {
+        // Product is +-inf.
+        return match cc {
+            Class::Inf { sign } if sign != sp => CANONICAL_QNAN,
+            _ => pack_inf(sp),
+        };
+    }
+    if let Class::Inf { sign } = cc {
+        return pack_inf(sign);
+    }
+
+    // Product is finite. Compute it exactly.
+    let prod = match (ca, cb) {
+        (Class::Finite(ua), Class::Finite(ub)) => {
+            Some((u64::from(ua.sig) * u64::from(ub.sig), ua.q + ub.q))
+        }
+        _ => None, // a or b is zero
+    };
+
+    match (prod, cc) {
+        (None, Class::Zero { sign: sc }) => {
+            // (+-0 * x) + +-0: exact zero; sign by IEEE addition rules.
+            if sp == sc {
+                pack_zero(sp)
+            } else {
+                pack_zero(mode.exact_zero_sign())
+            }
+        }
+        (None, Class::Finite(_)) => {
+            // 0 + c: result is c (re-packed verbatim).
+            c
+        }
+        (Some((mp, qp)), Class::Zero { .. }) => round_pack(sp, u128::from(mp), qp, mode),
+        (Some((mp, qp)), Class::Finite(uc)) => {
+            let sc = uc.sign;
+            let qc = uc.q;
+            let q_min = qp.min(qc);
+            // Exact signed sum in fixed point at scale 2^q_min. The largest
+            // alignment span is ~58 bits against a 22-bit product, well
+            // within i128.
+            let vp = i128::from(mp) << (qp - q_min) as u32;
+            let vc = i128::from(uc.sig) << (qc - q_min) as u32;
+            let sum = sgn(sp, vp) + sgn(sc, vc);
+            if sum == 0 {
+                pack_zero(mode.exact_zero_sign())
+            } else {
+                let sign = sum < 0;
+                round_pack(sign, sum.unsigned_abs(), q_min, mode)
+            }
+        }
+        (_, Class::Nan | Class::Inf { .. }) => unreachable!("handled above"),
+    }
+}
+
+fn sgn(negative: bool, v: i128) -> i128 {
+    if negative {
+        -v
+    } else {
+        v
+    }
+}
+
+fn sign_of(c: Class) -> bool {
+    match c {
+        Class::Nan => false,
+        Class::Inf { sign } | Class::Zero { sign } => sign,
+        Class::Finite(u) => u.sign,
+    }
+}
+
+/// Correctly rounded addition `a + b`.
+///
+/// Implemented as `fma(a, 1.0, b)`; the FMA path is exact, so this is a true
+/// single-rounding IEEE addition.
+pub fn add(a: u16, b: u16, mode: Round) -> u16 {
+    const ONE: u16 = 0x3C00;
+    fma(a, ONE, b, mode)
+}
+
+/// Correctly rounded subtraction `a - b`.
+pub fn sub(a: u16, b: u16, mode: Round) -> u16 {
+    add(a, b ^ SIGN_MASK, mode)
+}
+
+/// Correctly rounded multiplication `a * b`.
+///
+/// Not implemented via [`fma`] with a zero addend: the addition step would
+/// rewrite the sign of an exact `-0` product (`-0 + +0 = +0` in RNE), while
+/// IEEE multiplication must preserve the product sign.
+pub fn mul(a: u16, b: u16, mode: Round) -> u16 {
+    let (ca, cb) = (classify(a), classify(b));
+    if matches!(ca, Class::Nan) || matches!(cb, Class::Nan) {
+        return CANONICAL_QNAN;
+    }
+    let sign = sign_of(ca) ^ sign_of(cb);
+    match (ca, cb) {
+        (Class::Inf { .. }, Class::Zero { .. }) | (Class::Zero { .. }, Class::Inf { .. }) => {
+            CANONICAL_QNAN
+        }
+        (Class::Inf { .. }, _) | (_, Class::Inf { .. }) => pack_inf(sign),
+        (Class::Zero { .. }, _) | (_, Class::Zero { .. }) => pack_zero(sign),
+        (Class::Finite(ua), Class::Finite(ub)) => {
+            let prod = u64::from(ua.sig) * u64::from(ub.sig);
+            round_pack(sign, u128::from(prod), ua.q + ub.q, mode)
+        }
+        (Class::Nan, _) | (_, Class::Nan) => unreachable!("NaN handled above"),
+    }
+}
+
+/// Correctly rounded division `a / b`.
+///
+/// Division is not part of RedMulE's datapath but completes the
+/// FPnew-equivalent scalar operation set used by the software baseline.
+pub fn div(a: u16, b: u16, mode: Round) -> u16 {
+    let (ca, cb) = (classify(a), classify(b));
+    if matches!(ca, Class::Nan) || matches!(cb, Class::Nan) {
+        return CANONICAL_QNAN;
+    }
+    let sign = sign_of(ca) ^ sign_of(cb);
+    match (ca, cb) {
+        (Class::Inf { .. }, Class::Inf { .. }) => CANONICAL_QNAN,
+        (Class::Zero { .. }, Class::Zero { .. }) => CANONICAL_QNAN,
+        (Class::Inf { .. }, _) => pack_inf(sign),
+        (_, Class::Zero { .. }) => pack_inf(sign),
+        (Class::Zero { .. }, _) => pack_zero(sign),
+        (_, Class::Inf { .. }) => pack_zero(sign),
+        (Class::Finite(ua), Class::Finite(ub)) => {
+            // 20 extra quotient bits leave >= 9 bits under the round bit, so
+            // OR-ing the remainder sticky into bit 0 is safe.
+            let num = u64::from(ua.sig) << 20;
+            let den = u64::from(ub.sig);
+            let mut quo = num / den;
+            if num % den != 0 {
+                quo |= 1;
+            }
+            round_pack(sign, u128::from(quo), ua.q - ub.q - 20, mode)
+        }
+        (Class::Nan, _) | (_, Class::Nan) => unreachable!("NaN handled above"),
+    }
+}
+
+/// Correctly rounded square root.
+pub fn sqrt(a: u16, mode: Round) -> u16 {
+    match classify(a) {
+        Class::Nan => CANONICAL_QNAN,
+        Class::Zero { sign } => pack_zero(sign), // sqrt(+-0) = +-0
+        Class::Inf { sign: false } => pack_inf(false),
+        Class::Inf { sign: true } => CANONICAL_QNAN,
+        Class::Finite(u) if u.sign => CANONICAL_QNAN,
+        Class::Finite(mut u) => {
+            // Make the exponent even so it halves exactly.
+            if u.q & 1 != 0 {
+                u.sig <<= 1;
+                u.q -= 1;
+            }
+            // 32 extra bits of radicand -> 16 extra result bits.
+            let radicand = u128::from(u.sig) << 32;
+            let mut root = isqrt(radicand);
+            if root * root != radicand {
+                root |= 1; // sticky, >= 10 bits under the round bit
+            }
+            round_pack(false, root, u.q / 2 - 16, mode)
+        }
+    }
+}
+
+fn isqrt(v: u128) -> u128 {
+    if v < 2 {
+        return v;
+    }
+    // Newton's method seeded from the bit length; converges in a few steps.
+    let mut x = 1u128 << (128 - v.leading_zeros()).div_ceil(2);
+    loop {
+        let next = (x + v / x) >> 1;
+        if next >= x {
+            return x;
+        }
+        x = next;
+    }
+}
+
+/// Converts an `f32` to binary16 bits with a single correct rounding.
+pub fn from_f32(v: f32, mode: Round) -> u16 {
+    let bits = v.to_bits();
+    let sign = bits >> 31 != 0;
+    let exp_field = (bits >> 23) & 0xFF;
+    let frac = bits & 0x7F_FFFF;
+    match exp_field {
+        0xFF => {
+            if frac != 0 {
+                CANONICAL_QNAN
+            } else {
+                pack_inf(sign)
+            }
+        }
+        0 => {
+            if frac == 0 {
+                pack_zero(sign)
+            } else {
+                round_pack(sign, u128::from(frac), -149, mode)
+            }
+        }
+        e => round_pack(
+            sign,
+            u128::from(frac | 0x80_0000),
+            e as i32 - 127 - 23,
+            mode,
+        ),
+    }
+}
+
+/// Converts an `f64` to binary16 bits with a single correct rounding.
+pub fn from_f64(v: f64, mode: Round) -> u16 {
+    let bits = v.to_bits();
+    let sign = bits >> 63 != 0;
+    let exp_field = (bits >> 52) & 0x7FF;
+    let frac = bits & 0xF_FFFF_FFFF_FFFF;
+    match exp_field {
+        0x7FF => {
+            if frac != 0 {
+                CANONICAL_QNAN
+            } else {
+                pack_inf(sign)
+            }
+        }
+        0 => {
+            if frac == 0 {
+                pack_zero(sign)
+            } else {
+                round_pack(sign, u128::from(frac), -1074, mode)
+            }
+        }
+        e => round_pack(
+            sign,
+            u128::from(frac | (1u64 << 52)),
+            e as i32 - 1023 - 52,
+            mode,
+        ),
+    }
+}
+
+/// Converts binary16 bits to `f32` (always exact).
+pub fn to_f32(bits: u16) -> f32 {
+    match classify(bits) {
+        Class::Nan => f32::NAN,
+        Class::Inf { sign } => {
+            if sign {
+                f32::NEG_INFINITY
+            } else {
+                f32::INFINITY
+            }
+        }
+        Class::Zero { sign } => {
+            if sign {
+                -0.0
+            } else {
+                0.0
+            }
+        }
+        Class::Finite(u) => {
+            let mag = u.sig as f32 * (u.q as f32).exp2();
+            if u.sign {
+                -mag
+            } else {
+                mag
+            }
+        }
+    }
+}
+
+/// Converts binary16 bits to `f64` (always exact).
+pub fn to_f64(bits: u16) -> f64 {
+    match classify(bits) {
+        Class::Nan => f64::NAN,
+        Class::Inf { sign } => {
+            if sign {
+                f64::NEG_INFINITY
+            } else {
+                f64::INFINITY
+            }
+        }
+        Class::Zero { sign } => {
+            if sign {
+                -0.0
+            } else {
+                0.0
+            }
+        }
+        Class::Finite(u) => {
+            let mag = u.sig as f64 * (u.q as f64).exp2();
+            if u.sign {
+                -mag
+            } else {
+                mag
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ONE: u16 = 0x3C00;
+    const TWO: u16 = 0x4000;
+    const HALF: u16 = 0x3800;
+    const MAX: u16 = 0x7BFF; // 65504
+    const MIN_SUB: u16 = 0x0001; // 2^-24
+    const INF: u16 = 0x7C00;
+    const NINF: u16 = 0xFC00;
+    const NZERO: u16 = 0x8000;
+
+    fn f(v: f32) -> u16 {
+        from_f32(v, Round::NearestEven)
+    }
+
+    #[test]
+    fn unpack_normal() {
+        let Class::Finite(u) = classify(ONE) else {
+            panic!("1.0 must be finite")
+        };
+        assert!(!u.sign);
+        assert_eq!(u.sig, 1 << 10);
+        assert_eq!(u.q, -10);
+    }
+
+    #[test]
+    fn unpack_subnormal_normalises() {
+        let Class::Finite(u) = classify(MIN_SUB) else {
+            panic!("min subnormal must be finite")
+        };
+        assert_eq!(u.sig, 1 << 10);
+        assert_eq!(u.q, -34); // 2^10 * 2^-34 = 2^-24
+    }
+
+    #[test]
+    fn simple_products() {
+        assert_eq!(mul(TWO, TWO, Round::NearestEven), f(4.0));
+        assert_eq!(mul(HALF, HALF, Round::NearestEven), f(0.25));
+        assert_eq!(mul(f(-3.0), f(3.0), Round::NearestEven), f(-9.0));
+    }
+
+    #[test]
+    fn simple_sums() {
+        assert_eq!(add(ONE, ONE, Round::NearestEven), TWO);
+        assert_eq!(add(f(1.5), f(2.5), Round::NearestEven), f(4.0));
+        assert_eq!(sub(f(2.5), f(1.5), Round::NearestEven), ONE);
+    }
+
+    #[test]
+    fn fma_single_rounding_differs_from_two_roundings() {
+        // Choose a, b, c so that round(a*b) + c differs from fma(a, b, c).
+        // a = 1 + 2^-10 (ulp above one), b = 1 + 2^-10:
+        // a*b = 1 + 2^-9 + 2^-20 exactly; rounded mul gives 1 + 2^-9.
+        // With c = -(1 + 2^-9), fma = 2^-20 but mul-then-add = 0.
+        let a = 0x3C01;
+        let b = 0x3C01;
+        let c = from_f64(-(1.0 + 2.0f64.powi(-9)), Round::NearestEven);
+        let fused = fma(a, b, c, Round::NearestEven);
+        let split = add(mul(a, b, Round::NearestEven), c, Round::NearestEven);
+        assert_eq!(to_f64(fused), 2.0f64.powi(-20));
+        assert_eq!(to_f64(split), 0.0);
+    }
+
+    #[test]
+    fn nan_propagates_canonically() {
+        for op in [add, sub, mul, div] {
+            assert_eq!(op(CANONICAL_QNAN, ONE, Round::NearestEven), CANONICAL_QNAN);
+            assert_eq!(op(ONE, 0x7E01, Round::NearestEven), CANONICAL_QNAN);
+        }
+        assert_eq!(fma(ONE, ONE, 0xFFFF, Round::NearestEven), CANONICAL_QNAN);
+    }
+
+    #[test]
+    fn invalid_operations_produce_qnan() {
+        assert_eq!(fma(0, INF, ONE, Round::NearestEven), CANONICAL_QNAN); // 0*inf
+        assert_eq!(fma(INF, NZERO, ONE, Round::NearestEven), CANONICAL_QNAN);
+        assert_eq!(fma(INF, ONE, NINF, Round::NearestEven), CANONICAL_QNAN); // inf - inf
+        assert_eq!(add(INF, NINF, Round::NearestEven), CANONICAL_QNAN);
+        assert_eq!(div(INF, NINF, Round::NearestEven), CANONICAL_QNAN);
+        assert_eq!(div(0, NZERO, Round::NearestEven), CANONICAL_QNAN);
+        assert_eq!(sqrt(f(-1.0), Round::NearestEven), CANONICAL_QNAN);
+    }
+
+    #[test]
+    fn infinity_arithmetic() {
+        assert_eq!(add(INF, ONE, Round::NearestEven), INF);
+        assert_eq!(fma(INF, TWO, f(-5.0), Round::NearestEven), INF);
+        assert_eq!(fma(NINF, TWO, NINF, Round::NearestEven), NINF);
+        assert_eq!(div(ONE, 0, Round::NearestEven), INF);
+        assert_eq!(div(f(-1.0), 0, Round::NearestEven), NINF);
+        assert_eq!(div(ONE, INF, Round::NearestEven), 0);
+    }
+
+    #[test]
+    fn exact_zero_sign_rules() {
+        // (+1 * +1) + (-1) = exact +0 in RNE, -0 in RDN.
+        assert_eq!(fma(ONE, ONE, f(-1.0), Round::NearestEven), 0);
+        assert_eq!(fma(ONE, ONE, f(-1.0), Round::Down), NZERO);
+        // (+0) + (+0) keeps the sign; (+0) + (-0) is +0 (RNE).
+        assert_eq!(add(0, 0, Round::NearestEven), 0);
+        assert_eq!(add(NZERO, NZERO, Round::NearestEven), NZERO);
+        assert_eq!(add(0, NZERO, Round::NearestEven), 0);
+        assert_eq!(add(0, NZERO, Round::Down), NZERO);
+        // 0 * x + (-0), product +0: signs differ -> +0 in RNE.
+        assert_eq!(fma(0, ONE, NZERO, Round::NearestEven), 0);
+        // 0 * x + (-0), product -0: signs agree -> -0.
+        assert_eq!(fma(NZERO, ONE, NZERO, Round::NearestEven), NZERO);
+    }
+
+    #[test]
+    fn overflow_per_mode() {
+        assert_eq!(mul(MAX, TWO, Round::NearestEven), INF);
+        assert_eq!(mul(MAX, TWO, Round::TowardZero), MAX);
+        assert_eq!(mul(MAX, TWO, Round::Down), MAX);
+        assert_eq!(mul(MAX, TWO, Round::Up), INF);
+        let neg_max = MAX | NZERO;
+        assert_eq!(mul(neg_max, TWO, Round::Down), NINF);
+        assert_eq!(mul(neg_max, TWO, Round::Up), neg_max);
+    }
+
+    #[test]
+    fn overflow_by_rounding_at_binade_edge() {
+        // 65520 is the midpoint between 65504 (max) and 65536: RNE rounds to
+        // even = 65536 -> infinity. 65519 rounds down to 65504.
+        assert_eq!(from_f32(65520.0, Round::NearestEven), INF);
+        assert_eq!(from_f32(65519.0, Round::NearestEven), MAX);
+        assert_eq!(from_f32(65520.0, Round::TowardZero), MAX);
+    }
+
+    #[test]
+    fn gradual_underflow() {
+        // min_normal / 2 is the largest subnormal's neighbourhood.
+        let min_normal = 0x0400;
+        let half_min = div(min_normal, TWO, Round::NearestEven);
+        assert_eq!(half_min, 0x0200); // 2^-15 = subnormal 0.1000000000
+        // Smallest subnormal halves to zero under RNE (tie to even).
+        assert_eq!(div(MIN_SUB, TWO, Round::NearestEven), 0);
+        assert_eq!(div(MIN_SUB, TWO, Round::Up), MIN_SUB);
+        // Subnormal + subnormal is exact.
+        assert_eq!(add(MIN_SUB, MIN_SUB, Round::NearestEven), 0x0002);
+    }
+
+    #[test]
+    fn subnormal_rounds_up_to_min_normal() {
+        // Largest subnormal + smallest subnormal = min normal exactly.
+        let max_sub = 0x03FF;
+        assert_eq!(add(max_sub, MIN_SUB, Round::NearestEven), 0x0400);
+    }
+
+    #[test]
+    fn division_basics() {
+        assert_eq!(div(f(6.0), f(3.0), Round::NearestEven), TWO);
+        assert_eq!(div(ONE, f(3.0), Round::NearestEven), f(1.0 / 3.0));
+        assert_eq!(div(f(-7.5), f(2.5), Round::NearestEven), f(-3.0));
+    }
+
+    #[test]
+    fn sqrt_basics() {
+        assert_eq!(sqrt(f(4.0), Round::NearestEven), TWO);
+        assert_eq!(sqrt(f(2.0), Round::NearestEven), f(2.0f32.sqrt()));
+        assert_eq!(sqrt(0, Round::NearestEven), 0);
+        assert_eq!(sqrt(NZERO, Round::NearestEven), NZERO);
+        assert_eq!(sqrt(INF, Round::NearestEven), INF);
+        // Subnormal square root.
+        assert_eq!(
+            to_f64(sqrt(MIN_SUB, Round::NearestEven)),
+            from_f64_roundtrip(2.0f64.powi(-24).sqrt())
+        );
+    }
+
+    fn from_f64_roundtrip(v: f64) -> f64 {
+        to_f64(from_f64(v, Round::NearestEven))
+    }
+
+    #[test]
+    fn conversion_round_trips_all_finite_values() {
+        for bits in 0u16..=0xFFFF {
+            match classify(bits) {
+                Class::Nan => continue,
+                _ => {
+                    assert_eq!(from_f32(to_f32(bits), Round::NearestEven), bits);
+                    assert_eq!(from_f64(to_f64(bits), Round::NearestEven), bits);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f32_conversion_rounds_correctly() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and 1 + 2^-10: ties to even.
+        assert_eq!(from_f32(1.0 + 2.0f32.powi(-11), Round::NearestEven), ONE);
+        // Slightly above the tie rounds up.
+        assert_eq!(
+            from_f32(1.0 + 2.0f32.powi(-11) + 2.0f32.powi(-20), Round::NearestEven),
+            0x3C01
+        );
+        assert_eq!(from_f32(1.0 + 2.0f32.powi(-11), Round::Up), 0x3C01);
+        assert_eq!(from_f32(-(1.0 + 2.0f32.powi(-11)), Round::Down), 0xBC01);
+    }
+
+    #[test]
+    fn tiny_f32_flushes_by_rounding_only() {
+        // 2^-25 is halfway to the smallest subnormal: RNE ties to even = 0.
+        assert_eq!(from_f32(2.0f32.powi(-25), Round::NearestEven), 0);
+        // Just above the halfway point rounds to the min subnormal.
+        assert_eq!(
+            from_f32(2.0f32.powi(-25) * 1.0001, Round::NearestEven),
+            MIN_SUB
+        );
+        assert_eq!(from_f32(2.0f32.powi(-25), Round::Up), MIN_SUB);
+    }
+
+    /// Exhaustive check of `add` against an f64 reference. The sum of two
+    /// binary16 values is exactly representable in f64, so rounding the f64
+    /// sum once is the correctly rounded result.
+    #[test]
+    fn add_matches_f64_reference_exhaustive_slice() {
+        // Full 2^32 is too slow for a unit test; stride through the space and
+        // concentrate on interesting neighbourhoods.
+        let interesting: Vec<u16> = (0u16..=0xFFFF).step_by(251).chain(0x03F8..0x0408).collect();
+        for &a in &interesting {
+            for &b in &interesting {
+                if matches!(classify(a), Class::Nan) || matches!(classify(b), Class::Nan) {
+                    continue;
+                }
+                let got = add(a, b, Round::NearestEven);
+                let want = from_f64(to_f64(a) + to_f64(b), Round::NearestEven);
+                // Skip invalid (inf - inf): reference produces NaN too but
+                // compares unequal bitwise only if non-canonical.
+                let ref_nan = (to_f64(a) + to_f64(b)).is_nan();
+                if ref_nan {
+                    assert_eq!(got, CANONICAL_QNAN, "a={a:#06x} b={b:#06x}");
+                } else {
+                    assert_eq!(got, want, "a={a:#06x} b={b:#06x}");
+                }
+            }
+        }
+    }
+
+    /// Exhaustive check of `mul` against an f64 reference (products of two
+    /// 11-bit significands are exact in f64).
+    #[test]
+    fn mul_matches_f64_reference_exhaustive_slice() {
+        let interesting: Vec<u16> = (0u16..=0xFFFF).step_by(257).chain(0x7BF0..0x7C00).collect();
+        for &a in &interesting {
+            for &b in &interesting {
+                if matches!(classify(a), Class::Nan) || matches!(classify(b), Class::Nan) {
+                    continue;
+                }
+                let ref_val = to_f64(a) * to_f64(b);
+                let got = mul(a, b, Round::NearestEven);
+                if ref_val.is_nan() {
+                    assert_eq!(got, CANONICAL_QNAN, "a={a:#06x} b={b:#06x}");
+                } else {
+                    let want = from_f64(ref_val, Round::NearestEven);
+                    assert_eq!(got, want, "a={a:#06x} b={b:#06x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isqrt_exact_squares() {
+        for v in [0u128, 1, 4, 9, 1 << 40, (1u128 << 60) + 2 * (1 << 30) + 1] {
+            let r = isqrt(v);
+            assert!(r * r <= v);
+            assert!((r + 1) * (r + 1) > v);
+        }
+    }
+}

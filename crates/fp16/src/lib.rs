@@ -1,0 +1,54 @@
+//! Bit-accurate IEEE 754 `binary16` ("FP16") software floating point.
+//!
+//! This crate is the numerical substrate of the RedMulE reproduction. The
+//! paper's accelerator is built from FPnew fused multiply-add (FMA) units
+//! operating on IEEE `binary16`; every arithmetic result produced by the
+//! simulated datapath must therefore be *bit-identical* to what IEEE-compliant
+//! FP16 hardware computes. Rust has no native `f16`, so this crate implements
+//! the format from scratch with exact integer arithmetic:
+//!
+//! * [`F16`] — the 16-bit storage type with full classification,
+//!   conversion, comparison and formatting support.
+//! * [`arith`] — correctly rounded add/sub/mul/div/sqrt, and crucially a
+//!   correctly rounded **fused** multiply-add ([`F16::mul_add`]) with a
+//!   single rounding step, in all five RISC-V rounding modes.
+//! * [`Round`] — the rounding-mode type (RNE, RTZ, RDN, RUP, RMM).
+//! * [`vector`] — slice-level helpers (dot products, AXPY) and the
+//!   **golden-model GEMM** ([`vector::gemm_golden`]) that the cycle-accurate
+//!   accelerator model is verified against.
+//!
+//! # Fidelity notes
+//!
+//! * Subnormals are fully supported (FPnew in the PULP cluster configuration
+//!   does not flush to zero for FP16).
+//! * All NaN results are canonicalised to the quiet NaN `0x7E00`, matching
+//!   FPnew's NaN-boxing-free canonical output.
+//! * The default rounding mode everywhere is round-to-nearest-even, the mode
+//!   used by the paper's training workloads.
+//!
+//! # Example
+//!
+//! ```
+//! use redmule_fp16::F16;
+//!
+//! let a = F16::from_f32(1.5);
+//! let b = F16::from_f32(2.25);
+//! let c = F16::from_f32(-3.0);
+//! // Fused multiply-add: a * b + c with a single rounding.
+//! let z = a.mul_add(b, c);
+//! assert_eq!(z.to_f32(), 1.5 * 2.25 - 3.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod arith;
+mod f16;
+mod round;
+pub mod vector;
+
+pub use f16::{F16, FpCategory16};
+pub use round::Round;
+
+/// Canonical quiet NaN produced by all invalid operations (matches FPnew).
+pub const CANONICAL_QNAN: u16 = 0x7E00;

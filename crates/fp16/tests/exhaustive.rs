@@ -1,0 +1,181 @@
+//! Exhaustive verification of single-operand operations over the entire
+//! binary16 space, plus dense grids for two-operand operations.
+//!
+//! The f64 references are valid oracles: every FP16 value converts to f64
+//! exactly, and for division and square root the 2p+2 double-rounding
+//! theorem (53 >> 2*11+2) makes round(f64-op) the correctly rounded FP16
+//! result.
+
+use redmule_fp16::{arith, F16, Round, CANONICAL_QNAN};
+
+fn all_patterns() -> impl Iterator<Item = u16> {
+    0u16..=0xFFFF
+}
+
+fn is_nan_bits(bits: u16) -> bool {
+    (bits & 0x7C00) == 0x7C00 && (bits & 0x03FF) != 0
+}
+
+#[test]
+fn sqrt_exhaustive_vs_f64() {
+    for bits in all_patterns() {
+        let got = arith::sqrt(bits, Round::NearestEven);
+        if is_nan_bits(bits) {
+            assert_eq!(got, CANONICAL_QNAN, "sqrt(NaN) at {bits:#06x}");
+            continue;
+        }
+        let x = arith::to_f64(bits);
+        let want_val = x.sqrt();
+        if want_val.is_nan() {
+            assert_eq!(got, CANONICAL_QNAN, "sqrt({x}) at {bits:#06x}");
+        } else {
+            let want = arith::from_f64(want_val, Round::NearestEven);
+            assert_eq!(got, want, "sqrt({x}) at {bits:#06x}");
+        }
+    }
+}
+
+#[test]
+fn reciprocal_exhaustive_vs_f64() {
+    const ONE: u16 = 0x3C00;
+    for bits in all_patterns() {
+        let got = arith::div(ONE, bits, Round::NearestEven);
+        if is_nan_bits(bits) {
+            assert_eq!(got, CANONICAL_QNAN);
+            continue;
+        }
+        let x = arith::to_f64(bits);
+        let want = arith::from_f64(1.0 / x, Round::NearestEven);
+        assert_eq!(got, want, "1/{x} at {bits:#06x}");
+    }
+}
+
+#[test]
+fn negation_and_abs_exhaustive() {
+    for bits in all_patterns() {
+        let v = F16::from_bits(bits);
+        assert_eq!((-v).to_bits(), bits ^ 0x8000);
+        assert_eq!(v.abs().to_bits(), bits & 0x7FFF);
+        assert_eq!((-(-v)).to_bits(), bits);
+    }
+}
+
+#[test]
+fn classification_is_total_and_consistent() {
+    for bits in all_patterns() {
+        let v = F16::from_bits(bits);
+        let cats = [
+            v.is_nan(),
+            v.is_infinite(),
+            v.is_zero(),
+            v.is_subnormal(),
+            v.is_normal(),
+        ];
+        assert_eq!(
+            cats.iter().filter(|&&c| c).count(),
+            1,
+            "exactly one class at {bits:#06x}"
+        );
+        assert_eq!(v.is_finite(), !v.is_nan() && !v.is_infinite());
+        // Agreement with the f32 classification.
+        if !v.is_nan() {
+            let f = v.to_f32();
+            assert_eq!(v.is_infinite(), f.is_infinite(), "{bits:#06x}");
+            assert_eq!(v.is_zero(), f == 0.0, "{bits:#06x}");
+        }
+    }
+}
+
+#[test]
+fn doubling_and_halving_exhaustive_vs_f64() {
+    const TWO: u16 = 0x4000;
+    for bits in all_patterns() {
+        if is_nan_bits(bits) {
+            continue;
+        }
+        let x = arith::to_f64(bits);
+        let doubled = arith::mul(bits, TWO, Round::NearestEven);
+        assert_eq!(
+            doubled,
+            arith::from_f64(x * 2.0, Round::NearestEven),
+            "2*{x}"
+        );
+        let halved = arith::div(bits, TWO, Round::NearestEven);
+        assert_eq!(
+            halved,
+            arith::from_f64(x / 2.0, Round::NearestEven),
+            "{x}/2"
+        );
+    }
+}
+
+#[test]
+fn addition_dense_grid_vs_f64() {
+    // A structured set of second operands covering every regime.
+    let b_set: Vec<u16> = vec![
+        0x0000, 0x8000, 0x0001, 0x8001, 0x03FF, 0x0400, 0x3C00, 0xBC00, 0x3C01, 0x4000, 0x7BFF,
+        0xFBFF, 0x7C00, 0xFC00, 0x1400, 0x9400,
+    ];
+    for a in all_patterns().step_by(7) {
+        if is_nan_bits(a) {
+            continue;
+        }
+        let av = arith::to_f64(a);
+        for &b in &b_set {
+            let got = arith::add(a, b, Round::NearestEven);
+            let exact = av + arith::to_f64(b);
+            if exact.is_nan() {
+                assert_eq!(got, CANONICAL_QNAN, "a={a:#06x} b={b:#06x}");
+            } else {
+                let want = arith::from_f64(exact, Round::NearestEven);
+                // +0/-0 compare equal numerically; bit-compare except when
+                // both are zeros of different sign conventions.
+                if !(got & 0x7FFF == 0 && want & 0x7FFF == 0) {
+                    assert_eq!(got, want, "a={a:#06x} b={b:#06x}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fma_dense_grid_has_single_rounding() {
+    // fma(a, b, c) with c = -round(a*b) never loses the residual unless it
+    // is exactly zero: a classic single-rounding witness applied densely.
+    for a in (0x3C00u16..0x4400).step_by(3) {
+        for b in (0x3C00u16..0x4400).step_by(7) {
+            let prod = arith::mul(a, b, Round::NearestEven);
+            let c = prod ^ 0x8000; // -round(a*b)
+            let fused = arith::fma(a, b, c, Round::NearestEven);
+            // Exact residual: a*b - round(a*b) in f64 (all values exact).
+            let exact = arith::to_f64(a) * arith::to_f64(b) + arith::to_f64(c);
+            let want = arith::from_f64(exact, Round::NearestEven);
+            // The residual has few significant bits, so the f64 reference
+            // is exact here.
+            if !(fused & 0x7FFF == 0 && want & 0x7FFF == 0) {
+                assert_eq!(fused, want, "a={a:#06x} b={b:#06x}");
+            }
+        }
+    }
+}
+
+#[test]
+fn all_rounding_modes_bracket_exhaustively() {
+    // For every finite pattern, dividing by 3 produces an inexact result;
+    // the five modes must bracket it correctly.
+    const THREE: u16 = 0x4200;
+    for bits in all_patterns().step_by(5) {
+        if is_nan_bits(bits) || (bits & 0x7FFF) == 0x7C00 {
+            continue;
+        }
+        let exact = arith::to_f64(bits) / 3.0;
+        let dn = arith::to_f64(arith::div(bits, THREE, Round::Down));
+        let up = arith::to_f64(arith::div(bits, THREE, Round::Up));
+        let tz = arith::to_f64(arith::div(bits, THREE, Round::TowardZero));
+        let ne = arith::to_f64(arith::div(bits, THREE, Round::NearestEven));
+        assert!(dn <= exact || dn == f64::NEG_INFINITY, "{bits:#06x}");
+        assert!(up >= exact || up == f64::INFINITY, "{bits:#06x}");
+        assert!(tz.abs() <= exact.abs() || tz.is_infinite(), "{bits:#06x}");
+        assert!(ne >= dn && ne <= up, "{bits:#06x}");
+    }
+}

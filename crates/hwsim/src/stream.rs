@@ -1,0 +1,271 @@
+//! Ready/valid handshake bookkeeping.
+//!
+//! The paper describes the Streamer's memory-access schedule (Fig. 2c) in
+//! terms of R (ready) and V (valid) signals. This module provides a small
+//! protocol monitor so the simulator can record per-cycle handshake states,
+//! assert protocol invariants in tests, and export them to VCD traces.
+
+use std::fmt;
+
+/// The ready/valid state of one interface during one clock cycle.
+///
+/// # Example
+///
+/// ```
+/// use redmule_hwsim::stream::Handshake;
+///
+/// let h = Handshake { valid: true, ready: true };
+/// assert!(h.fires());
+/// assert!(!Handshake { valid: true, ready: false }.fires());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Handshake {
+    /// Producer asserts it has data.
+    pub valid: bool,
+    /// Consumer asserts it can accept data.
+    pub ready: bool,
+}
+
+impl Handshake {
+    /// A fired transfer (`valid && ready`).
+    pub const FIRE: Handshake = Handshake {
+        valid: true,
+        ready: true,
+    };
+    /// An idle cycle (neither side asserts).
+    pub const IDLE: Handshake = Handshake {
+        valid: false,
+        ready: false,
+    };
+
+    /// `true` when the transfer happens this cycle.
+    pub fn fires(self) -> bool {
+        self.valid && self.ready
+    }
+
+    /// `true` when the producer is stalled by the consumer.
+    pub fn is_backpressured(self) -> bool {
+        self.valid && !self.ready
+    }
+
+    /// `true` when the consumer is starved by the producer.
+    pub fn is_starved(self) -> bool {
+        !self.valid && self.ready
+    }
+}
+
+impl fmt::Display for Handshake {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match (self.valid, self.ready) {
+            (true, true) => "V+R (fire)",
+            (true, false) => "V (stall)",
+            (false, true) => "R (starve)",
+            (false, false) => "idle",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Records the per-cycle handshake history of one interface and checks the
+/// AXI-style stability rule: once `valid` is asserted it must stay asserted
+/// (with the same payload) until the transfer fires.
+///
+/// # Example
+///
+/// ```
+/// use redmule_hwsim::stream::{Handshake, StreamMonitor};
+///
+/// let mut mon = StreamMonitor::new("w_load");
+/// mon.record(Handshake { valid: true, ready: false });
+/// mon.record(Handshake::FIRE);
+/// assert_eq!(mon.fires(), 1);
+/// assert_eq!(mon.backpressured_cycles(), 1);
+/// assert!(mon.check_valid_stability().is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamMonitor {
+    name: String,
+    history: Vec<Handshake>,
+}
+
+/// Violation of the valid-stability protocol rule, reported by
+/// [`StreamMonitor::check_valid_stability`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolViolation {
+    /// Interface name.
+    pub interface: String,
+    /// Cycle index at which `valid` dropped without a prior fire.
+    pub cycle: usize,
+}
+
+impl fmt::Display for ProtocolViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "interface `{}` dropped valid at cycle {} before the transfer fired",
+            self.interface, self.cycle
+        )
+    }
+}
+
+impl std::error::Error for ProtocolViolation {}
+
+impl StreamMonitor {
+    /// Creates a monitor for the named interface.
+    pub fn new(name: impl Into<String>) -> StreamMonitor {
+        StreamMonitor {
+            name: name.into(),
+            history: Vec::new(),
+        }
+    }
+
+    /// Interface name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Records one cycle of handshake state.
+    pub fn record(&mut self, h: Handshake) {
+        self.history.push(h);
+    }
+
+    /// Number of recorded cycles.
+    pub fn cycles(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Number of fired transfers.
+    pub fn fires(&self) -> u64 {
+        self.history.iter().filter(|h| h.fires()).count() as u64
+    }
+
+    /// Cycles in which the producer was stalled (`valid && !ready`).
+    pub fn backpressured_cycles(&self) -> u64 {
+        self.history.iter().filter(|h| h.is_backpressured()).count() as u64
+    }
+
+    /// Cycles in which the consumer was starved (`!valid && ready`).
+    pub fn starved_cycles(&self) -> u64 {
+        self.history.iter().filter(|h| h.is_starved()).count() as u64
+    }
+
+    /// Fraction of recorded cycles in which a transfer fired.
+    pub fn utilization(&self) -> f64 {
+        if self.history.is_empty() {
+            return 0.0;
+        }
+        self.fires() as f64 / self.history.len() as f64
+    }
+
+    /// Full recorded history, oldest first.
+    pub fn history(&self) -> &[Handshake] {
+        &self.history
+    }
+
+    /// Checks that `valid`, once raised, is never dropped before a fire.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ProtocolViolation`] encountered, if any.
+    pub fn check_valid_stability(&self) -> Result<(), ProtocolViolation> {
+        let mut pending = false;
+        for (i, h) in self.history.iter().enumerate() {
+            if pending && !h.valid {
+                return Err(ProtocolViolation {
+                    interface: self.name.clone(),
+                    cycle: i,
+                });
+            }
+            pending = h.is_backpressured();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handshake_predicates() {
+        assert!(Handshake::FIRE.fires());
+        assert!(!Handshake::IDLE.fires());
+        let stall = Handshake {
+            valid: true,
+            ready: false,
+        };
+        assert!(stall.is_backpressured() && !stall.is_starved());
+        let starve = Handshake {
+            valid: false,
+            ready: true,
+        };
+        assert!(starve.is_starved() && !starve.is_backpressured());
+    }
+
+    #[test]
+    fn handshake_display() {
+        assert_eq!(Handshake::FIRE.to_string(), "V+R (fire)");
+        assert_eq!(Handshake::IDLE.to_string(), "idle");
+    }
+
+    #[test]
+    fn monitor_counts() {
+        let mut m = StreamMonitor::new("x_load");
+        for h in [
+            Handshake::IDLE,
+            Handshake {
+                valid: true,
+                ready: false,
+            },
+            Handshake::FIRE,
+            Handshake::FIRE,
+            Handshake {
+                valid: false,
+                ready: true,
+            },
+        ] {
+            m.record(h);
+        }
+        assert_eq!(m.name(), "x_load");
+        assert_eq!(m.cycles(), 5);
+        assert_eq!(m.fires(), 2);
+        assert_eq!(m.backpressured_cycles(), 1);
+        assert_eq!(m.starved_cycles(), 1);
+        assert!((m.utilization() - 0.4).abs() < 1e-12);
+        assert_eq!(m.history().len(), 5);
+    }
+
+    #[test]
+    fn empty_monitor_has_zero_utilization() {
+        assert_eq!(StreamMonitor::new("z").utilization(), 0.0);
+    }
+
+    #[test]
+    fn valid_stability_accepts_legal_trace() {
+        let mut m = StreamMonitor::new("ok");
+        m.record(Handshake {
+            valid: true,
+            ready: false,
+        });
+        m.record(Handshake {
+            valid: true,
+            ready: false,
+        });
+        m.record(Handshake::FIRE);
+        m.record(Handshake::IDLE);
+        assert!(m.check_valid_stability().is_ok());
+    }
+
+    #[test]
+    fn valid_stability_catches_dropped_valid() {
+        let mut m = StreamMonitor::new("bad");
+        m.record(Handshake {
+            valid: true,
+            ready: false,
+        });
+        m.record(Handshake::IDLE); // dropped valid before firing
+        let err = m.check_valid_stability().expect_err("must detect the drop");
+        assert_eq!(err.cycle, 1);
+        assert!(err.to_string().contains("bad"));
+    }
+}

@@ -1,0 +1,334 @@
+//! A minimal Value Change Dump (VCD) writer.
+//!
+//! RTL engineers verify schedules like the paper's Fig. 2c by inspecting
+//! waveforms; this module gives the behavioural model the same
+//! observability. The output is standard IEEE 1364 VCD, loadable in
+//! GTKWave.
+//!
+//! # Example
+//!
+//! ```
+//! use redmule_hwsim::vcd::VcdWriter;
+//!
+//! let mut buf = Vec::new();
+//! {
+//!     let mut vcd = VcdWriter::new(&mut buf, 1);
+//!     vcd.scope("redmule")?;
+//!     let valid = vcd.add_wire(1, "w_valid")?;
+//!     let data = vcd.add_wire(16, "w_data")?;
+//!     vcd.upscope()?;
+//!     vcd.begin_dump()?;
+//!     vcd.set(valid, 1);
+//!     vcd.set(data, 0x3C00);
+//!     vcd.tick(0)?;
+//!     vcd.set(valid, 0);
+//!     vcd.tick(1)?;
+//! }
+//! let text = String::from_utf8(buf).unwrap();
+//! assert!(text.contains("$var wire 16"));
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+/// Handle to a declared VCD variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(usize);
+
+#[derive(Debug)]
+struct Var {
+    width: u32,
+    code: String,
+    last: Option<u64>,
+    pending: Option<u64>,
+}
+
+/// Streaming VCD writer.
+///
+/// Usage is phased: declare scopes and wires, call [`VcdWriter::begin_dump`],
+/// then alternate [`VcdWriter::set`] calls with [`VcdWriter::tick`]. Only
+/// changed values are emitted, as in a real simulator dump.
+#[derive(Debug)]
+pub struct VcdWriter<W: Write> {
+    out: W,
+    vars: Vec<Var>,
+    scope_depth: usize,
+    header_done: bool,
+}
+
+impl<W: Write> VcdWriter<W> {
+    /// Creates a writer with the given timescale in nanoseconds per tick.
+    pub fn new(out: W, timescale_ns: u32) -> VcdWriter<W> {
+        let mut w = VcdWriter {
+            out,
+            vars: Vec::new(),
+            scope_depth: 0,
+            header_done: false,
+        };
+        // Defer header errors to the first fallible call for a simpler
+        // constructor; buffer the preamble instead.
+        w.preamble(timescale_ns);
+        w
+    }
+
+    fn preamble(&mut self, timescale_ns: u32) {
+        // Written lazily through a small buffer kept in `vars` would be
+        // over-engineering; just write and stash any error until the next
+        // fallible call.
+        let _ = writeln!(self.out, "$date\n  redmule-hwsim\n$end");
+        let _ = writeln!(self.out, "$version\n  redmule-hwsim vcd 0.1\n$end");
+        let _ = writeln!(self.out, "$timescale {timescale_ns} ns $end");
+    }
+
+    /// Opens a named scope (module) in the variable hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`VcdWriter::begin_dump`].
+    pub fn scope(&mut self, name: &str) -> io::Result<()> {
+        assert!(!self.header_done, "scope declared after begin_dump");
+        self.scope_depth += 1;
+        writeln!(self.out, "$scope module {name} $end")
+    }
+
+    /// Closes the innermost scope.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no scope is open or the header is finished.
+    pub fn upscope(&mut self) -> io::Result<()> {
+        assert!(!self.header_done, "upscope after begin_dump");
+        assert!(self.scope_depth > 0, "no scope to close");
+        self.scope_depth -= 1;
+        writeln!(self.out, "$upscope $end")
+    }
+
+    /// Declares a wire of `width` bits and returns its handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or above 64, or after
+    /// [`VcdWriter::begin_dump`].
+    pub fn add_wire(&mut self, width: u32, name: &str) -> io::Result<VarId> {
+        assert!(!self.header_done, "wire declared after begin_dump");
+        assert!((1..=64).contains(&width), "width must be 1..=64");
+        let id = VarId(self.vars.len());
+        let code = Self::code_for(id.0);
+        writeln!(self.out, "$var wire {width} {code} {name} $end")?;
+        self.vars.push(Var {
+            width,
+            code,
+            last: None,
+            pending: None,
+        });
+        Ok(id)
+    }
+
+    /// Finishes the declaration section. Must be called exactly once before
+    /// the first [`VcdWriter::tick`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if scopes remain open.
+    pub fn begin_dump(&mut self) -> io::Result<()> {
+        assert_eq!(self.scope_depth, 0, "unclosed scopes at begin_dump");
+        self.header_done = true;
+        writeln!(self.out, "$enddefinitions $end")
+    }
+
+    /// Schedules a value for the next [`VcdWriter::tick`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` does not fit in the declared width.
+    pub fn set(&mut self, var: VarId, value: u64) {
+        let v = &mut self.vars[var.0];
+        if v.width < 64 {
+            assert!(
+                value < (1u64 << v.width),
+                "value {value:#x} exceeds {} bits",
+                v.width
+            );
+        }
+        v.pending = Some(value);
+    }
+
+    /// Emits a timestamp and all values that changed since the previous
+    /// tick.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    ///
+    /// # Panics
+    ///
+    /// Panics before [`VcdWriter::begin_dump`].
+    pub fn tick(&mut self, time: u64) -> io::Result<()> {
+        assert!(self.header_done, "tick before begin_dump");
+        let mut body = String::new();
+        for v in &mut self.vars {
+            let value = v.pending.take().or(v.last);
+            if let Some(value) = value {
+                if v.last != Some(value) {
+                    v.last = Some(value);
+                    if v.width == 1 {
+                        let _ = writeln!(body, "{}{}", value & 1, v.code);
+                    } else {
+                        let _ = writeln!(body, "b{:b} {}", value, v.code);
+                    }
+                }
+            }
+        }
+        if !body.is_empty() {
+            writeln!(self.out, "#{time}")?;
+            self.out.write_all(body.as_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Consumes the writer, returning the underlying output.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+
+    /// Short printable-ASCII identifier code for variable `n`.
+    fn code_for(mut n: usize) -> String {
+        // Base-94 over '!'..='~'.
+        let mut code = String::new();
+        loop {
+            code.push((b'!' + (n % 94) as u8) as char);
+            n /= 94;
+            if n == 0 {
+                break;
+            }
+            n -= 1;
+        }
+        code
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build_simple() -> String {
+        let mut buf = Vec::new();
+        {
+            let mut vcd = VcdWriter::new(&mut buf, 1);
+            vcd.scope("top").unwrap();
+            let clk = vcd.add_wire(1, "clk").unwrap();
+            let bus = vcd.add_wire(16, "bus").unwrap();
+            vcd.upscope().unwrap();
+            vcd.begin_dump().unwrap();
+            vcd.set(clk, 0);
+            vcd.set(bus, 0xABCD);
+            vcd.tick(0).unwrap();
+            vcd.set(clk, 1);
+            vcd.tick(1).unwrap();
+            // No change: tick 2 emits nothing.
+            vcd.tick(2).unwrap();
+            vcd.set(bus, 0xABCD); // same value: still no change line
+            vcd.tick(3).unwrap();
+        }
+        String::from_utf8(buf).unwrap()
+    }
+
+    #[test]
+    fn header_contains_declarations() {
+        let text = build_simple();
+        assert!(text.contains("$timescale 1 ns $end"));
+        assert!(text.contains("$scope module top $end"));
+        assert!(text.contains("$var wire 1 ! clk $end"));
+        assert!(text.contains("$var wire 16 \" bus $end"));
+        assert!(text.contains("$enddefinitions $end"));
+    }
+
+    #[test]
+    fn only_changes_are_dumped() {
+        let text = build_simple();
+        assert!(text.contains("#0\n"));
+        assert!(text.contains("#1\n"));
+        // Ticks 2 and 3 had no changes, so their timestamps are absent.
+        assert!(!text.contains("#2"));
+        assert!(!text.contains("#3"));
+        // Scalar format for 1-bit, vector format for 16-bit.
+        assert!(text.contains("0!"));
+        assert!(text.contains("1!"));
+        assert!(text.contains(&format!("b{:b} \"", 0xABCD)));
+    }
+
+    #[test]
+    fn codes_are_unique_and_printable() {
+        let mut seen = std::collections::HashSet::new();
+        for n in 0..500 {
+            let code = VcdWriter::<Vec<u8>>::code_for(n);
+            assert!(code.chars().all(|c| ('!'..='~').contains(&c)));
+            assert!(seen.insert(code), "duplicate code for {n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn set_rejects_oversized_values() {
+        let mut vcd = VcdWriter::new(Vec::new(), 1);
+        let v = vcd.add_wire(4, "nibble").unwrap();
+        vcd.begin_dump().unwrap();
+        vcd.set(v, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed scopes")]
+    fn begin_dump_rejects_open_scope() {
+        let mut vcd = VcdWriter::new(Vec::new(), 1);
+        vcd.scope("oops").unwrap();
+        vcd.begin_dump().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "after begin_dump")]
+    fn no_declarations_after_dump_starts() {
+        let mut vcd = VcdWriter::new(Vec::new(), 1);
+        vcd.begin_dump().unwrap();
+        let _ = vcd.add_wire(1, "late");
+    }
+
+    #[test]
+    fn into_inner_returns_buffer() {
+        let vcd = VcdWriter::new(vec![1u8, 2, 3], 1);
+        // Preamble appended to the initial contents.
+        let buf = vcd.into_inner();
+        assert_eq!(&buf[..3], &[1, 2, 3]);
+        assert!(buf.len() > 3);
+    }
+
+    #[test]
+    fn sixty_four_bit_wire_roundtrips() {
+        let mut buf = Vec::new();
+        {
+            let mut vcd = VcdWriter::new(&mut buf, 1);
+            let w = vcd.add_wire(64, "wide").unwrap();
+            vcd.begin_dump().unwrap();
+            vcd.set(w, u64::MAX);
+            vcd.tick(0).unwrap();
+        }
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains(&format!("b{:b} !", u64::MAX)));
+    }
+}

@@ -1,0 +1,583 @@
+//! 2-D convolution lowered onto the GEMM accelerator (im2col).
+//!
+//! RedMulE accelerates matrix multiplication; convolutional layers reach
+//! it through the standard im2col lowering: every output position's
+//! receptive field becomes one column of a patch matrix, and the
+//! convolution becomes `Y(out_ch x positions) = W(out_ch x patch) * P`.
+//! The patch gather runs on the cluster cores (DMA-assisted in practice)
+//! and is charged as elementwise work; the GEMM goes to whichever
+//! [`Backend`] is in use.
+//!
+//! The numerical contract is [`conv2d_reference`]: accumulation over the
+//! receptive field in `(channel, ky, kx)` row-major order, exactly the
+//! order the lowered GEMM uses — so accelerator and software results stay
+//! bit-identical to the reference.
+
+use crate::backend::{Backend, CycleLedger, OpKind};
+use redmule_fp16::vector::GemmShape;
+use redmule_fp16::F16;
+
+/// A channel-major 2-D feature map (`channels x height x width`).
+///
+/// # Example
+///
+/// ```
+/// use redmule_nn::conv::FeatureMap;
+/// use redmule_fp16::F16;
+///
+/// let map = FeatureMap::zeros(3, 8, 8);
+/// assert_eq!(map.len(), 3 * 64);
+/// assert_eq!(map.get(2, 7, 7), F16::ZERO);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureMap {
+    channels: usize,
+    height: usize,
+    width: usize,
+    data: Vec<F16>,
+}
+
+impl FeatureMap {
+    /// An all-zero map.
+    pub fn zeros(channels: usize, height: usize, width: usize) -> FeatureMap {
+        FeatureMap {
+            channels,
+            height,
+            width,
+            data: vec![F16::ZERO; channels * height * width],
+        }
+    }
+
+    /// Builds a map element-wise from `f(channel, y, x)`.
+    pub fn from_fn(
+        channels: usize,
+        height: usize,
+        width: usize,
+        mut f: impl FnMut(usize, usize, usize) -> f32,
+    ) -> FeatureMap {
+        let mut data = Vec::with_capacity(channels * height * width);
+        for c in 0..channels {
+            for y in 0..height {
+                for x in 0..width {
+                    data.push(F16::from_f32(f(c, y, x)));
+                }
+            }
+        }
+        FeatureMap {
+            channels,
+            height,
+            width,
+            data,
+        }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Spatial height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Spatial width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` for degenerate empty maps.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn get(&self, c: usize, y: usize, x: usize) -> F16 {
+        assert!(
+            c < self.channels && y < self.height && x < self.width,
+            "index ({c},{y},{x}) out of range"
+        );
+        self.data[(c * self.height + y) * self.width + x]
+    }
+
+    /// Element mutator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn set(&mut self, c: usize, y: usize, x: usize, v: F16) {
+        assert!(
+            c < self.channels && y < self.height && x < self.width,
+            "index ({c},{y},{x}) out of range"
+        );
+        self.data[(c * self.height + y) * self.width + x] = v;
+    }
+
+    /// The flat channel-major storage.
+    pub fn as_slice(&self) -> &[F16] {
+        &self.data
+    }
+
+    /// Zero-padded read: out-of-bounds coordinates return `+0`.
+    fn padded(&self, c: usize, y: isize, x: isize) -> F16 {
+        if y < 0 || x < 0 || y as usize >= self.height || x as usize >= self.width {
+            F16::ZERO
+        } else {
+            self.get(c, y as usize, x as usize)
+        }
+    }
+}
+
+/// A 2-D convolution layer executed through im2col + GEMM.
+///
+/// # Example
+///
+/// ```
+/// use redmule_nn::backend::{Backend, CycleLedger};
+/// use redmule_nn::conv::{Conv2d, FeatureMap};
+///
+/// let conv = Conv2d::new("c0", 1, 4, 3, 1, 1, true, 7);
+/// let input = FeatureMap::from_fn(1, 8, 8, |_, y, x| (y + x) as f32 / 16.0);
+/// let mut backend = Backend::hw();
+/// let mut ledger = CycleLedger::new();
+/// let out = conv.forward(&input, &mut backend, &mut ledger);
+/// assert_eq!((out.channels(), out.height(), out.width()), (4, 8, 8));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    name: String,
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    /// `out_ch x (in_ch * kernel * kernel)`, row-major — GEMM-ready.
+    weights: Vec<F16>,
+    bias: Vec<F16>,
+    relu: bool,
+}
+
+impl Conv2d {
+    /// Creates a layer with deterministic uniform init.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any structural parameter is zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        relu: bool,
+        seed: u64,
+    ) -> Conv2d {
+        assert!(
+            in_ch > 0 && out_ch > 0 && kernel > 0 && stride > 0,
+            "conv dimensions must be positive"
+        );
+        let patch = in_ch * kernel * kernel;
+        let scale = 1.0 / (patch as f32).sqrt();
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut rnd = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let unit = (state >> 11) as f32 / (1u64 << 53) as f32;
+            F16::from_f32((2.0 * unit - 1.0) * scale)
+        };
+        Conv2d {
+            name: name.into(),
+            in_ch,
+            out_ch,
+            kernel,
+            stride,
+            padding,
+            weights: (0..out_ch * patch).map(|_| rnd()).collect(),
+            bias: vec![F16::ZERO; out_ch],
+            relu,
+        }
+    }
+
+    /// Layer label.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Output spatial size for an input of `h x w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit the padded input.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let span_h = h + 2 * self.padding;
+        let span_w = w + 2 * self.padding;
+        assert!(
+            span_h >= self.kernel && span_w >= self.kernel,
+            "kernel {k} does not fit input {h}x{w} with padding {p}",
+            k = self.kernel,
+            p = self.padding
+        );
+        (
+            (span_h - self.kernel) / self.stride + 1,
+            (span_w - self.kernel) / self.stride + 1,
+        )
+    }
+
+    /// Raw GEMM-ready weights (`out_ch x in_ch*k*k`).
+    pub fn weights(&self) -> &[F16] {
+        &self.weights
+    }
+
+    /// Forward pass: im2col gather, GEMM, bias and optional ReLU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input channel count mismatches or the kernel does not
+    /// fit.
+    pub fn forward(
+        &self,
+        input: &FeatureMap,
+        backend: &mut Backend,
+        ledger: &mut CycleLedger,
+    ) -> FeatureMap {
+        assert_eq!(input.channels(), self.in_ch, "input channels mismatch");
+        let (oh, ow) = self.output_hw(input.height(), input.width());
+        let positions = oh * ow;
+        let patch = self.in_ch * self.kernel * self.kernel;
+
+        // im2col gather (cores/DMA): one patch column per output position.
+        let mut cols = vec![F16::ZERO; patch * positions];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let pos = oy * ow + ox;
+                let base_y = (oy * self.stride) as isize - self.padding as isize;
+                let base_x = (ox * self.stride) as isize - self.padding as isize;
+                let mut row = 0usize;
+                for c in 0..self.in_ch {
+                    for ky in 0..self.kernel {
+                        for kx in 0..self.kernel {
+                            cols[row * positions + pos] =
+                                input.padded(c, base_y + ky as isize, base_x + kx as isize);
+                            row += 1;
+                        }
+                    }
+                }
+            }
+        }
+        ledger.record(
+            &self.name,
+            OpKind::Elementwise,
+            None,
+            backend.elementwise_cycles(cols.len()),
+        );
+
+        // GEMM: Y(out_ch x positions) = W(out_ch x patch) * cols.
+        let shape = GemmShape::new(self.out_ch, patch, positions);
+        let (y, cycles) = backend.gemm(shape, &self.weights, &cols);
+        ledger.record(&self.name, OpKind::Forward, Some(shape), cycles);
+
+        // Bias + activation on the cores.
+        let mut out = FeatureMap::zeros(self.out_ch, oh, ow);
+        for c in 0..self.out_ch {
+            for pos in 0..positions {
+                let mut v = y[c * positions + pos] + self.bias[c];
+                if self.relu && !v.is_nan() && v.is_sign_negative() && !v.is_zero() {
+                    v = F16::ZERO;
+                }
+                out.data[c * positions + pos] = v;
+            }
+        }
+        ledger.record(
+            &self.name,
+            OpKind::Elementwise,
+            None,
+            backend.elementwise_cycles(out.len()),
+        );
+        out
+    }
+}
+
+/// 2-D max pooling, executed on the cluster cores.
+///
+/// # Example
+///
+/// ```
+/// use redmule_nn::backend::{Backend, CycleLedger};
+/// use redmule_nn::conv::{FeatureMap, MaxPool2d};
+///
+/// let pool = MaxPool2d::new(2, 2);
+/// let x = FeatureMap::from_fn(1, 4, 4, |_, y, x| (y * 4 + x) as f32);
+/// let mut backend = Backend::sw();
+/// let mut ledger = CycleLedger::new();
+/// let y = pool.forward(&x, &mut backend, &mut ledger);
+/// assert_eq!((y.height(), y.width()), (2, 2));
+/// assert_eq!(y.get(0, 1, 1).to_f32(), 15.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaxPool2d {
+    size: usize,
+    stride: usize,
+}
+
+impl MaxPool2d {
+    /// Creates a pooling layer with a `size x size` window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` or `stride` is zero.
+    pub fn new(size: usize, stride: usize) -> MaxPool2d {
+        assert!(size > 0 && stride > 0, "pool dimensions must be positive");
+        MaxPool2d { size, stride }
+    }
+
+    /// Output spatial size for an input of `h x w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window does not fit.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        assert!(
+            h >= self.size && w >= self.size,
+            "pool window {s} does not fit input {h}x{w}",
+            s = self.size
+        );
+        ((h - self.size) / self.stride + 1, (w - self.size) / self.stride + 1)
+    }
+
+    /// Forward pass. NaNs lose the max (IEEE `maxNum` semantics, matching
+    /// the cores' `fmax.h`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window does not fit the input.
+    pub fn forward(
+        &self,
+        input: &FeatureMap,
+        backend: &mut Backend,
+        ledger: &mut CycleLedger,
+    ) -> FeatureMap {
+        let (oh, ow) = self.output_hw(input.height(), input.width());
+        let mut out = FeatureMap::zeros(input.channels(), oh, ow);
+        for c in 0..input.channels() {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = F16::NEG_INFINITY;
+                    for ky in 0..self.size {
+                        for kx in 0..self.size {
+                            best = best
+                                .max(input.get(c, oy * self.stride + ky, ox * self.stride + kx));
+                        }
+                    }
+                    out.set(c, oy, ox, best);
+                }
+            }
+        }
+        // Each output reads size^2 inputs: charge the comparisons as
+        // elementwise work over the receptive fields.
+        ledger.record(
+            "maxpool",
+            OpKind::Elementwise,
+            None,
+            backend.elementwise_cycles(out.len() * self.size * self.size),
+        );
+        out
+    }
+}
+
+/// Direct-convolution reference with the same accumulation order as the
+/// im2col GEMM (`(channel, ky, kx)` row-major, sequential FMA).
+///
+/// # Panics
+///
+/// Panics on channel mismatch or a kernel that does not fit.
+pub fn conv2d_reference(layer: &Conv2d, input: &FeatureMap) -> FeatureMap {
+    assert_eq!(input.channels(), layer.in_ch, "input channels mismatch");
+    let (oh, ow) = layer.output_hw(input.height(), input.width());
+    let mut out = FeatureMap::zeros(layer.out_ch, oh, ow);
+    let patch = layer.in_ch * layer.kernel * layer.kernel;
+    for oc in 0..layer.out_ch {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let base_y = (oy * layer.stride) as isize - layer.padding as isize;
+                let base_x = (ox * layer.stride) as isize - layer.padding as isize;
+                let mut acc = F16::ZERO;
+                let mut row = 0usize;
+                for c in 0..layer.in_ch {
+                    for ky in 0..layer.kernel {
+                        for kx in 0..layer.kernel {
+                            let w = layer.weights[oc * patch + row];
+                            let xval =
+                                input.padded(c, base_y + ky as isize, base_x + kx as isize);
+                            acc = xval.mul_add(w, acc);
+                            row += 1;
+                        }
+                    }
+                }
+                let mut v = acc + layer.bias[oc];
+                if layer.relu && !v.is_nan() && v.is_sign_negative() && !v.is_zero() {
+                    v = F16::ZERO;
+                }
+                out.set(oc, oy, ox, v);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(m: &FeatureMap) -> Vec<u16> {
+        m.as_slice().iter().map(|v| v.to_bits()).collect()
+    }
+
+    fn input(ch: usize, h: usize, w: usize) -> FeatureMap {
+        FeatureMap::from_fn(ch, h, w, |c, y, x| {
+            ((c * 7 + y * 3 + x * 5) % 17) as f32 / 8.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn output_geometry() {
+        let c = Conv2d::new("t", 1, 1, 3, 1, 1, false, 1);
+        assert_eq!(c.output_hw(8, 8), (8, 8)); // same padding
+        let c = Conv2d::new("t", 1, 1, 3, 2, 0, false, 1);
+        assert_eq!(c.output_hw(9, 9), (4, 4));
+        let c = Conv2d::new("t", 1, 1, 1, 1, 0, false, 1);
+        assert_eq!(c.output_hw(5, 7), (5, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn kernel_larger_than_input_rejected() {
+        let c = Conv2d::new("t", 1, 1, 5, 1, 0, false, 1);
+        let _ = c.output_hw(3, 3);
+    }
+
+    #[test]
+    fn im2col_matches_direct_convolution_bitwise() {
+        for (stride, padding) in [(1, 0), (1, 1), (2, 0), (2, 1)] {
+            let layer = Conv2d::new("t", 3, 5, 3, stride, padding, false, 11);
+            let x = input(3, 9, 7);
+            let mut backend = Backend::sw();
+            let mut ledger = CycleLedger::new();
+            let got = layer.forward(&x, &mut backend, &mut ledger);
+            let want = conv2d_reference(&layer, &x);
+            assert_eq!(
+                bits(&got),
+                bits(&want),
+                "stride {stride}, padding {padding}"
+            );
+        }
+    }
+
+    #[test]
+    fn hw_and_sw_agree_on_convolution() {
+        let layer = Conv2d::new("t", 2, 8, 3, 1, 1, true, 5);
+        let x = input(2, 12, 12);
+        let mut ledger_h = CycleLedger::new();
+        let mut ledger_s = CycleLedger::new();
+        let yh = layer.forward(&x, &mut Backend::hw(), &mut ledger_h);
+        let ys = layer.forward(&x, &mut Backend::sw(), &mut ledger_s);
+        assert_eq!(bits(&yh), bits(&ys));
+        assert!(
+            ledger_h.cycles_for(OpKind::Forward) < ledger_s.cycles_for(OpKind::Forward),
+            "accelerator must win the GEMM"
+        );
+    }
+
+    #[test]
+    fn relu_applies_after_bias() {
+        let mut layer = Conv2d::new("t", 1, 1, 1, 1, 0, true, 3);
+        layer.weights[0] = F16::ONE;
+        layer.bias[0] = F16::from_f32(-10.0);
+        let x = FeatureMap::from_fn(1, 2, 2, |_, _, _| 1.0);
+        let mut backend = Backend::sw();
+        let mut ledger = CycleLedger::new();
+        let y = layer.forward(&x, &mut backend, &mut ledger);
+        assert!(y.as_slice().iter().all(|v| v.is_zero()), "ReLU clamps");
+        let want = conv2d_reference(&layer, &x);
+        assert_eq!(bits(&y), bits(&want));
+    }
+
+    #[test]
+    fn padding_reads_zeros() {
+        let m = input(1, 2, 2);
+        assert_eq!(m.padded(0, -1, 0), F16::ZERO);
+        assert_eq!(m.padded(0, 0, 2), F16::ZERO);
+        assert_eq!(m.padded(0, 1, 1), m.get(0, 1, 1));
+    }
+
+    #[test]
+    fn maxpool_picks_window_maxima() {
+        let pool = MaxPool2d::new(2, 2);
+        let x = FeatureMap::from_fn(2, 4, 4, |c, y, x| ((c + 1) * (y * 4 + x)) as f32);
+        let mut backend = Backend::sw();
+        let mut ledger = CycleLedger::new();
+        let y = pool.forward(&x, &mut backend, &mut ledger);
+        assert_eq!((y.channels(), y.height(), y.width()), (2, 2, 2));
+        assert_eq!(y.get(0, 0, 0).to_f32(), 5.0);
+        assert_eq!(y.get(0, 1, 1).to_f32(), 15.0);
+        assert_eq!(y.get(1, 1, 1).to_f32(), 30.0);
+        assert!(ledger.cycles_for(OpKind::Elementwise).count() > 0);
+    }
+
+    #[test]
+    fn maxpool_overlapping_stride() {
+        let pool = MaxPool2d::new(3, 1);
+        let x = FeatureMap::from_fn(1, 5, 5, |_, y, x| -((y * 5 + x) as f32));
+        let mut backend = Backend::sw();
+        let mut ledger = CycleLedger::new();
+        let y = pool.forward(&x, &mut backend, &mut ledger);
+        assert_eq!((y.height(), y.width()), (3, 3));
+        // Max of a negative ramp is the top-left element of each window.
+        assert_eq!(y.get(0, 2, 2).to_f32(), -12.0);
+    }
+
+    #[test]
+    fn maxpool_nan_loses() {
+        let pool = MaxPool2d::new(2, 2);
+        let mut x = FeatureMap::zeros(1, 2, 2);
+        x.set(0, 0, 0, F16::NAN);
+        x.set(0, 0, 1, F16::from_f32(3.0));
+        let mut backend = Backend::sw();
+        let mut ledger = CycleLedger::new();
+        let y = pool.forward(&x, &mut backend, &mut ledger);
+        assert_eq!(y.get(0, 0, 0).to_f32(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn maxpool_window_checked() {
+        let _ = MaxPool2d::new(4, 1).output_hw(3, 3);
+    }
+
+    #[test]
+    fn feature_map_accessors() {
+        let mut m = FeatureMap::zeros(2, 3, 4);
+        assert_eq!((m.channels(), m.height(), m.width()), (2, 3, 4));
+        assert!(!m.is_empty());
+        m.set(1, 2, 3, F16::ONE);
+        assert_eq!(m.get(1, 2, 3), F16::ONE);
+        assert_eq!(m.as_slice().len(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn feature_map_bounds_checked() {
+        let _ = FeatureMap::zeros(1, 1, 1).get(0, 0, 1);
+    }
+}

@@ -1,0 +1,587 @@
+//! Top-level accelerator facade: register-file programming plus
+//! one-call GEMM convenience.
+
+use crate::config::AccelConfig;
+use crate::engine::{Engine, EngineError, RunReport};
+use crate::regfile::{Job, RegFile};
+use redmule_cluster::{ClusterConfig, Hci, Tcdm};
+use redmule_fp16::vector::GemmShape;
+use redmule_fp16::F16;
+
+/// A complete RedMulE instance: the cycle-accurate [`Engine`] plus the
+/// HWPE [`RegFile`] the cores program it through.
+///
+/// Two usage styles are supported:
+///
+/// * **Offload flow** (as in the real cluster): write the job registers
+///   via [`Accelerator::regfile_mut`], trigger, then [`Accelerator::service`]
+///   — mirroring how a PULP core drives the HWPE.
+/// * **Convenience flow**: [`Accelerator::gemm`] places operands in a
+///   fresh TCDM and runs the job in one call.
+///
+/// # Example
+///
+/// ```
+/// use redmule::Accelerator;
+/// use redmule_fp16::{vector::GemmShape, F16};
+///
+/// let accel = Accelerator::paper_instance();
+/// let shape = GemmShape::new(4, 4, 4);
+/// let x = vec![F16::ONE; 16];
+/// let w = vec![F16::TWO; 16];
+/// let run = accel.gemm(shape, &x, &w)?;
+/// assert!(run.z.iter().all(|v| v.to_f32() == 8.0));
+/// # Ok::<(), redmule::EngineError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Accelerator {
+    engine: Engine,
+    regfile: RegFile,
+}
+
+/// Result of a convenience GEMM run.
+#[derive(Debug, Clone)]
+pub struct GemmRun {
+    /// The computed output matrix (`m x k`, row-major).
+    pub z: Vec<F16>,
+    /// Cycle-accurate execution report.
+    pub report: RunReport,
+}
+
+impl Accelerator {
+    /// The paper's prototype: `H = 4, L = 8, P = 3` (32 FMAs, 9 ports).
+    pub fn paper_instance() -> Accelerator {
+        Accelerator::new(AccelConfig::paper())
+    }
+
+    /// Builds an instance with custom parameters.
+    pub fn new(cfg: AccelConfig) -> Accelerator {
+        Accelerator {
+            engine: Engine::new(cfg),
+            regfile: RegFile::new(),
+        }
+    }
+
+    /// Enables per-cycle port tracing on the underlying engine.
+    #[must_use]
+    pub fn with_trace(mut self) -> Accelerator {
+        self.engine = self.engine.clone().with_trace();
+        self
+    }
+
+    /// The instance parameters.
+    pub fn config(&self) -> &AccelConfig {
+        self.engine.config()
+    }
+
+    /// Core-visible register file (read side).
+    pub fn regfile(&self) -> &RegFile {
+        &self.regfile
+    }
+
+    /// Core-visible register file (write side) for the offload flow.
+    pub fn regfile_mut(&mut self) -> &mut RegFile {
+        &mut self.regfile
+    }
+
+    /// Services a pending trigger: runs the programmed job to completion
+    /// against the given memory/interconnect and clears the busy flag.
+    ///
+    /// Returns `Ok(None)` when no trigger is pending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EngineError`] from the engine; the job is marked
+    /// complete either way (a real HWPE would raise an error event).
+    pub fn service(
+        &mut self,
+        mem: &mut Tcdm,
+        hci: &mut Hci,
+    ) -> Result<Option<RunReport>, EngineError> {
+        let Some(job) = self.regfile.take_triggered_job() else {
+            return Ok(None);
+        };
+        let result = self.engine.run(job, mem, hci);
+        self.regfile.complete_job();
+        result.map(Some)
+    }
+
+    /// Runs `Z = X * W` on a fresh, operand-sized TCDM and returns the
+    /// result with its cycle report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EngineError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths do not match `shape`.
+    pub fn gemm(&self, shape: GemmShape, x: &[F16], w: &[F16]) -> Result<GemmRun, EngineError> {
+        self.gemm_inner(shape, x, w, None)
+    }
+
+    /// Runs `Z = X * W + Y` (accumulate mode, the journal follow-up's GEMM
+    /// extension) on a fresh TCDM.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EngineError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths do not match `shape`.
+    pub fn gemm_accumulate(
+        &self,
+        shape: GemmShape,
+        x: &[F16],
+        w: &[F16],
+        y: &[F16],
+    ) -> Result<GemmRun, EngineError> {
+        self.gemm_inner(shape, x, w, Some(y))
+    }
+
+    fn gemm_inner(
+        &self,
+        shape: GemmShape,
+        x: &[F16],
+        w: &[F16],
+        y: Option<&[F16]>,
+    ) -> Result<GemmRun, EngineError> {
+        assert_eq!(x.len(), shape.x_len(), "X has wrong length for {shape}");
+        assert_eq!(w.len(), shape.w_len(), "W has wrong length for {shape}");
+        if let Some(y) = y {
+            assert_eq!(y.len(), shape.z_len(), "Y has wrong length for {shape}");
+        }
+
+        let needed = shape.footprint_bytes() + 256;
+        let mut ccfg = ClusterConfig::default();
+        if needed > ccfg.tcdm_bytes() {
+            ccfg = ccfg.with_tcdm_kib(needed.div_ceil(1024));
+        }
+        let mut mem = Tcdm::new(&ccfg);
+        let mut hci = Hci::new(&ccfg);
+
+        let x_addr = 0u32;
+        let w_addr = x_addr + 2 * shape.x_len() as u32;
+        let z_addr = w_addr + 2 * shape.w_len() as u32;
+        mem.store_f16_slice(x_addr, x)?;
+        mem.store_f16_slice(w_addr, w)?;
+        let mut job = Job::new(x_addr, w_addr, z_addr, shape.m, shape.n, shape.k);
+        if let Some(y) = y {
+            mem.store_f16_slice(z_addr, y)?;
+            job = job.with_accumulate();
+        }
+
+        let report = self.engine.run(job, &mut mem, &mut hci)?;
+        let z = mem.load_f16_slice(z_addr, shape.z_len())?;
+        Ok(GemmRun { z, report })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redmule_fp16::vector::{gemm_golden, gemm_golden_accumulate};
+
+    fn data(shape: GemmShape, seed: u32) -> (Vec<F16>, Vec<F16>) {
+        let gen = |len: usize, s: u32| -> Vec<F16> {
+            (0..len)
+                .map(|i| {
+                    let v = ((i as u32).wrapping_mul(2654435761).wrapping_add(s) >> 16) % 64;
+                    F16::from_f32(v as f32 / 16.0 - 2.0)
+                })
+                .collect()
+        };
+        (gen(shape.x_len(), seed), gen(shape.w_len(), seed ^ 0xABCD))
+    }
+
+    fn bits(v: &[F16]) -> Vec<u16> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn gemm_matches_golden_for_aligned_shapes() {
+        let accel = Accelerator::paper_instance();
+        for (m, n, k) in [(8, 4, 16), (8, 16, 16), (16, 8, 32), (8, 64, 16)] {
+            let shape = GemmShape::new(m, n, k);
+            let (x, w) = data(shape, 7);
+            let run = accel.gemm(shape, &x, &w).expect("gemm runs");
+            assert_eq!(
+                bits(&run.z),
+                bits(&gemm_golden(shape, &x, &w)),
+                "shape {shape}"
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_matches_golden_for_ragged_shapes() {
+        let accel = Accelerator::paper_instance();
+        for (m, n, k) in [
+            (1, 1, 1),
+            (3, 5, 7),
+            (9, 13, 17),
+            (7, 3, 33),
+            (8, 1, 16),
+            (17, 16, 15),
+            (5, 31, 2),
+        ] {
+            let shape = GemmShape::new(m, n, k);
+            let (x, w) = data(shape, 99);
+            let run = accel.gemm(shape, &x, &w).expect("gemm runs");
+            assert_eq!(
+                bits(&run.z),
+                bits(&gemm_golden(shape, &x, &w)),
+                "shape {shape}"
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_handles_subnormal_data() {
+        let accel = Accelerator::paper_instance();
+        let shape = GemmShape::new(4, 8, 4);
+        let x: Vec<F16> = (0..shape.x_len())
+            .map(|i| F16::from_bits(1 + (i as u16 % 32)))
+            .collect();
+        let w: Vec<F16> = (0..shape.w_len())
+            .map(|i| F16::from_bits(0x0200 + (i as u16 % 64)))
+            .collect();
+        let run = accel.gemm(shape, &x, &w).expect("gemm runs");
+        assert_eq!(bits(&run.z), bits(&gemm_golden(shape, &x, &w)));
+    }
+
+    #[test]
+    fn zero_reduction_dimension_writes_zeros() {
+        let accel = Accelerator::paper_instance();
+        let shape = GemmShape::new(3, 0, 5);
+        let run = accel.gemm(shape, &[], &[]).expect("gemm runs");
+        assert_eq!(run.z, vec![F16::ZERO; 15]);
+        assert!(run.report.cycles.count() > 0);
+    }
+
+    #[test]
+    fn empty_output_costs_nothing() {
+        let accel = Accelerator::paper_instance();
+        for shape in [GemmShape::new(0, 4, 4), GemmShape::new(4, 4, 0)] {
+            let (x, w) = data(shape, 3);
+            let run = accel.gemm(shape, &x, &w).expect("gemm runs");
+            assert!(run.z.is_empty());
+            assert_eq!(run.report.cycles.count(), 0);
+        }
+    }
+
+    #[test]
+    fn accumulate_mode_matches_golden() {
+        let accel = Accelerator::paper_instance();
+        for (m, n, k) in [(8, 8, 16), (5, 7, 9)] {
+            let shape = GemmShape::new(m, n, k);
+            let (x, w) = data(shape, 21);
+            let y: Vec<F16> = (0..shape.z_len())
+                .map(|i| F16::from_f32(i as f32 / 4.0 - 3.0))
+                .collect();
+            let run = accel
+                .gemm_accumulate(shape, &x, &w, &y)
+                .expect("gemm runs");
+            let golden = gemm_golden_accumulate(shape, &x, &w, Some(&y));
+            assert_eq!(bits(&run.z), bits(&golden), "shape {shape}");
+        }
+    }
+
+    #[test]
+    fn accumulate_with_zero_n_preserves_z() {
+        let accel = Accelerator::paper_instance();
+        let shape = GemmShape::new(2, 0, 3);
+        let y: Vec<F16> = (0..6).map(|i| F16::from_f32(i as f32)).collect();
+        let run = accel
+            .gemm_accumulate(shape, &[], &[], &y)
+            .expect("gemm runs");
+        assert_eq!(bits(&run.z), bits(&y));
+    }
+
+    #[test]
+    fn utilization_grows_with_problem_size() {
+        let accel = Accelerator::paper_instance();
+        let mut last = 0.0;
+        for size in [16usize, 32, 64] {
+            let shape = GemmShape::new(size, size, size);
+            let (x, w) = data(shape, 5);
+            let run = accel.gemm(shape, &x, &w).expect("gemm runs");
+            let util = run.report.utilization(accel.config());
+            assert!(util > last, "utilization must grow: {util} at {size}");
+            last = util;
+        }
+        assert!(last > 0.8, "64^3 should already be fairly efficient");
+    }
+
+    #[test]
+    fn large_square_gemm_is_near_ideal() {
+        let accel = Accelerator::paper_instance();
+        let shape = GemmShape::new(128, 128, 128);
+        let (x, w) = data(shape, 11);
+        let run = accel.gemm(shape, &x, &w).expect("gemm runs");
+        let util = run.report.utilization(accel.config());
+        assert!(util > 0.95, "128^3 utilization = {util}");
+        assert_eq!(run.report.macs, shape.macs());
+        // And the numerics still hold at this size (spot check).
+        let golden = gemm_golden(shape, &x, &w);
+        assert_eq!(bits(&run.z), bits(&golden));
+    }
+
+    #[test]
+    fn w_port_cadence_matches_the_paper_schedule() {
+        // In steady state the W stream must fire once every P+1 = 4 cycles.
+        let accel = Accelerator::paper_instance().with_trace();
+        let shape = GemmShape::new(8, 64, 16); // single tile, 16 phases
+        let (x, w) = data(shape, 13);
+        let run = accel.gemm(shape, &x, &w).expect("gemm runs");
+        let trace = run.report.trace.expect("tracing enabled");
+        let fires: Vec<usize> = trace
+            .w
+            .history()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, h)| h.fires().then_some(i))
+            .collect();
+        assert_eq!(fires.len() as u64, run.report.stats.get("w_loads"));
+        // Steady-state gaps are exactly 4 cycles; startup may be denser.
+        let steady = &fires[8..fires.len() - 2];
+        for pair in steady.windows(2) {
+            let gap = pair[1] - pair[0];
+            assert!(
+                gap == 4,
+                "steady-state W cadence must be 4 cycles, got {gap}"
+            );
+        }
+    }
+
+    #[test]
+    fn x_and_z_interleave_between_w_accesses() {
+        let accel = Accelerator::paper_instance().with_trace();
+        let shape = GemmShape::new(16, 64, 32); // several tiles
+        let (x, w) = data(shape, 17);
+        let run = accel.gemm(shape, &x, &w).expect("gemm runs");
+        let trace = run.report.trace.expect("tracing enabled");
+        // On any cycle at most one stream fires (single shallow port).
+        for i in 0..trace.w.cycles() {
+            let fired = [&trace.w, &trace.x, &trace.z]
+                .iter()
+                .filter(|m| m.history()[i].fires())
+                .count();
+            assert!(fired <= 1, "port can only serve one stream per cycle");
+        }
+        assert!(trace.x.fires() > 0 && trace.z.fires() > 0);
+    }
+
+    #[test]
+    fn strided_job_multiplies_a_submatrix_in_place() {
+        // A big M x N matrix lives in memory; the job multiplies an
+        // interior block of it, writing into an interior block of a big Z
+        // buffer — no packing copies, like the silicon's strided streamer.
+        let big_n = 40usize; // leading dimension of the stored X
+        let big_k = 24usize; // leading dimension of the stored W and Z
+        let sub = GemmShape::new(6, 10, 7);
+        let (x_off_r, x_off_c) = (2usize, 3usize);
+        let (w_off_r, w_off_c) = (1usize, 4usize);
+        let (z_off_r, z_off_c) = (5usize, 2usize);
+
+        let big_x: Vec<F16> = (0..16 * big_n)
+            .map(|i| F16::from_f32(((i % 37) as f32 - 18.0) / 16.0))
+            .collect();
+        let big_w: Vec<F16> = (0..16 * big_k)
+            .map(|i| F16::from_f32(((i % 31) as f32 - 15.0) / 32.0))
+            .collect();
+
+        let ccfg = ClusterConfig::default();
+        let mut mem = Tcdm::new(&ccfg);
+        let mut hci = Hci::new(&ccfg);
+        let x_base = 0u32;
+        let w_base = 0x4000u32;
+        let z_base = 0x8000u32;
+        mem.store_f16_slice(x_base, &big_x).expect("X fits");
+        mem.store_f16_slice(w_base, &big_w).expect("W fits");
+
+        let job = Job::new(
+            x_base + 2 * (x_off_r * big_n + x_off_c) as u32,
+            w_base + 2 * (w_off_r * big_k + w_off_c) as u32,
+            z_base + 2 * (z_off_r * big_k + z_off_c) as u32,
+            sub.m,
+            sub.n,
+            sub.k,
+        )
+        .with_strides(big_n, big_k, big_k);
+        assert!(job.validate().is_ok());
+
+        let engine = Engine::new(AccelConfig::paper());
+        engine.run(job, &mut mem, &mut hci).expect("strided job runs");
+
+        // Golden: extract the sub-blocks densely and multiply.
+        let big_x_ref = &big_x;
+        let big_w_ref = &big_w;
+        let x_sub: Vec<F16> = (0..sub.m)
+            .flat_map(|r| {
+                (0..sub.n).map(move |c| big_x_ref[(x_off_r + r) * big_n + x_off_c + c])
+            })
+            .collect();
+        let w_sub: Vec<F16> = (0..sub.n)
+            .flat_map(|r| {
+                (0..sub.k).map(move |c| big_w_ref[(w_off_r + r) * big_k + w_off_c + c])
+            })
+            .collect();
+        let golden = gemm_golden(sub, &x_sub, &w_sub);
+        for r in 0..sub.m {
+            for c in 0..sub.k {
+                let addr = z_base + 2 * ((z_off_r + r) * big_k + z_off_c + c) as u32;
+                let got = mem.read_f16(addr).expect("Z in range");
+                assert_eq!(
+                    got.to_bits(),
+                    golden[r * sub.k + c].to_bits(),
+                    "mismatch at ({r},{c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stride_validation_rejects_short_strides() {
+        let job = Job::new(0, 0x100, 0x200, 4, 8, 4).with_strides(4, 0, 0);
+        assert!(job.validate().is_err(), "x_stride 4 < n = 8 must fail");
+        let job = Job::new(0, 0x100, 0x200, 4, 8, 4).with_strides(8, 4, 4);
+        assert!(job.validate().is_ok());
+        assert_eq!(job.x_ld(), 8);
+        assert_eq!(job.w_ld(), 4);
+        assert_eq!(Job::new(0, 0, 0, 2, 3, 5).z_ld(), 5, "dense default");
+    }
+
+    #[test]
+    fn occupancy_trace_captures_startup_stalls_and_steady_state() {
+        let accel = Accelerator::paper_instance().with_trace();
+        let shape = GemmShape::new(8, 64, 16);
+        let (x, w) = data(shape, 57);
+        let run = accel.gemm(shape, &x, &w).expect("gemm runs");
+        let trace = run.report.trace.expect("tracing enabled");
+        assert_eq!(trace.occupancy.len() as u64, run.report.cycles.count());
+        // Startup: the first cycles stall while the X buffer preloads.
+        assert!(trace.occupancy[0].stalled, "cycle 0 must stall on preload");
+        let startup_stalls = trace.occupancy[..12].iter().filter(|s| s.stalled).count();
+        assert!(startup_stalls >= 6, "startup stalls = {startup_stalls}");
+        // Steady state (middle third): no stalls, X staging mostly full.
+        let n = trace.occupancy.len();
+        let mid = &trace.occupancy[n / 3..2 * n / 3];
+        assert!(mid.iter().all(|s| !s.stalled), "steady state must not stall");
+        // The recorded stall count matches the report.
+        let total_stalls = trace.occupancy.iter().filter(|s| s.stalled).count() as u64;
+        assert_eq!(total_stalls, run.report.stall_cycles);
+        // Z rows appear in the queue near the end.
+        assert!(trace.occupancy.iter().any(|s| s.z_pending > 0));
+    }
+
+    #[test]
+    fn offload_flow_through_the_register_file() {
+        use crate::regfile::offsets;
+        let ccfg = ClusterConfig::default();
+        let mut mem = Tcdm::new(&ccfg);
+        let mut hci = Hci::new(&ccfg);
+        let shape = GemmShape::new(4, 4, 4);
+        let (x, w) = data(shape, 31);
+        mem.store_f16_slice(0x0, &x).expect("X fits");
+        mem.store_f16_slice(0x100, &w).expect("W fits");
+
+        let mut accel = Accelerator::paper_instance();
+        assert!(matches!(accel.service(&mut mem, &mut hci), Ok(None)));
+        let rf = accel.regfile_mut();
+        rf.write(offsets::X_ADDR, 0x0);
+        rf.write(offsets::W_ADDR, 0x100);
+        rf.write(offsets::Z_ADDR, 0x200);
+        rf.write(offsets::M_SIZE, 4);
+        rf.write(offsets::N_SIZE, 4);
+        rf.write(offsets::K_SIZE, 4);
+        rf.write(offsets::TRIGGER, 1);
+        let report = accel
+            .service(&mut mem, &mut hci)
+            .expect("job runs")
+            .expect("job was pending");
+        assert!(report.cycles.count() > 0);
+        assert!(!accel.regfile().is_busy());
+        let z = mem.load_f16_slice(0x200, shape.z_len()).expect("Z range");
+        assert_eq!(bits(&z), bits(&gemm_golden(shape, &x, &w)));
+    }
+
+    #[test]
+    fn misaligned_job_is_rejected() {
+        let ccfg = ClusterConfig::default();
+        let mut mem = Tcdm::new(&ccfg);
+        let mut hci = Hci::new(&ccfg);
+        let engine = Engine::new(AccelConfig::paper());
+        let job = Job::new(0x1, 0x100, 0x200, 4, 4, 4);
+        assert!(matches!(
+            engine.run(job, &mut mem, &mut hci),
+            Err(EngineError::InvalidJob(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_bounds_operands_error() {
+        let ccfg = ClusterConfig::default();
+        let mut mem = Tcdm::new(&ccfg);
+        let mut hci = Hci::new(&ccfg);
+        let engine = Engine::new(AccelConfig::paper());
+        let far = (mem.size_bytes() as u32) - 8;
+        let job = Job::new(far, 0x100, 0x200, 8, 8, 8);
+        assert!(matches!(
+            engine.run(job, &mut mem, &mut hci),
+            Err(EngineError::Memory(_))
+        ));
+    }
+
+    #[test]
+    fn ablation_policies_degrade_but_stay_correct() {
+        use crate::engine::StreamerPolicy;
+        let shape = GemmShape::new(16, 64, 32);
+        let (x, w) = data(shape, 41);
+        let golden = gemm_golden(shape, &x, &w);
+
+        let run_policy = |policy: StreamerPolicy| {
+            let ccfg = ClusterConfig::default();
+            let mut mem = Tcdm::new(&ccfg);
+            let mut hci = Hci::new(&ccfg);
+            mem.store_f16_slice(0, &x).expect("X fits");
+            mem.store_f16_slice(0x1000, &w).expect("W fits");
+            let engine = Engine::new(AccelConfig::paper()).with_streamer_policy(policy);
+            let job = Job::new(0, 0x1000, 0x3000, shape.m, shape.n, shape.k);
+            let report = engine.run(job, &mut mem, &mut hci).expect("job runs");
+            let z = mem
+                .load_f16_slice(0x3000, shape.z_len())
+                .expect("Z range valid");
+            assert_eq!(bits(&z), bits(&golden), "policy {policy:?} broke numerics");
+            report.cycles.count()
+        };
+
+        let base = run_policy(StreamerPolicy::Interleaved);
+        let half = run_policy(StreamerPolicy::HalfBandwidth);
+        let single = run_policy(StreamerPolicy::SingleBufferedW);
+        assert!(half > base, "half bandwidth must cost cycles");
+        assert!(single > base, "no-prefetch must cost cycles");
+    }
+
+    #[test]
+    fn non_paper_instances_also_match_golden() {
+        for cfg in [
+            AccelConfig::new(2, 4, 1),
+            AccelConfig::new(4, 4, 3),
+            AccelConfig::new(8, 8, 3),
+            AccelConfig::new(4, 8, 0),
+            AccelConfig::new(1, 2, 2),
+        ] {
+            let accel = Accelerator::new(cfg);
+            let shape = GemmShape::new(9, 11, 13);
+            let (x, w) = data(shape, cfg.fma_count() as u32);
+            let run = accel.gemm(shape, &x, &w).expect("gemm runs");
+            assert_eq!(
+                bits(&run.z),
+                bits(&gemm_golden(shape, &x, &w)),
+                "config {cfg}"
+            );
+        }
+    }
+}

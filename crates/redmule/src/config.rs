@@ -1,0 +1,172 @@
+//! Accelerator instance parameters.
+
+use std::fmt;
+
+/// Design-time parameters of a RedMulE instance.
+///
+/// The datapath is an array of `L` rows by `H` columns of FP16 FMA units,
+/// each with `P` internal pipeline registers (latency `P + 1`). The paper's
+/// prototype is `H = 4, L = 8, P = 3`: 32 FMAs, which with 16-bit operands
+/// needs a 256-bit memory payload plus one extra 32-bit port for unaligned
+/// accesses — the 9-port HCI shallow branch.
+///
+/// # Example
+///
+/// ```
+/// use redmule::AccelConfig;
+///
+/// let cfg = AccelConfig::paper();
+/// assert_eq!(cfg.fma_count(), 32);
+/// assert_eq!(cfg.phase_width(), 16);
+/// assert_eq!(cfg.memory_ports(), 9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AccelConfig {
+    /// Columns of FMAs per row (chained; the last feeds back to the first).
+    pub h: usize,
+    /// Rows of FMAs (each computes one Z row slice).
+    pub l: usize,
+    /// Internal pipeline registers per FMA (latency is `p + 1`).
+    pub p: usize,
+}
+
+impl AccelConfig {
+    /// The paper's prototype instance: `H = 4, L = 8, P = 3`.
+    pub const fn paper() -> AccelConfig {
+        AccelConfig { h: 4, l: 8, p: 3 }
+    }
+
+    /// Creates a custom instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(h: usize, l: usize, p: usize) -> AccelConfig {
+        let cfg = AccelConfig { h, l, p };
+        cfg.validate().expect("invalid accelerator configuration");
+        cfg
+    }
+
+    /// Checks the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.h == 0 {
+            return Err("H (columns) must be at least 1".into());
+        }
+        if self.l == 0 {
+            return Err("L (rows) must be at least 1".into());
+        }
+        // P may be zero: a combinational FMA with a single output register.
+        Ok(())
+    }
+
+    /// Total number of FMA units, `H * L`.
+    pub const fn fma_count(&self) -> usize {
+        self.h * self.l
+    }
+
+    /// FMA latency in cycles, `P + 1`.
+    pub const fn latency(&self) -> usize {
+        self.p + 1
+    }
+
+    /// Elements processed per row pass: `H * (P + 1)`.
+    ///
+    /// This is simultaneously (a) the number of Z elements each row
+    /// computes per pass, (b) the width in FP16 elements of every memory
+    /// transaction, and (c) the number of cycles an X operand is held
+    /// steady.
+    pub const fn phase_width(&self) -> usize {
+        self.h * (self.p + 1)
+    }
+
+    /// 32-bit TCDM ports required: the payload (`phase_width` 16-bit
+    /// elements) plus one port for non-word-aligned accesses.
+    pub const fn memory_ports(&self) -> usize {
+        self.phase_width() * 16 / 32 + 1
+    }
+
+    /// Ideal throughput bound in MACs per cycle (= number of FMAs).
+    pub const fn ideal_macs_per_cycle(&self) -> usize {
+        self.fma_count()
+    }
+}
+
+impl Default for AccelConfig {
+    fn default() -> AccelConfig {
+        AccelConfig::paper()
+    }
+}
+
+impl fmt::Display for AccelConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "RedMulE H={} L={} P={} ({} FMAs)",
+            self.h,
+            self.l,
+            self.p,
+            self.fma_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_instance_derived_quantities() {
+        let c = AccelConfig::paper();
+        assert_eq!(c.fma_count(), 32);
+        assert_eq!(c.latency(), 4);
+        assert_eq!(c.phase_width(), 16);
+        assert_eq!(c.memory_ports(), 9);
+        assert_eq!(c.ideal_macs_per_cycle(), 32);
+        assert_eq!(AccelConfig::default(), c);
+    }
+
+    #[test]
+    fn widening_h_adds_two_ports() {
+        // The paper: H 4 -> 5 adds 4 pipeline slots per row, increasing the
+        // bandwidth need by two 32-bit ports (9 -> 11).
+        let c = AccelConfig::new(5, 8, 3);
+        assert_eq!(c.phase_width(), 20);
+        assert_eq!(c.memory_ports(), 11);
+    }
+
+    #[test]
+    fn area_sweep_configs_are_constructible() {
+        for (h, l) in [(2, 4), (4, 8), (8, 16), (8, 32), (16, 32)] {
+            let c = AccelConfig::new(h, l, 3);
+            assert_eq!(c.fma_count(), h * l);
+        }
+    }
+
+    #[test]
+    fn zero_latency_pipeline_allowed() {
+        let c = AccelConfig::new(4, 8, 0);
+        assert_eq!(c.latency(), 1);
+        assert_eq!(c.phase_width(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid accelerator configuration")]
+    fn zero_h_rejected() {
+        let _ = AccelConfig::new(0, 8, 3);
+    }
+
+    #[test]
+    fn validate_reports_l() {
+        assert!(AccelConfig { h: 1, l: 0, p: 0 }.validate().is_err());
+    }
+
+    #[test]
+    fn display_mentions_shape() {
+        let s = AccelConfig::paper().to_string();
+        assert!(s.contains("H=4") && s.contains("32 FMAs"));
+    }
+}

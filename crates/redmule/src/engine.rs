@@ -1,0 +1,939 @@
+//! The execution engine: Scheduler + Streamer + Controller.
+//!
+//! This module drives the [`Datapath`] cycle by cycle against the cluster
+//! TCDM through the HCI shallow port, reproducing the paper's working
+//! principle (§II-C) exactly:
+//!
+//! * the output matrix is processed in tiles of `L` rows by `H*(P+1)`
+//!   columns;
+//! * within a tile, the reduction dimension is covered in *phases* of `H`
+//!   elements; each column of FMAs is offset from the previous by the FMA
+//!   latency `P+1`, and the last column's results ring back into the first;
+//! * the **W buffer** needs one wide memory access every `P+1` cycles;
+//!   **X refills** and **Z stores** are interleaved into the free slots
+//!   between two adjacent W accesses (Fig. 2c);
+//! * the whole array clock-gates (stalls) when a buffer misses its
+//!   deadline, so performance degradation under port contention emerges
+//!   naturally.
+//!
+//! Numerical results are produced by the datapath's bit-accurate FMA units
+//! and are therefore identical to [`redmule_fp16::vector::gemm_golden`].
+
+use crate::buffers::{WBuffer, XBuffer, ZBuffer};
+use crate::config::AccelConfig;
+use crate::datapath::{Acc0, ColumnCtrl, Datapath};
+use crate::regfile::Job;
+use redmule_cluster::{Hci, MemError, Tcdm};
+use redmule_fp16::F16;
+use redmule_hwsim::stream::{Handshake, StreamMonitor};
+use redmule_hwsim::{Cycle, Stats};
+use std::fmt;
+
+/// Error produced by [`Engine::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The job descriptor is malformed (alignment).
+    InvalidJob(String),
+    /// An operand access left the TCDM.
+    Memory(MemError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::InvalidJob(msg) => write!(f, "invalid job: {msg}"),
+            EngineError::Memory(e) => write!(f, "memory access failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<MemError> for EngineError {
+    fn from(e: MemError) -> EngineError {
+        EngineError::Memory(e)
+    }
+}
+
+/// Optional per-cycle port-activity traces (Fig. 2c observability).
+#[derive(Debug, Clone)]
+pub struct EngineTrace {
+    /// W-load port handshakes, one entry per cycle.
+    pub w: StreamMonitor,
+    /// X-load port handshakes.
+    pub x: StreamMonitor,
+    /// Z-store port handshakes.
+    pub z: StreamMonitor,
+    /// Buffer/datapath occupancy, one sample per cycle (Fig. 2d-style
+    /// pipeline observability).
+    pub occupancy: Vec<OccupancySample>,
+}
+
+/// One cycle of internal state, recorded when tracing is enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OccupancySample {
+    /// The datapath was clock-gated this cycle waiting for a buffer.
+    pub stalled: bool,
+    /// W staging slots currently holding a prefetched group (0..=H).
+    pub w_staged: u8,
+    /// X staging rows currently filled (0..=L).
+    pub x_staged: u8,
+    /// Z rows waiting in the store queue.
+    pub z_pending: u8,
+}
+
+/// Outcome of one accelerator job.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Total wall-clock cycles from trigger to completion (including the
+    /// final Z drain).
+    pub cycles: Cycle,
+    /// Useful FMA operations (`M*N*K`; padding lanes are excluded — they
+    /// are clock-gated in hardware). The raw lane activity is available as
+    /// the `lane_macs` stat.
+    pub macs: u64,
+    /// Cycles the datapath spent clock-gated waiting for a buffer.
+    pub stall_cycles: u64,
+    /// Event counters (`w_loads`, `x_loads`, `z_stores`, `port_idle`, ...).
+    pub stats: Stats,
+    /// Per-cycle port traces when the engine was built with
+    /// [`Engine::with_trace`].
+    pub trace: Option<EngineTrace>,
+}
+
+impl RunReport {
+    /// Achieved MACs per cycle.
+    pub fn macs_per_cycle(&self) -> f64 {
+        if self.cycles.count() == 0 {
+            return 0.0;
+        }
+        self.macs as f64 / self.cycles.count() as f64
+    }
+
+    /// Fraction of the ideal `H*L` MACs/cycle achieved.
+    pub fn utilization(&self, cfg: &AccelConfig) -> f64 {
+        self.macs_per_cycle() / cfg.ideal_macs_per_cycle() as f64
+    }
+}
+
+/// One output tile: `rows_live x cols_live` live elements at
+/// (`row0`, `k0`).
+#[derive(Debug, Clone, Copy)]
+struct Tile {
+    row0: usize,
+    k0: usize,
+    rows_live: usize,
+    cols_live: usize,
+}
+
+/// A pending Z-row store: one wide transaction.
+#[derive(Debug, Clone)]
+struct StoreReq {
+    addr: u32,
+    data: Vec<F16>,
+}
+
+/// Streamer policy, for design-choice ablations.
+///
+/// The paper's design interleaves X loads and Z stores into the free
+/// memory slots between two adjacent W loads (Fig. 2c) and prefetches one
+/// W group ahead per column. The alternative policies quantify those
+/// choices:
+///
+/// * [`StreamerPolicy::HalfBandwidth`] — the port issues at most every
+///   other cycle, emulating a shallow branch of half the width (the
+///   paper's discussion of how H > 4 escalates port count);
+/// * [`StreamerPolicy::SingleBufferedW`] — W groups may only be fetched
+///   once the column's shift register has fully drained (no prefetch),
+///   so every phase boundary stalls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StreamerPolicy {
+    /// Paper behaviour: interleaved slots, prefetched W groups.
+    #[default]
+    Interleaved,
+    /// Ablation: half the shallow-branch bandwidth.
+    HalfBandwidth,
+    /// Ablation: no W-group prefetch (single-buffered registers).
+    SingleBufferedW,
+}
+
+/// The cycle-accurate accelerator engine.
+///
+/// # Example
+///
+/// ```
+/// use redmule::{AccelConfig, Engine, Job};
+/// use redmule_cluster::{ClusterConfig, Hci, Tcdm};
+/// use redmule_fp16::F16;
+///
+/// let ccfg = ClusterConfig::default();
+/// let mut mem = Tcdm::new(&ccfg);
+/// let mut hci = Hci::new(&ccfg);
+/// // Z(2x2) = X(2x2) * W(2x2), all ones -> all 2.0.
+/// for i in 0..4 {
+///     mem.write_f16(2 * i, F16::ONE)?;        // X at 0x00
+///     mem.write_f16(0x100 + 2 * i, F16::ONE)?; // W at 0x100
+/// }
+/// let engine = Engine::new(AccelConfig::paper());
+/// let job = Job::new(0x0, 0x100, 0x200, 2, 2, 2);
+/// let report = engine.run(job, &mut mem, &mut hci).expect("job runs");
+/// assert_eq!(mem.read_f16(0x200)?.to_f32(), 2.0);
+/// assert!(report.cycles.count() > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Engine {
+    cfg: AccelConfig,
+    trace: bool,
+    policy: StreamerPolicy,
+}
+
+impl Engine {
+    /// Creates an engine for the given instance parameters.
+    pub fn new(cfg: AccelConfig) -> Engine {
+        Engine {
+            cfg,
+            trace: false,
+            policy: StreamerPolicy::Interleaved,
+        }
+    }
+
+    /// Selects the streamer slot-allocation policy (ablation support).
+    #[must_use]
+    pub fn with_streamer_policy(self, policy: StreamerPolicy) -> Engine {
+        Engine { policy, ..self }
+    }
+
+    /// Enables per-cycle port tracing (costly on long runs; intended for
+    /// schedule verification and waveform export).
+    #[must_use]
+    pub fn with_trace(self) -> Engine {
+        Engine { trace: true, ..self }
+    }
+
+    /// The instance parameters.
+    pub fn config(&self) -> &AccelConfig {
+        &self.cfg
+    }
+
+    /// Executes a job to completion against the TCDM.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidJob`] for malformed descriptors and
+    /// [`EngineError::Memory`] when an operand address leaves the TCDM.
+    pub fn run(&self, job: Job, mem: &mut Tcdm, hci: &mut Hci) -> Result<RunReport, EngineError> {
+        let mut session = self.start(job)?;
+        while !session.is_finished() {
+            session.tick(mem, hci, &[])?;
+        }
+        Ok(session.finish())
+    }
+
+    /// Starts a job as a steppable [`EngineSession`] for co-simulation with
+    /// concurrent core traffic on the interconnect.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidJob`] for malformed descriptors.
+    pub fn start(&self, job: Job) -> Result<EngineSession, EngineError> {
+        job.validate().map_err(EngineError::InvalidJob)?;
+        Ok(EngineSession::new(Sim::new(self.cfg, job, self.trace, self.policy)))
+    }
+}
+
+/// A running accelerator job that advances one clock at a time, sharing
+/// the HCI with other initiators.
+///
+/// Each [`EngineSession::tick`] performs one cycle of the whole
+/// accelerator (datapath + streamer) and arbitrates the streamer's wide
+/// access against any core/DMA requests the caller submits for that same
+/// cycle — the real tightly-coupled execution the cluster was designed
+/// for.
+///
+/// # Example
+///
+/// ```
+/// use redmule::{AccelConfig, Engine, Job};
+/// use redmule_cluster::{ClusterConfig, Hci, Initiator, Tcdm};
+/// use redmule_fp16::F16;
+///
+/// let ccfg = ClusterConfig::default();
+/// let mut mem = Tcdm::new(&ccfg);
+/// let mut hci = Hci::new(&ccfg);
+/// for i in 0..4 {
+///     mem.write_f16(2 * i, F16::ONE)?;
+///     mem.write_f16(0x100 + 2 * i, F16::ONE)?;
+/// }
+/// let engine = Engine::new(AccelConfig::paper());
+/// let mut session = engine.start(Job::new(0, 0x100, 0x200, 2, 2, 2))?;
+/// while !session.is_finished() {
+///     // Core 0 polls some flag in bank 0 every cycle, contending with
+///     // the accelerator's wide accesses.
+///     let tick = session.tick(&mut mem, &mut hci, &[(Initiator::Core(0), 0x40)])?;
+///     let _core_served = tick.log_granted[0];
+/// }
+/// let report = session.finish();
+/// assert!(report.cycles.count() > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct EngineSession {
+    sim: Sim,
+    cycle: u64,
+    no_work: bool,
+    bound: u64,
+}
+
+/// Outcome of one [`EngineSession::tick`].
+#[derive(Debug, Clone)]
+pub struct TickResult {
+    /// Grant for each submitted logarithmic-branch request, in order.
+    pub log_granted: Vec<bool>,
+    /// Whether the job completed on this cycle.
+    pub finished: bool,
+}
+
+impl EngineSession {
+    fn new(sim: Sim) -> EngineSession {
+        let no_work = sim.tiles.is_empty();
+        let bound =
+            10_000 + 64 * sim.tiles.len() as u64 * (sim.tile_len() as u64 + sim.cfg.l as u64 + 4);
+        EngineSession {
+            sim,
+            cycle: 0,
+            no_work,
+            bound,
+        }
+    }
+
+    /// `true` once the job has fully drained (further ticks are no-ops).
+    pub fn is_finished(&self) -> bool {
+        self.no_work || self.sim.finished()
+    }
+
+    /// Advances the accelerator one cycle; `log_requests` are core/DMA
+    /// accesses contending on the interconnect this same cycle.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Memory`] when an operand access leaves the TCDM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheduler exceeds its structural cycle bound adjusted
+    /// for worst-case interconnect starvation (a model bug, not a caller
+    /// error).
+    pub fn tick(
+        &mut self,
+        mem: &mut Tcdm,
+        hci: &mut Hci,
+        log_requests: &[(redmule_cluster::Initiator, u32)],
+    ) -> Result<TickResult, EngineError> {
+        if self.is_finished() {
+            return Ok(TickResult {
+                log_granted: vec![false; log_requests.len()],
+                finished: true,
+            });
+        }
+        // Contention can legitimately stretch execution by up to the
+        // rotation period; scale the deadlock bound accordingly.
+        assert!(
+            self.cycle < self.bound * 8,
+            "engine deadlock: scheduler bug"
+        );
+        self.sim.stage_pads();
+        let stalls_before = self.sim.stall_cycles;
+        if self.sim.n_phases == 0 {
+            self.sim.flush_empty_reduction_tile(mem)?;
+        } else {
+            self.sim.compute_cycle();
+        }
+        let log_granted = self
+            .sim
+            .streamer_cycle(mem, hci, self.cycle, log_requests)?;
+        if let Some(trace) = &mut self.sim.trace {
+            let w_staged = (0..self.sim.cfg.h)
+                .filter(|&h| !self.sim.wb.staging_free(h))
+                .count();
+            let x_staged = (0..self.sim.cfg.l)
+                .filter(|&r| !self.sim.xb.staging_free(r))
+                .count();
+            trace.occupancy.push(OccupancySample {
+                stalled: self.sim.stall_cycles > stalls_before,
+                w_staged: w_staged as u8,
+                x_staged: x_staged as u8,
+                z_pending: self.sim.store_queue.len() as u8,
+            });
+        }
+        self.cycle += 1;
+        Ok(TickResult {
+            log_granted,
+            finished: self.is_finished(),
+        })
+    }
+
+    /// Consumes the session, producing the final report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job has not finished (drive [`EngineSession::tick`]
+    /// until [`EngineSession::is_finished`]).
+    pub fn finish(mut self) -> RunReport {
+        assert!(self.is_finished(), "job still in flight");
+        self.sim.stats.add("stall_cycles", self.sim.stall_cycles);
+        self.sim.stats.add("macs", self.sim.useful_macs);
+        self.sim.stats.add("lane_macs", self.sim.dp.macs());
+        debug_assert_eq!(
+            self.sim.useful_macs,
+            self.sim.job.shape().macs(),
+            "useful-MAC accounting must cover the job exactly"
+        );
+        RunReport {
+            cycles: Cycle::new(self.cycle),
+            macs: self.sim.useful_macs,
+            stall_cycles: self.sim.stall_cycles,
+            stats: self.sim.stats,
+            trace: self.sim.trace,
+        }
+    }
+}
+
+/// All mutable state of one job execution.
+#[derive(Debug)]
+struct Sim {
+    cfg: AccelConfig,
+    job: Job,
+    pw: usize,
+    lat: usize,
+    n_phases: usize,
+    tiles: Vec<Tile>,
+
+    dp: Datapath,
+    xb: XBuffer,
+    wb: WBuffer,
+    zb: ZBuffer,
+
+    /// Tile currently being computed and its local cycle.
+    compute_tile: usize,
+    t_local: usize,
+    started: bool,
+
+    /// W generator cursor: (tile, phase, col) in deadline order.
+    w_cursor: (usize, usize, usize),
+    /// X generator cursor: (tile, chunk, row).
+    x_cursor: (usize, usize, usize),
+    /// Z preload cursor: (tile, row); the preload always targets the
+    /// currently computing tile (accumulate mode only).
+    zpre_cursor: (usize, usize),
+    zpre: Vec<Vec<F16>>,
+    zpre_ready_tile: usize,
+
+    /// Pending Z stores.
+    store_queue: std::collections::VecDeque<StoreReq>,
+
+    stats: Stats,
+    useful_macs: u64,
+    stall_cycles: u64,
+    trace: Option<EngineTrace>,
+    policy: StreamerPolicy,
+    /// Single-buffered-W ablation: a loaded group spends one cycle in
+    /// flight before it can be staged (no prefetch hides this latency).
+    w_inflight: Option<(usize, Vec<F16>)>,
+}
+
+impl Sim {
+    fn new(cfg: AccelConfig, job: Job, trace: bool, policy: StreamerPolicy) -> Sim {
+        let pw = cfg.phase_width();
+        let lat = cfg.latency();
+        let n_phases = job.n.div_ceil(cfg.h);
+        let mut tiles = Vec::new();
+        for row0 in (0..job.m).step_by(cfg.l) {
+            for k0 in (0..job.k).step_by(pw) {
+                tiles.push(Tile {
+                    row0,
+                    k0,
+                    rows_live: (job.m - row0).min(cfg.l),
+                    cols_live: (job.k - k0).min(pw),
+                });
+            }
+        }
+        Sim {
+            cfg,
+            job,
+            pw,
+            lat,
+            n_phases,
+            dp: Datapath::new(cfg),
+            xb: XBuffer::new(cfg.l, pw),
+            wb: WBuffer::new(cfg.h, pw),
+            zb: ZBuffer::new(cfg.l, pw),
+            compute_tile: 0,
+            t_local: 0,
+            started: false,
+            w_cursor: (0, 0, 0),
+            x_cursor: (0, 0, 0),
+            zpre_cursor: (0, 0),
+            zpre: vec![vec![F16::ZERO; pw]; cfg.l],
+            zpre_ready_tile: usize::MAX,
+            store_queue: std::collections::VecDeque::new(),
+            stats: Stats::new(),
+            useful_macs: 0,
+            stall_cycles: 0,
+            trace: trace.then(|| EngineTrace {
+                w: StreamMonitor::new("w_load"),
+                x: StreamMonitor::new("x_load"),
+                z: StreamMonitor::new("z_store"),
+                occupancy: Vec::new(),
+            }),
+            policy,
+            w_inflight: None,
+            tiles,
+        }
+    }
+
+    /// Number of X chunks per tile.
+    fn n_chunks(&self) -> usize {
+        self.n_phases.div_ceil(self.lat)
+    }
+
+    /// Total compute length of one tile in datapath cycles.
+    fn tile_len(&self) -> usize {
+        self.cfg.h * self.lat + self.n_phases * self.pw
+    }
+
+
+    fn finished(&self) -> bool {
+        self.compute_tile >= self.tiles.len() && self.store_queue.is_empty()
+    }
+
+    /// N == 0: every output tile is all zeros (or the preloaded Z in
+    /// accumulate mode). One tile is flushed per cycle.
+    fn flush_empty_reduction_tile(&mut self, _mem: &mut Tcdm) -> Result<(), EngineError> {
+        if self.compute_tile >= self.tiles.len() || self.zb.is_occupied() {
+            return Ok(());
+        }
+        if self.job.accumulate && self.zpre_ready_tile != self.compute_tile {
+            return Ok(()); // wait for the preload
+        }
+        let tile = self.tiles[self.compute_tile];
+        for r in 0..tile.rows_live {
+            for j in 0..self.pw {
+                let v = if self.job.accumulate {
+                    self.zpre[r][j]
+                } else {
+                    F16::ZERO
+                };
+                self.zb.record(r, j, v);
+            }
+        }
+        self.zb.seal();
+        self.enqueue_stores(tile);
+        self.zb.release();
+        self.compute_tile += 1;
+        self.zpre_ready_tile = usize::MAX;
+        self.zpre_cursor = (self.compute_tile, 0);
+        Ok(())
+    }
+
+    /// One datapath cycle (or a stall).
+    fn compute_cycle(&mut self) {
+        if self.compute_tile >= self.tiles.len() {
+            return;
+        }
+        let tile = self.tiles[self.compute_tile];
+        let t = self.t_local;
+        let pw = self.pw;
+        let lat = self.lat;
+        let h_count = self.cfg.h;
+        let final_start = h_count * lat + (self.n_phases - 1) * pw;
+
+        // ---- Stall checks (clock gate) ----
+        if !self.started {
+            // Tile start: chunk 0 staged, W group for column 0 staged,
+            // Z buffer free, and (accumulate) the Z preload completed.
+            if !self.xb.staging_complete()
+                || self.wb.staging_free(0)
+                || self.zb.is_occupied()
+                || (self.job.accumulate && self.zpre_ready_tile != self.compute_tile)
+            {
+                self.stall_cycles += 1;
+                return;
+            }
+            self.xb.swap();
+            self.started = true;
+        } else {
+            // Column phase starts needing a staged W group this cycle.
+            for h in 0..h_count {
+                let t_col = t as i64 - (h * lat) as i64;
+                if t_col >= 0
+                    && (t_col as usize) < self.n_phases * pw
+                    && (t_col as usize).is_multiple_of(pw)
+                    && self.wb.staging_free(h)
+                {
+                    self.stall_cycles += 1;
+                    return;
+                }
+            }
+            // Chunk boundary: column 0 entering phase c*lat needs the next
+            // X chunk staged.
+            if t < self.n_phases * pw && t.is_multiple_of(pw) {
+                let phase = t / pw;
+                if phase > 0 && phase.is_multiple_of(lat) {
+                    if !self.xb.staging_complete() {
+                        self.stall_cycles += 1;
+                        return;
+                    }
+                    self.xb.swap();
+                }
+            }
+            // Entering the final output window with the Z buffer still
+            // draining the previous tile.
+            if t == final_start && self.zb.is_occupied() {
+                self.stall_cycles += 1;
+                return;
+            }
+        }
+
+        // ---- Build per-column control ----
+        let mut ctrl: Vec<ColumnCtrl> = Vec::with_capacity(h_count);
+        for h in 0..h_count {
+            let t_col = t as i64 - (h * lat) as i64;
+            if t_col < 0 || t_col as usize >= self.n_phases * pw {
+                ctrl.push(ColumnCtrl::default());
+                continue;
+            }
+            let t_col = t_col as usize;
+            let phase = t_col / pw;
+            let j = t_col % pw;
+            let n_idx = phase * h_count + h;
+            let pad = n_idx >= self.job.n;
+            if !pad && j < tile.cols_live {
+                // Useful work this cycle: one MAC per live row of this
+                // column (padding lanes are clock-gated in real hardware).
+                self.useful_macs += tile.rows_live as u64;
+            }
+            if j == 0 {
+                let ok = self.wb.activate(h);
+                debug_assert!(ok, "stall check guarantees the staged group");
+            }
+            let w_elem = self.wb.broadcast(h);
+            let set_x = if j == 0 {
+                let chunk_elem = (phase % lat) * h_count + h;
+                Some(
+                    (0..self.cfg.l)
+                        .map(|r| self.xb.operand(r, chunk_elem))
+                        .collect(),
+                )
+            } else {
+                None
+            };
+            ctrl.push(ColumnCtrl {
+                w: Some(w_elem),
+                set_x,
+                passthrough: pad,
+            });
+        }
+
+        let acc0 = if t < pw {
+            if self.job.accumulate {
+                Acc0::Init((0..self.cfg.l).map(|r| self.zpre[r][t]).collect())
+            } else {
+                Acc0::Zero
+            }
+        } else {
+            Acc0::Ring
+        };
+
+        let outs = self.dp.tick(&ctrl, &acc0);
+
+        // ---- Capture finished outputs ----
+        if t >= final_start && t < final_start + pw {
+            let j = t - final_start;
+            for (r, v) in outs.iter().enumerate() {
+                self.zb
+                    .record(r, j, v.expect("final-phase output present"));
+            }
+        }
+
+        self.t_local += 1;
+        if self.t_local == self.tile_len() {
+            // Tile complete: seal outputs, queue the stores, advance.
+            self.zb.seal();
+            self.enqueue_stores(tile);
+            self.zb.release();
+            self.compute_tile += 1;
+            self.t_local = 0;
+            self.started = false;
+            if self.job.accumulate {
+                self.zpre_ready_tile = usize::MAX;
+                self.zpre_cursor = (self.compute_tile, 0);
+            }
+        }
+    }
+
+    fn enqueue_stores(&mut self, tile: Tile) {
+        for r in 0..tile.rows_live {
+            let addr = self.job.z_addr + 2 * ((tile.row0 + r) * self.job.z_ld() + tile.k0) as u32;
+            let data = self.zb.row(r)[..tile.cols_live].to_vec();
+            self.store_queue.push_back(StoreReq { addr, data });
+        }
+    }
+
+    /// Stages W pad groups (reduction rows beyond N) and X pad rows
+    /// (datapath rows beyond M) without consuming memory slots: the
+    /// hardware generates these zeros locally.
+    fn stage_pads(&mut self) {
+        // W pads.
+        while let Some((tile, phase, col)) = self.w_head() {
+            let n_idx = phase * self.cfg.h + col;
+            let _ = tile;
+            if n_idx < self.job.n || !self.wb.staging_free(col) {
+                break;
+            }
+            self.wb.stage_group(col, vec![F16::ZERO; self.pw]);
+            self.advance_w();
+        }
+        // X pads.
+        while let Some((tile_idx, chunk, row)) = self.x_head() {
+            let tile = self.tiles[tile_idx];
+            let _ = chunk;
+            if row < tile.rows_live || !self.xb.staging_free(row) {
+                break;
+            }
+            self.xb.stage_row(row, vec![F16::ZERO; self.pw]);
+            self.advance_x();
+        }
+    }
+
+    /// Head of the W generator, or `None` when all groups are issued.
+    fn w_head(&self) -> Option<(usize, usize, usize)> {
+        let (tile, phase, col) = self.w_cursor;
+        (self.n_phases > 0 && tile < self.tiles.len()).then_some((tile, phase, col))
+    }
+
+    fn advance_w(&mut self) {
+        let (mut tile, mut phase, mut col) = self.w_cursor;
+        col += 1;
+        if col == self.cfg.h {
+            col = 0;
+            phase += 1;
+            if phase == self.n_phases {
+                phase = 0;
+                tile += 1;
+            }
+        }
+        self.w_cursor = (tile, phase, col);
+    }
+
+    fn x_head(&self) -> Option<(usize, usize, usize)> {
+        let (tile, chunk, row) = self.x_cursor;
+        (self.n_phases > 0 && tile < self.tiles.len()).then_some((tile, chunk, row))
+    }
+
+    fn advance_x(&mut self) {
+        let (mut tile, mut chunk, mut row) = self.x_cursor;
+        row += 1;
+        if row == self.cfg.l {
+            row = 0;
+            chunk += 1;
+            if chunk == self.n_chunks() {
+                chunk = 0;
+                tile += 1;
+            }
+        }
+        self.x_cursor = (tile, chunk, row);
+    }
+
+    fn zpre_head(&self) -> Option<(usize, usize)> {
+        if !self.job.accumulate {
+            return None;
+        }
+        let (tile, row) = self.zpre_cursor;
+        (tile < self.tiles.len()).then_some((tile, row))
+    }
+
+    /// One streamer cycle: issue at most one wide access over the shallow
+    /// port, priority W > Z-preload > X > Z-store.
+    fn streamer_cycle(
+        &mut self,
+        mem: &mut Tcdm,
+        hci: &mut Hci,
+        cycle: u64,
+        log_requests: &[(redmule_cluster::Initiator, u32)],
+    ) -> Result<Vec<bool>, EngineError> {
+        #[derive(Clone, Copy)]
+        enum Pick {
+            W(usize, usize, usize),
+            ZPre(usize, usize),
+            X(usize, usize, usize),
+            ZStore,
+        }
+
+        if self.policy == StreamerPolicy::HalfBandwidth && cycle % 2 == 1 {
+            self.stats.incr("port_gated");
+            self.record_stream_trace(' ', false);
+            let grants = hci.arbitrate(log_requests, None);
+            return Ok(grants.log_granted);
+        }
+
+        // Single-buffered-W ablation: deliver last cycle's load first; the
+        // port is free again this cycle for other streams.
+        if let Some((col, group)) = self.w_inflight.take() {
+            self.wb.stage_group(col, group);
+        }
+
+        let pick = if let Some((tile, phase, col)) = self.w_head().filter(|&(_, phase, col)| {
+            phase * self.cfg.h + col < self.job.n
+                && self.wb.staging_free(col)
+                && (self.policy != StreamerPolicy::SingleBufferedW
+                    || (self.wb.register_empty(col) && self.w_inflight.is_none()))
+        }) {
+            Some(Pick::W(tile, phase, col))
+        } else if let Some((tile, row)) = self
+            .zpre_head()
+            .filter(|&(tile, _)| tile == self.compute_tile && tile != self.zpre_ready_tile)
+        {
+            Some(Pick::ZPre(tile, row))
+        } else if let Some((tile, chunk, row)) = self
+            .x_head()
+            .filter(|&(t, _, row)| row < self.tiles[t].rows_live && self.xb.staging_free(row))
+        {
+            Some(Pick::X(tile, chunk, row))
+        } else if !self.store_queue.is_empty() {
+            Some(Pick::ZStore)
+        } else {
+            None
+        };
+
+        let Some(pick) = pick else {
+            self.stats.incr("port_idle");
+            self.record_stream_trace(' ', false);
+            let grants = hci.arbitrate(log_requests, None);
+            return Ok(grants.log_granted);
+        };
+        let kind = match pick {
+            Pick::W(..) => 'w',
+            Pick::ZPre(..) => 'p',
+            Pick::X(..) => 'x',
+            Pick::ZStore => 'z',
+        };
+
+        // The shallow port is a single wide transaction; arbitration with
+        // concurrent core traffic happens in the HCI.
+        let addr = match pick {
+            Pick::W(tile, phase, col) => {
+                let n_idx = phase * self.cfg.h + col;
+                self.job.w_addr + 2 * (n_idx * self.job.w_ld() + self.tiles[tile].k0) as u32
+            }
+            Pick::ZPre(tile, row) => {
+                let t = self.tiles[tile];
+                self.job.z_addr + 2 * ((t.row0 + row) * self.job.z_ld() + t.k0) as u32
+            }
+            Pick::X(tile, chunk, row) => {
+                let t = self.tiles[tile];
+                self.job.x_addr + 2 * ((t.row0 + row) * self.job.x_ld() + chunk * self.pw) as u32
+            }
+            Pick::ZStore => self.store_queue.front().expect("queue checked").addr,
+        };
+
+        let grants = hci.arbitrate(log_requests, Some(addr));
+        if !grants.shallow_granted {
+            self.stats.incr("port_conflicts");
+            self.record_stream_trace(kind, false);
+            return Ok(grants.log_granted);
+        }
+
+        match pick {
+            Pick::W(tile, phase, col) => {
+                let n_idx = phase * self.cfg.h + col;
+                let t = self.tiles[tile];
+                let mut group = Vec::with_capacity(self.pw);
+                for jj in 0..self.pw {
+                    let kk = t.k0 + jj;
+                    group.push(if kk < self.job.k {
+                        mem.read_f16(self.job.w_addr + 2 * (n_idx * self.job.w_ld() + kk) as u32)?
+                    } else {
+                        F16::ZERO
+                    });
+                }
+                if self.policy == StreamerPolicy::SingleBufferedW {
+                    self.w_inflight = Some((col, group));
+                } else {
+                    self.wb.stage_group(col, group);
+                }
+                self.advance_w();
+                self.stats.incr("w_loads");
+            }
+            Pick::ZPre(tile, row) => {
+                let t = self.tiles[tile];
+                for jj in 0..self.pw {
+                    let kk = t.k0 + jj;
+                    self.zpre[row][jj] = if row < t.rows_live && kk < self.job.k {
+                        mem.read_f16(
+                            self.job.z_addr + 2 * ((t.row0 + row) * self.job.z_ld() + kk) as u32,
+                        )?
+                    } else {
+                        F16::ZERO
+                    };
+                }
+                self.zpre_cursor.1 += 1;
+                if self.zpre_cursor.1 == self.cfg.l {
+                    self.zpre_ready_tile = tile;
+                    self.zpre_cursor = (tile, 0);
+                }
+                self.stats.incr("z_preloads");
+            }
+            Pick::X(tile, chunk, row) => {
+                let t = self.tiles[tile];
+                let mut data = Vec::with_capacity(self.pw);
+                for e in 0..self.pw {
+                    let n_idx = chunk * self.pw + e;
+                    data.push(if n_idx < self.job.n {
+                        mem.read_f16(
+                            self.job.x_addr + 2 * ((t.row0 + row) * self.job.x_ld() + n_idx) as u32,
+                        )?
+                    } else {
+                        F16::ZERO
+                    });
+                }
+                self.xb.stage_row(row, data);
+                self.advance_x();
+                self.stats.incr("x_loads");
+            }
+            Pick::ZStore => {
+                let StoreReq { addr, data } =
+                    self.store_queue.pop_front().expect("queue checked");
+                for (jj, v) in data.iter().enumerate() {
+                    mem.write_f16(addr + 2 * jj as u32, *v)?;
+                }
+                self.stats.incr("z_stores");
+            }
+        }
+
+        self.record_stream_trace(kind, true);
+        Ok(grants.log_granted)
+    }
+
+    /// Records one cycle of port activity per stream. `kind` identifies
+    /// which stream drove the port this cycle (`'w'`, `'x'`, `'z'`, `'p'`
+    /// for Z-preload, or `' '` for an idle slot); `fired` is whether the
+    /// HCI granted the transaction.
+    fn record_stream_trace(&mut self, kind: char, fired: bool) {
+        let Some(trace) = &mut self.trace else { return };
+        let active = if fired {
+            Handshake::FIRE
+        } else {
+            Handshake {
+                valid: true,
+                ready: false,
+            }
+        };
+        trace.w.record(if kind == 'w' { active } else { Handshake::IDLE });
+        trace.x.record(if kind == 'x' { active } else { Handshake::IDLE });
+        // Z preloads share the Z port direction bookkeeping.
+        trace
+            .z
+            .record(if kind == 'z' || kind == 'p' { active } else { Handshake::IDLE });
+    }
+}

@@ -1,0 +1,460 @@
+//! L2-resident execution: tiling large GEMMs through the TCDM with DMA.
+//!
+//! The kernel-level experiments assume operands resident in the cluster
+//! scratchpad; real workloads (like the paper's autoencoder with its
+//! ~0.5 MiB of FP16 weights) keep data in L2 and stream panels into the
+//! TCDM with the cluster DMA. This module provides that driver:
+//!
+//! * the output is processed in macro-tiles of `RM x KM` elements, with
+//!   the reduction dimension split into `NM`-deep slices accumulated with
+//!   the engine's `Z += X·W` mode;
+//! * panel sizes are chosen automatically to fit the configured TCDM;
+//! * the cycle model reports both *serial* cost (every DMA exposed) and
+//!   *double-buffered* cost (panel transfers overlapped with compute,
+//!   only the remainder exposed) — the standard deployment practice.
+//!
+//! Numerics remain bit-exact: the same engine executes every macro-tile,
+//! and reduction slices accumulate in slice order, matching
+//! [`gemm_golden_accumulate`](redmule_fp16::vector::gemm_golden_accumulate)
+//! applied slice by slice.
+
+use crate::config::AccelConfig;
+use crate::engine::{Engine, EngineError};
+use crate::regfile::Job;
+use redmule_cluster::{ClusterConfig, Dma, Hci, Tcdm};
+use redmule_fp16::vector::GemmShape;
+use redmule_fp16::F16;
+use redmule_hwsim::{Cycle, Stats};
+
+/// Chosen macro-tile dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileShape {
+    /// Output rows per macro-tile (multiple of `L`).
+    pub rm: usize,
+    /// Output columns per macro-tile (multiple of the phase width).
+    pub km: usize,
+    /// Reduction depth per slice.
+    pub nm: usize,
+}
+
+/// Cycle accounting of a tiled execution.
+#[derive(Debug, Clone)]
+pub struct TiledReport {
+    /// The tile shape the driver selected.
+    pub tile: TileShape,
+    /// Number of engine invocations (macro-tiles x reduction slices).
+    pub jobs: usize,
+    /// Sum of engine compute cycles.
+    pub compute_cycles: Cycle,
+    /// Sum of all DMA transfer cycles (panels in, results out).
+    pub dma_cycles: Cycle,
+    /// End-to-end cycles with no overlap (compute + all DMA serialised).
+    pub serial_cycles: Cycle,
+    /// End-to-end cycles with double buffering: each tile's panel
+    /// transfers overlap the previous tile's compute.
+    pub overlapped_cycles: Cycle,
+    /// Aggregated engine statistics.
+    pub stats: Stats,
+}
+
+impl TiledReport {
+    /// Effective MACs per cycle of the double-buffered execution.
+    pub fn macs_per_cycle(&self, shape: GemmShape) -> f64 {
+        if self.overlapped_cycles.count() == 0 {
+            return 0.0;
+        }
+        shape.macs() as f64 / self.overlapped_cycles.count() as f64
+    }
+
+    /// Fraction of DMA cost hidden under compute by double buffering.
+    pub fn dma_hidden_fraction(&self) -> f64 {
+        if self.dma_cycles.count() == 0 {
+            return 1.0;
+        }
+        let exposed = self
+            .overlapped_cycles
+            .count()
+            .saturating_sub(self.compute_cycles.count());
+        1.0 - exposed as f64 / self.dma_cycles.count() as f64
+    }
+}
+
+/// Driver executing arbitrarily large GEMMs from L2 through the TCDM.
+///
+/// # Example
+///
+/// ```
+/// use redmule::{AccelConfig, L2TiledGemm};
+/// use redmule_cluster::ClusterConfig;
+/// use redmule_fp16::{vector::GemmShape, F16};
+///
+/// let driver = L2TiledGemm::new(AccelConfig::paper(), ClusterConfig::default());
+/// let shape = GemmShape::new(64, 96, 64); // too large? panels are sliced
+/// let x = vec![F16::HALF; shape.x_len()];
+/// let w = vec![F16::TWO; shape.w_len()];
+/// let (z, report) = driver.run(shape, &x, &w)?;
+/// assert_eq!(z[0].to_f32(), 96.0);
+/// assert!(report.overlapped_cycles <= report.serial_cycles);
+/// # Ok::<(), redmule::EngineError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct L2TiledGemm {
+    accel: AccelConfig,
+    cluster: ClusterConfig,
+    dma: Dma,
+}
+
+impl L2TiledGemm {
+    /// Creates a driver for an accelerator instance inside a cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster configuration is invalid.
+    pub fn new(accel: AccelConfig, cluster: ClusterConfig) -> L2TiledGemm {
+        cluster.validate().expect("invalid cluster configuration");
+        L2TiledGemm {
+            accel,
+            cluster,
+            dma: Dma::default(),
+        }
+    }
+
+    /// Overrides the DMA cost model.
+    #[must_use]
+    pub fn with_dma(mut self, dma: Dma) -> L2TiledGemm {
+        self.dma = dma;
+        self
+    }
+
+    /// Selects the largest macro-tile (by MACs) whose three panels fit in
+    /// half the TCDM (the other half holds the double buffers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidJob`] when even the minimum tile
+    /// (`L x phase_width x phase_width`) does not fit.
+    pub fn plan(&self, shape: GemmShape) -> Result<TileShape, EngineError> {
+        let budget_elems = self.cluster.tcdm_bytes() / 2 / 2; // half TCDM, 2 B/elem
+        let l = self.accel.l;
+        let pw = self.accel.phase_width();
+
+        let rm_opts = [l * 16, l * 8, l * 4, l * 2, l];
+        let km_opts = [pw * 16, pw * 8, pw * 4, pw * 2, pw];
+        let nm_opts = [2048usize, 1024, 512, 256, 128, 64, 32, 16];
+
+        let mut best: Option<(u64, TileShape)> = None;
+        for &rm in &rm_opts {
+            for &km in &km_opts {
+                for &nm in &nm_opts {
+                    let rm_c = rm.min(shape.m.next_multiple_of(l).max(l));
+                    let km_c = km.min(shape.k.next_multiple_of(pw).max(pw));
+                    let nm_c = nm.min(shape.n.max(1));
+                    let elems = rm_c * nm_c + nm_c * km_c + rm_c * km_c;
+                    if elems > budget_elems {
+                        continue;
+                    }
+                    let macs = (rm_c * km_c * nm_c) as u64;
+                    if best.is_none_or(|(b, _)| macs > b) {
+                        best = Some((
+                            macs,
+                            TileShape {
+                                rm: rm_c,
+                                km: km_c,
+                                nm: nm_c,
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        best.map(|(_, t)| t).ok_or_else(|| {
+            EngineError::InvalidJob(format!(
+                "TCDM of {} bytes cannot hold even a minimal tile for {shape}",
+                self.cluster.tcdm_bytes()
+            ))
+        })
+    }
+
+    /// Executes `Z = X * W` with L2-resident operands.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EngineError`]; see [`L2TiledGemm::plan`] for the
+    /// too-small-TCDM case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths do not match `shape`.
+    pub fn run(
+        &self,
+        shape: GemmShape,
+        x: &[F16],
+        w: &[F16],
+    ) -> Result<(Vec<F16>, TiledReport), EngineError> {
+        assert_eq!(x.len(), shape.x_len(), "X has wrong length for {shape}");
+        assert_eq!(w.len(), shape.w_len(), "W has wrong length for {shape}");
+
+        let tile = self.plan(shape)?;
+        let engine = Engine::new(self.accel);
+        let mut z = vec![F16::ZERO; shape.z_len()];
+        let mut stats = Stats::new();
+
+        let mut compute: u64 = 0;
+        let mut dma_total: u64 = 0;
+        // Per-step (compute_cycles, dma_in_cycles) used by the pipeline
+        // overlap model; dma-outs are attributed to the step that frees
+        // the Z panel.
+        let mut steps: Vec<(u64, u64)> = Vec::new();
+
+        if shape.m == 0 || shape.k == 0 {
+            return Ok((
+                z,
+                TiledReport {
+                    tile,
+                    jobs: 0,
+                    compute_cycles: Cycle::ZERO,
+                    dma_cycles: Cycle::ZERO,
+                    serial_cycles: Cycle::ZERO,
+                    overlapped_cycles: Cycle::ZERO,
+                    stats,
+                },
+            ));
+        }
+
+        let n_slices = if shape.n == 0 {
+            1
+        } else {
+            shape.n.div_ceil(tile.nm)
+        };
+        let mut jobs = 0usize;
+
+        for row0 in (0..shape.m).step_by(tile.rm) {
+            let rows = (shape.m - row0).min(tile.rm);
+            for k0 in (0..shape.k).step_by(tile.km) {
+                let cols = (shape.k - k0).min(tile.km);
+                // Z panel lives in the TCDM across the reduction slices.
+                let mut z_panel = vec![F16::ZERO; rows * cols];
+                for slice in 0..n_slices {
+                    let n0 = slice * tile.nm;
+                    let depth = if shape.n == 0 {
+                        0
+                    } else {
+                        (shape.n - n0).min(tile.nm)
+                    };
+
+                    // Gather panels (the DMA's gather capability; cost is
+                    // pure data volume plus setup).
+                    let mut x_panel = vec![F16::ZERO; rows * depth];
+                    for r in 0..rows {
+                        for e in 0..depth {
+                            x_panel[r * depth + e] = x[(row0 + r) * shape.n + n0 + e];
+                        }
+                    }
+                    let mut w_panel = vec![F16::ZERO; depth * cols];
+                    for d in 0..depth {
+                        for e in 0..cols {
+                            w_panel[d * cols + e] = w[(n0 + d) * shape.k + k0 + e];
+                        }
+                    }
+                    let dma_in = self.dma.transfer_cycles(2 * x_panel.len()).count()
+                        + self.dma.transfer_cycles(2 * w_panel.len()).count();
+
+                    // Execute the slice on a panel-local scratchpad.
+                    let mut mem = Tcdm::new(&self.cluster);
+                    let mut hci = Hci::new(&self.cluster);
+                    let x_addr = 0u32;
+                    let w_addr = x_addr + 2 * x_panel.len() as u32;
+                    let z_addr = w_addr + 2 * w_panel.len() as u32;
+                    mem.store_f16_slice(x_addr, &x_panel)?;
+                    mem.store_f16_slice(w_addr, &w_panel)?;
+                    let mut job = Job::new(x_addr, w_addr, z_addr, rows, depth, cols);
+                    if slice > 0 {
+                        mem.store_f16_slice(z_addr, &z_panel)?;
+                        job = job.with_accumulate();
+                    }
+                    let report = engine.run(job, &mut mem, &mut hci)?;
+                    z_panel = mem.load_f16_slice(z_addr, rows * cols)?;
+
+                    compute += report.cycles.count();
+                    dma_total += dma_in;
+                    stats.merge(&report.stats);
+                    jobs += 1;
+
+                    // The Z panel leaves via DMA after the last slice.
+                    let dma_out = if slice + 1 == n_slices {
+                        self.dma.transfer_cycles(2 * z_panel.len()).count()
+                    } else {
+                        0
+                    };
+                    dma_total += dma_out;
+                    steps.push((report.cycles.count(), dma_in + dma_out));
+                }
+                // Scatter the finished panel back to the L2 image.
+                for r in 0..rows {
+                    for e in 0..cols {
+                        z[(row0 + r) * shape.k + k0 + e] = z_panel[r * cols + e];
+                    }
+                }
+            }
+        }
+
+        // Pipeline model: serially, everything adds up; double-buffered,
+        // each step's DMA overlaps the *previous* step's compute, so only
+        // the first transfer and any DMA excess over compute are exposed.
+        let serial = compute + dma_total;
+        let mut overlapped = steps.first().map_or(0, |&(_, d)| d);
+        for i in 0..steps.len() {
+            let c = steps[i].0;
+            let next_dma = steps.get(i + 1).map_or(0, |&(_, d)| d);
+            overlapped += c.max(next_dma);
+        }
+
+        stats.add("dma_cycles", dma_total);
+        Ok((
+            z,
+            TiledReport {
+                tile,
+                jobs,
+                compute_cycles: Cycle::new(compute),
+                dma_cycles: Cycle::new(dma_total),
+                serial_cycles: Cycle::new(serial),
+                overlapped_cycles: Cycle::new(overlapped),
+                stats,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redmule_fp16::vector::gemm_golden;
+
+    fn data(shape: GemmShape, seed: u32) -> (Vec<F16>, Vec<F16>) {
+        let gen = |len: usize, s: u32| -> Vec<F16> {
+            (0..len)
+                .map(|i| {
+                    let h = ((i as u32).wrapping_mul(2654435761) ^ s) >> 18;
+                    F16::from_f32((h % 32) as f32 / 32.0 - 0.5)
+                })
+                .collect()
+        };
+        (gen(shape.x_len(), seed), gen(shape.w_len(), !seed))
+    }
+
+    fn bits(v: &[F16]) -> Vec<u16> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    fn driver_with_tcdm(kib: usize) -> L2TiledGemm {
+        L2TiledGemm::new(
+            AccelConfig::paper(),
+            ClusterConfig::default().with_tcdm_kib(kib),
+        )
+    }
+
+    #[test]
+    fn single_tile_matches_golden() {
+        let shape = GemmShape::new(8, 16, 16);
+        let (x, w) = data(shape, 1);
+        let (z, report) = driver_with_tcdm(128).run(shape, &x, &w).expect("runs");
+        assert_eq!(bits(&z), bits(&gemm_golden(shape, &x, &w)));
+        assert_eq!(report.jobs, 1);
+    }
+
+    #[test]
+    fn multi_tile_rows_and_cols_match_golden() {
+        // An 8 KiB scratchpad forces tiling in both output dimensions.
+        let shape = GemmShape::new(40, 24, 48);
+        let (x, w) = data(shape, 2);
+        let (z, report) = driver_with_tcdm(8).run(shape, &x, &w).expect("runs");
+        assert_eq!(bits(&z), bits(&gemm_golden(shape, &x, &w)));
+        assert!(report.jobs > 1, "must tile: {:?}", report.tile);
+    }
+
+    #[test]
+    fn reduction_slicing_uses_accumulate_and_matches_golden() {
+        // Deep N with a small scratchpad forces reduction slices.
+        let shape = GemmShape::new(8, 300, 16);
+        let (x, w) = data(shape, 3);
+        let driver = driver_with_tcdm(4);
+        let tile = driver.plan(shape).expect("plan fits");
+        assert!(tile.nm < shape.n, "N must be sliced: {tile:?}");
+        let (z, report) = driver.run(shape, &x, &w).expect("runs");
+        assert_eq!(bits(&z), bits(&gemm_golden(shape, &x, &w)));
+        assert!(report.stats.get("z_preloads") > 0, "accumulate mode used");
+    }
+
+    #[test]
+    fn ragged_edges_match_golden() {
+        let shape = GemmShape::new(27, 70, 35);
+        let (x, w) = data(shape, 4);
+        let (z, _) = driver_with_tcdm(4).run(shape, &x, &w).expect("runs");
+        assert_eq!(bits(&z), bits(&gemm_golden(shape, &x, &w)));
+    }
+
+    #[test]
+    fn overlap_hides_dma_when_compute_bound() {
+        let shape = GemmShape::new(64, 128, 64);
+        let (x, w) = data(shape, 5);
+        let (_, report) = driver_with_tcdm(64).run(shape, &x, &w).expect("runs");
+        assert!(report.overlapped_cycles <= report.serial_cycles);
+        assert!(
+            report.dma_hidden_fraction() > 0.5,
+            "hidden = {}",
+            report.dma_hidden_fraction()
+        );
+        // Overlapped is close to pure compute plus the first fill.
+        let overhead = report.overlapped_cycles.count() as f64
+            / report.compute_cycles.count() as f64;
+        assert!(overhead < 1.3, "overlap overhead = {overhead}");
+    }
+
+    #[test]
+    fn too_small_tcdm_is_reported() {
+        let driver = L2TiledGemm::new(
+            AccelConfig::paper(),
+            ClusterConfig {
+                bank_words: 8, // 512 B total
+                ..ClusterConfig::default()
+            },
+        );
+        let shape = GemmShape::new(64, 64, 64);
+        let (x, w) = data(shape, 6);
+        assert!(matches!(
+            driver.run(shape, &x, &w),
+            Err(EngineError::InvalidJob(_))
+        ));
+    }
+
+    #[test]
+    fn empty_outputs_cost_nothing() {
+        let driver = driver_with_tcdm(128);
+        for shape in [GemmShape::new(0, 8, 8), GemmShape::new(8, 8, 0)] {
+            let (x, w) = data(shape, 7);
+            let (z, report) = driver.run(shape, &x, &w).expect("runs");
+            assert!(z.is_empty());
+            assert_eq!(report.serial_cycles, Cycle::ZERO);
+        }
+    }
+
+    #[test]
+    fn zero_reduction_still_writes_zeros() {
+        let shape = GemmShape::new(4, 0, 6);
+        let driver = driver_with_tcdm(128);
+        let (z, _) = driver.run(shape, &[], &[]).expect("runs");
+        assert_eq!(z, vec![F16::ZERO; 24]);
+    }
+
+    #[test]
+    fn custom_dma_scales_transfer_cost() {
+        let shape = GemmShape::new(16, 32, 16);
+        let (x, w) = data(shape, 8);
+        let fast = driver_with_tcdm(16).with_dma(Dma::new(4, 32));
+        let slow = driver_with_tcdm(16).with_dma(Dma::new(4, 2));
+        let (_, rf) = fast.run(shape, &x, &w).expect("runs");
+        let (_, rs) = slow.run(shape, &x, &w).expect("runs");
+        assert!(rs.dma_cycles > rf.dma_cycles);
+        assert_eq!(rf.compute_cycles, rs.compute_cycles);
+    }
+}

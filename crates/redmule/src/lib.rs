@@ -1,0 +1,58 @@
+//! Cycle-accurate behavioural model of **RedMulE** — the Reduced-precision
+//! matrix Multiplication Engine (DATE 2022).
+//!
+//! RedMulE is a parametric FP16 matrix-multiplication accelerator designed
+//! as a Hardware Processing Engine tightly coupled to a PULP cluster. This
+//! crate reproduces it at cycle granularity:
+//!
+//! * [`AccelConfig`] — the design-time parameters `H` (columns), `L`
+//!   (rows), `P` (FMA pipeline registers); the paper instance is
+//!   `H=4, L=8, P=3` (32 FMAs, 9 TCDM ports).
+//! * [`datapath`] — the semi-systolic FMA array with row-ring
+//!   accumulation, bit-accurate through [`redmule_fp16`].
+//! * [`buffers`] — the X / W / Z buffers of Fig. 1.
+//! * [`Engine`] — scheduler + streamer + controller implementing the
+//!   memory-access schedule of Fig. 2c against the cluster TCDM/HCI.
+//! * [`RegFile`] and [`Job`] — the HWPE peripheral interface the cores
+//!   program.
+//! * [`Accelerator`] — the top-level facade.
+//!
+//! # Quick start
+//!
+//! ```
+//! use redmule::Accelerator;
+//! use redmule_fp16::{vector::GemmShape, F16};
+//!
+//! let accel = Accelerator::paper_instance();
+//! let shape = GemmShape::new(16, 32, 16);
+//! let x = vec![F16::from_f32(0.5); shape.x_len()];
+//! let w = vec![F16::from_f32(2.0); shape.w_len()];
+//! let run = accel.gemm(shape, &x, &w)?;
+//! assert_eq!(run.z[0].to_f32(), 32.0);
+//! println!(
+//!     "{} cycles, {:.1} MAC/cycle",
+//!     run.report.cycles,
+//!     run.report.macs_per_cycle()
+//! );
+//! # Ok::<(), redmule::EngineError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod accelerator;
+pub mod buffers;
+mod config;
+pub mod datapath;
+mod engine;
+mod l2;
+pub mod regfile;
+
+pub use accelerator::{Accelerator, GemmRun};
+pub use config::AccelConfig;
+pub use engine::{
+    Engine, EngineError, EngineSession, EngineTrace, OccupancySample, RunReport, StreamerPolicy,
+    TickResult,
+};
+pub use l2::{L2TiledGemm, TileShape, TiledReport};
+pub use regfile::{Job, RegFile};

@@ -1,0 +1,382 @@
+//! The HWPE peripheral register file.
+//!
+//! RedMulE is "software-programmed by the cores": a core writes the job
+//! descriptor (matrix pointers and sizes) into memory-mapped registers and
+//! then triggers the accelerator, exactly as in the HWPE specification this
+//! module mirrors. The [`crate::Accelerator`] consumes the decoded
+//! [`Job`].
+
+use std::fmt;
+
+/// Register offsets (byte addresses in the HWPE peripheral window).
+pub mod offsets {
+    /// Write-any to start the configured job.
+    pub const TRIGGER: u32 = 0x00;
+    /// Read: bit 0 = busy.
+    pub const STATUS: u32 = 0x04;
+    /// Soft-clear: write-any to abort/reset the job configuration.
+    pub const SOFT_CLEAR: u32 = 0x08;
+    /// Pointer to the X matrix in TCDM.
+    pub const X_ADDR: u32 = 0x20;
+    /// Pointer to the W matrix in TCDM.
+    pub const W_ADDR: u32 = 0x24;
+    /// Pointer to the Z matrix in TCDM.
+    pub const Z_ADDR: u32 = 0x28;
+    /// Rows of X / Z (`M`).
+    pub const M_SIZE: u32 = 0x2C;
+    /// Columns of X / rows of W (`N`).
+    pub const N_SIZE: u32 = 0x30;
+    /// Columns of W / Z (`K`).
+    pub const K_SIZE: u32 = 0x34;
+    /// Job flags: bit 0 = accumulate into existing Z.
+    pub const FLAGS: u32 = 0x38;
+    /// Row stride of X in elements (0 = dense, i.e. `N`).
+    pub const X_STRIDE: u32 = 0x3C;
+    /// Row stride of W in elements (0 = dense, i.e. `K`).
+    pub const W_STRIDE: u32 = 0x40;
+    /// Row stride of Z in elements (0 = dense, i.e. `K`).
+    pub const Z_STRIDE: u32 = 0x44;
+}
+
+/// A fully described matrix-multiplication job: `Z = X * W` (plus `+ Z` in
+/// accumulate mode), with row-major operands resident in the TCDM.
+///
+/// # Example
+///
+/// ```
+/// use redmule::Job;
+///
+/// let job = Job::new(0x0000, 0x1000, 0x2000, 8, 16, 8);
+/// assert_eq!(job.shape().macs(), 8 * 16 * 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Job {
+    /// Byte address of X (`m x n`, row-major FP16).
+    pub x_addr: u32,
+    /// Byte address of W (`n x k`, row-major FP16).
+    pub w_addr: u32,
+    /// Byte address of Z (`m x k`, row-major FP16).
+    pub z_addr: u32,
+    /// Rows of X and Z.
+    pub m: usize,
+    /// Reduction dimension.
+    pub n: usize,
+    /// Columns of W and Z.
+    pub k: usize,
+    /// When `true`, accumulate onto the existing contents of Z
+    /// (`Z += X * W`) instead of overwriting.
+    pub accumulate: bool,
+    /// Row stride of X in elements; `0` means dense (`n`). Strides let a
+    /// job read a sub-matrix in place, like the silicon streamer's address
+    /// generators.
+    pub x_stride: usize,
+    /// Row stride of W in elements; `0` means dense (`k`).
+    pub w_stride: usize,
+    /// Row stride of Z in elements; `0` means dense (`k`).
+    pub z_stride: usize,
+}
+
+impl Job {
+    /// Creates a non-accumulating, densely laid-out job.
+    pub fn new(x_addr: u32, w_addr: u32, z_addr: u32, m: usize, n: usize, k: usize) -> Job {
+        Job {
+            x_addr,
+            w_addr,
+            z_addr,
+            m,
+            n,
+            k,
+            accumulate: false,
+            x_stride: 0,
+            w_stride: 0,
+            z_stride: 0,
+        }
+    }
+
+    /// Returns a copy with accumulate mode enabled.
+    #[must_use]
+    pub fn with_accumulate(mut self) -> Job {
+        self.accumulate = true;
+        self
+    }
+
+    /// Returns a copy with explicit row strides in elements (`0` keeps a
+    /// dimension dense). Strides must be at least the dense width.
+    #[must_use]
+    pub fn with_strides(mut self, x_stride: usize, w_stride: usize, z_stride: usize) -> Job {
+        self.x_stride = x_stride;
+        self.w_stride = w_stride;
+        self.z_stride = z_stride;
+        self
+    }
+
+    /// Effective X row stride in elements.
+    pub fn x_ld(&self) -> usize {
+        if self.x_stride == 0 { self.n } else { self.x_stride }
+    }
+
+    /// Effective W row stride in elements.
+    pub fn w_ld(&self) -> usize {
+        if self.w_stride == 0 { self.k } else { self.w_stride }
+    }
+
+    /// Effective Z row stride in elements.
+    pub fn z_ld(&self) -> usize {
+        if self.z_stride == 0 { self.k } else { self.z_stride }
+    }
+
+    /// The GEMM shape of this job.
+    pub fn shape(&self) -> redmule_fp16::vector::GemmShape {
+        redmule_fp16::vector::GemmShape::new(self.m, self.n, self.k)
+    }
+
+    /// Validates pointer alignment (FP16 operands must be 2-byte aligned).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, addr) in [
+            ("x_addr", self.x_addr),
+            ("w_addr", self.w_addr),
+            ("z_addr", self.z_addr),
+        ] {
+            if addr % 2 != 0 {
+                return Err(format!("{name} ({addr:#x}) must be 2-byte aligned"));
+            }
+        }
+        for (name, stride, dense) in [
+            ("x_stride", self.x_stride, self.n),
+            ("w_stride", self.w_stride, self.k),
+            ("z_stride", self.z_stride, self.k),
+        ] {
+            if stride != 0 && stride < dense {
+                return Err(format!(
+                    "{name} ({stride}) must be at least the dense width ({dense})"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Job {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Z[{:#x}] {}= X[{:#x}] ({}x{}) * W[{:#x}] ({}x{})",
+            self.z_addr,
+            if self.accumulate { "+" } else { "" },
+            self.x_addr,
+            self.m,
+            self.n,
+            self.w_addr,
+            self.n,
+            self.k
+        )
+    }
+}
+
+/// The memory-mapped register file through which cores program RedMulE.
+///
+/// # Example
+///
+/// ```
+/// use redmule::{regfile::offsets, RegFile};
+///
+/// let mut rf = RegFile::new();
+/// rf.write(offsets::X_ADDR, 0x100);
+/// rf.write(offsets::W_ADDR, 0x200);
+/// rf.write(offsets::Z_ADDR, 0x300);
+/// rf.write(offsets::M_SIZE, 8);
+/// rf.write(offsets::N_SIZE, 8);
+/// rf.write(offsets::K_SIZE, 8);
+/// rf.write(offsets::TRIGGER, 1);
+/// let job = rf.take_triggered_job().expect("job was triggered");
+/// assert_eq!(job.m, 8);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RegFile {
+    x_addr: u32,
+    w_addr: u32,
+    z_addr: u32,
+    m: u32,
+    n: u32,
+    k: u32,
+    flags: u32,
+    x_stride: u32,
+    w_stride: u32,
+    z_stride: u32,
+    triggered: bool,
+    busy: bool,
+}
+
+impl RegFile {
+    /// Creates a cleared register file.
+    pub fn new() -> RegFile {
+        RegFile::default()
+    }
+
+    /// Core-side register write.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unmapped offset (a real HWPE would raise a bus error).
+    pub fn write(&mut self, offset: u32, value: u32) {
+        match offset {
+            offsets::TRIGGER => self.triggered = true,
+            offsets::SOFT_CLEAR => *self = RegFile::new(),
+            offsets::X_ADDR => self.x_addr = value,
+            offsets::W_ADDR => self.w_addr = value,
+            offsets::Z_ADDR => self.z_addr = value,
+            offsets::M_SIZE => self.m = value,
+            offsets::N_SIZE => self.n = value,
+            offsets::K_SIZE => self.k = value,
+            offsets::FLAGS => self.flags = value,
+            offsets::X_STRIDE => self.x_stride = value,
+            offsets::W_STRIDE => self.w_stride = value,
+            offsets::Z_STRIDE => self.z_stride = value,
+            offsets::STATUS => {} // read-only: writes ignored
+            other => panic!("write to unmapped HWPE register {other:#x}"),
+        }
+    }
+
+    /// Core-side register read.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unmapped offset.
+    pub fn read(&self, offset: u32) -> u32 {
+        match offset {
+            offsets::TRIGGER | offsets::SOFT_CLEAR => 0,
+            offsets::STATUS => u32::from(self.busy),
+            offsets::X_ADDR => self.x_addr,
+            offsets::W_ADDR => self.w_addr,
+            offsets::Z_ADDR => self.z_addr,
+            offsets::M_SIZE => self.m,
+            offsets::N_SIZE => self.n,
+            offsets::K_SIZE => self.k,
+            offsets::FLAGS => self.flags,
+            offsets::X_STRIDE => self.x_stride,
+            offsets::W_STRIDE => self.w_stride,
+            offsets::Z_STRIDE => self.z_stride,
+            other => panic!("read from unmapped HWPE register {other:#x}"),
+        }
+    }
+
+    /// Consumes a pending trigger, decoding the programmed job and marking
+    /// the accelerator busy. Returns `None` when no trigger is pending.
+    pub fn take_triggered_job(&mut self) -> Option<Job> {
+        if !self.triggered {
+            return None;
+        }
+        self.triggered = false;
+        self.busy = true;
+        let mut job = Job::new(
+            self.x_addr,
+            self.w_addr,
+            self.z_addr,
+            self.m as usize,
+            self.n as usize,
+            self.k as usize,
+        );
+        if self.flags & 1 != 0 {
+            job = job.with_accumulate();
+        }
+        job = job.with_strides(
+            self.x_stride as usize,
+            self.w_stride as usize,
+            self.z_stride as usize,
+        );
+        Some(job)
+    }
+
+    /// Marks the current job complete (status returns idle).
+    pub fn complete_job(&mut self) {
+        self.busy = false;
+    }
+
+    /// Whether a job is in flight.
+    pub fn is_busy(&self) -> bool {
+        self.busy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn programmed() -> RegFile {
+        let mut rf = RegFile::new();
+        rf.write(offsets::X_ADDR, 0x100);
+        rf.write(offsets::W_ADDR, 0x200);
+        rf.write(offsets::Z_ADDR, 0x300);
+        rf.write(offsets::M_SIZE, 12);
+        rf.write(offsets::N_SIZE, 34);
+        rf.write(offsets::K_SIZE, 56);
+        rf
+    }
+
+    #[test]
+    fn registers_read_back() {
+        let rf = programmed();
+        assert_eq!(rf.read(offsets::X_ADDR), 0x100);
+        assert_eq!(rf.read(offsets::K_SIZE), 56);
+        assert_eq!(rf.read(offsets::STATUS), 0);
+    }
+
+    #[test]
+    fn trigger_produces_job_once() {
+        let mut rf = programmed();
+        assert!(rf.take_triggered_job().is_none());
+        rf.write(offsets::TRIGGER, 1);
+        let job = rf.take_triggered_job().expect("trigger pending");
+        assert_eq!(job.x_addr, 0x100);
+        assert_eq!((job.m, job.n, job.k), (12, 34, 56));
+        assert!(!job.accumulate);
+        assert!(rf.take_triggered_job().is_none(), "trigger is one-shot");
+        assert!(rf.is_busy());
+        assert_eq!(rf.read(offsets::STATUS), 1);
+        rf.complete_job();
+        assert_eq!(rf.read(offsets::STATUS), 0);
+    }
+
+    #[test]
+    fn accumulate_flag_decodes() {
+        let mut rf = programmed();
+        rf.write(offsets::FLAGS, 1);
+        rf.write(offsets::TRIGGER, 1);
+        assert!(rf.take_triggered_job().expect("triggered").accumulate);
+    }
+
+    #[test]
+    fn soft_clear_resets_everything() {
+        let mut rf = programmed();
+        rf.write(offsets::SOFT_CLEAR, 1);
+        assert_eq!(rf.read(offsets::X_ADDR), 0);
+        assert_eq!(rf.read(offsets::M_SIZE), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unmapped")]
+    fn unmapped_write_panics() {
+        RegFile::new().write(0xFC, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unmapped")]
+    fn unmapped_read_panics() {
+        let _ = RegFile::new().read(0xFC);
+    }
+
+    #[test]
+    fn job_validation_and_display() {
+        let job = Job::new(0x101, 0, 0, 1, 1, 1);
+        assert!(job.validate().is_err());
+        let job = Job::new(0x100, 0x200, 0x300, 2, 3, 4).with_accumulate();
+        assert!(job.validate().is_ok());
+        let text = job.to_string();
+        assert!(text.contains("2x3") && text.contains("3x4") && text.contains("+="));
+        assert_eq!(job.shape().macs(), 24);
+    }
+}

@@ -1,0 +1,62 @@
+//! Design-space exploration: how the RedMulE parameters trade area,
+//! bandwidth and utilization (extends the paper's Fig. 4b discussion).
+//!
+//! For a grid of `(H, L, P)` instances, runs the same GEMM on the
+//! cycle-accurate model and evaluates the area model, printing FMA count,
+//! memory-port requirement, achieved MAC/cycle and area. The paper's
+//! observation — widening `H` escalates the memory interface (H = 4 -> 5
+//! adds two ports) while growing `L` scales compute at constant bandwidth
+//! — falls out of the table.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use redmule_suite::energy::{AreaModel, Technology};
+use redmule_suite::fp16::vector::GemmShape;
+use redmule_suite::fp16::F16;
+use redmule_suite::redmule::{AccelConfig, Accelerator};
+
+fn main() {
+    let shape = GemmShape::new(64, 96, 64);
+    let x: Vec<F16> = (0..shape.x_len())
+        .map(|i| F16::from_f32(((i % 11) as f32 - 5.0) / 16.0))
+        .collect();
+    let w: Vec<F16> = (0..shape.w_len())
+        .map(|i| F16::from_f32(((i % 19) as f32 - 9.0) / 32.0))
+        .collect();
+    let area = AreaModel::new(Technology::Gf22Fdx);
+
+    println!("design-space exploration on GEMM {shape}:");
+    println!(
+        "{:>3} {:>3} {:>3} {:>6} {:>6} {:>10} {:>9} {:>10} {:>12}",
+        "H", "L", "P", "FMAs", "ports", "MAC/cycle", "util %", "area mm2", "MAC/c / mm2"
+    );
+    for (h, l, p) in [
+        (2, 4, 3),
+        (2, 8, 3),
+        (4, 8, 1),
+        (4, 8, 3), // the paper instance
+        (4, 8, 5),
+        (4, 16, 3),
+        (5, 8, 3), // the paper's port-escalation example
+        (8, 8, 3),
+        (8, 16, 3),
+    ] {
+        let cfg = AccelConfig::new(h, l, p);
+        let accel = Accelerator::new(cfg);
+        let run = accel.gemm(shape, &x, &w).expect("gemm runs");
+        let a = area.redmule(h, l, p).total();
+        let mpc = run.report.macs_per_cycle();
+        let marker = if (h, l, p) == (4, 8, 3) { "  <- paper" } else { "" };
+        println!(
+            "{h:>3} {l:>3} {p:>3} {:>6} {:>6} {mpc:>10.2} {:>9.1} {a:>10.3} {:>12.1}{marker}",
+            cfg.fma_count(),
+            cfg.memory_ports(),
+            100.0 * run.report.utilization(&cfg),
+            mpc / a,
+        );
+    }
+    println!("\nnote how H = 4 -> 5 adds two TCDM ports (9 -> 11), the");
+    println!("integration constraint the paper cites for keeping H = 4.");
+}

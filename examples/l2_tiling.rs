@@ -1,0 +1,66 @@
+//! Streaming a large GEMM from L2 through the 128 KiB TCDM.
+//!
+//! The paper's kernel measurements assume operands resident in the
+//! scratchpad; deployed workloads stream panels in with the cluster DMA.
+//! This example runs a GEMM whose operands are 4x larger than the TCDM,
+//! shows the tile plan the driver picks, and compares the serial vs
+//! double-buffered cycle costs.
+//!
+//! ```text
+//! cargo run --release --example l2_tiling
+//! ```
+
+use redmule_suite::cluster::ClusterConfig;
+use redmule_suite::fp16::vector::{gemm_golden, GemmShape};
+use redmule_suite::fp16::F16;
+use redmule_suite::redmule::{AccelConfig, L2TiledGemm};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 256 x 384 x 256: X+W+Z = 448 KiB of FP16, far beyond the 128 KiB TCDM.
+    let shape = GemmShape::new(256, 384, 256);
+    let x: Vec<F16> = (0..shape.x_len())
+        .map(|i| F16::from_f32(((i % 37) as f32 - 18.0) / 64.0))
+        .collect();
+    let w: Vec<F16> = (0..shape.w_len())
+        .map(|i| F16::from_f32(((i % 41) as f32 - 20.0) / 64.0))
+        .collect();
+
+    let cluster = ClusterConfig::default(); // 128 KiB TCDM
+    let driver = L2TiledGemm::new(AccelConfig::paper(), cluster.clone());
+
+    let plan = driver.plan(shape)?;
+    println!(
+        "operands: {} KiB FP16, TCDM: {} KiB",
+        shape.footprint_bytes() / 1024,
+        cluster.tcdm_bytes() / 1024
+    );
+    println!(
+        "tile plan: {} rows x {} cols x {} reduction-depth per slice",
+        plan.rm, plan.km, plan.nm
+    );
+
+    let (z, report) = driver.run(shape, &x, &w)?;
+
+    // Spot-check numerics against the golden model.
+    let golden = gemm_golden(shape, &x, &w);
+    assert!(
+        z.iter().zip(&golden).all(|(a, b)| a.to_bits() == b.to_bits()),
+        "tiled execution must stay bit-exact"
+    );
+
+    println!("\nexecution ({} engine jobs):", report.jobs);
+    println!("  compute           : {}", report.compute_cycles);
+    println!("  DMA traffic       : {}", report.dma_cycles);
+    println!("  serial total      : {}", report.serial_cycles);
+    println!("  double-buffered   : {}", report.overlapped_cycles);
+    println!(
+        "  DMA hidden        : {:.1} %",
+        100.0 * report.dma_hidden_fraction()
+    );
+    println!(
+        "  effective MAC/cyc : {:.2} (TCDM-resident ideal would be ~31.6)",
+        report.macs_per_cycle(shape)
+    );
+    println!("  result verified against the golden model");
+    Ok(())
+}

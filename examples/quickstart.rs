@@ -1,0 +1,81 @@
+//! Quickstart: offload an FP16 matrix multiplication to RedMulE.
+//!
+//! Demonstrates the HWPE offload flow exactly as a PULP core would drive
+//! it: place operands in the TCDM, program the register file, trigger, and
+//! read back the result — then cross-check against the bit-exact golden
+//! model and print the cycle report.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use redmule_suite::cluster::{ClusterConfig, Hci, Tcdm};
+use redmule_suite::fp16::vector::{gemm_golden, GemmShape};
+use redmule_suite::fp16::F16;
+use redmule_suite::redmule::{regfile::offsets, Accelerator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A PULP cluster: TCDM + HCI interconnect.
+    let ccfg = ClusterConfig::default();
+    let mut mem = Tcdm::new(&ccfg);
+    let mut hci = Hci::new(&ccfg);
+
+    // Z (24x40) = X (24x56) * W (56x40), FP16 row-major.
+    let shape = GemmShape::new(24, 56, 40);
+    let x: Vec<F16> = (0..shape.x_len())
+        .map(|i| F16::from_f32(((i % 17) as f32 - 8.0) / 16.0))
+        .collect();
+    let w: Vec<F16> = (0..shape.w_len())
+        .map(|i| F16::from_f32(((i % 13) as f32 - 6.0) / 8.0))
+        .collect();
+
+    let x_addr = 0x0000;
+    let w_addr = x_addr + 2 * shape.x_len() as u32;
+    let z_addr = w_addr + 2 * shape.w_len() as u32;
+    mem.store_f16_slice(x_addr, &x)?;
+    mem.store_f16_slice(w_addr, &w)?;
+
+    // Program the accelerator through its memory-mapped registers, the way
+    // cluster core 0 would.
+    let mut accel = Accelerator::paper_instance();
+    let rf = accel.regfile_mut();
+    rf.write(offsets::X_ADDR, x_addr);
+    rf.write(offsets::W_ADDR, w_addr);
+    rf.write(offsets::Z_ADDR, z_addr);
+    rf.write(offsets::M_SIZE, shape.m as u32);
+    rf.write(offsets::N_SIZE, shape.n as u32);
+    rf.write(offsets::K_SIZE, shape.k as u32);
+    rf.write(offsets::TRIGGER, 1);
+
+    // The engine runs the job cycle by cycle against the TCDM.
+    let report = accel
+        .service(&mut mem, &mut hci)?
+        .expect("a job was triggered");
+
+    // Read back and verify bit-exactness against the golden softfloat.
+    let z = mem.load_f16_slice(z_addr, shape.z_len())?;
+    let golden = gemm_golden(shape, &x, &w);
+    assert!(
+        z.iter()
+            .zip(&golden)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "accelerator output must be bit-identical to the golden model"
+    );
+
+    println!("RedMulE quickstart: {shape}");
+    println!("  cycles        : {}", report.cycles);
+    println!("  MAC/cycle     : {:.2}", report.macs_per_cycle());
+    println!(
+        "  utilization   : {:.1} % of the {}-FMA ideal",
+        100.0 * report.utilization(accel.config()),
+        accel.config().fma_count()
+    );
+    println!(
+        "  memory traffic: {} W loads, {} X loads, {} Z stores",
+        report.stats.get("w_loads"),
+        report.stats.get("x_loads"),
+        report.stats.get("z_stores")
+    );
+    println!("  result verified against the golden FP16 model");
+    Ok(())
+}

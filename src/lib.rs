@@ -1,0 +1,27 @@
+//! Umbrella crate for the RedMulE reproduction workspace.
+//!
+//! Re-exports every member crate under a short name so examples and
+//! integration tests can use a single dependency:
+//!
+//! * [`fp16`] — bit-accurate IEEE binary16 softfloat (the FPnew stand-in).
+//! * [`hwsim`] — cycle-driven simulation kernel (pipelines, arbiters, VCD).
+//! * [`cluster`] — PULP cluster substrate (TCDM, HCI, RISC-V SW baseline).
+//! * [`redmule`] — the paper's contribution: the cycle-accurate accelerator.
+//! * [`energy`] — calibrated area / power / energy models.
+//! * [`nn`] — FP16 network layers and the MLPerf-Tiny autoencoder use case.
+//!
+//! # Example
+//!
+//! ```
+//! use redmule_suite::{fp16::F16, redmule::Accelerator};
+//!
+//! let _one = F16::ONE;
+//! let _accel = Accelerator::paper_instance();
+//! ```
+
+pub use redmule;
+pub use redmule_cluster as cluster;
+pub use redmule_energy as energy;
+pub use redmule_fp16 as fp16;
+pub use redmule_hwsim as hwsim;
+pub use redmule_nn as nn;
