@@ -1,0 +1,24 @@
+# Convenience targets for the RedMulE reproduction.
+#
+#   make verify   — tier-1 gate plus the full workspace suite and a
+#                   warning-free clippy pass (what CI would run)
+#   make test     — fast: workspace tests only
+#   make figures  — regenerate every table/figure (quick sweep sizes)
+
+CARGO ?= cargo
+
+.PHONY: verify build test clippy figures
+
+verify: build test clippy
+
+build:
+	$(CARGO) build --release
+
+test:
+	$(CARGO) test -q --workspace
+
+clippy:
+	$(CARGO) clippy --workspace -- -D warnings
+
+figures:
+	$(CARGO) run --release -q -p redmule-bench --bin figures -- all

@@ -22,7 +22,7 @@ fn main() {
     if wanted.is_empty() || wanted.contains(&"all") {
         wanted = vec![
             "table1", "fig3a", "fig3b", "fig3c", "fig3d", "fig4a", "fig4b", "fig4c", "fig4d",
-            "ablations",
+            "ablations", "faults",
         ];
     }
     let sizes = workloads::sweep_sizes(full);
@@ -50,8 +50,9 @@ fn main() {
                 println!("{}", experiments::ablation_sw_kernel());
                 println!("{}", experiments::contention());
             }
+            "faults" => println!("{}", experiments::fault_sweep()),
             other => eprintln!(
-                "unknown item `{other}` (try: all, table1, fig3a..fig4d, ablations)"
+                "unknown item `{other}` (try: all, table1, fig3a..fig4d, ablations, faults)"
             ),
         }
     }

@@ -6,6 +6,7 @@
 //! (which are citations, not measurements).
 
 use crate::workloads;
+use redmule::faults::{FaultPlan, FtConfig, FtMode, TransientTarget};
 use redmule::{AccelConfig, Accelerator};
 use redmule_cluster::{baseline::SwGemm, ClusterConfig};
 use redmule_energy::{table1, AreaModel, OperatingPoint, PowerModel, Technology};
@@ -693,6 +694,123 @@ pub fn efficiency_gain(full: bool) -> f64 {
     m.efficiency_gain_over_sw(p.hw_mpc, p.hw_util, p.sw_mpc)
 }
 
+/// One row of the fault-tolerance sweep.
+#[derive(Debug, Clone)]
+pub struct FaultSweepRow {
+    /// Protection mode.
+    pub mode: FtMode,
+    /// Random transients injected per tile.
+    pub per_tile: u32,
+    /// Faults that actually landed on live state.
+    pub injected: u64,
+    /// Detections (ABFT mismatch or DMR vote failure).
+    pub detected: u64,
+    /// Tiles restored to the exact result.
+    pub corrected: u64,
+    /// Tile re-executions.
+    pub replayed: u64,
+    /// Total cycles including all recovery overhead.
+    pub cycles: u64,
+    /// Cycle overhead relative to the unprotected fault-free run.
+    pub overhead: f64,
+    /// Whether the final Z matched the golden model bit for bit.
+    pub exact: bool,
+}
+
+/// RedMulE-FT sweep: both protection modes against increasing transient
+/// rates on a 32x32x32 GEMM.
+#[derive(Debug, Clone)]
+pub struct FaultSweep {
+    /// Fault-free unprotected cycle count (the overhead baseline).
+    pub baseline_cycles: u64,
+    /// One row per (mode, rate) pair.
+    pub rows: Vec<FaultSweepRow>,
+}
+
+impl fmt::Display for FaultSweep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fault sweep: 32x32x32 GEMM, seeded transients (baseline {} cycles)",
+            self.baseline_cycles
+        )?;
+        writeln!(
+            f,
+            "{:>10} {:>9} {:>8} {:>8} {:>9} {:>8} {:>8} {:>9} {:>6}",
+            "mode", "per-tile", "injected", "detected", "corrected", "replays", "cycles", "overhead", "exact"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>10} {:>9} {:>8} {:>8} {:>9} {:>8} {:>8} {:>8.1}% {:>6}",
+                format!("{:?}", r.mode),
+                r.per_tile,
+                r.injected,
+                r.detected,
+                r.corrected,
+                r.replayed,
+                r.cycles,
+                100.0 * r.overhead,
+                if r.exact { "yes" } else { "NO" },
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the RedMulE-FT fault sweep: replay vs redundancy at 0/1/2/4
+/// random transients per tile, all from fixed seeds so the table is
+/// reproducible run to run.
+pub fn fault_sweep() -> FaultSweep {
+    let accel = Accelerator::paper_instance();
+    let shape = GemmShape::new(32, 32, 32);
+    let (x, w) = workloads::gemm_operands(shape, 0xF0F0);
+    let golden = redmule_fp16::vector::gemm_golden(shape, &x, &w);
+    let baseline = accel.gemm(shape, &x, &w).expect("fault-free baseline");
+    let baseline_cycles = baseline.report.cycles.count();
+
+    let targets = [
+        TransientTarget::Pipe,
+        TransientTarget::WLoad,
+        TransientTarget::XLoad,
+        TransientTarget::ZStore,
+    ];
+    let mut rows = Vec::new();
+    for mode in [FtMode::Replay, FtMode::Redundancy] {
+        for (i, per_tile) in [0u32, 1, 2, 4].into_iter().enumerate() {
+            let plan = FaultPlan::new(0x5EED + i as u64).with_random_transients(per_tile, &targets);
+            let ft = FtConfig {
+                mode,
+                max_retries: 8,
+            };
+            let run = accel
+                .gemm_ft(shape, &x, &w, &plan, ft)
+                .expect("covered transients are always recoverable");
+            let stats = &run.report.stats;
+            let cycles = run.report.cycles.count();
+            rows.push(FaultSweepRow {
+                mode,
+                per_tile,
+                injected: stats.get("faults_injected"),
+                detected: stats.get("faults_detected"),
+                corrected: stats.get("faults_corrected"),
+                replayed: stats.get("tiles_replayed"),
+                cycles,
+                overhead: cycles as f64 / baseline_cycles as f64 - 1.0,
+                exact: run
+                    .z
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .eq(golden.iter().map(|v| v.to_bits())),
+            });
+        }
+    }
+    FaultSweep {
+        baseline_cycles,
+        rows,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -769,5 +887,31 @@ mod tests {
     fn efficiency_gain_is_positive() {
         let g = efficiency_gain(false);
         assert!(g > 2.0, "efficiency gain = {g}");
+    }
+
+    #[test]
+    fn fault_sweep_recovers_exactly_and_charges_overhead() {
+        let sweep = fault_sweep();
+        assert_eq!(sweep.rows.len(), 8);
+        for r in &sweep.rows {
+            assert!(r.exact, "{:?} @ {} per tile must stay bit-exact", r.mode, r.per_tile);
+            if r.per_tile == 0 {
+                assert_eq!(r.detected, 0, "{:?}: phantom detection", r.mode);
+            } else {
+                assert!(r.injected > 0, "{:?} @ {}: nothing landed", r.mode, r.per_tile);
+            }
+            match r.mode {
+                // Fault-free replay pays only per-tile launch + checksum
+                // overhead — well under a duplicated execution.
+                FtMode::Replay if r.per_tile == 0 => {
+                    assert!(r.overhead < 0.5, "overhead = {}", r.overhead);
+                }
+                // Duplication always at least doubles the compute.
+                FtMode::Redundancy => assert!(r.overhead > 0.9, "overhead = {}", r.overhead),
+                _ => {}
+            }
+        }
+        let text = sweep.to_string();
+        assert!(text.contains("Replay") && text.contains("Redundancy"));
     }
 }

@@ -65,6 +65,9 @@ pub struct Hci {
     group_mux: RotatingMux,
     stats: Stats,
     max_log_initiators: usize,
+    /// Remaining shallow-branch transactions to silently drop (fault
+    /// injection); `u32::MAX` is effectively "drop forever".
+    drop_shallow: u32,
     /// Scratch buffers reused every cycle to keep arbitration
     /// allocation-free on the hot path.
     scratch_requests: Vec<bool>,
@@ -91,6 +94,7 @@ impl Hci {
             group_mux: RotatingMux::new(cfg.rotation_streak),
             stats: Stats::new(),
             max_log_initiators,
+            drop_shallow: 0,
             scratch_requests: vec![false; max_log_initiators],
             scratch_idx: vec![None; max_log_initiators],
         }
@@ -124,6 +128,16 @@ impl Hci {
         shallow_request: Option<u32>,
     ) -> HciGrants {
         let n = self.n_banks;
+        // Fault injection: a dropped shallow transaction is never granted —
+        // from the accelerator's point of view the beat simply vanished and
+        // it will retry next cycle (forever, if drops persist).
+        let shallow_request = if shallow_request.is_some() && self.drop_shallow > 0 {
+            self.drop_shallow = self.drop_shallow.saturating_sub(1);
+            self.stats.incr("shallow_dropped");
+            None
+        } else {
+            shallow_request
+        };
         let shallow_start = shallow_request.map(|addr| self.bank_of(addr));
         let in_group = |bank: usize| match shallow_start {
             Some(start) => (bank + n - start) % n < self.shallow_banks,
@@ -204,6 +218,18 @@ impl Hci {
             }
             Initiator::Dma => self.max_log_initiators - 1,
         }
+    }
+
+    /// Arms fault injection: the next `n` shallow-branch transactions are
+    /// silently dropped (never granted); pass `u32::MAX` to drop forever.
+    /// Dropped beats are counted in the `shallow_dropped` statistic.
+    pub fn inject_shallow_drop(&mut self, n: u32) {
+        self.drop_shallow = n;
+    }
+
+    /// Shallow-branch drops still armed.
+    pub fn pending_shallow_drops(&self) -> u32 {
+        self.drop_shallow
     }
 
     /// Accumulated arbitration statistics.
@@ -305,6 +331,24 @@ mod tests {
         let mut h = hci();
         let g = h.arbitrate(&[(Initiator::Dma, 0), (Initiator::Core(0), 64)], None);
         assert_eq!(g.log_granted.iter().filter(|&&x| x).count(), 1);
+    }
+
+    #[test]
+    fn dropped_shallow_beats_never_grant() {
+        let mut h = hci();
+        h.inject_shallow_drop(3);
+        for i in 0..10 {
+            let g = h.arbitrate(&[], Some(0));
+            assert_eq!(g.shallow_granted, i >= 3, "beat {i}");
+        }
+        assert_eq!(h.stats().get("shallow_dropped"), 3);
+        assert_eq!(h.stats().get("shallow_grants"), 7);
+        assert_eq!(h.pending_shallow_drops(), 0);
+        // A dropped beat frees its banks for the logarithmic branch.
+        h.inject_shallow_drop(u32::MAX);
+        let g = h.arbitrate(&[(Initiator::Core(0), 8)], Some(0));
+        assert!(!g.shallow_granted);
+        assert!(g.log_granted[0]);
     }
 
     #[test]

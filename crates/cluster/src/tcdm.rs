@@ -2,6 +2,8 @@
 
 use crate::config::ClusterConfig;
 use redmule_fp16::F16;
+use redmule_hwsim::StuckBit;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Error for invalid TCDM accesses.
@@ -61,6 +63,8 @@ impl std::error::Error for MemError {}
 pub struct Tcdm {
     n_banks: usize,
     words: Vec<u32>,
+    /// Stuck-at faults by word index, applied to every read until cleared.
+    stuck: BTreeMap<usize, StuckBit>,
 }
 
 impl Tcdm {
@@ -69,7 +73,55 @@ impl Tcdm {
         Tcdm {
             n_banks: cfg.n_banks,
             words: vec![0; cfg.n_banks * cfg.bank_words],
+            stuck: BTreeMap::new(),
         }
+    }
+
+    /// The stored word at `idx` as a read port observes it: stuck-at
+    /// faults pin their bit on every read.
+    fn observe(&self, idx: usize) -> u32 {
+        let raw = self.words[idx];
+        match self.stuck.get(&idx) {
+            Some(s) => s.apply32(raw),
+            None => raw,
+        }
+    }
+
+    /// Injects a transient single-bit flip into the stored word containing
+    /// byte address `addr` (`bit` counts from the word's LSB).
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfBounds`] if `addr` is beyond the scratchpad.
+    pub fn flip_bit(&mut self, addr: u32, bit: u8) -> Result<(), MemError> {
+        let idx = self.word_index(addr & !3, 4)?;
+        self.words[idx] = redmule_hwsim::faults::flip_bit32(self.words[idx], bit);
+        Ok(())
+    }
+
+    /// Pins one bit of the word containing `addr` to a fixed value on every
+    /// subsequent read (a stuck-at fault); writes still update the cell
+    /// underneath, so clearing the fault reveals the written data.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfBounds`] if `addr` is beyond the scratchpad.
+    pub fn set_stuck(&mut self, addr: u32, fault: StuckBit) -> Result<(), MemError> {
+        let idx = self.word_index(addr & !3, 4)?;
+        self.stuck.insert(idx, fault);
+        Ok(())
+    }
+
+    /// Removes a stuck-at fault previously set on the word containing
+    /// `addr`; returns whether one was present.
+    pub fn clear_stuck(&mut self, addr: u32) -> bool {
+        let idx = addr as usize / 4;
+        self.stuck.remove(&idx).is_some()
+    }
+
+    /// Number of words currently carrying a stuck-at fault.
+    pub fn stuck_faults(&self) -> usize {
+        self.stuck.len()
     }
 
     /// Capacity in bytes.
@@ -107,7 +159,7 @@ impl Tcdm {
     ///
     /// [`MemError::Misaligned`] or [`MemError::OutOfBounds`].
     pub fn read_u32(&self, addr: u32) -> Result<u32, MemError> {
-        Ok(self.words[self.word_index(addr, 4)?])
+        Ok(self.observe(self.word_index(addr, 4)?))
     }
 
     /// Writes an aligned 32-bit word.
@@ -130,7 +182,7 @@ impl Tcdm {
         if !addr.is_multiple_of(2) {
             return Err(MemError::Misaligned { addr, align: 2 });
         }
-        let word = self.words[self.word_index(addr & !3, 4)?];
+        let word = self.observe(self.word_index(addr & !3, 4)?);
         Ok(if addr & 2 == 0 {
             word as u16
         } else {
@@ -280,6 +332,37 @@ mod tests {
         for (a, b) in data.iter().zip(&back) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn transient_flip_corrupts_one_bit() {
+        let mut m = mem();
+        m.write_u32(0x40, 0x0000_00F0).unwrap();
+        m.flip_bit(0x40, 3).unwrap();
+        assert_eq!(m.read_u32(0x40).unwrap(), 0x0000_00F8);
+        // Flipping again restores the original value.
+        m.flip_bit(0x40, 3).unwrap();
+        assert_eq!(m.read_u32(0x40).unwrap(), 0x0000_00F0);
+        assert!(m.flip_bit(1 << 30, 0).is_err());
+    }
+
+    #[test]
+    fn stuck_bit_pins_reads_until_cleared() {
+        let mut m = mem();
+        m.write_u32(8, 0).unwrap();
+        m.set_stuck(8, StuckBit { bit: 5, value: true }).unwrap();
+        assert_eq!(m.stuck_faults(), 1);
+        assert_eq!(m.read_u32(8).unwrap(), 1 << 5);
+        // Writes land in the cell but the read stays pinned.
+        m.write_u32(8, 0xFFFF_FFFF).unwrap();
+        assert_eq!(m.read_u32(8).unwrap(), 0xFFFF_FFFF);
+        m.write_u32(8, 0).unwrap();
+        assert_eq!(m.read_u32(8).unwrap(), 1 << 5);
+        // Halfword reads observe the same pinned word.
+        assert_eq!(m.read_u16(8).unwrap(), 1 << 5);
+        assert!(m.clear_stuck(8));
+        assert_eq!(m.read_u32(8).unwrap(), 0);
+        assert!(!m.clear_stuck(8));
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use proptest::prelude::*;
 use redmule_cluster::{ClusterConfig, Hci, Initiator, Tcdm};
+use redmule_hwsim::{StuckBit, Xoshiro256};
 
 /// TCDM behaves like flat little-endian byte memory under any interleaving
 /// of halfword and word writes.
@@ -130,6 +131,68 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Fault-injection determinism: the same seed drives the same flips and
+    /// stuck-at placements, producing bit-identical memory images; a
+    /// double flip of the same bit restores the original image.
+    #[test]
+    fn tcdm_fault_injection_is_deterministic(
+        seed in any::<u64>(),
+        writes in prop::collection::vec((0u32..1024, any::<u32>()), 1..40),
+        n_faults in 1usize..16,
+    ) {
+        let cfg = ClusterConfig::default();
+        let image = |seed: u64| -> Vec<u32> {
+            let mut mem = Tcdm::new(&cfg);
+            for &(w, v) in &writes {
+                mem.write_u32(w * 4, v).expect("in-range write");
+            }
+            let mut rng = Xoshiro256::seed_from_u64(seed);
+            for _ in 0..n_faults {
+                let addr = (rng.below(1024) as u32) * 4;
+                let bit = rng.below(32) as u8;
+                if rng.chance(1, 2) {
+                    mem.flip_bit(addr, bit).expect("in-range flip");
+                } else {
+                    mem.set_stuck(addr, StuckBit { bit, value: rng.chance(1, 2) })
+                        .expect("in-range stuck");
+                }
+            }
+            (0..1024).map(|w| mem.read_u32(w * 4).expect("read")).collect()
+        };
+        prop_assert_eq!(image(seed), image(seed));
+
+        // Transient flips are involutions: re-running the same plan with
+        // flips applied twice (and no stuck-ats) leaves memory untouched.
+        let mut mem = Tcdm::new(&cfg);
+        for &(w, v) in &writes {
+            mem.write_u32(w * 4, v).expect("in-range write");
+        }
+        let before: Vec<u32> = (0..1024).map(|w| mem.read_u32(w * 4).expect("read")).collect();
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        for _ in 0..n_faults {
+            let addr = (rng.below(1024) as u32) * 4;
+            let bit = rng.below(32) as u8;
+            mem.flip_bit(addr, bit).expect("flip");
+            mem.flip_bit(addr, bit).expect("flip");
+        }
+        let after: Vec<u32> = (0..1024).map(|w| mem.read_u32(w * 4).expect("read")).collect();
+        prop_assert_eq!(before, after);
+    }
+
+    /// Armed shallow drops deny exactly the first `n` shallow beats and
+    /// never disturb logarithmic requests outside the group.
+    #[test]
+    fn hci_drops_deny_exactly_n_beats(n in 0u32..20, addr_word in 0u32..512) {
+        let cfg = ClusterConfig::default();
+        let mut hci = Hci::new(&cfg);
+        hci.inject_shallow_drop(n);
+        for i in 0..40u32 {
+            let g = hci.arbitrate(&[], Some(addr_word * 4));
+            prop_assert_eq!(g.shallow_granted, i >= n, "beat {}", i);
+        }
+        prop_assert_eq!(hci.stats().get("shallow_dropped"), u64::from(n));
     }
 
     /// HCI liveness: a core re-requesting the same address every cycle is

@@ -98,7 +98,7 @@ impl OperatingPoint {
         const VT: f64 = 0.35;
         const ALPHA: f64 = 1.340_463_5;
         // k chosen so f(0.65) = 476 MHz, i.e. k = 476*0.65/(0.30^alpha).
-        const K: f64 = 1553.889_694;
+        const K: f64 = 1_553.889_694;
         let f = K * (vdd - VT).powf(ALPHA) / vdd;
         OperatingPoint {
             name: "dvfs",

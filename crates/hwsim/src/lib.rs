@@ -40,10 +40,14 @@
 pub mod arbiter;
 mod counters;
 mod cycle;
+pub mod faults;
 mod pipeline;
+pub mod rng;
 pub mod stream;
 pub mod vcd;
 
 pub use counters::Stats;
 pub use cycle::{Cycle, Frequency};
+pub use faults::{FaultClass, FaultEvent, FaultLog, FaultPhase, StuckBit};
 pub use pipeline::{LoadError, Pipeline, ShiftRegister};
+pub use rng::{SplitMix64, Xoshiro256};

@@ -82,6 +82,16 @@ impl<T> Pipeline<T> {
         self.stages.back().expect("depth >= 1").as_ref()
     }
 
+    /// Mutable access to the value held in stage `idx` (0 = newest), or
+    /// `None` when the stage holds a bubble or is out of range.
+    ///
+    /// This is the fault-injection hook: a transient bit-flip in an FMA
+    /// pipeline register is modelled by corrupting the in-flight value of
+    /// one stage between two clock edges.
+    pub fn stage_mut(&mut self, idx: usize) -> Option<&mut T> {
+        self.stages.get_mut(idx).and_then(Option::as_mut)
+    }
+
     /// Replaces all contents with bubbles (synchronous reset).
     pub fn reset(&mut self) {
         for s in &mut self.stages {
@@ -193,6 +203,13 @@ impl<T> ShiftRegister<T> {
     /// Shifts one element out (front first), or `None` if empty.
     pub fn shift(&mut self) -> Option<T> {
         self.data.pop_front()
+    }
+
+    /// Mutable access to the `idx`-th pending element (0 = next to shift
+    /// out), or `None` when out of range. Fault-injection hook for the
+    /// W-buffer broadcast registers.
+    pub fn get_mut(&mut self, idx: usize) -> Option<&mut T> {
+        self.data.get_mut(idx)
     }
 
     /// Discards any remaining contents (synchronous reset).

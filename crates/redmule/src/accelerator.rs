@@ -3,6 +3,7 @@
 
 use crate::config::AccelConfig;
 use crate::engine::{Engine, EngineError, RunReport};
+use crate::faults::{FaultPlan, FtConfig};
 use crate::regfile::{Job, RegFile};
 use redmule_cluster::{ClusterConfig, Hci, Tcdm};
 use redmule_fp16::vector::GemmShape;
@@ -111,13 +112,10 @@ impl Accelerator {
     ///
     /// # Errors
     ///
-    /// Propagates [`EngineError`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if the slice lengths do not match `shape`.
+    /// [`EngineError::ShapeMismatch`] when a slice length does not match
+    /// `shape`; otherwise propagates [`EngineError`].
     pub fn gemm(&self, shape: GemmShape, x: &[F16], w: &[F16]) -> Result<GemmRun, EngineError> {
-        self.gemm_inner(shape, x, w, None)
+        self.gemm_inner(shape, x, w, None, None)
     }
 
     /// Runs `Z = X * W + Y` (accumulate mode, the journal follow-up's GEMM
@@ -125,11 +123,8 @@ impl Accelerator {
     ///
     /// # Errors
     ///
-    /// Propagates [`EngineError`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if the slice lengths do not match `shape`.
+    /// [`EngineError::ShapeMismatch`] when a slice length does not match
+    /// `shape`; otherwise propagates [`EngineError`].
     pub fn gemm_accumulate(
         &self,
         shape: GemmShape,
@@ -137,7 +132,28 @@ impl Accelerator {
         w: &[F16],
         y: &[F16],
     ) -> Result<GemmRun, EngineError> {
-        self.gemm_inner(shape, x, w, Some(y))
+        self.gemm_inner(shape, x, w, Some(y), None)
+    }
+
+    /// Runs `Z = X * W` under a [`FaultPlan`] with one of the RedMulE-FT
+    /// protection modes (see [`Engine::run_ft`]): the report carries the
+    /// fault log and all recovery overhead.
+    ///
+    /// # Errors
+    ///
+    /// As [`Accelerator::gemm`], plus [`EngineError::FaultUnrecoverable`]
+    /// when a persistent fault defeats the retry budget and
+    /// [`EngineError::Watchdog`] when injected transaction drops hang the
+    /// schedule.
+    pub fn gemm_ft(
+        &self,
+        shape: GemmShape,
+        x: &[F16],
+        w: &[F16],
+        plan: &FaultPlan,
+        ft: FtConfig,
+    ) -> Result<GemmRun, EngineError> {
+        self.gemm_inner(shape, x, w, None, Some((plan, ft)))
     }
 
     fn gemm_inner(
@@ -146,11 +162,23 @@ impl Accelerator {
         x: &[F16],
         w: &[F16],
         y: Option<&[F16]>,
+        ft: Option<(&FaultPlan, FtConfig)>,
     ) -> Result<GemmRun, EngineError> {
-        assert_eq!(x.len(), shape.x_len(), "X has wrong length for {shape}");
-        assert_eq!(w.len(), shape.w_len(), "W has wrong length for {shape}");
+        let check = |operand: &'static str, got: usize, expected: usize| {
+            if got == expected {
+                Ok(())
+            } else {
+                Err(EngineError::ShapeMismatch {
+                    operand,
+                    expected,
+                    got,
+                })
+            }
+        };
+        check("X", x.len(), shape.x_len())?;
+        check("W", w.len(), shape.w_len())?;
         if let Some(y) = y {
-            assert_eq!(y.len(), shape.z_len(), "Y has wrong length for {shape}");
+            check("Y", y.len(), shape.z_len())?;
         }
 
         let needed = shape.footprint_bytes() + 256;
@@ -172,7 +200,10 @@ impl Accelerator {
             job = job.with_accumulate();
         }
 
-        let report = self.engine.run(job, &mut mem, &mut hci)?;
+        let report = match ft {
+            Some((plan, ft_cfg)) => self.engine.run_ft(job, &mut mem, &mut hci, plan, ft_cfg)?,
+            None => self.engine.run(job, &mut mem, &mut hci)?,
+        };
         let z = mem.load_f16_slice(z_addr, shape.z_len())?;
         Ok(GemmRun { z, report })
     }
@@ -505,6 +536,28 @@ mod tests {
         assert!(!accel.regfile().is_busy());
         let z = mem.load_f16_slice(0x200, shape.z_len()).expect("Z range");
         assert_eq!(bits(&z), bits(&gemm_golden(shape, &x, &w)));
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error_not_a_panic() {
+        let accel = Accelerator::paper_instance();
+        let shape = GemmShape::new(2, 2, 2);
+        let err = accel
+            .gemm(shape, &[F16::ONE; 3], &[F16::ONE; 4])
+            .expect_err("short X must be rejected");
+        assert_eq!(
+            err,
+            EngineError::ShapeMismatch {
+                operand: "X",
+                expected: 4,
+                got: 3
+            }
+        );
+        assert!(err.to_string().contains("wrong length"));
+        let err = accel
+            .gemm_accumulate(shape, &[F16::ONE; 4], &[F16::ONE; 4], &[])
+            .expect_err("short Y must be rejected");
+        assert!(matches!(err, EngineError::ShapeMismatch { operand: "Y", .. }));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use crate::config::AccelConfig;
 use redmule_fp16::F16;
+use redmule_hwsim::faults::flip_bit16;
 use redmule_hwsim::Pipeline;
 
 /// Source of the accumulation input for column 0 this cycle.
@@ -136,6 +137,25 @@ impl Datapath {
         }
 
         outs.into_iter().next_back().expect("H >= 1")
+    }
+
+    /// Flips `bit` of the partial sum held in pipeline stage `stage`
+    /// (0 = newest) of FMA (`row`, `col`).
+    ///
+    /// Returns `false` when the stage holds a bubble or an index is out of
+    /// range — a transient strike on an empty register is architecturally
+    /// masked, exactly as in hardware.
+    pub fn corrupt(&mut self, col: usize, row: usize, stage: usize, bit: u8) -> bool {
+        let Some(pipe) = self.pipes.get_mut(col).and_then(|c| c.get_mut(row)) else {
+            return false;
+        };
+        match pipe.stage_mut(stage) {
+            Some(v) => {
+                *v = F16::from_bits(flip_bit16(v.to_bits(), bit));
+                true
+            }
+            None => false,
+        }
     }
 
     /// Clears all pipelines and operands (between jobs).

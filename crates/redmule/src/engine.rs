@@ -22,11 +22,12 @@
 use crate::buffers::{WBuffer, XBuffer, ZBuffer};
 use crate::config::AccelConfig;
 use crate::datapath::{Acc0, ColumnCtrl, Datapath};
+use crate::faults::FaultInjector;
 use crate::regfile::Job;
 use redmule_cluster::{Hci, MemError, Tcdm};
 use redmule_fp16::F16;
 use redmule_hwsim::stream::{Handshake, StreamMonitor};
-use redmule_hwsim::{Cycle, Stats};
+use redmule_hwsim::{Cycle, FaultLog, FaultPhase, Stats};
 use std::fmt;
 
 /// Error produced by [`Engine::run`].
@@ -34,15 +35,66 @@ use std::fmt;
 pub enum EngineError {
     /// The job descriptor is malformed (alignment).
     InvalidJob(String),
+    /// An operand slice length does not match the job shape.
+    ShapeMismatch {
+        /// Which operand mismatched (`"X"`, `"W"`, `"Y"` or `"Z"`).
+        operand: &'static str,
+        /// Element count the shape requires.
+        expected: usize,
+        /// Element count the caller supplied.
+        got: usize,
+    },
+    /// A read or write targeted an unmapped HWPE register offset.
+    UnmappedRegister {
+        /// The offending byte offset into the register file.
+        offset: u32,
+    },
     /// An operand access left the TCDM.
     Memory(MemError),
+    /// The engine made no forward progress within its watchdog window —
+    /// a hung schedule (e.g. dropped interconnect transactions), reported
+    /// instead of spinning forever.
+    Watchdog {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+        /// Consecutive cycles without forward progress.
+        stalled_for: u64,
+    },
+    /// Fault-tolerant execution exhausted its retry budget on one tile;
+    /// the corruption recurs on every replay (a persistent fault).
+    FaultUnrecoverable {
+        /// Index of the tile that never produced a clean result.
+        tile: usize,
+        /// Number of attempts made (initial run plus replays).
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::InvalidJob(msg) => write!(f, "invalid job: {msg}"),
+            EngineError::ShapeMismatch {
+                operand,
+                expected,
+                got,
+            } => write!(
+                f,
+                "operand {operand} has wrong length: shape requires {expected} elements, got {got}"
+            ),
+            EngineError::UnmappedRegister { offset } => {
+                write!(f, "access to unmapped HWPE register {offset:#x}")
+            }
             EngineError::Memory(e) => write!(f, "memory access failed: {e}"),
+            EngineError::Watchdog { cycle, stalled_for } => write!(
+                f,
+                "engine watchdog fired at cycle {cycle}: no forward progress for \
+                 {stalled_for} cycles"
+            ),
+            EngineError::FaultUnrecoverable { tile, attempts } => write!(
+                f,
+                "tile {tile} still corrupted after {attempts} attempts; fault is persistent"
+            ),
         }
     }
 }
@@ -99,6 +151,9 @@ pub struct RunReport {
     /// Per-cycle port traces when the engine was built with
     /// [`Engine::with_trace`].
     pub trace: Option<EngineTrace>,
+    /// Cycle-stamped fault activity (empty on fault-free runs). Feed it to
+    /// [`redmule_hwsim::FaultLog::dump_vcd`] for waveform inspection.
+    pub faults: FaultLog,
 }
 
 impl RunReport {
@@ -186,7 +241,13 @@ pub struct Engine {
     cfg: AccelConfig,
     trace: bool,
     policy: StreamerPolicy,
+    watchdog: u64,
 }
+
+/// Default watchdog window: cycles without forward progress before a run
+/// aborts with [`EngineError::Watchdog`]. Far beyond any legitimate stall
+/// (worst-case arbitration starvation is bounded by the rotation period).
+pub const DEFAULT_WATCHDOG: u64 = 10_000;
 
 impl Engine {
     /// Creates an engine for the given instance parameters.
@@ -195,6 +256,7 @@ impl Engine {
             cfg,
             trace: false,
             policy: StreamerPolicy::Interleaved,
+            watchdog: DEFAULT_WATCHDOG,
         }
     }
 
@@ -209,6 +271,16 @@ impl Engine {
     #[must_use]
     pub fn with_trace(self) -> Engine {
         Engine { trace: true, ..self }
+    }
+
+    /// Overrides the watchdog window (cycles without forward progress
+    /// before the run aborts with [`EngineError::Watchdog`]).
+    #[must_use]
+    pub fn with_watchdog(self, cycles: u64) -> Engine {
+        Engine {
+            watchdog: cycles.max(1),
+            ..self
+        }
     }
 
     /// The instance parameters.
@@ -238,7 +310,52 @@ impl Engine {
     /// [`EngineError::InvalidJob`] for malformed descriptors.
     pub fn start(&self, job: Job) -> Result<EngineSession, EngineError> {
         job.validate().map_err(EngineError::InvalidJob)?;
-        Ok(EngineSession::new(Sim::new(self.cfg, job, self.trace, self.policy)))
+        Ok(EngineSession::new(
+            Sim::new(self.cfg, job, self.trace, self.policy),
+            self.watchdog,
+        ))
+    }
+
+    /// Like [`Engine::start`], but arms a [`FaultInjector`] whose scheduled
+    /// transients strike the datapath, buffers and memory as the job runs.
+    /// The injector's log ends up in [`RunReport::faults`].
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidJob`] for malformed descriptors.
+    pub fn start_with_faults(
+        &self,
+        job: Job,
+        injector: FaultInjector,
+    ) -> Result<EngineSession, EngineError> {
+        job.validate().map_err(EngineError::InvalidJob)?;
+        let mut sim = Sim::new(self.cfg, job, self.trace, self.policy);
+        sim.injector = Some(injector);
+        Ok(EngineSession::new(sim, self.watchdog))
+    }
+
+    /// Executes a job to completion with an armed [`FaultInjector`].
+    ///
+    /// This is raw injection with **no** detection or recovery — the
+    /// corrupted results land in memory as hardware would produce them.
+    /// For protected execution see `Engine::run_ft`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::run`], plus [`EngineError::Watchdog`] when an injected
+    /// fault (e.g. dropped transactions) hangs the schedule.
+    pub fn run_with_faults(
+        &self,
+        job: Job,
+        mem: &mut Tcdm,
+        hci: &mut Hci,
+        injector: FaultInjector,
+    ) -> Result<RunReport, EngineError> {
+        let mut session = self.start_with_faults(job, injector)?;
+        while !session.is_finished() {
+            session.tick(mem, hci, &[])?;
+        }
+        Ok(session.finish())
     }
 }
 
@@ -283,6 +400,23 @@ pub struct EngineSession {
     cycle: u64,
     no_work: bool,
     bound: u64,
+    watchdog: u64,
+    last_sig: Option<ProgressSig>,
+    stalled_for: u64,
+}
+
+/// Snapshot of every scheduler cursor; two equal consecutive snapshots mean
+/// the cycle made no forward progress (the watchdog's liveness signal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ProgressSig {
+    tile: usize,
+    t: usize,
+    started: bool,
+    stores: usize,
+    w: (usize, usize, usize),
+    x: (usize, usize, usize),
+    zp: (usize, usize),
+    zready: usize,
 }
 
 /// Outcome of one [`EngineSession::tick`].
@@ -295,7 +429,7 @@ pub struct TickResult {
 }
 
 impl EngineSession {
-    fn new(sim: Sim) -> EngineSession {
+    fn new(sim: Sim, watchdog: u64) -> EngineSession {
         let no_work = sim.tiles.is_empty();
         let bound =
             10_000 + 64 * sim.tiles.len() as u64 * (sim.tile_len() as u64 + sim.cfg.l as u64 + 4);
@@ -304,6 +438,9 @@ impl EngineSession {
             cycle: 0,
             no_work,
             bound,
+            watchdog,
+            last_sig: None,
+            stalled_for: 0,
         }
     }
 
@@ -317,13 +454,11 @@ impl EngineSession {
     ///
     /// # Errors
     ///
-    /// [`EngineError::Memory`] when an operand access leaves the TCDM.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the scheduler exceeds its structural cycle bound adjusted
-    /// for worst-case interconnect starvation (a model bug, not a caller
-    /// error).
+    /// [`EngineError::Memory`] when an operand access leaves the TCDM;
+    /// [`EngineError::Watchdog`] when the schedule makes no forward
+    /// progress for a full watchdog window (see [`Engine::with_watchdog`])
+    /// or exceeds its structural cycle bound — a hung interconnect or a
+    /// scheduler bug, reported instead of spinning forever.
     pub fn tick(
         &mut self,
         mem: &mut Tcdm,
@@ -337,11 +472,14 @@ impl EngineSession {
             });
         }
         // Contention can legitimately stretch execution by up to the
-        // rotation period; scale the deadlock bound accordingly.
-        assert!(
-            self.cycle < self.bound * 8,
-            "engine deadlock: scheduler bug"
-        );
+        // rotation period; scale the structural bound accordingly.
+        if self.cycle >= self.bound * 8 {
+            return Err(EngineError::Watchdog {
+                cycle: self.cycle,
+                stalled_for: self.stalled_for,
+            });
+        }
+        self.sim.inject_cycle_faults(self.cycle, mem);
         self.sim.stage_pads();
         let stalls_before = self.sim.stall_cycles;
         if self.sim.n_phases == 0 {
@@ -366,6 +504,19 @@ impl EngineSession {
                 z_pending: self.sim.store_queue.len() as u8,
             });
         }
+        let sig = self.sim.progress_sig();
+        if self.last_sig == Some(sig) {
+            self.stalled_for += 1;
+            if self.stalled_for >= self.watchdog {
+                return Err(EngineError::Watchdog {
+                    cycle: self.cycle,
+                    stalled_for: self.stalled_for,
+                });
+            }
+        } else {
+            self.last_sig = Some(sig);
+            self.stalled_for = 0;
+        }
         self.cycle += 1;
         Ok(TickResult {
             log_granted,
@@ -389,12 +540,24 @@ impl EngineSession {
             self.sim.job.shape().macs(),
             "useful-MAC accounting must cover the job exactly"
         );
+        let faults = self
+            .sim
+            .injector
+            .take()
+            .map(FaultInjector::into_log)
+            .unwrap_or_default();
+        if !faults.is_empty() {
+            self.sim
+                .stats
+                .add("faults_injected", faults.count(FaultPhase::Injected));
+        }
         RunReport {
             cycles: Cycle::new(self.cycle),
             macs: self.sim.useful_macs,
             stall_cycles: self.sim.stall_cycles,
             stats: self.sim.stats,
             trace: self.sim.trace,
+            faults,
         }
     }
 }
@@ -440,6 +603,8 @@ struct Sim {
     /// Single-buffered-W ablation: a loaded group spends one cycle in
     /// flight before it can be staged (no prefetch hides this latency).
     w_inflight: Option<(usize, Vec<F16>)>,
+    /// Armed fault injector (None on fault-free runs).
+    injector: Option<FaultInjector>,
 }
 
 impl Sim {
@@ -488,7 +653,29 @@ impl Sim {
             }),
             policy,
             w_inflight: None,
+            injector: None,
             tiles,
+        }
+    }
+
+    /// Applies all cycle-addressed faults due this cycle (FMA pipeline
+    /// registers and TCDM words).
+    fn inject_cycle_faults(&mut self, cycle: u64, mem: &mut Tcdm) {
+        if let Some(inj) = self.injector.as_mut() {
+            inj.on_cycle(cycle, &mut self.dp, mem);
+        }
+    }
+
+    fn progress_sig(&self) -> ProgressSig {
+        ProgressSig {
+            tile: self.compute_tile,
+            t: self.t_local,
+            started: self.started,
+            stores: self.store_queue.len(),
+            w: self.w_cursor,
+            x: self.x_cursor,
+            zp: self.zpre_cursor,
+            zready: self.zpre_ready_tile,
         }
     }
 
@@ -857,6 +1044,9 @@ impl Sim {
                         F16::ZERO
                     });
                 }
+                if let Some(inj) = self.injector.as_mut() {
+                    inj.on_w_load(cycle, phase, col, &mut group);
+                }
                 if self.policy == StreamerPolicy::SingleBufferedW {
                     self.w_inflight = Some((col, group));
                 } else {
@@ -897,13 +1087,19 @@ impl Sim {
                         F16::ZERO
                     });
                 }
+                if let Some(inj) = self.injector.as_mut() {
+                    inj.on_x_load(cycle, chunk, row, &mut data);
+                }
                 self.xb.stage_row(row, data);
                 self.advance_x();
                 self.stats.incr("x_loads");
             }
             Pick::ZStore => {
-                let StoreReq { addr, data } =
+                let StoreReq { addr, mut data } =
                     self.store_queue.pop_front().expect("queue checked");
+                if let Some(inj) = self.injector.as_mut() {
+                    inj.on_z_store(cycle, &mut data);
+                }
                 for (jj, v) in data.iter().enumerate() {
                     mem.write_f16(addr + 2 * jj as u32, *v)?;
                 }

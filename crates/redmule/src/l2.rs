@@ -179,20 +179,29 @@ impl L2TiledGemm {
     ///
     /// # Errors
     ///
-    /// Propagates [`EngineError`]; see [`L2TiledGemm::plan`] for the
-    /// too-small-TCDM case.
-    ///
-    /// # Panics
-    ///
-    /// Panics if slice lengths do not match `shape`.
+    /// [`EngineError::ShapeMismatch`] when a slice length does not match
+    /// `shape`; otherwise propagates [`EngineError`] — see
+    /// [`L2TiledGemm::plan`] for the too-small-TCDM case.
     pub fn run(
         &self,
         shape: GemmShape,
         x: &[F16],
         w: &[F16],
     ) -> Result<(Vec<F16>, TiledReport), EngineError> {
-        assert_eq!(x.len(), shape.x_len(), "X has wrong length for {shape}");
-        assert_eq!(w.len(), shape.w_len(), "W has wrong length for {shape}");
+        if x.len() != shape.x_len() {
+            return Err(EngineError::ShapeMismatch {
+                operand: "X",
+                expected: shape.x_len(),
+                got: x.len(),
+            });
+        }
+        if w.len() != shape.w_len() {
+            return Err(EngineError::ShapeMismatch {
+                operand: "W",
+                expected: shape.w_len(),
+                got: w.len(),
+            });
+        }
 
         let tile = self.plan(shape)?;
         let engine = Engine::new(self.accel);

@@ -11,6 +11,8 @@
 //! * [`datapath`] — the semi-systolic FMA array with row-ring
 //!   accumulation, bit-accurate through [`redmule_fp16`].
 //! * [`buffers`] — the X / W / Z buffers of Fig. 1.
+//! * [`faults`] — seeded fault injection and the RedMulE-FT replay /
+//!   redundancy protection modes.
 //! * [`Engine`] — scheduler + streamer + controller implementing the
 //!   memory-access schedule of Fig. 2c against the cluster TCDM/HCI.
 //! * [`RegFile`] and [`Job`] — the HWPE peripheral interface the cores
@@ -39,12 +41,14 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod accelerator;
 pub mod buffers;
 mod config;
 pub mod datapath;
 mod engine;
+pub mod faults;
 mod l2;
 pub mod regfile;
 
@@ -52,7 +56,8 @@ pub use accelerator::{Accelerator, GemmRun};
 pub use config::AccelConfig;
 pub use engine::{
     Engine, EngineError, EngineSession, EngineTrace, OccupancySample, RunReport, StreamerPolicy,
-    TickResult,
+    TickResult, DEFAULT_WATCHDOG,
 };
+pub use faults::{FaultInjector, FaultPlan, FaultSite, FaultSpec, FtConfig, FtMode, TransientTarget};
 pub use l2::{L2TiledGemm, TileShape, TiledReport};
 pub use regfile::{Job, RegFile};

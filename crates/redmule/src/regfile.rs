@@ -6,6 +6,8 @@
 //! module mirrors. The [`crate::Accelerator`] consumes the decoded
 //! [`Job`].
 
+use crate::engine::EngineError;
+use redmule_hwsim::StuckBit;
 use std::fmt;
 
 /// Register offsets (byte addresses in the HWPE peripheral window).
@@ -209,6 +211,9 @@ pub struct RegFile {
     z_stride: u32,
     triggered: bool,
     busy: bool,
+    /// Injected stuck-at applied to values written through the offset it
+    /// is armed for — models a fault on the peripheral-bus write path.
+    write_fault: Option<(u32, StuckBit)>,
 }
 
 impl RegFile {
@@ -222,10 +227,33 @@ impl RegFile {
     /// # Panics
     ///
     /// Panics on an unmapped offset (a real HWPE would raise a bus error).
+    /// Use [`RegFile::try_write`] to handle the error instead.
     pub fn write(&mut self, offset: u32, value: u32) {
+        if let Err(e) = self.try_write(offset, value) {
+            panic!("write to unmapped HWPE register: {e}");
+        }
+    }
+
+    /// Core-side register write, reporting unmapped offsets as an error.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnmappedRegister`] when no register decodes at
+    /// `offset` (the model's equivalent of an HWPE bus error).
+    pub fn try_write(&mut self, offset: u32, value: u32) -> Result<(), EngineError> {
+        let value = match self.write_fault {
+            Some((off, stuck)) if off == offset => stuck.apply32(value),
+            _ => value,
+        };
         match offset {
             offsets::TRIGGER => self.triggered = true,
-            offsets::SOFT_CLEAR => *self = RegFile::new(),
+            offsets::SOFT_CLEAR => {
+                // Soft-clear resets the job configuration; a physical
+                // write-path defect survives the reset.
+                let fault = self.write_fault;
+                *self = RegFile::new();
+                self.write_fault = fault;
+            }
             offsets::X_ADDR => self.x_addr = value,
             offsets::W_ADDR => self.w_addr = value,
             offsets::Z_ADDR => self.z_addr = value,
@@ -237,17 +265,32 @@ impl RegFile {
             offsets::W_STRIDE => self.w_stride = value,
             offsets::Z_STRIDE => self.z_stride = value,
             offsets::STATUS => {} // read-only: writes ignored
-            other => panic!("write to unmapped HWPE register {other:#x}"),
+            other => return Err(EngineError::UnmappedRegister { offset: other }),
         }
+        Ok(())
     }
 
     /// Core-side register read.
     ///
     /// # Panics
     ///
-    /// Panics on an unmapped offset.
+    /// Panics on an unmapped offset. Use [`RegFile::try_read`] to handle
+    /// the error instead.
     pub fn read(&self, offset: u32) -> u32 {
-        match offset {
+        match self.try_read(offset) {
+            Ok(v) => v,
+            Err(e) => panic!("read from unmapped HWPE register: {e}"),
+        }
+    }
+
+    /// Core-side register read, reporting unmapped offsets as an error.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnmappedRegister`] when no register decodes at
+    /// `offset`.
+    pub fn try_read(&self, offset: u32) -> Result<u32, EngineError> {
+        Ok(match offset {
             offsets::TRIGGER | offsets::SOFT_CLEAR => 0,
             offsets::STATUS => u32::from(self.busy),
             offsets::X_ADDR => self.x_addr,
@@ -260,8 +303,19 @@ impl RegFile {
             offsets::X_STRIDE => self.x_stride,
             offsets::W_STRIDE => self.w_stride,
             offsets::Z_STRIDE => self.z_stride,
-            other => panic!("read from unmapped HWPE register {other:#x}"),
-        }
+            other => return Err(EngineError::UnmappedRegister { offset: other }),
+        })
+    }
+
+    /// Arms a stuck-at fault on the write path of the register at
+    /// `offset`: every subsequent value written there has the bit pinned.
+    pub fn inject_write_stuck(&mut self, offset: u32, fault: StuckBit) {
+        self.write_fault = Some((offset, fault));
+    }
+
+    /// Removes an armed write-path fault.
+    pub fn clear_write_fault(&mut self) {
+        self.write_fault = None;
     }
 
     /// Consumes a pending trigger, decoding the programmed job and marking
@@ -367,6 +421,35 @@ mod tests {
     #[should_panic(expected = "unmapped")]
     fn unmapped_read_panics() {
         let _ = RegFile::new().read(0xFC);
+    }
+
+    #[test]
+    fn try_accessors_report_unmapped() {
+        let mut rf = RegFile::new();
+        assert!(matches!(
+            rf.try_write(0xFC, 1),
+            Err(EngineError::UnmappedRegister { offset: 0xFC })
+        ));
+        assert!(matches!(
+            rf.try_read(0xFC),
+            Err(EngineError::UnmappedRegister { offset: 0xFC })
+        ));
+        assert!(rf.try_write(offsets::M_SIZE, 5).is_ok());
+        assert_eq!(rf.try_read(offsets::M_SIZE), Ok(5));
+    }
+
+    #[test]
+    fn write_fault_pins_bits_and_survives_soft_clear() {
+        let mut rf = RegFile::new();
+        rf.inject_write_stuck(offsets::M_SIZE, StuckBit { bit: 0, value: true });
+        rf.write(offsets::M_SIZE, 4);
+        assert_eq!(rf.read(offsets::M_SIZE), 5, "LSB pinned high");
+        rf.write(offsets::SOFT_CLEAR, 1);
+        rf.write(offsets::M_SIZE, 2);
+        assert_eq!(rf.read(offsets::M_SIZE), 3, "defect survives soft-clear");
+        rf.clear_write_fault();
+        rf.write(offsets::M_SIZE, 2);
+        assert_eq!(rf.read(offsets::M_SIZE), 2);
     }
 
     #[test]

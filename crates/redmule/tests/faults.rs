@@ -1,0 +1,355 @@
+//! Fault-injection and fault-tolerance integration tests (ISSUE PR 1).
+//!
+//! Covers the three headline guarantees:
+//!
+//! 1. determinism — the same seed produces the same strikes, the same
+//!    recovery sequence and a bit-identical [`RunReport`];
+//! 2. transparency — an empty plan leaves the fault-tolerant paths
+//!    bit-identical to the fault-free engine;
+//! 3. protection — ABFT detects every single-bit flip of a live W-buffer
+//!    word, and both RedMulE-FT modes recover bit-exact GEMM results from
+//!    any single transient per tile.
+
+use proptest::prelude::*;
+use redmule::faults::{FaultPlan, FaultSite, FaultSpec, FtConfig, FtMode, TransientTarget};
+use redmule::{AccelConfig, Accelerator, Engine, EngineError, Job};
+use redmule_cluster::{ClusterConfig, Hci, Tcdm};
+use redmule_fp16::vector::{gemm_golden, GemmShape};
+use redmule_fp16::F16;
+use redmule_hwsim::StuckBit;
+
+fn data(shape: GemmShape, seed: u32) -> (Vec<F16>, Vec<F16>) {
+    let gen = |len: usize, s: u32| -> Vec<F16> {
+        (0..len)
+            .map(|i| {
+                let v = ((i as u32).wrapping_mul(2654435761).wrapping_add(s) >> 16) % 64;
+                F16::from_f32(v as f32 / 16.0 - 2.0)
+            })
+            .collect()
+    };
+    (gen(shape.x_len(), seed), gen(shape.w_len(), seed ^ 0xABCD))
+}
+
+fn bits(v: &[F16]) -> Vec<u16> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// A fresh cluster memory system with X and W staged at fixed addresses.
+fn staged_cluster(shape: GemmShape, x: &[F16], w: &[F16]) -> (Tcdm, Hci, Job) {
+    let needed = shape.footprint_bytes() + 256;
+    let mut ccfg = ClusterConfig::default();
+    if needed > ccfg.tcdm_bytes() {
+        ccfg = ccfg.with_tcdm_kib(needed.div_ceil(1024));
+    }
+    let mut mem = Tcdm::new(&ccfg);
+    let hci = Hci::new(&ccfg);
+    let x_addr = 0u32;
+    let w_addr = x_addr + 2 * shape.x_len() as u32;
+    let z_addr = w_addr + 2 * shape.w_len() as u32;
+    mem.store_f16_slice(x_addr, x).expect("stage X");
+    mem.store_f16_slice(w_addr, w).expect("stage W");
+    let job = Job::new(x_addr, w_addr, z_addr, shape.m, shape.n, shape.k);
+    (mem, hci, job)
+}
+
+// ---------------------------------------------------------------------------
+// (ii) zero-fault plan ⇒ bit-identical to the fault-free path
+// ---------------------------------------------------------------------------
+
+#[test]
+fn zero_fault_plan_is_bit_identical_to_fault_free_run() {
+    let accel = Accelerator::paper_instance();
+    let shape = GemmShape::new(16, 8, 20); // 2x2 tile grid on the paper instance
+    let (x, w) = data(shape, 11);
+    let baseline = accel.gemm(shape, &x, &w).expect("fault-free run");
+
+    for ft in [FtConfig::replay(), FtConfig::redundancy()] {
+        let run = accel
+            .gemm_ft(shape, &x, &w, &FaultPlan::new(42), ft)
+            .expect("empty plan must not fail");
+        assert_eq!(
+            bits(&run.z),
+            bits(&baseline.z),
+            "{:?}: empty plan changed the result",
+            ft.mode
+        );
+        assert!(run.report.faults.is_empty(), "{:?}: phantom faults", ft.mode);
+        assert_eq!(run.report.stats.get("faults_detected"), 0);
+        assert_eq!(run.report.stats.get("tiles_replayed"), 0);
+    }
+}
+
+#[test]
+fn redundancy_mode_runs_every_tile_twice() {
+    let accel = Accelerator::paper_instance();
+    let shape = GemmShape::new(16, 8, 20);
+    let (x, w) = data(shape, 3);
+    let plain = accel
+        .gemm_ft(shape, &x, &w, &FaultPlan::new(0), FtConfig::replay())
+        .expect("replay run");
+    let dmr = accel
+        .gemm_ft(shape, &x, &w, &FaultPlan::new(0), FtConfig::redundancy())
+        .expect("redundancy run");
+    // 2 row tiles x 2 col tiles = 4 tiles; duplication doubles the runs.
+    assert_eq!(plain.report.stats.get("ft_runs"), 4);
+    assert_eq!(dmr.report.stats.get("ft_runs"), 8);
+    assert!(
+        dmr.report.cycles.count() > plain.report.cycles.count(),
+        "duplication must cost cycles: {} vs {}",
+        dmr.report.cycles.count(),
+        plain.report.cycles.count()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// (i) same seed ⇒ identical RunReport
+// ---------------------------------------------------------------------------
+
+#[test]
+fn same_seed_produces_identical_run_reports() {
+    let accel = Accelerator::paper_instance();
+    let shape = GemmShape::new(12, 8, 20);
+    let (x, w) = data(shape, 77);
+    let plan = FaultPlan::new(0xDEAD_BEEF).with_random_transients(
+        2,
+        &[
+            TransientTarget::Pipe,
+            TransientTarget::WLoad,
+            TransientTarget::XLoad,
+            TransientTarget::ZStore,
+            TransientTarget::TcdmData,
+        ],
+    );
+    let a = accel
+        .gemm_ft(shape, &x, &w, &plan, FtConfig::replay())
+        .expect("first run");
+    let b = accel
+        .gemm_ft(shape, &x, &w, &plan, FtConfig::replay())
+        .expect("second run");
+    assert_eq!(bits(&a.z), bits(&b.z), "results must match bit for bit");
+    assert_eq!(a.report.cycles.count(), b.report.cycles.count());
+    assert_eq!(a.report.stall_cycles, b.report.stall_cycles);
+    assert_eq!(a.report.macs, b.report.macs);
+    assert_eq!(a.report.stats, b.report.stats, "stats must be identical");
+    assert_eq!(
+        a.report.faults.events(),
+        b.report.faults.events(),
+        "fault logs must replay identically"
+    );
+    assert!(
+        !a.report.faults.is_empty(),
+        "the plan must actually inject something"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// (iii) ABFT detects every single-bit flip of a live W word
+// ---------------------------------------------------------------------------
+
+#[test]
+fn abft_detects_every_single_bit_w_flip() {
+    let accel = Accelerator::paper_instance();
+    // One tile, one reduction step: z[r][j] == w[j], so every W corruption
+    // is architecturally visible in the output.
+    let shape = GemmShape::new(8, 1, 16);
+    let x = vec![F16::from_f32(1.0); shape.x_len()];
+    let w: Vec<F16> = (0..shape.w_len())
+        .map(|j| F16::from_f32(1.0 + j as f32 / 16.0))
+        .collect();
+    let golden = gemm_golden(shape, &x, &w);
+
+    for elem in 0..16usize {
+        for bit in 0..16u8 {
+            let plan = FaultPlan::new(0).with_spec(FaultSpec {
+                tile: 0,
+                cycle: 0,
+                site: FaultSite::WLoad {
+                    phase: 0,
+                    col: 0,
+                    elem,
+                    bit,
+                },
+            });
+            let run = accel
+                .gemm_ft(shape, &x, &w, &plan, FtConfig::replay())
+                .unwrap_or_else(|e| panic!("elem {elem} bit {bit}: {e}"));
+            assert_eq!(
+                bits(&run.z),
+                bits(&golden),
+                "elem {elem} bit {bit}: replay must restore the exact result"
+            );
+            assert!(
+                run.report.stats.get("faults_detected") >= 1,
+                "elem {elem} bit {bit}: flip escaped the checksum"
+            );
+            assert!(
+                run.report.stats.get("faults_corrected") >= 1,
+                "elem {elem} bit {bit}: detection without correction"
+            );
+            assert!(run.report.stats.get("tiles_replayed") >= 1);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: any single transient per tile is recovered bit-exact
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn single_transient_per_tile_is_recovered_bit_exact(
+        (m, n, k) in prop::sample::select(vec![
+            (8usize, 4usize, 16usize),
+            (9, 5, 17),
+            (12, 8, 20),
+            (5, 3, 7),
+            (16, 16, 16),
+        ]),
+        seed in any::<u64>(),
+        data_seed in any::<u32>(),
+        mode in prop_oneof![Just(FtMode::Replay), Just(FtMode::Redundancy)],
+    ) {
+        let accel = Accelerator::paper_instance();
+        let shape = GemmShape::new(m, n, k);
+        let (x, w) = data(shape, data_seed);
+        let golden = gemm_golden(shape, &x, &w);
+        // TcdmData is excluded: source-operand corruption in memory is
+        // outside the ABFT protection boundary by construction.
+        let plan = FaultPlan::new(seed).with_random_transients(
+            1,
+            &[
+                TransientTarget::Pipe,
+                TransientTarget::WLoad,
+                TransientTarget::XLoad,
+                TransientTarget::ZStore,
+            ],
+        );
+        let ft = FtConfig { mode, max_retries: 3 };
+        let run = accel.gemm_ft(shape, &x, &w, &plan, ft)
+            .map_err(|e| TestCaseError::fail(format!("{mode:?}: {e}")))?;
+        prop_assert_eq!(
+            bits(&run.z),
+            bits(&golden),
+            "{:?} seed {:#x}: corrupted result escaped", mode, seed
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog and persistent faults
+// ---------------------------------------------------------------------------
+
+#[test]
+fn watchdog_converts_dropped_transactions_into_an_error() {
+    let engine = Engine::new(AccelConfig::paper()).with_watchdog(500);
+    let shape = GemmShape::new(8, 8, 16);
+    let (x, w) = data(shape, 5);
+    let (mut mem, mut hci, job) = staged_cluster(shape, &x, &w);
+    let plan = FaultPlan::new(0).with_hci_drops(u32::MAX);
+    let err = engine
+        .run_ft(job, &mut mem, &mut hci, &plan, FtConfig::replay())
+        .expect_err("an interconnect that never grants must hang");
+    assert!(
+        matches!(err, EngineError::Watchdog { .. }),
+        "expected Watchdog, got {err:?}"
+    );
+}
+
+#[test]
+fn watchdog_fires_on_directly_sabotaged_hci() {
+    let engine = Engine::new(AccelConfig::paper()).with_watchdog(500);
+    let shape = GemmShape::new(8, 8, 16);
+    let (x, w) = data(shape, 5);
+    let (mut mem, mut hci, job) = staged_cluster(shape, &x, &w);
+    hci.inject_shallow_drop(u32::MAX);
+    let err = engine
+        .run(job, &mut mem, &mut hci)
+        .expect_err("plain runs are watchdog-protected too");
+    assert!(matches!(err, EngineError::Watchdog { .. }));
+}
+
+#[test]
+fn stuck_output_bit_exhausts_the_replay_budget() {
+    let engine = Engine::new(AccelConfig::paper());
+    let shape = GemmShape::new(1, 1, 1);
+    let x = vec![F16::from_f32(1.0)];
+    let w = vec![F16::from_f32(1.0)];
+    let (mut mem, mut hci, job) = staged_cluster(shape, &x, &w);
+    // z = 1.0 = 0x3C00: pinning bit 1 high corrupts every readback, which
+    // no amount of replay can outrun.
+    let plan = FaultPlan::new(0).with_tcdm_stuck(job.z_addr, StuckBit { bit: 1, value: true });
+    let err = engine
+        .run_ft(job, &mut mem, &mut hci, &plan, FtConfig::replay())
+        .expect_err("a stuck output bit must defeat replay");
+    match err {
+        EngineError::FaultUnrecoverable { tile, attempts } => {
+            assert_eq!(tile, 0);
+            assert_eq!(attempts, 4, "default budget is 3 retries + first try");
+        }
+        other => panic!("expected FaultUnrecoverable, got {other:?}"),
+    }
+}
+
+#[test]
+fn finite_hci_drops_stall_but_complete() {
+    let accel = Accelerator::paper_instance();
+    let shape = GemmShape::new(8, 8, 16);
+    let (x, w) = data(shape, 9);
+    let baseline = accel
+        .gemm_ft(shape, &x, &w, &FaultPlan::new(0), FtConfig::replay())
+        .expect("clean run");
+    let run = accel
+        .gemm_ft(
+            shape,
+            &x,
+            &w,
+            &FaultPlan::new(0).with_hci_drops(50),
+            FtConfig::replay(),
+        )
+        .expect("50 dropped beats must only stall, not hang");
+    assert_eq!(bits(&run.z), bits(&baseline.z));
+    assert!(
+        run.report.stall_cycles > baseline.report.stall_cycles,
+        "dropped beats must show up as stalls: {} vs {}",
+        run.report.stall_cycles,
+        baseline.report.stall_cycles
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry: the fault log reaches the VCD tracer
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fault_log_from_a_run_dumps_as_vcd() {
+    let accel = Accelerator::paper_instance();
+    let shape = GemmShape::new(8, 1, 16);
+    let x = vec![F16::from_f32(1.0); shape.x_len()];
+    let w: Vec<F16> = (0..shape.w_len())
+        .map(|j| F16::from_f32(1.0 + j as f32 / 16.0))
+        .collect();
+    let plan = FaultPlan::new(0).with_spec(FaultSpec {
+        tile: 0,
+        cycle: 0,
+        site: FaultSite::WLoad {
+            phase: 0,
+            col: 0,
+            elem: 2,
+            bit: 9,
+        },
+    });
+    let run = accel
+        .gemm_ft(shape, &x, &w, &plan, FtConfig::replay())
+        .expect("single transient is recoverable");
+    let mut out = Vec::new();
+    run.report
+        .faults
+        .dump_vcd(&mut out, 1)
+        .expect("in-memory VCD dump");
+    let text = String::from_utf8(out).expect("VCD is ASCII");
+    for wire in ["fault_injected", "fault_detected", "fault_corrected"] {
+        assert!(text.contains(wire), "missing {wire} wire");
+    }
+}
