@@ -1,15 +1,16 @@
 # Convenience targets for the RedMulE reproduction.
 #
-#   make verify   — tier-1 gate plus the full workspace suite and a
-#                   warning-free clippy pass (what CI would run)
+#   make verify   — tier-1 gate plus the full workspace suite, a
+#                   warning-free clippy pass and a formatting check
+#                   (what CI runs, see .github/workflows/ci.yml)
 #   make test     — fast: workspace tests only
 #   make figures  — regenerate every table/figure (quick sweep sizes)
 
 CARGO ?= cargo
 
-.PHONY: verify build test clippy figures
+.PHONY: verify build test clippy fmt figures
 
-verify: build test clippy
+verify: build test clippy fmt
 
 build:
 	$(CARGO) build --release
@@ -19,6 +20,9 @@ test:
 
 clippy:
 	$(CARGO) clippy --workspace -- -D warnings
+
+fmt:
+	$(CARGO) fmt --all -- --check
 
 figures:
 	$(CARGO) run --release -q -p redmule-bench --bin figures -- all

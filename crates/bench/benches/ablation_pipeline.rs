@@ -14,7 +14,10 @@ use redmule_fp16::vector::GemmShape;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    println!("{}", redmule_bench::experiments::ablation_pipeline());
+    println!(
+        "{}",
+        redmule_bench::experiments::ablation_pipeline().expect("ablation")
+    );
     let shape = GemmShape::new(64, 64, 64);
 
     let mut group = c.benchmark_group("ablation_pipeline");

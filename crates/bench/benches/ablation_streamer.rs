@@ -31,7 +31,10 @@ fn run_policy(policy: StreamerPolicy, shape: GemmShape) -> (u64, u64) {
 
 fn bench(c: &mut Criterion) {
     let shape = GemmShape::new(32, 64, 32);
-    println!("{}", redmule_bench::experiments::ablation_streamer());
+    println!(
+        "{}",
+        redmule_bench::experiments::ablation_streamer().expect("ablation")
+    );
 
     let mut group = c.benchmark_group("ablation_streamer");
     group.sample_size(10);
@@ -39,9 +42,7 @@ fn bench(c: &mut Criterion) {
         ("interleaved", StreamerPolicy::Interleaved),
         ("single_buffered_w", StreamerPolicy::SingleBufferedW),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| black_box(run_policy(policy, shape)))
-        });
+        group.bench_function(name, |b| b.iter(|| black_box(run_policy(policy, shape))));
     }
     group.finish();
 }

@@ -17,7 +17,10 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let shape = GemmShape::new(64, 64, 64);
     let (x, w) = workloads::gemm_operands(shape, 17);
-    println!("{}", redmule_bench::experiments::ablation_sw_kernel());
+    println!(
+        "{}",
+        redmule_bench::experiments::ablation_sw_kernel().expect("ablation")
+    );
 
     let mut group = c.benchmark_group("ablation_sw_kernel");
     group.sample_size(10);
@@ -26,9 +29,7 @@ fn bench(c: &mut Criterion) {
         ("simd2", KernelVariant::Simd2),
     ] {
         let sw = SwGemm::new(&ClusterConfig::default()).with_variant(variant);
-        group.bench_function(name, |b| {
-            b.iter(|| black_box(sw.run(shape, &x, &w).cycles))
-        });
+        group.bench_function(name, |b| b.iter(|| black_box(sw.run(shape, &x, &w).cycles)));
     }
     group.finish();
 }

@@ -13,7 +13,13 @@ fn bench(c: &mut Criterion) {
 
     let model = AreaModel::new(Technology::Gf22Fdx);
     c.bench_function("fig3a/area_model_eval", |b| {
-        b.iter(|| black_box(model.redmule(black_box(4), black_box(8), black_box(3)).total()))
+        b.iter(|| {
+            black_box(
+                model
+                    .redmule(black_box(4), black_box(8), black_box(3))
+                    .total(),
+            )
+        })
     });
 }
 

@@ -11,7 +11,10 @@ use redmule_fp16::vector::GemmShape;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    println!("{}", experiments::fig3c(&workloads::sweep_sizes(false)));
+    println!(
+        "{}",
+        experiments::fig3c(&workloads::sweep_sizes(false)).expect("fig3c")
+    );
 
     let accel = Accelerator::paper_instance();
     let mut group = c.benchmark_group("fig3c/accelerator_gemm");

@@ -10,7 +10,10 @@ use redmule_fp16::vector::GemmShape;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    println!("{}", experiments::fig3d(&workloads::sweep_sizes(false)));
+    println!(
+        "{}",
+        experiments::fig3d(&workloads::sweep_sizes(false)).expect("fig3d")
+    );
 
     let accel = Accelerator::paper_instance();
     let shape = GemmShape::new(32, 128, 48);

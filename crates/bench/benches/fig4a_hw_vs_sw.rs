@@ -12,10 +12,13 @@ use redmule_fp16::vector::GemmShape;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    println!("{}", experiments::fig4a(&workloads::sweep_sizes(false)));
+    println!(
+        "{}",
+        experiments::fig4a(&workloads::sweep_sizes(false)).expect("fig4a")
+    );
     println!(
         "energy-efficiency gain over SW: {:.2}x (paper: up to 4.65x)\n",
-        experiments::efficiency_gain(false)
+        experiments::efficiency_gain(false).expect("gain")
     );
 
     let shape = GemmShape::new(32, 32, 32);

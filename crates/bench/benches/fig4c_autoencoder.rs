@@ -10,7 +10,7 @@ use redmule_nn::backend::{Backend, CycleLedger};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    println!("{}", experiments::fig4c());
+    println!("{}", experiments::fig4c().expect("fig4c"));
 
     let x = workloads::autoencoder_batch(1, 3);
     let mut group = c.benchmark_group("fig4c/autoencoder_forward_b1");
@@ -20,7 +20,11 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut net = autoencoder::mlperf_tiny(7);
             let mut ledger = CycleLedger::new();
-            black_box(net.forward(&x, &mut backend, &mut ledger).rows())
+            black_box(
+                net.forward(&x, &mut backend, &mut ledger)
+                    .expect("forward")
+                    .rows(),
+            )
         })
     });
     group.bench_function("sw", |b| {
@@ -28,7 +32,11 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut net = autoencoder::mlperf_tiny(7);
             let mut ledger = CycleLedger::new();
-            black_box(net.forward(&x, &mut backend, &mut ledger).rows())
+            black_box(
+                net.forward(&x, &mut backend, &mut ledger)
+                    .expect("forward")
+                    .rows(),
+            )
         })
     });
     group.finish();

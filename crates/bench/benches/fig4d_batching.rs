@@ -11,7 +11,7 @@ use redmule_nn::backend::{Backend, CycleLedger};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    println!("{}", experiments::fig4d());
+    println!("{}", experiments::fig4d().expect("fig4d"));
 
     let x = workloads::autoencoder_batch(16, 5);
     c.bench_function("fig4d/autoencoder_forward_b16_hw", |b| {
@@ -19,7 +19,11 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut net = autoencoder::mlperf_tiny(7);
             let mut ledger = CycleLedger::new();
-            black_box(net.forward(&x, &mut backend, &mut ledger).cols())
+            black_box(
+                net.forward(&x, &mut backend, &mut ledger)
+                    .expect("forward")
+                    .cols(),
+            )
         })
     });
 }

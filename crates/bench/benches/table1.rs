@@ -11,7 +11,7 @@ use redmule_fp16::vector::GemmShape;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    println!("{}", experiments::table1(false));
+    println!("{}", experiments::table1(false).expect("table1"));
 
     let accel = Accelerator::paper_instance();
     let shape = GemmShape::new(64, 64, 64);

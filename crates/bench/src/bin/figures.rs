@@ -8,8 +8,46 @@
 //! Without `--full`, the size sweeps stop at 128 (fast); with it they
 //! extend to 512 like the paper (the software baseline simulation of
 //! 512^3 takes ~30 s in release mode).
+//!
+//! Every experiment runs isolated: a panic or an engine error in one
+//! artefact is recorded and the sweep continues with the next. The
+//! process exits nonzero if anything failed, after printing a summary of
+//! which artefacts succeeded and which did not.
 
+use redmule::EngineError;
 use redmule_bench::{experiments, workloads};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// One artefact's outcome for the end-of-run summary.
+enum Outcome {
+    Ok,
+    Error(EngineError),
+    Panic(String),
+}
+
+/// Runs one experiment closure isolated from the rest of the sweep:
+/// prints its rendering on success, records the error or panic otherwise.
+fn run_isolated(name: &str, exp: impl FnOnce() -> Result<String, EngineError>) -> Outcome {
+    match catch_unwind(AssertUnwindSafe(exp)) {
+        Ok(Ok(text)) => {
+            println!("{text}");
+            Outcome::Ok
+        }
+        Ok(Err(e)) => {
+            eprintln!("[{name}] engine error: {e}");
+            Outcome::Error(e)
+        }
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_owned());
+            eprintln!("[{name}] panicked: {msg}");
+            Outcome::Panic(msg)
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,39 +59,107 @@ fn main() {
         .collect();
     if wanted.is_empty() || wanted.contains(&"all") {
         wanted = vec![
-            "table1", "fig3a", "fig3b", "fig3c", "fig3d", "fig4a", "fig4b", "fig4c", "fig4d",
-            "ablations", "faults",
+            "table1",
+            "fig3a",
+            "fig3b",
+            "fig3c",
+            "fig3d",
+            "fig4a",
+            "fig4b",
+            "fig4c",
+            "fig4d",
+            "ablations",
+            "faults",
+            "degradation",
         ];
     }
     let sizes = workloads::sweep_sizes(full);
 
+    let mut results: Vec<(String, Outcome)> = Vec::new();
+    let mut record = |name: &str, outcome: Outcome| results.push((name.to_owned(), outcome));
+
     for item in wanted {
         match item {
-            "table1" => println!("{}", experiments::table1(full)),
-            "fig3a" => println!("{}", experiments::fig3a()),
-            "fig3b" => println!("{}", experiments::fig3b()),
-            "fig3c" => println!("{}", experiments::fig3c(&sizes)),
-            "fig3d" => println!("{}", experiments::fig3d(&sizes)),
-            "fig4a" => {
-                println!("{}", experiments::fig4a(&sizes));
-                println!(
-                    "energy-efficiency gain over SW: {:.2}x (paper: up to 4.65x)\n",
-                    experiments::efficiency_gain(full)
+            "table1" => record(
+                item,
+                run_isolated(item, || Ok(experiments::table1(full)?.to_string())),
+            ),
+            "fig3a" => record(item, run_isolated(item, || Ok(experiments::fig3a()))),
+            "fig3b" => record(item, run_isolated(item, || Ok(experiments::fig3b()))),
+            "fig3c" => record(
+                item,
+                run_isolated(item, || Ok(experiments::fig3c(&sizes)?.to_string())),
+            ),
+            "fig3d" => record(
+                item,
+                run_isolated(item, || Ok(experiments::fig3d(&sizes)?.to_string())),
+            ),
+            "fig4a" => record(
+                item,
+                run_isolated(item, || {
+                    let fig = experiments::fig4a(&sizes)?;
+                    let gain = experiments::efficiency_gain(full)?;
+                    Ok(format!(
+                        "{fig}energy-efficiency gain over SW: {gain:.2}x (paper: up to 4.65x)\n"
+                    ))
+                }),
+            ),
+            "fig4b" => record(item, run_isolated(item, || Ok(experiments::fig4b()))),
+            "fig4c" => record(
+                item,
+                run_isolated(item, || Ok(experiments::fig4c()?.to_string())),
+            ),
+            "fig4d" => record(
+                item,
+                run_isolated(item, || Ok(experiments::fig4d()?.to_string())),
+            ),
+            "ablations" => {
+                record(
+                    "ablation_pipeline",
+                    run_isolated("ablation_pipeline", experiments::ablation_pipeline),
+                );
+                record(
+                    "ablation_streamer",
+                    run_isolated("ablation_streamer", experiments::ablation_streamer),
+                );
+                record(
+                    "ablation_sw_kernel",
+                    run_isolated("ablation_sw_kernel", experiments::ablation_sw_kernel),
+                );
+                record(
+                    "contention",
+                    run_isolated("contention", experiments::contention),
                 );
             }
-            "fig4b" => println!("{}", experiments::fig4b()),
-            "fig4c" => println!("{}", experiments::fig4c()),
-            "fig4d" => println!("{}", experiments::fig4d()),
-            "ablations" => {
-                println!("{}", experiments::ablation_pipeline());
-                println!("{}", experiments::ablation_streamer());
-                println!("{}", experiments::ablation_sw_kernel());
-                println!("{}", experiments::contention());
-            }
-            "faults" => println!("{}", experiments::fault_sweep()),
+            "faults" => record(
+                item,
+                run_isolated(item, || Ok(experiments::fault_sweep()?.to_string())),
+            ),
+            "degradation" => record(item, run_isolated(item, experiments::degradation)),
             other => eprintln!(
-                "unknown item `{other}` (try: all, table1, fig3a..fig4d, ablations, faults)"
+                "unknown item `{other}` (try: all, table1, fig3a..fig4d, ablations, faults, \
+                 degradation)"
             ),
         }
+    }
+
+    let failures: Vec<&(String, Outcome)> = results
+        .iter()
+        .filter(|(_, o)| !matches!(o, Outcome::Ok))
+        .collect();
+    eprintln!(
+        "figures: {} artefact(s) regenerated, {} failed",
+        results.len() - failures.len(),
+        failures.len()
+    );
+    for (name, outcome) in &failures {
+        match outcome {
+            Outcome::Error(e) => eprintln!("  FAILED {name}: {e}"),
+            Outcome::Panic(msg) => eprintln!("  PANICKED {name}: {msg}"),
+            Outcome::Ok => unreachable!("filtered above"),
+        }
+    }
+    if !failures.is_empty() {
+        std::process::exit(1);
     }
 }

@@ -7,12 +7,12 @@
 
 use crate::workloads;
 use redmule::faults::{FaultPlan, FtConfig, FtMode, TransientTarget};
-use redmule::{AccelConfig, Accelerator};
+use redmule::{AccelConfig, Accelerator, EngineError};
 use redmule_cluster::{baseline::SwGemm, ClusterConfig};
 use redmule_energy::{table1, AreaModel, OperatingPoint, PowerModel, Technology};
 use redmule_fp16::vector::GemmShape;
-use redmule_nn::backend::{Backend, CycleLedger, OpKind};
 use redmule_nn::autoencoder;
+use redmule_nn::backend::{Backend, CycleLedger, OpKind};
 use std::fmt;
 
 /// One size point of the HW-vs-SW sweep (Figs. 3c, 3d, 4a).
@@ -40,25 +40,38 @@ impl SizePoint {
 }
 
 /// Runs the accelerator model over square GEMMs.
-pub fn hw_sweep(sizes: &[usize]) -> Vec<(usize, f64, f64)> {
+///
+/// # Errors
+///
+/// Returns the first [`EngineError`] an accelerator run reports.
+pub fn hw_sweep(sizes: &[usize]) -> Result<Vec<(usize, f64, f64)>, EngineError> {
     let accel = Accelerator::paper_instance();
     sizes
         .iter()
         .map(|&s| {
             let shape = GemmShape::new(s, s, s);
             let (x, w) = workloads::gemm_operands(shape, s as u32);
-            let run = accel.gemm(shape, &x, &w).expect("managed job");
-            (
+            let run = accel.gemm(shape, &x, &w)?;
+            Ok((
                 s,
                 run.report.macs_per_cycle(),
                 run.report.utilization(accel.config()),
-            )
+            ))
         })
         .collect()
 }
 
 /// Runs both the accelerator and the software baseline over square GEMMs.
-pub fn hw_sw_sweep(sizes: &[usize]) -> Vec<SizePoint> {
+///
+/// # Errors
+///
+/// Returns the first [`EngineError`] an accelerator run reports.
+///
+/// # Panics
+///
+/// Panics if the accelerator and software results ever diverge bitwise —
+/// that is a model bug, not a runtime condition.
+pub fn hw_sw_sweep(sizes: &[usize]) -> Result<Vec<SizePoint>, EngineError> {
     let accel = Accelerator::paper_instance();
     let sw = SwGemm::new(&ClusterConfig::default());
     sizes
@@ -66,31 +79,35 @@ pub fn hw_sw_sweep(sizes: &[usize]) -> Vec<SizePoint> {
         .map(|&s| {
             let shape = GemmShape::new(s, s, s);
             let (x, w) = workloads::gemm_operands(shape, s as u32);
-            let hw = accel.gemm(shape, &x, &w).expect("managed job");
+            let hw = accel.gemm(shape, &x, &w)?;
             let swr = sw.run(shape, &x, &w);
             assert_eq!(
                 hw.z.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
                 swr.z.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
                 "HW and SW must agree bitwise at size {s}"
             );
-            SizePoint {
+            Ok(SizePoint {
                 size: s,
                 hw_cycles: hw.report.cycles.count(),
                 hw_mpc: hw.report.macs_per_cycle(),
                 hw_util: hw.report.utilization(accel.config()),
                 sw_cycles: swr.cycles.count(),
                 sw_mpc: swr.macs_per_cycle(),
-            }
+            })
         })
         .collect()
 }
 
 /// The measured sustained throughput used by Table I (MAC/cycle and
 /// utilization at a large square GEMM).
-pub fn measured_peak(full: bool) -> (f64, f64) {
+///
+/// # Errors
+///
+/// Returns the [`EngineError`] of the underlying accelerator run.
+pub fn measured_peak(full: bool) -> Result<(f64, f64), EngineError> {
     let size = if full { 512 } else { 128 };
-    let (_, mpc, util) = hw_sweep(&[size])[0];
-    (mpc, util)
+    let (_, mpc, util) = hw_sweep(&[size])?[0];
+    Ok((mpc, util))
 }
 
 /// Table I, regenerated: literature rows plus our three computed rows.
@@ -117,15 +134,19 @@ impl fmt::Display for Table1 {
 }
 
 /// Regenerates Table I.
-pub fn table1(full: bool) -> Table1 {
-    let (mpc, util) = measured_peak(full);
+///
+/// # Errors
+///
+/// Returns the [`EngineError`] of the underlying accelerator run.
+pub fn table1(full: bool) -> Result<Table1, EngineError> {
+    let (mpc, util) = measured_peak(full)?;
     let mut rows = table1::literature_rows();
     rows.extend(table1::our_rows(mpc, util));
-    Table1 {
+    Ok(Table1 {
         macs_per_cycle: mpc,
         util,
         rows,
-    }
+    })
 }
 
 /// Fig. 3a: RedMulE area breakdown.
@@ -178,14 +199,18 @@ impl fmt::Display for Fig3c {
 }
 
 /// Regenerates Fig. 3c.
-pub fn fig3c(sizes: &[usize]) -> Fig3c {
+///
+/// # Errors
+///
+/// Returns the [`EngineError`] of the underlying accelerator sweep.
+pub fn fig3c(sizes: &[usize]) -> Result<Fig3c, EngineError> {
     let m = PowerModel::new(Technology::Gf22Fdx, OperatingPoint::peak_efficiency());
-    Fig3c {
-        points: hw_sweep(sizes)
+    Ok(Fig3c {
+        points: hw_sweep(sizes)?
             .into_iter()
             .map(|(s, mpc, util)| (s, util, m.energy_per_mac_pj(mpc, util)))
             .collect(),
-    }
+    })
 }
 
 /// Fig. 3d: throughput at the maximum cluster frequency vs matrix size.
@@ -207,14 +232,18 @@ impl fmt::Display for Fig3d {
 }
 
 /// Regenerates Fig. 3d.
-pub fn fig3d(sizes: &[usize]) -> Fig3d {
+///
+/// # Errors
+///
+/// Returns the [`EngineError`] of the underlying accelerator sweep.
+pub fn fig3d(sizes: &[usize]) -> Result<Fig3d, EngineError> {
     let m = PowerModel::new(Technology::Gf22Fdx, OperatingPoint::peak_performance());
-    Fig3d {
-        points: hw_sweep(sizes)
+    Ok(Fig3d {
+        points: hw_sweep(sizes)?
             .into_iter()
             .map(|(s, mpc, _)| (s, mpc, m.gops(mpc)))
             .collect(),
-    }
+    })
 }
 
 /// Fig. 4a: HW vs SW computational performance against the 32 MAC/cycle
@@ -228,7 +257,10 @@ pub struct Fig4a {
 impl Fig4a {
     /// Largest observed speedup ("up to NNx" in the paper).
     pub fn peak_speedup(&self) -> f64 {
-        self.points.iter().map(SizePoint::speedup).fold(0.0, f64::max)
+        self.points
+            .iter()
+            .map(SizePoint::speedup)
+            .fold(0.0, f64::max)
     }
 
     /// Largest observed fraction of the ideal throughput.
@@ -268,10 +300,14 @@ impl fmt::Display for Fig4a {
 }
 
 /// Regenerates Fig. 4a.
-pub fn fig4a(sizes: &[usize]) -> Fig4a {
-    Fig4a {
-        points: hw_sw_sweep(sizes),
-    }
+///
+/// # Errors
+///
+/// Returns the [`EngineError`] of the underlying accelerator sweep.
+pub fn fig4a(sizes: &[usize]) -> Result<Fig4a, EngineError> {
+    Ok(Fig4a {
+        points: hw_sw_sweep(sizes)?,
+    })
 }
 
 /// Fig. 4b: area sweep as a function of H and L (P = 3).
@@ -397,16 +433,20 @@ impl fmt::Display for AeStep {
 
 /// Regenerates Fig. 4c (per-layer, B = 1) or the per-batch halves of
 /// Fig. 4d.
-pub fn autoencoder_step(batch: usize) -> AeStep {
+///
+/// # Errors
+///
+/// Returns the [`EngineError`] of a failed training-step GEMM.
+pub fn autoencoder_step(batch: usize) -> Result<AeStep, EngineError> {
     let x = workloads::autoencoder_batch(batch, 11);
-    let run = |mut backend: Backend| -> CycleLedger {
+    let run = |mut backend: Backend| -> Result<CycleLedger, EngineError> {
         let mut net = autoencoder::mlperf_tiny(77);
         let mut ledger = CycleLedger::new();
-        net.train_step(&x, 0.001, &mut backend, &mut ledger);
-        ledger
+        net.train_step(&x, 0.001, &mut backend, &mut ledger)?;
+        Ok(ledger)
     };
-    let hw = run(Backend::hw());
-    let sw = run(Backend::sw());
+    let hw = run(Backend::hw())?;
+    let sw = run(Backend::sw())?;
 
     let gemm_cycles = |ledger: &CycleLedger, layer: &str, kinds: &[OpKind]| -> u64 {
         ledger
@@ -425,13 +465,21 @@ pub fn autoencoder_step(batch: usize) -> AeStep {
             layer: l.name().to_owned(),
             fwd_hw: gemm_cycles(&hw, l.name(), &[OpKind::Forward]),
             fwd_sw: gemm_cycles(&sw, l.name(), &[OpKind::Forward]),
-            bwd_hw: gemm_cycles(&hw, l.name(), &[OpKind::BackwardData, OpKind::BackwardWeight]),
-            bwd_sw: gemm_cycles(&sw, l.name(), &[OpKind::BackwardData, OpKind::BackwardWeight]),
+            bwd_hw: gemm_cycles(
+                &hw,
+                l.name(),
+                &[OpKind::BackwardData, OpKind::BackwardWeight],
+            ),
+            bwd_sw: gemm_cycles(
+                &sw,
+                l.name(),
+                &[OpKind::BackwardData, OpKind::BackwardWeight],
+            ),
         })
         .collect();
 
     let update = hw.cycles_for(OpKind::Update).count();
-    AeStep {
+    Ok(AeStep {
         batch,
         layers,
         total_hw: hw.total_cycles().count() - update,
@@ -441,11 +489,15 @@ pub fn autoencoder_step(batch: usize) -> AeStep {
         update_cycles: update,
         weight_bytes: net.weight_bytes(),
         activation_bytes: autoencoder::training_activation_bytes(&net, batch),
-    }
+    })
 }
 
 /// Fig. 4c: the B = 1 per-layer comparison.
-pub fn fig4c() -> AeStep {
+///
+/// # Errors
+///
+/// Returns the [`EngineError`] of a failed training-step GEMM.
+pub fn fig4c() -> Result<AeStep, EngineError> {
     autoencoder_step(1)
 }
 
@@ -501,21 +553,28 @@ impl fmt::Display for Fig4d {
 }
 
 /// Regenerates Fig. 4d.
-pub fn fig4d() -> Fig4d {
-    Fig4d {
-        b1: autoencoder_step(1),
-        b16: autoencoder_step(16),
-    }
+///
+/// # Errors
+///
+/// Returns the [`EngineError`] of a failed training-step GEMM.
+pub fn fig4d() -> Result<Fig4d, EngineError> {
+    Ok(Fig4d {
+        b1: autoencoder_step(1)?,
+        b16: autoencoder_step(16)?,
+    })
 }
 
 /// Ablation: FMA pipeline depth `P` at fixed `H = 4, L = 8` — the design
 /// choice the paper fixed at `P = 3`.
-pub fn ablation_pipeline() -> String {
+///
+/// # Errors
+///
+/// Returns the first [`EngineError`] an accelerator run reports.
+pub fn ablation_pipeline() -> Result<String, EngineError> {
     use redmule_energy::AreaModel;
     let shape = GemmShape::new(64, 64, 64);
     let area = AreaModel::new(Technology::Gf22Fdx);
-    let mut out =
-        String::from("Ablation: FMA pipeline depth (H = 4, L = 8, square GEMM 64^3)\n");
+    let mut out = String::from("Ablation: FMA pipeline depth (H = 4, L = 8, square GEMM 64^3)\n");
     out.push_str(&format!(
         "{:>3} {:>7} {:>7} {:>9} {:>10} {:>10}\n",
         "P", "width", "ports", "cycles", "util %", "area mm2"
@@ -524,7 +583,7 @@ pub fn ablation_pipeline() -> String {
         let cfg = AccelConfig::new(4, 8, p);
         let accel = Accelerator::new(cfg);
         let (x, w) = workloads::gemm_operands(shape, p as u32);
-        let run = accel.gemm(shape, &x, &w).expect("gemm runs");
+        let run = accel.gemm(shape, &x, &w)?;
         out.push_str(&format!(
             "{:>3} {:>7} {:>7} {:>9} {:>10.1} {:>10.4}\n",
             p,
@@ -535,27 +594,31 @@ pub fn ablation_pipeline() -> String {
             area.redmule(4, 8, p).total(),
         ));
     }
-    out
+    Ok(out)
 }
 
 /// Ablation: streamer schedule policies (interleave + prefetch vs the
 /// strawmen).
-pub fn ablation_streamer() -> String {
+///
+/// # Errors
+///
+/// Returns the first [`EngineError`] an engine run reports.
+pub fn ablation_streamer() -> Result<String, EngineError> {
     use redmule::{Engine, Job, StreamerPolicy};
     use redmule_cluster::{Hci, Tcdm};
 
     let shape = GemmShape::new(32, 64, 32);
-    let run_policy = |policy: StreamerPolicy| -> (u64, u64) {
+    let run_policy = |policy: StreamerPolicy| -> Result<(u64, u64), EngineError> {
         let (x, w) = workloads::gemm_operands(shape, 3);
         let ccfg = ClusterConfig::default();
         let mut mem = Tcdm::new(&ccfg);
         let mut hci = Hci::new(&ccfg);
-        mem.store_f16_slice(0, &x).expect("X fits");
-        mem.store_f16_slice(0x4000, &w).expect("W fits");
+        mem.store_f16_slice(0, &x)?;
+        mem.store_f16_slice(0x4000, &w)?;
         let engine = Engine::new(AccelConfig::paper()).with_streamer_policy(policy);
         let job = Job::new(0, 0x4000, 0x8000, shape.m, shape.n, shape.k);
-        let report = engine.run(job, &mut mem, &mut hci).expect("job runs");
-        (report.cycles.count(), report.stall_cycles)
+        let report = engine.run(job, &mut mem, &mut hci)?;
+        Ok((report.cycles.count(), report.stall_cycles))
     };
 
     let mut out = format!("Ablation: streamer schedule (GEMM {shape})\n");
@@ -563,7 +626,7 @@ pub fn ablation_streamer() -> String {
         "{:<18} {:>9} {:>9} {:>9}\n",
         "policy", "cycles", "stalls", "vs base"
     ));
-    let (base, base_stalls) = run_policy(StreamerPolicy::Interleaved);
+    let (base, base_stalls) = run_policy(StreamerPolicy::Interleaved)?;
     out.push_str(&format!(
         "{:<18} {:>9} {:>9} {:>8.2}x\n",
         "interleaved", base, base_stalls, 1.0
@@ -572,7 +635,7 @@ pub fn ablation_streamer() -> String {
         ("half-bandwidth", StreamerPolicy::HalfBandwidth),
         ("single-buffered-W", StreamerPolicy::SingleBufferedW),
     ] {
-        let (cycles, stalls) = run_policy(policy);
+        let (cycles, stalls) = run_policy(policy)?;
         out.push_str(&format!(
             "{:<18} {:>9} {:>9} {:>8.2}x\n",
             name,
@@ -581,17 +644,19 @@ pub fn ablation_streamer() -> String {
             cycles as f64 / base as f64
         ));
     }
-    out
+    Ok(out)
 }
 
 /// Ablation: sensitivity of the speedup headline to the software kernel.
-pub fn ablation_sw_kernel() -> String {
+///
+/// # Errors
+///
+/// Returns the [`EngineError`] of the accelerator reference run.
+pub fn ablation_sw_kernel() -> Result<String, EngineError> {
     use redmule_cluster::baseline::KernelVariant;
     let shape = GemmShape::new(64, 64, 64);
     let (x, w) = workloads::gemm_operands(shape, 17);
-    let hw = Accelerator::paper_instance()
-        .gemm(shape, &x, &w)
-        .expect("hw run");
+    let hw = Accelerator::paper_instance().gemm(shape, &x, &w)?;
     let mut out = format!("Ablation: software-kernel sensitivity (GEMM {shape})\n");
     out.push_str(&format!(
         "{:<10} {:>10} {:>10} {:>9}\n",
@@ -612,13 +677,17 @@ pub fn ablation_sw_kernel() -> String {
             run.cycles.count() as f64 / hw.report.cycles.count() as f64
         ));
     }
-    out
+    Ok(out)
 }
 
 /// Co-simulation experiment (beyond the paper): the accelerator sharing
 /// the TCDM with cores that access memory every cycle, across the HCI's
 /// configurable rotation window.
-pub fn contention() -> String {
+///
+/// # Errors
+///
+/// Returns the first [`EngineError`] an engine session reports.
+pub fn contention() -> Result<String, EngineError> {
     use redmule::{Engine, Job};
     use redmule_cluster::{Hci, Initiator, Tcdm};
 
@@ -626,17 +695,17 @@ pub fn contention() -> String {
     let (x, w) = workloads::gemm_operands(shape, 23);
     let engine = Engine::new(AccelConfig::paper());
 
-    let run = |streak: u32, hammers: usize| -> (u64, f64) {
+    let run = |streak: u32, hammers: usize| -> Result<(u64, f64), EngineError> {
         let ccfg = ClusterConfig {
             rotation_streak: streak,
             ..ClusterConfig::default()
         };
         let mut mem = Tcdm::new(&ccfg);
         let mut hci = Hci::new(&ccfg);
-        mem.store_f16_slice(0, &x).expect("X fits");
-        mem.store_f16_slice(0x2000, &w).expect("W fits");
+        mem.store_f16_slice(0, &x)?;
+        mem.store_f16_slice(0x2000, &w)?;
         let job = Job::new(0, 0x2000, 0x4000, shape.m, shape.n, shape.k);
-        let mut session = engine.start(job).expect("valid job");
+        let mut session = engine.start(job)?;
         let mut cycles = 0u64;
         let mut grants = 0u64;
         let mut requests = 0u64;
@@ -644,17 +713,21 @@ pub fn contention() -> String {
             let reqs: Vec<(Initiator, u32)> = (0..hammers)
                 .map(|c| (Initiator::Core(c), ((cycles as u32 + c as u32) % 512) * 4))
                 .collect();
-            let tick = session.tick(&mut mem, &mut hci, &reqs).expect("tick");
+            let tick = session.tick(&mut mem, &mut hci, &reqs)?;
             requests += reqs.len() as u64;
             grants += tick.log_granted.iter().filter(|&&g| g).count() as u64;
             cycles += 1;
         }
         session.finish();
-        let rate = if requests == 0 { 1.0 } else { grants as f64 / requests as f64 };
-        (cycles, rate)
+        let rate = if requests == 0 {
+            1.0
+        } else {
+            grants as f64 / requests as f64
+        };
+        Ok((cycles, rate))
     };
 
-    let (clean, _) = run(4, 0);
+    let (clean, _) = run(4, 0)?;
     let mut out = format!(
         "Co-simulation: accelerator vs 8 memory-hammering cores (GEMM {shape})
          uncontended: {clean} cycles
@@ -666,7 +739,7 @@ pub fn contention() -> String {
         "streak", "engine cyc", "slowdown", "core grants"
     ));
     for streak in [1u32, 2, 4, 8] {
-        let (cycles, rate) = run(streak, 8);
+        let (cycles, rate) = run(streak, 8)?;
         out.push_str(&format!(
             "{:>7} {:>12} {:>9.2}x {:>11.1}%
 ",
@@ -676,7 +749,7 @@ pub fn contention() -> String {
             100.0 * rate
         ));
     }
-    out
+    Ok(out)
 }
 
 /// Headline claim check: energy-efficiency gain of the accelerator over
@@ -685,13 +758,17 @@ pub fn contention() -> String {
 /// Both run at the same operating point; SW power excludes the (idle)
 /// accelerator but keeps cores active, which we approximate by the same
 /// cluster power envelope with the cores' share replacing RedMulE's.
-pub fn efficiency_gain(full: bool) -> f64 {
+///
+/// # Errors
+///
+/// Returns the [`EngineError`] of the underlying accelerator run.
+pub fn efficiency_gain(full: bool) -> Result<f64, EngineError> {
     let sizes = workloads::sweep_sizes(full);
     let size = *sizes.last().expect("non-empty sweep");
-    let pts = hw_sw_sweep(&[size]);
+    let pts = hw_sw_sweep(&[size])?;
     let p = &pts[0];
     let m = PowerModel::new(Technology::Gf22Fdx, OperatingPoint::peak_efficiency());
-    m.efficiency_gain_over_sw(p.hw_mpc, p.hw_util, p.sw_mpc)
+    Ok(m.efficiency_gain_over_sw(p.hw_mpc, p.hw_util, p.sw_mpc))
 }
 
 /// One row of the fault-tolerance sweep.
@@ -737,7 +814,15 @@ impl fmt::Display for FaultSweep {
         writeln!(
             f,
             "{:>10} {:>9} {:>8} {:>8} {:>9} {:>8} {:>8} {:>9} {:>6}",
-            "mode", "per-tile", "injected", "detected", "corrected", "replays", "cycles", "overhead", "exact"
+            "mode",
+            "per-tile",
+            "injected",
+            "detected",
+            "corrected",
+            "replays",
+            "cycles",
+            "overhead",
+            "exact"
         )?;
         for r in &self.rows {
             writeln!(
@@ -761,12 +846,17 @@ impl fmt::Display for FaultSweep {
 /// Runs the RedMulE-FT fault sweep: replay vs redundancy at 0/1/2/4
 /// random transients per tile, all from fixed seeds so the table is
 /// reproducible run to run.
-pub fn fault_sweep() -> FaultSweep {
+///
+/// # Errors
+///
+/// Returns the first [`EngineError`] a protected or baseline run reports
+/// (including unrecoverable fault escalations).
+pub fn fault_sweep() -> Result<FaultSweep, EngineError> {
     let accel = Accelerator::paper_instance();
     let shape = GemmShape::new(32, 32, 32);
     let (x, w) = workloads::gemm_operands(shape, 0xF0F0);
     let golden = redmule_fp16::vector::gemm_golden(shape, &x, &w);
-    let baseline = accel.gemm(shape, &x, &w).expect("fault-free baseline");
+    let baseline = accel.gemm(shape, &x, &w)?;
     let baseline_cycles = baseline.report.cycles.count();
 
     let targets = [
@@ -783,9 +873,7 @@ pub fn fault_sweep() -> FaultSweep {
                 mode,
                 max_retries: 8,
             };
-            let run = accel
-                .gemm_ft(shape, &x, &w, &plan, ft)
-                .expect("covered transients are always recoverable");
+            let run = accel.gemm_ft(shape, &x, &w, &plan, ft)?;
             let stats = &run.report.stats;
             let cycles = run.report.cycles.count();
             rows.push(FaultSweepRow {
@@ -805,10 +893,80 @@ pub fn fault_sweep() -> FaultSweep {
             });
         }
     }
-    FaultSweep {
+    Ok(FaultSweep {
         baseline_cycles,
         rows,
+    })
+}
+
+/// Supervised-runtime experiment (beyond the paper): a long GEMM driven
+/// under shrinking cycle budgets. Each over-budget slice degrades
+/// gracefully — it stops at a tile boundary with a resumable checkpoint,
+/// a partial report and an analytical estimate of the remaining cycles —
+/// and resuming until completion reproduces the uninterrupted result bit
+/// for bit in the same total number of engine cycles.
+///
+/// # Errors
+///
+/// Returns the first [`EngineError`] a supervised slice reports.
+///
+/// # Panics
+///
+/// Panics if a resumed run diverges from the uninterrupted baseline —
+/// that is a model bug, not a runtime condition.
+pub fn degradation() -> Result<String, EngineError> {
+    use redmule::{stage_gemm_workspace, Engine};
+    use redmule_runtime::{Limits, Supervisor};
+
+    let shape = GemmShape::new(48, 48, 48);
+    let (x, w) = workloads::gemm_operands(shape, 0xD15C);
+    let engine = Engine::new(AccelConfig::paper());
+
+    // Uninterrupted baseline.
+    let (job, mut mem, mut hci) = stage_gemm_workspace(shape, &x, &w, None)?;
+    let full = engine.run(job, &mut mem, &mut hci)?;
+    let total = full.cycles.count();
+    let golden: Vec<u16> = mem
+        .load_f16_slice(job.z_addr, shape.z_len())?
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+
+    let mut out = format!("Supervised degradation: GEMM {shape}, {total} cycles uninterrupted\n");
+    out.push_str(&format!(
+        "{:>8} {:>10} {:>12} {:>11} {:>12} {:>7} {:>11}\n",
+        "budget", "stop", "tiles", "executed", "est. remain", "slices", "total cyc"
+    ));
+    for pct in [10u64, 25, 50] {
+        let budget = total * pct / 100;
+        let sup =
+            Supervisor::new(engine.clone()).with_limits(Limits::none().with_max_cycles(budget));
+        let (job, mut mem, mut hci) = stage_gemm_workspace(shape, &x, &w, None)?;
+        let mut run = sup.run(job, &mut mem, &mut hci)?;
+        let first_stop = format!("{:?}", run.stop);
+        let first_tiles = format!("{}/{}", run.tiles_done, run.tiles_total);
+        let first_cycles = run.cycles_executed;
+        let first_estimate = run.estimated_remaining_cycles;
+        let mut slices = 1u32;
+        while run.degraded {
+            let ckpt = run.checkpoint.expect("degraded runs carry a checkpoint");
+            run = sup.resume(&ckpt, &mut mem, &mut hci)?;
+            slices += 1;
+        }
+        let z: Vec<u16> = mem
+            .load_f16_slice(job.z_addr, shape.z_len())?
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(z, golden, "resumed run must match the baseline bitwise");
+        let final_cycles = run.report.cycles.count();
+        assert_eq!(final_cycles, total, "resumed run must cost the same cycles");
+        out.push_str(&format!(
+            "{:>7}% {:>10} {:>12} {:>11} {:>12} {:>7} {:>11}\n",
+            pct, first_stop, first_tiles, first_cycles, first_estimate, slices, final_cycles
+        ));
     }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -817,7 +975,7 @@ mod tests {
 
     #[test]
     fn sweep_points_match_paper_shape() {
-        let pts = hw_sw_sweep(&[16, 64]);
+        let pts = hw_sw_sweep(&[16, 64]).expect("sweep");
         assert!(pts[1].hw_util > pts[0].hw_util, "utilization grows");
         assert!(pts[1].speedup() > pts[0].speedup(), "speedup grows");
         assert!(pts[1].speedup() > 15.0);
@@ -825,7 +983,7 @@ mod tests {
 
     #[test]
     fn table1_has_twelve_rows() {
-        let t = table1(false);
+        let t = table1(false).expect("table");
         assert_eq!(t.rows.len(), 12);
         let text = t.to_string();
         assert!(text.contains("PULP+RedMulE"));
@@ -836,10 +994,10 @@ mod tests {
     fn fig3_renderings_are_nonempty() {
         assert!(fig3a().contains("datapath"));
         assert!(fig3b().contains("mW"));
-        let c = fig3c(&[16, 64]);
+        let c = fig3c(&[16, 64]).expect("fig3c");
         assert_eq!(c.points.len(), 2);
         assert!(c.points[0].2 > c.points[1].2, "energy/MAC must fall");
-        let d = fig3d(&[16, 64]);
+        let d = fig3d(&[16, 64]).expect("fig3d");
         assert!(d.points[1].2 > d.points[0].2, "GFLOPS must grow");
         assert!(c.to_string().contains("pJ/MAC"));
         assert!(d.to_string().contains("GFLOPS"));
@@ -847,7 +1005,7 @@ mod tests {
 
     #[test]
     fn fig4a_peaks_are_sane() {
-        let fig = fig4a(&[16, 64]);
+        let fig = fig4a(&[16, 64]).expect("fig4a");
         assert!(fig.peak_ideal_fraction() > 0.9);
         assert!(fig.peak_speedup() > 15.0);
         assert!(fig.to_string().contains("speedup"));
@@ -864,7 +1022,7 @@ mod tests {
 
     #[test]
     fn autoencoder_step_b1_shows_hw_advantage() {
-        let step = autoencoder_step(1);
+        let step = autoencoder_step(1).expect("step");
         assert_eq!(step.layers.len(), 10);
         let speedup = step.speedup();
         assert!(
@@ -885,20 +1043,29 @@ mod tests {
 
     #[test]
     fn efficiency_gain_is_positive() {
-        let g = efficiency_gain(false);
+        let g = efficiency_gain(false).expect("gain");
         assert!(g > 2.0, "efficiency gain = {g}");
     }
 
     #[test]
     fn fault_sweep_recovers_exactly_and_charges_overhead() {
-        let sweep = fault_sweep();
+        let sweep = fault_sweep().expect("sweep");
         assert_eq!(sweep.rows.len(), 8);
         for r in &sweep.rows {
-            assert!(r.exact, "{:?} @ {} per tile must stay bit-exact", r.mode, r.per_tile);
+            assert!(
+                r.exact,
+                "{:?} @ {} per tile must stay bit-exact",
+                r.mode, r.per_tile
+            );
             if r.per_tile == 0 {
                 assert_eq!(r.detected, 0, "{:?}: phantom detection", r.mode);
             } else {
-                assert!(r.injected > 0, "{:?} @ {}: nothing landed", r.mode, r.per_tile);
+                assert!(
+                    r.injected > 0,
+                    "{:?} @ {}: nothing landed",
+                    r.mode,
+                    r.per_tile
+                );
             }
             match r.mode {
                 // Fault-free replay pays only per-tile launch + checksum
@@ -913,5 +1080,15 @@ mod tests {
         }
         let text = sweep.to_string();
         assert!(text.contains("Replay") && text.contains("Redundancy"));
+    }
+
+    #[test]
+    fn degradation_slices_resume_to_the_exact_result() {
+        let text = degradation().expect("degradation experiment");
+        assert!(
+            text.contains("CycleBudget"),
+            "budgeted slices must degrade:\n{text}"
+        );
+        assert!(text.lines().count() >= 5);
     }
 }

@@ -378,8 +378,7 @@ impl SwGemm {
                             let addr = x_base + 2 * (core.i * shape.n + core.l) as u32;
                             core.rx = mem.read_f16(addr).expect("X address in range");
                             if simd {
-                                core.rx1 =
-                                    mem.read_f16(addr + 2).expect("X pair in range");
+                                core.rx1 = mem.read_f16(addr + 2).expect("X pair in range");
                                 // A misaligned 32-bit load needs two bus
                                 // accesses on RI5CY-class cores.
                                 core.wait = extra_mem + u32::from(!addr.is_multiple_of(4));
@@ -398,8 +397,7 @@ impl SwGemm {
                             } else {
                                 w_base
                             };
-                            let addr =
-                                base + 2 * (core.l * shape.k + core.col(shape.k)) as u32;
+                            let addr = base + 2 * (core.l * shape.k + core.col(shape.k)) as u32;
                             core.rw = mem.read_f16(addr).expect("W address in range");
                             core.wait = extra_mem;
                             core.stage = if simd {
@@ -420,8 +418,8 @@ impl SwGemm {
                             } else {
                                 w_base
                             };
-                            let addr = base
-                                + 2 * ((core.l + 1) * shape.k + core.col(shape.k)) as u32;
+                            let addr =
+                                base + 2 * ((core.l + 1) * shape.k + core.col(shape.k)) as u32;
                             core.rw1 = mem.read_f16(addr).expect("W address in range");
                             core.wait = extra_mem;
                             core.stage = Stage::Addi;
@@ -500,8 +498,7 @@ impl SwGemm {
                             } else {
                                 w_base
                             };
-                            let addr =
-                                base + 2 * (core.l * shape.k + core.col(shape.k)) as u32;
+                            let addr = base + 2 * (core.l * shape.k + core.col(shape.k)) as u32;
                             core.rw = mem.read_f16(addr).expect("W address in range");
                             core.wait = extra_mem;
                             core.stage = Stage::TailFma;
@@ -632,10 +629,7 @@ mod tests {
         let one = run(shape, 1).cycles.count() as f64;
         let eight = run(shape, 8).cycles.count() as f64;
         let scaling = one / eight;
-        assert!(
-            (6.0..=8.0).contains(&scaling),
-            "8-core scaling = {scaling}"
-        );
+        assert!((6.0..=8.0).contains(&scaling), "8-core scaling = {scaling}");
     }
 
     #[test]
@@ -658,10 +652,7 @@ mod tests {
 
     #[test]
     fn empty_shapes_cost_nothing() {
-        for shape in [
-            GemmShape::new(0, 4, 4),
-            GemmShape::new(4, 4, 0),
-        ] {
+        for shape in [GemmShape::new(0, 4, 4), GemmShape::new(4, 4, 0)] {
             let r = run(shape, 8);
             assert_eq!(r.cycles, Cycle::ZERO);
             assert!(r.z.iter().all(|v| v.is_zero()));
@@ -685,7 +676,14 @@ mod tests {
     #[test]
     fn simd2_matches_its_golden_model() {
         use redmule_fp16::vector::gemm_golden_simd2;
-        for (m, n, k) in [(3, 8, 5), (2, 9, 4), (1, 2, 1), (4, 1, 4), (2, 0, 3), (5, 3, 16)] {
+        for (m, n, k) in [
+            (3, 8, 5),
+            (2, 9, 4),
+            (1, 2, 1),
+            (4, 1, 4),
+            (2, 0, 3),
+            (5, 3, 16),
+        ] {
             let shape = GemmShape::new(m, n, k);
             let x: Vec<F16> = (0..shape.x_len())
                 .map(|i| F16::from_f32(((i * 7 % 31) as f32 - 15.0) / 4.0))

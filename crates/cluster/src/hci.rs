@@ -18,6 +18,7 @@
 
 use crate::config::ClusterConfig;
 use redmule_hwsim::arbiter::{RotatingMux, RoundRobin, Side};
+use redmule_hwsim::snapshot::{Snapshot, SnapshotError, StateReader, StateWriter};
 use redmule_hwsim::Stats;
 
 /// A 32-bit initiator on the logarithmic branch.
@@ -238,6 +239,36 @@ impl Hci {
     }
 }
 
+impl Snapshot for Hci {
+    fn save_state(&self, w: &mut StateWriter) {
+        w.put(&self.n_banks);
+        for arb in &self.bank_arb {
+            arb.save_state(w);
+        }
+        self.group_mux.save_state(w);
+        self.stats.save_state(w);
+        w.put(&self.drop_shallow);
+        // Scratch buffers are per-cycle temporaries; not state.
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let n_banks: usize = r.get()?;
+        if n_banks != self.n_banks {
+            return Err(SnapshotError::ConfigMismatch(format!(
+                "HCI has {n_banks} banks, target has {}",
+                self.n_banks
+            )));
+        }
+        for arb in &mut self.bank_arb {
+            arb.restore_state(r)?;
+        }
+        self.group_mux.restore_state(r)?;
+        self.stats.restore_state(r)?;
+        self.drop_shallow = r.get()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,8 +280,9 @@ mod tests {
     #[test]
     fn distinct_banks_all_granted() {
         let mut h = hci();
-        let reqs: Vec<(Initiator, u32)> =
-            (0..8).map(|i| (Initiator::Core(i), (i as u32) * 4)).collect();
+        let reqs: Vec<(Initiator, u32)> = (0..8)
+            .map(|i| (Initiator::Core(i), (i as u32) * 4))
+            .collect();
         let g = h.arbitrate(&reqs, None);
         assert!(g.log_granted.iter().all(|&x| x));
         assert_eq!(h.stats().get("log_conflicts"), 0);
@@ -262,10 +294,7 @@ mod tests {
         // Cores 0 and 1 both hit bank 0 repeatedly.
         let mut wins = [0u32; 2];
         for _ in 0..10 {
-            let g = h.arbitrate(
-                &[(Initiator::Core(0), 0), (Initiator::Core(1), 64)],
-                None,
-            );
+            let g = h.arbitrate(&[(Initiator::Core(0), 0), (Initiator::Core(1), 64)], None);
             for (i, &won) in g.log_granted.iter().enumerate() {
                 if won {
                     wins[i] += 1;

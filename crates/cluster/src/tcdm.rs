@@ -2,6 +2,7 @@
 
 use crate::config::ClusterConfig;
 use redmule_fp16::F16;
+use redmule_hwsim::snapshot::{Snapshot, SnapshotError, StateReader, StateWriter};
 use redmule_hwsim::StuckBit;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -249,6 +250,52 @@ impl Tcdm {
     }
 }
 
+impl Snapshot for Tcdm {
+    fn save_state(&self, w: &mut StateWriter) {
+        w.put(&self.n_banks);
+        w.put(&self.words);
+        w.put(&self.stuck.len());
+        for (&idx, fault) in &self.stuck {
+            w.put(&idx);
+            w.put(&fault.bit);
+            w.put(&fault.value);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let n_banks: usize = r.get()?;
+        if n_banks != self.n_banks {
+            return Err(SnapshotError::ConfigMismatch(format!(
+                "TCDM has {n_banks} banks, target has {}",
+                self.n_banks
+            )));
+        }
+        let words: Vec<u32> = r.get()?;
+        if words.len() != self.words.len() {
+            return Err(SnapshotError::ConfigMismatch(format!(
+                "TCDM holds {} words, target holds {}",
+                words.len(),
+                self.words.len()
+            )));
+        }
+        self.words = words;
+        let n_stuck: usize = r.get()?;
+        self.stuck.clear();
+        for _ in 0..n_stuck {
+            let idx: usize = r.get()?;
+            if idx >= self.words.len() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "stuck-at fault on word {idx} beyond TCDM"
+                )));
+            }
+            let bit: u8 = r.get()?;
+            let value: bool = r.get()?;
+            self.stuck.insert(idx, StuckBit { bit, value });
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,7 +397,14 @@ mod tests {
     fn stuck_bit_pins_reads_until_cleared() {
         let mut m = mem();
         m.write_u32(8, 0).unwrap();
-        m.set_stuck(8, StuckBit { bit: 5, value: true }).unwrap();
+        m.set_stuck(
+            8,
+            StuckBit {
+                bit: 5,
+                value: true,
+            },
+        )
+        .unwrap();
         assert_eq!(m.stuck_faults(), 1);
         assert_eq!(m.read_u32(8).unwrap(), 1 << 5);
         // Writes land in the cell but the read stays pinned.

@@ -98,7 +98,11 @@ impl Criterion {
     }
 
     /// Runs a single named benchmark.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut f: F,
+    ) -> &mut Criterion {
         let mut b = Bencher {
             samples: Vec::new(),
             sample_size: self.sample_size,
@@ -148,7 +152,11 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs a named benchmark within the group.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
         let mut b = Bencher {
             samples: Vec::new(),
             sample_size: self.sample_size,

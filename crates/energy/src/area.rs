@@ -112,8 +112,8 @@ impl AreaModel {
         let ports = pw * 16 / 32 + 1;
         AreaBreakdown {
             datapath: s * AREA_PER_FMA * (h * l) as f64,
-            buffers: s * (AREA_PER_XZBUF_ELEM * (l * pw) as f64
-                + AREA_PER_WBUF_ELEM * (h * pw) as f64),
+            buffers: s
+                * (AREA_PER_XZBUF_ELEM * (l * pw) as f64 + AREA_PER_WBUF_ELEM * (h * pw) as f64),
             streamer: s * AREA_PER_PORT * ports as f64,
             controller: s * AREA_CONTROLLER,
         }

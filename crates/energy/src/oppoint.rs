@@ -173,7 +173,9 @@ mod tests {
         // Monotone in voltage.
         let mut last = 0.0;
         for mv in (450..=1000).step_by(50) {
-            let f = OperatingPoint::at_vdd(mv as f64 / 1000.0).frequency().as_mhz();
+            let f = OperatingPoint::at_vdd(mv as f64 / 1000.0)
+                .frequency()
+                .as_mhz();
             assert!(f > last);
             last = f;
         }
@@ -186,9 +188,7 @@ mod tests {
         // efficiency" point is simply its lowest validated voltage.
         let lo = PowerModel::new(Technology::Gf22Fdx, OperatingPoint::at_vdd(0.55));
         let hi = PowerModel::new(Technology::Gf22Fdx, OperatingPoint::at_vdd(0.9));
-        assert!(
-            lo.efficiency_gflops_w(31.6, 0.988) > hi.efficiency_gflops_w(31.6, 0.988)
-        );
+        assert!(lo.efficiency_gflops_w(31.6, 0.988) > hi.efficiency_gflops_w(31.6, 0.988));
     }
 
     #[test]

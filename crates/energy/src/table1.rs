@@ -64,15 +64,123 @@ pub fn literature_rows() -> Vec<Row> {
         precision,
     };
     vec![
-        r("GPU", "NVIDIA A100", 7, None, 1410.0, None, Some(300000.0), None, None, 256, "FP16"),
-        r("Inference", "Eyeriss", 65, Some(12.25), 250.0, Some(1.0), Some(278.0), Some(46.0), Some(166.0), 168, "INT16"),
-        r("Inference", "EIE", 45, Some(40.8), 800.0, None, Some(590.0), Some(102.0), Some(173.0), 64, "INT8"),
-        r("Inference", "Zeng et al.", 65, Some(2.14), 250.0, None, Some(478.0), Some(1152.0), Some(2410.0), 256, "INT8"),
-        r("Inference", "Simba", 16, Some(6.0), 161.0, Some(0.42), None, Some(4000.0), Some(9100.0), 1024, "INT8"),
-        r("Training", "IBM", 7, Some(19.6), 1000.0, Some(0.55), Some(4400.0), Some(8000.0), Some(1800.0), 4096, "FP16"),
-        r("Training", "Cambricon-Q", 45, None, 1000.0, Some(0.6), Some(1030.0), Some(2000.0), Some(2240.0), 1024, "INT8"),
-        r("HPC", "Manticore", 22, None, 500.0, Some(0.6), Some(200.0), Some(25.0), Some(188.0), 24, "FP64"),
-        r("Mat-Mul Acc.", "Anders et al.", 14, Some(0.024), 2.1, Some(0.26), Some(0.023), Some(0.068), Some(2970.0), 16, "FP16"),
+        r(
+            "GPU",
+            "NVIDIA A100",
+            7,
+            None,
+            1410.0,
+            None,
+            Some(300000.0),
+            None,
+            None,
+            256,
+            "FP16",
+        ),
+        r(
+            "Inference",
+            "Eyeriss",
+            65,
+            Some(12.25),
+            250.0,
+            Some(1.0),
+            Some(278.0),
+            Some(46.0),
+            Some(166.0),
+            168,
+            "INT16",
+        ),
+        r(
+            "Inference",
+            "EIE",
+            45,
+            Some(40.8),
+            800.0,
+            None,
+            Some(590.0),
+            Some(102.0),
+            Some(173.0),
+            64,
+            "INT8",
+        ),
+        r(
+            "Inference",
+            "Zeng et al.",
+            65,
+            Some(2.14),
+            250.0,
+            None,
+            Some(478.0),
+            Some(1152.0),
+            Some(2410.0),
+            256,
+            "INT8",
+        ),
+        r(
+            "Inference",
+            "Simba",
+            16,
+            Some(6.0),
+            161.0,
+            Some(0.42),
+            None,
+            Some(4000.0),
+            Some(9100.0),
+            1024,
+            "INT8",
+        ),
+        r(
+            "Training",
+            "IBM",
+            7,
+            Some(19.6),
+            1000.0,
+            Some(0.55),
+            Some(4400.0),
+            Some(8000.0),
+            Some(1800.0),
+            4096,
+            "FP16",
+        ),
+        r(
+            "Training",
+            "Cambricon-Q",
+            45,
+            None,
+            1000.0,
+            Some(0.6),
+            Some(1030.0),
+            Some(2000.0),
+            Some(2240.0),
+            1024,
+            "INT8",
+        ),
+        r(
+            "HPC",
+            "Manticore",
+            22,
+            None,
+            500.0,
+            Some(0.6),
+            Some(200.0),
+            Some(25.0),
+            Some(188.0),
+            24,
+            "FP64",
+        ),
+        r(
+            "Mat-Mul Acc.",
+            "Anders et al.",
+            14,
+            Some(0.024),
+            2.1,
+            Some(0.26),
+            Some(0.023),
+            Some(0.068),
+            Some(2970.0),
+            16,
+            "FP16",
+        ),
     ]
 }
 
@@ -101,9 +209,24 @@ pub fn our_row(tech: Technology, op: OperatingPoint, macs_per_cycle: f64, util: 
 /// peak-performance, 65 nm), computed from a simulated MAC/cycle figure.
 pub fn our_rows(macs_per_cycle: f64, util: f64) -> Vec<Row> {
     vec![
-        our_row(Technology::Gf22Fdx, OperatingPoint::peak_efficiency(), macs_per_cycle, util),
-        our_row(Technology::Gf22Fdx, OperatingPoint::peak_performance(), macs_per_cycle, util),
-        our_row(Technology::Node65, OperatingPoint::node65(), macs_per_cycle, util),
+        our_row(
+            Technology::Gf22Fdx,
+            OperatingPoint::peak_efficiency(),
+            macs_per_cycle,
+            util,
+        ),
+        our_row(
+            Technology::Gf22Fdx,
+            OperatingPoint::peak_performance(),
+            macs_per_cycle,
+            util,
+        ),
+        our_row(
+            Technology::Node65,
+            OperatingPoint::node65(),
+            macs_per_cycle,
+            util,
+        ),
     ]
 }
 
@@ -112,7 +235,17 @@ pub fn render(rows: &[Row]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{:<12} {:<28} {:>5} {:>8} {:>7} {:>5} {:>9} {:>9} {:>9} {:>5} {:>7}\n",
-        "Category", "Design", "Tech", "Area", "Freq", "Volt", "Power", "Perf", "Eff", "MACs", "Prec"
+        "Category",
+        "Design",
+        "Tech",
+        "Area",
+        "Freq",
+        "Volt",
+        "Power",
+        "Perf",
+        "Eff",
+        "MACs",
+        "Prec"
     ));
     out.push_str(&format!(
         "{:<12} {:<28} {:>5} {:>8} {:>7} {:>5} {:>9} {:>9} {:>9} {:>5} {:>7}\n",
@@ -146,7 +279,11 @@ pub fn render(rows: &[Row]) -> String {
 
 impl fmt::Display for Row {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({} nm, {})", self.design, self.tech_nm, self.precision)
+        write!(
+            f,
+            "{} ({} nm, {})",
+            self.design, self.tech_nm, self.precision
+        )
     }
 }
 

@@ -657,7 +657,7 @@ mod tests {
         let min_normal = 0x0400;
         let half_min = div(min_normal, TWO, Round::NearestEven);
         assert_eq!(half_min, 0x0200); // 2^-15 = subnormal 0.1000000000
-        // Smallest subnormal halves to zero under RNE (tie to even).
+                                      // Smallest subnormal halves to zero under RNE (tie to even).
         assert_eq!(div(MIN_SUB, TWO, Round::NearestEven), 0);
         assert_eq!(div(MIN_SUB, TWO, Round::Up), MIN_SUB);
         // Subnormal + subnormal is exact.
@@ -715,7 +715,10 @@ mod tests {
         assert_eq!(from_f32(1.0 + 2.0f32.powi(-11), Round::NearestEven), ONE);
         // Slightly above the tie rounds up.
         assert_eq!(
-            from_f32(1.0 + 2.0f32.powi(-11) + 2.0f32.powi(-20), Round::NearestEven),
+            from_f32(
+                1.0 + 2.0f32.powi(-11) + 2.0f32.powi(-20),
+                Round::NearestEven
+            ),
             0x3C01
         );
         assert_eq!(from_f32(1.0 + 2.0f32.powi(-11), Round::Up), 0x3C01);

@@ -577,10 +577,7 @@ mod tests {
         assert!(F16::NEG_INFINITY < F16::MIN);
         assert!(F16::MAX < F16::INFINITY);
         assert_eq!(F16::NAN.partial_cmp(&F16::ONE), None);
-        assert_eq!(
-            F16::ZERO.partial_cmp(&F16::NEG_ZERO),
-            Some(Ordering::Equal)
-        );
+        assert_eq!(F16::ZERO.partial_cmp(&F16::NEG_ZERO), Some(Ordering::Equal));
     }
 
     #[test]

@@ -47,7 +47,7 @@ mod f16;
 mod round;
 pub mod vector;
 
-pub use f16::{F16, FpCategory16};
+pub use f16::{FpCategory16, F16};
 pub use round::Round;
 
 /// Canonical quiet NaN produced by all invalid operations (matches FPnew).

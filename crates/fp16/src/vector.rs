@@ -6,7 +6,7 @@
 //! [`gemm_golden`], because all three accumulate along the inner (`N`)
 //! dimension in the same order with fused multiply-adds.
 
-use crate::{F16, Round};
+use crate::{Round, F16};
 
 /// Dot product with sequential FMA accumulation (round-to-nearest-even).
 ///

@@ -6,7 +6,7 @@
 //! theorem (53 >> 2*11+2) makes round(f64-op) the correctly rounded FP16
 //! result.
 
-use redmule_fp16::{arith, F16, Round, CANONICAL_QNAN};
+use redmule_fp16::{arith, Round, CANONICAL_QNAN, F16};
 
 fn all_patterns() -> impl Iterator<Item = u16> {
     0u16..=0xFFFF

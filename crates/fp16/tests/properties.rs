@@ -8,7 +8,7 @@
 //! single-rounding claim holds.
 
 use proptest::prelude::*;
-use redmule_fp16::{arith, F16, Round};
+use redmule_fp16::{arith, Round, F16};
 
 /// Exact value of a finite F16 scaled by 2^48, as an integer.
 fn scaled_exact(v: F16) -> i128 {
@@ -32,7 +32,11 @@ fn round_scaled_rne(v: i128) -> F16 {
     let threshold = 65520u128 << 48;
     if mag >= threshold {
         // At the exact midpoint RNE ties to the "even" 65536, i.e. infinity.
-        return if sign { F16::NEG_INFINITY } else { F16::INFINITY };
+        return if sign {
+            F16::NEG_INFINITY
+        } else {
+            F16::INFINITY
+        };
     }
     if mag > max_scaled {
         // Between max finite and the tie point: rounds to max finite.

@@ -9,6 +9,8 @@
 //!   (HWPE) branch through a **configurable-latency, starvation-free
 //!   rotation** scheme ([`RotatingMux`]).
 
+use crate::snapshot::{Snapshot, SnapshotError, StateReader, StateWriter};
+
 /// A round-robin arbiter over `n` requestors.
 ///
 /// Fairness rule: after granting requestor `i`, priority moves to `i + 1`,
@@ -73,6 +75,31 @@ impl RoundRobin {
     /// Resets priority to requestor 0.
     pub fn reset(&mut self) {
         self.next = 0;
+    }
+}
+
+impl Snapshot for RoundRobin {
+    fn save_state(&self, w: &mut StateWriter) {
+        w.put(&self.n);
+        w.put(&self.next);
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let n: usize = r.get()?;
+        if n != self.n {
+            return Err(SnapshotError::ConfigMismatch(format!(
+                "round-robin width {n}, arbiter has {}",
+                self.n
+            )));
+        }
+        let next: usize = r.get()?;
+        if next >= n {
+            return Err(SnapshotError::Corrupt(format!(
+                "round-robin cursor {next} out of range {n}"
+            )));
+        }
+        self.next = next;
+        Ok(())
     }
 }
 
@@ -165,6 +192,25 @@ impl RotatingMux {
     /// Resets the rotation state.
     pub fn reset(&mut self) {
         self.streak = 0;
+    }
+}
+
+impl Snapshot for RotatingMux {
+    fn save_state(&self, w: &mut StateWriter) {
+        w.put(&self.max_shallow_streak);
+        w.put(&self.streak);
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let max: u32 = r.get()?;
+        if max != self.max_shallow_streak {
+            return Err(SnapshotError::ConfigMismatch(format!(
+                "rotation streak bound {max}, mux has {}",
+                self.max_shallow_streak
+            )));
+        }
+        self.streak = r.get()?;
+        Ok(())
     }
 }
 

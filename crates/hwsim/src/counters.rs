@@ -1,5 +1,6 @@
 //! Named event counters for simulation statistics.
 
+use crate::snapshot::{Snapshot, SnapshotError, StateReader, StateWriter};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -82,6 +83,27 @@ impl Stats {
     /// `true` if no counter has been touched.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty()
+    }
+}
+
+impl Snapshot for Stats {
+    fn save_state(&self, w: &mut StateWriter) {
+        w.put(&self.counters.len());
+        for (k, v) in &self.counters {
+            w.put(k);
+            w.put(v);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let len: usize = r.get()?;
+        self.counters.clear();
+        for _ in 0..len {
+            let k: String = r.get()?;
+            let v: u64 = r.get()?;
+            self.counters.insert(k, v);
+        }
+        Ok(())
     }
 }
 

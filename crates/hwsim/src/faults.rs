@@ -7,6 +7,7 @@
 //! a cycle-stamped [`FaultLog`] that the VCD tracer turns into waveform
 //! signals.
 
+use crate::snapshot::{Snapshot, SnapshotError, StateReader, StateWriter};
 use std::fmt;
 
 /// Flips bit `bit` (0 = LSB) of a 16-bit storage element.
@@ -174,11 +175,7 @@ impl FaultLog {
     /// # Errors
     ///
     /// Propagates I/O errors from the underlying writer.
-    pub fn dump_vcd<W: std::io::Write>(
-        &self,
-        out: W,
-        timescale_ns: u32,
-    ) -> std::io::Result<()> {
+    pub fn dump_vcd<W: std::io::Write>(&self, out: W, timescale_ns: u32) -> std::io::Result<()> {
         let mut vcd = crate::vcd::VcdWriter::new(out, timescale_ns);
         vcd.scope("faults")?;
         let wires = [
@@ -211,10 +208,7 @@ impl FaultLog {
                 }
             }
             for &(phase, id) in &wires {
-                let active = self
-                    .events
-                    .iter()
-                    .any(|e| e.cycle == c && e.phase == phase);
+                let active = self.events.iter().any(|e| e.cycle == c && e.phase == phase);
                 vcd.set(id, u64::from(active));
             }
             vcd.tick(c)?;
@@ -225,6 +219,74 @@ impl FaultLog {
                 vcd.set(id, 0);
             }
             vcd.tick(p + 1)?;
+        }
+        Ok(())
+    }
+}
+
+impl FaultClass {
+    fn to_tag(self) -> u8 {
+        match self {
+            FaultClass::TransientFlip => 0,
+            FaultClass::StuckAt => 1,
+            FaultClass::DropTransaction => 2,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<FaultClass, SnapshotError> {
+        match tag {
+            0 => Ok(FaultClass::TransientFlip),
+            1 => Ok(FaultClass::StuckAt),
+            2 => Ok(FaultClass::DropTransaction),
+            other => Err(SnapshotError::Corrupt(format!("fault class tag {other}"))),
+        }
+    }
+}
+
+impl FaultPhase {
+    fn to_tag(self) -> u8 {
+        match self {
+            FaultPhase::Injected => 0,
+            FaultPhase::Detected => 1,
+            FaultPhase::Corrected => 2,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<FaultPhase, SnapshotError> {
+        match tag {
+            0 => Ok(FaultPhase::Injected),
+            1 => Ok(FaultPhase::Detected),
+            2 => Ok(FaultPhase::Corrected),
+            other => Err(SnapshotError::Corrupt(format!("fault phase tag {other}"))),
+        }
+    }
+}
+
+impl Snapshot for FaultLog {
+    fn save_state(&self, w: &mut StateWriter) {
+        w.put(&self.events.len());
+        for e in &self.events {
+            w.put(&e.cycle);
+            w.put(&e.site);
+            w.put(&e.class.to_tag());
+            w.put(&e.phase.to_tag());
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let len: usize = r.get()?;
+        self.events.clear();
+        for _ in 0..len {
+            let cycle: u64 = r.get()?;
+            let site: String = r.get()?;
+            let class = FaultClass::from_tag(r.get()?)?;
+            let phase = FaultPhase::from_tag(r.get()?)?;
+            self.events.push(FaultEvent {
+                cycle,
+                site,
+                class,
+                phase,
+            });
         }
         Ok(())
     }
@@ -245,10 +307,16 @@ mod tests {
 
     #[test]
     fn stuck_bits_pin_reads() {
-        let s1 = StuckBit { bit: 3, value: true };
+        let s1 = StuckBit {
+            bit: 3,
+            value: true,
+        };
         assert_eq!(s1.apply16(0), 0b1000);
         assert_eq!(s1.apply16(0b1000), 0b1000);
-        let s0 = StuckBit { bit: 3, value: false };
+        let s0 = StuckBit {
+            bit: 3,
+            value: false,
+        };
         assert_eq!(s0.apply16(0xFFFF), 0xFFF7);
         assert_eq!(s0.apply32(0xFFFF_FFFF), 0xFFFF_FFF7);
     }
@@ -256,9 +324,24 @@ mod tests {
     #[test]
     fn log_counts_by_phase() {
         let mut log = FaultLog::new();
-        log.record(5, "wbuf[0][1]", FaultClass::TransientFlip, FaultPhase::Injected);
-        log.record(9, "tile(0,0)", FaultClass::TransientFlip, FaultPhase::Detected);
-        log.record(9, "tile(0,0)", FaultClass::TransientFlip, FaultPhase::Corrected);
+        log.record(
+            5,
+            "wbuf[0][1]",
+            FaultClass::TransientFlip,
+            FaultPhase::Injected,
+        );
+        log.record(
+            9,
+            "tile(0,0)",
+            FaultClass::TransientFlip,
+            FaultPhase::Detected,
+        );
+        log.record(
+            9,
+            "tile(0,0)",
+            FaultClass::TransientFlip,
+            FaultPhase::Corrected,
+        );
         assert_eq!(log.count(FaultPhase::Injected), 1);
         assert_eq!(log.count(FaultPhase::Detected), 1);
         assert_eq!(log.count(FaultPhase::Corrected), 1);
@@ -270,7 +353,12 @@ mod tests {
         let mut log = FaultLog::new();
         log.record(5, "a", FaultClass::TransientFlip, FaultPhase::Injected);
         log.record(6, "a", FaultClass::TransientFlip, FaultPhase::Detected);
-        log.record(20, "tile0", FaultClass::TransientFlip, FaultPhase::Corrected);
+        log.record(
+            20,
+            "tile0",
+            FaultClass::TransientFlip,
+            FaultPhase::Corrected,
+        );
         let mut out = Vec::new();
         log.dump_vcd(&mut out, 1).expect("in-memory write");
         let text = String::from_utf8(out).expect("VCD is ASCII");

@@ -14,6 +14,8 @@
 //! * [`arbiter`] — round-robin arbitration (HCI logarithmic branch) and the
 //!   starvation-free rotating multiplexer between interconnect branches.
 //! * [`Stats`] — named event counters with utilization helpers.
+//! * [`snapshot`] — versioned state serialisation so long simulations can
+//!   checkpoint and resume bit-exactly.
 //! * [`vcd`] — a waveform writer producing standard VCD files viewable in
 //!   GTKWave, the observability substitute for RTL waveform inspection.
 //!
@@ -43,6 +45,7 @@ mod cycle;
 pub mod faults;
 mod pipeline;
 pub mod rng;
+pub mod snapshot;
 pub mod stream;
 pub mod vcd;
 
@@ -51,3 +54,4 @@ pub use cycle::{Cycle, Frequency};
 pub use faults::{FaultClass, FaultEvent, FaultLog, FaultPhase, StuckBit};
 pub use pipeline::{LoadError, Pipeline, ShiftRegister};
 pub use rng::{SplitMix64, Xoshiro256};
+pub use snapshot::{fnv1a64, Persist, Snapshot, SnapshotError, StateReader, StateWriter};

@@ -1,5 +1,6 @@
 //! Register-stage primitives: fixed-latency pipelines and shift registers.
 
+use crate::snapshot::{Persist, Snapshot, SnapshotError, StateReader, StateWriter};
 use std::collections::VecDeque;
 
 /// A fixed-depth pipeline of registers with bubble and stall support.
@@ -97,6 +98,35 @@ impl<T> Pipeline<T> {
         for s in &mut self.stages {
             *s = None;
         }
+    }
+}
+
+impl<T: Persist> Snapshot for Pipeline<T> {
+    fn save_state(&self, w: &mut StateWriter) {
+        w.put(&self.stages.len());
+        for stage in &self.stages {
+            match stage {
+                None => w.put(&0u8),
+                Some(v) => {
+                    w.put(&1u8);
+                    w.put(v);
+                }
+            }
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let depth: usize = r.get()?;
+        if depth != self.stages.len() {
+            return Err(SnapshotError::ConfigMismatch(format!(
+                "pipeline depth {depth}, component has {}",
+                self.stages.len()
+            )));
+        }
+        for stage in &mut self.stages {
+            *stage = r.get::<Option<T>>()?;
+        }
+        Ok(())
     }
 }
 
@@ -218,6 +248,37 @@ impl<T> ShiftRegister<T> {
     }
 }
 
+impl<T: Persist> Snapshot for ShiftRegister<T> {
+    fn save_state(&self, w: &mut StateWriter) {
+        w.put(&self.capacity);
+        w.put(&self.data.len());
+        for item in &self.data {
+            w.put(item);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let capacity: usize = r.get()?;
+        if capacity != self.capacity {
+            return Err(SnapshotError::ConfigMismatch(format!(
+                "shift-register capacity {capacity}, component has {}",
+                self.capacity
+            )));
+        }
+        let len: usize = r.get()?;
+        if len > capacity {
+            return Err(SnapshotError::Corrupt(format!(
+                "shift register holds {len} elements over capacity {capacity}"
+            )));
+        }
+        self.data.clear();
+        for _ in 0..len {
+            self.data.push_back(r.get::<T>()?);
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,7 +356,8 @@ mod tests {
     fn shift_register_fifo_order() {
         let mut sr = ShiftRegister::new(3);
         assert!(sr.is_empty());
-        sr.load(vec![7, 8, 9]).expect("empty register accepts a load");
+        sr.load(vec![7, 8, 9])
+            .expect("empty register accepts a load");
         assert_eq!(sr.remaining(), 3);
         assert_eq!(sr.shift(), Some(7));
         assert_eq!(sr.shift(), Some(8));
@@ -319,7 +381,8 @@ mod tests {
         // Still busy with one element left.
         assert_eq!(sr.load(vec![3, 4]), Err(LoadError::Busy));
         sr.shift();
-        sr.load(vec![3, 4]).expect("drained register accepts a load");
+        sr.load(vec![3, 4])
+            .expect("drained register accepts a load");
         assert_eq!(sr.capacity(), 2);
     }
 

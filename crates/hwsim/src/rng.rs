@@ -6,6 +6,8 @@
 //! verification flows: [`SplitMix64`] for seeding/stream-splitting and
 //! [`Xoshiro256`] (xoshiro256**) as the workhorse generator.
 
+use crate::snapshot::{Snapshot, SnapshotError, StateReader, StateWriter};
+
 /// The splitmix64 generator: tiny state, passes BigCrush, and the standard
 /// way to expand one `u64` seed into a larger state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +31,17 @@ impl SplitMix64 {
     }
 }
 
+impl Snapshot for SplitMix64 {
+    fn save_state(&self, w: &mut StateWriter) {
+        w.put(&self.state);
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.state = r.get()?;
+        Ok(())
+    }
+}
+
 /// The xoshiro256** generator, seeded through [`SplitMix64`] as its authors
 /// recommend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,10 +60,7 @@ impl Xoshiro256 {
 
     /// Next 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -80,6 +90,21 @@ impl Xoshiro256 {
     /// Panics if `den` is zero.
     pub fn chance(&mut self, num: u64, den: u64) -> bool {
         self.below(den) < num
+    }
+}
+
+impl Snapshot for Xoshiro256 {
+    fn save_state(&self, w: &mut StateWriter) {
+        for word in &self.s {
+            w.put(word);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        for word in &mut self.s {
+            *word = r.get()?;
+        }
+        Ok(())
     }
 }
 

@@ -25,8 +25,17 @@ pub const BOTTLENECK_DIM: usize = 8;
 /// The layer widths of the reference topology, inputs first.
 pub fn layer_dims() -> Vec<usize> {
     vec![
-        INPUT_DIM, HIDDEN_DIM, HIDDEN_DIM, HIDDEN_DIM, HIDDEN_DIM, BOTTLENECK_DIM, HIDDEN_DIM,
-        HIDDEN_DIM, HIDDEN_DIM, HIDDEN_DIM, INPUT_DIM,
+        INPUT_DIM,
+        HIDDEN_DIM,
+        HIDDEN_DIM,
+        HIDDEN_DIM,
+        HIDDEN_DIM,
+        BOTTLENECK_DIM,
+        HIDDEN_DIM,
+        HIDDEN_DIM,
+        HIDDEN_DIM,
+        HIDDEN_DIM,
+        INPUT_DIM,
     ]
 }
 
@@ -104,11 +113,17 @@ mod tests {
         let net = mlperf_tiny(3);
         let weights_kb = net.weight_bytes() / 1024;
         // FP16 weights ~520 KiB: stream from a typical >= 1 MiB L2.
-        assert!((400..600).contains(&weights_kb), "weights = {weights_kb} KiB");
+        assert!(
+            (400..600).contains(&weights_kb),
+            "weights = {weights_kb} KiB"
+        );
         let act1 = training_activation_bytes(&net, 1);
         let act16 = training_activation_bytes(&net, 16);
         assert!(act16 > 14 * act1 && act16 < 17 * act1);
-        assert!(act16 / 1024 < 128, "B=16 activations fit the TCDM+L2 budget");
+        assert!(
+            act16 / 1024 < 128,
+            "B=16 activations fit the TCDM+L2 budget"
+        );
     }
 
     #[test]
@@ -118,8 +133,12 @@ mod tests {
         let mut sw = Backend::sw();
         let mut lh = CycleLedger::new();
         let mut ls = CycleLedger::new();
-        let yh = mlperf_tiny(7).forward(&x, &mut hw, &mut lh);
-        let ys = mlperf_tiny(7).forward(&x, &mut sw, &mut ls);
+        let yh = mlperf_tiny(7)
+            .forward(&x, &mut hw, &mut lh)
+            .expect("hw forward");
+        let ys = mlperf_tiny(7)
+            .forward(&x, &mut sw, &mut ls)
+            .expect("sw forward");
         assert_eq!(yh, ys, "backends must agree bitwise");
         assert_eq!(yh.rows(), 640);
         assert!(lh.total_cycles() < ls.total_cycles());
@@ -135,7 +154,7 @@ mod tests {
             let x = Tensor::from_fn(640, b, |r, c| ((r + 3 * c) % 13) as f32 / 16.0 - 0.4);
             let mut ledger = CycleLedger::new();
             let mut net = mlperf_tiny(5);
-            net.forward(&x, backend, &mut ledger);
+            net.forward(&x, backend, &mut ledger).expect("forward");
             ledger.total_cycles().count() as f64 / b as f64
         };
         let hw_gain = per_sample(&mut hw, 1) / per_sample(&mut hw, 16);

@@ -9,11 +9,12 @@
 //! Elementwise work (bias, ReLU, loss gradient, SGD update) always runs on
 //! the cores; its cost model is shared by both backends.
 
-use redmule::{AccelConfig, Accelerator, L2TiledGemm};
+use redmule::{AccelConfig, Accelerator, EngineError, L2TiledGemm};
 use redmule_cluster::{baseline::SwGemm, ClusterConfig};
 use redmule_fp16::vector::GemmShape;
 use redmule_fp16::F16;
 use redmule_hwsim::Cycle;
+use redmule_runtime::{StopReason, Supervisor};
 use std::fmt;
 
 /// The operation class a ledger entry belongs to.
@@ -148,10 +149,11 @@ impl CycleLedger {
 /// let shape = GemmShape::new(4, 8, 4);
 /// let x = vec![F16::HALF; shape.x_len()];
 /// let w = vec![F16::TWO; shape.w_len()];
-/// let (z_hw, c_hw) = hw.gemm(shape, &x, &w);
-/// let (z_sw, c_sw) = sw.gemm(shape, &x, &w);
+/// let (z_hw, c_hw) = hw.gemm(shape, &x, &w)?;
+/// let (z_sw, c_sw) = sw.gemm(shape, &x, &w)?;
 /// assert_eq!(z_hw, z_sw);       // bit-identical numerics
 /// assert!(c_hw < c_sw);          // the accelerator is faster
+/// # Ok::<(), redmule::EngineError>(())
 /// ```
 #[derive(Debug)]
 pub struct Backend {
@@ -216,24 +218,50 @@ impl Backend {
 
     /// Executes `Z = X * W`, returning the result and its cycle cost.
     ///
+    /// The accelerator path is driven through the supervised runtime
+    /// ([`redmule_runtime::Supervisor`]): a hung or faulting engine run
+    /// surfaces here as an [`EngineError`] instead of tearing down the
+    /// whole training step, and panics inside the simulation are retried
+    /// from the job's entry checkpoint before being re-raised.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::ShapeMismatch`] when slice lengths do not match
+    /// `shape`; otherwise any [`EngineError`] the engine run reports.
+    ///
     /// # Panics
     ///
-    /// Panics if slice lengths do not match `shape` or the accelerator
-    /// model reports an internal error (which would be a bug, since the
-    /// convenience path controls all addresses).
-    pub fn gemm(&mut self, shape: GemmShape, x: &[F16], w: &[F16]) -> (Vec<F16>, Cycle) {
+    /// Panics only if the simulation itself panics persistently (a model
+    /// bug, re-raised after the supervisor's retries are exhausted).
+    pub fn gemm(
+        &mut self,
+        shape: GemmShape,
+        x: &[F16],
+        w: &[F16],
+    ) -> Result<(Vec<F16>, Cycle), EngineError> {
         match &mut self.inner {
             Inner::Hw(accel) => {
-                let run = accel.gemm(shape, x, w).expect("managed addresses are valid");
-                (run.z, run.report.cycles)
+                // One entry checkpoint per job (interval MAX): enough for
+                // panic/watchdog rollback without per-tile snapshot cost.
+                let supervisor =
+                    Supervisor::new(accel.engine().clone()).with_checkpoint_interval(usize::MAX);
+                let (z, run) = supervisor.gemm(shape, x, w)?;
+                match run.stop {
+                    StopReason::Completed => Ok((z, run.report.cycles)),
+                    StopReason::Failed(e) => Err(e),
+                    StopReason::Panicked(msg) => panic!("supervised GEMM panicked: {msg}"),
+                    // No limits or cancel token are configured on this
+                    // supervisor, so budget stops cannot occur.
+                    other => unreachable!("unlimited supervised run stopped with {other:?}"),
+                }
             }
             Inner::HwL2(driver) => {
-                let (z, report) = driver.run(shape, x, w).expect("managed addresses are valid");
-                (z, report.overlapped_cycles)
+                let (z, report) = driver.run(shape, x, w)?;
+                Ok((z, report.overlapped_cycles))
             }
             Inner::Sw(sw) => {
                 let run = sw.run(shape, x, w);
-                (run.z, run.cycles)
+                Ok((run.z, run.cycles))
             }
         }
     }
@@ -270,8 +298,8 @@ mod tests {
     fn backends_agree_bitwise() {
         let shape = GemmShape::new(6, 10, 14);
         let (x, w) = shape_data(shape);
-        let (zh, _) = Backend::hw().gemm(shape, &x, &w);
-        let (zs, _) = Backend::sw().gemm(shape, &x, &w);
+        let (zh, _) = Backend::hw().gemm(shape, &x, &w).expect("hw gemm");
+        let (zs, _) = Backend::sw().gemm(shape, &x, &w).expect("sw gemm");
         let hb: Vec<u16> = zh.iter().map(|v| v.to_bits()).collect();
         let sb: Vec<u16> = zs.iter().map(|v| v.to_bits()).collect();
         assert_eq!(hb, sb);
@@ -281,8 +309,8 @@ mod tests {
     fn hw_is_faster_on_large_gemm() {
         let shape = GemmShape::new(16, 64, 32);
         let (x, w) = shape_data(shape);
-        let (_, ch) = Backend::hw().gemm(shape, &x, &w);
-        let (_, cs) = Backend::sw().gemm(shape, &x, &w);
+        let (_, ch) = Backend::hw().gemm(shape, &x, &w).expect("hw gemm");
+        let (_, cs) = Backend::sw().gemm(shape, &x, &w).expect("sw gemm");
         let speedup = cs.count() as f64 / ch.count() as f64;
         assert!(speedup > 10.0, "speedup = {speedup}");
     }
@@ -298,8 +326,8 @@ mod tests {
     fn l2_backend_matches_hw_numerics_with_dma_overhead() {
         let shape = GemmShape::new(16, 48, 32);
         let (x, w) = shape_data(shape);
-        let (zh, ch) = Backend::hw().gemm(shape, &x, &w);
-        let (zl, cl) = Backend::hw_l2().gemm(shape, &x, &w);
+        let (zh, ch) = Backend::hw().gemm(shape, &x, &w).expect("hw gemm");
+        let (zl, cl) = Backend::hw_l2().gemm(shape, &x, &w).expect("l2 gemm");
         let hb: Vec<u16> = zh.iter().map(|v| v.to_bits()).collect();
         let lb: Vec<u16> = zl.iter().map(|v| v.to_bits()).collect();
         assert_eq!(hb, lb, "tiling must not change numerics");

@@ -14,6 +14,7 @@
 //! bit-identical to the reference.
 
 use crate::backend::{Backend, CycleLedger, OpKind};
+use redmule::EngineError;
 use redmule_fp16::vector::GemmShape;
 use redmule_fp16::F16;
 
@@ -149,8 +150,9 @@ impl FeatureMap {
 /// let input = FeatureMap::from_fn(1, 8, 8, |_, y, x| (y + x) as f32 / 16.0);
 /// let mut backend = Backend::hw();
 /// let mut ledger = CycleLedger::new();
-/// let out = conv.forward(&input, &mut backend, &mut ledger);
+/// let out = conv.forward(&input, &mut backend, &mut ledger)?;
 /// assert_eq!((out.channels(), out.height(), out.width()), (4, 8, 8));
+/// # Ok::<(), redmule::EngineError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct Conv2d {
@@ -242,6 +244,10 @@ impl Conv2d {
 
     /// Forward pass: im2col gather, GEMM, bias and optional ReLU.
     ///
+    /// # Errors
+    ///
+    /// Returns the backend's [`EngineError`] if the lowered GEMM fails.
+    ///
     /// # Panics
     ///
     /// Panics if the input channel count mismatches or the kernel does not
@@ -251,7 +257,7 @@ impl Conv2d {
         input: &FeatureMap,
         backend: &mut Backend,
         ledger: &mut CycleLedger,
-    ) -> FeatureMap {
+    ) -> Result<FeatureMap, EngineError> {
         assert_eq!(input.channels(), self.in_ch, "input channels mismatch");
         let (oh, ow) = self.output_hw(input.height(), input.width());
         let positions = oh * ow;
@@ -285,7 +291,7 @@ impl Conv2d {
 
         // GEMM: Y(out_ch x positions) = W(out_ch x patch) * cols.
         let shape = GemmShape::new(self.out_ch, patch, positions);
-        let (y, cycles) = backend.gemm(shape, &self.weights, &cols);
+        let (y, cycles) = backend.gemm(shape, &self.weights, &cols)?;
         ledger.record(&self.name, OpKind::Forward, Some(shape), cycles);
 
         // Bias + activation on the cores.
@@ -305,7 +311,7 @@ impl Conv2d {
             None,
             backend.elementwise_cycles(out.len()),
         );
-        out
+        Ok(out)
     }
 }
 
@@ -353,7 +359,10 @@ impl MaxPool2d {
             "pool window {s} does not fit input {h}x{w}",
             s = self.size
         );
-        ((h - self.size) / self.stride + 1, (w - self.size) / self.stride + 1)
+        (
+            (h - self.size) / self.stride + 1,
+            (w - self.size) / self.stride + 1,
+        )
     }
 
     /// Forward pass. NaNs lose the max (IEEE `maxNum` semantics, matching
@@ -376,8 +385,11 @@ impl MaxPool2d {
                     let mut best = F16::NEG_INFINITY;
                     for ky in 0..self.size {
                         for kx in 0..self.size {
-                            best = best
-                                .max(input.get(c, oy * self.stride + ky, ox * self.stride + kx));
+                            best = best.max(input.get(
+                                c,
+                                oy * self.stride + ky,
+                                ox * self.stride + kx,
+                            ));
                         }
                     }
                     out.set(c, oy, ox, best);
@@ -418,8 +430,7 @@ pub fn conv2d_reference(layer: &Conv2d, input: &FeatureMap) -> FeatureMap {
                     for ky in 0..layer.kernel {
                         for kx in 0..layer.kernel {
                             let w = layer.weights[oc * patch + row];
-                            let xval =
-                                input.padded(c, base_y + ky as isize, base_x + kx as isize);
+                            let xval = input.padded(c, base_y + ky as isize, base_x + kx as isize);
                             acc = xval.mul_add(w, acc);
                             row += 1;
                         }
@@ -474,7 +485,9 @@ mod tests {
             let x = input(3, 9, 7);
             let mut backend = Backend::sw();
             let mut ledger = CycleLedger::new();
-            let got = layer.forward(&x, &mut backend, &mut ledger);
+            let got = layer
+                .forward(&x, &mut backend, &mut ledger)
+                .expect("forward");
             let want = conv2d_reference(&layer, &x);
             assert_eq!(
                 bits(&got),
@@ -490,8 +503,12 @@ mod tests {
         let x = input(2, 12, 12);
         let mut ledger_h = CycleLedger::new();
         let mut ledger_s = CycleLedger::new();
-        let yh = layer.forward(&x, &mut Backend::hw(), &mut ledger_h);
-        let ys = layer.forward(&x, &mut Backend::sw(), &mut ledger_s);
+        let yh = layer
+            .forward(&x, &mut Backend::hw(), &mut ledger_h)
+            .expect("hw forward");
+        let ys = layer
+            .forward(&x, &mut Backend::sw(), &mut ledger_s)
+            .expect("sw forward");
         assert_eq!(bits(&yh), bits(&ys));
         assert!(
             ledger_h.cycles_for(OpKind::Forward) < ledger_s.cycles_for(OpKind::Forward),
@@ -507,7 +524,9 @@ mod tests {
         let x = FeatureMap::from_fn(1, 2, 2, |_, _, _| 1.0);
         let mut backend = Backend::sw();
         let mut ledger = CycleLedger::new();
-        let y = layer.forward(&x, &mut backend, &mut ledger);
+        let y = layer
+            .forward(&x, &mut backend, &mut ledger)
+            .expect("forward");
         assert!(y.as_slice().iter().all(|v| v.is_zero()), "ReLU clamps");
         let want = conv2d_reference(&layer, &x);
         assert_eq!(bits(&y), bits(&want));

@@ -30,9 +30,10 @@
 //! let mut backend = Backend::hw();
 //! let mut ledger = CycleLedger::new();
 //! let x = redmule_nn::Tensor::from_fn(640, 1, |i, _| ((i % 7) as f32 - 3.0) / 8.0);
-//! let report = net.train_step(&x, 0.001, &mut backend, &mut ledger);
+//! let report = net.train_step(&x, 0.001, &mut backend, &mut ledger)?;
 //! assert!(report.loss >= 0.0);
 //! assert!(ledger.total_cycles().count() > 0);
+//! # Ok::<(), redmule::EngineError>(())
 //! ```
 
 #![warn(missing_docs)]

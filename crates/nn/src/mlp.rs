@@ -14,6 +14,7 @@
 
 use crate::backend::{Backend, CycleLedger, OpKind};
 use crate::tensor::Tensor;
+use redmule::EngineError;
 use redmule_fp16::vector::GemmShape;
 use redmule_fp16::F16;
 use redmule_hwsim::Cycle;
@@ -44,8 +45,17 @@ impl Dense {
     /// # Panics
     ///
     /// Panics if a dimension is zero.
-    pub fn new(name: impl Into<String>, in_dim: usize, out_dim: usize, relu: bool, seed: u64) -> Dense {
-        assert!(in_dim > 0 && out_dim > 0, "layer dimensions must be positive");
+    pub fn new(
+        name: impl Into<String>,
+        in_dim: usize,
+        out_dim: usize,
+        relu: bool,
+        seed: u64,
+    ) -> Dense {
+        assert!(
+            in_dim > 0 && out_dim > 0,
+            "layer dimensions must be positive"
+        );
         let scale = 1.0 / (in_dim as f32).sqrt();
         let wt = Tensor::random(out_dim, in_dim, scale, seed);
         let w = wt.transposed();
@@ -94,11 +104,21 @@ impl Dense {
     }
 
     /// Forward pass: `Y = relu(Wt * A + b)`.
-    pub fn forward(&mut self, a: &Tensor, backend: &mut Backend, ledger: &mut CycleLedger) -> Tensor {
+    ///
+    /// # Errors
+    ///
+    /// Returns the backend's [`EngineError`] if the GEMM fails (e.g. a
+    /// watchdog timeout or TCDM fault on the hardware path).
+    pub fn forward(
+        &mut self,
+        a: &Tensor,
+        backend: &mut Backend,
+        ledger: &mut CycleLedger,
+    ) -> Result<Tensor, EngineError> {
         assert_eq!(a.rows(), self.in_dim(), "input features mismatch");
         let b = a.cols();
         let shape = GemmShape::new(self.out_dim(), self.in_dim(), b);
-        let (y, cycles) = backend.gemm(shape, self.wt.as_slice(), a.as_slice());
+        let (y, cycles) = backend.gemm(shape, self.wt.as_slice(), a.as_slice())?;
         ledger.record(&self.name, OpKind::Forward, Some(shape), cycles);
 
         let mut y = Tensor::from_vec(self.out_dim(), b, y);
@@ -121,11 +141,15 @@ impl Dense {
 
         self.input = Some(a.clone());
         self.output = Some(y.clone());
-        y
+        Ok(y)
     }
 
     /// Backward pass: consumes `dY (out x B)`, stores the weight/bias
     /// gradients and returns `dA (in x B)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the backend's [`EngineError`] if a gradient GEMM fails.
     ///
     /// # Panics
     ///
@@ -135,7 +159,7 @@ impl Dense {
         d_out: &Tensor,
         backend: &mut Backend,
         ledger: &mut CycleLedger,
-    ) -> Tensor {
+    ) -> Result<Tensor, EngineError> {
         let input = self.input.as_ref().expect("forward must run first").clone();
         let output = self.output.as_ref().expect("forward must run first");
         assert_eq!(d_out.rows(), self.out_dim(), "gradient features mismatch");
@@ -187,7 +211,7 @@ impl Dense {
             backend.elementwise_cycles(a_t.len()),
         );
         let shape_w = GemmShape::new(self.out_dim(), batch, self.in_dim());
-        let (d_wt, cycles) = backend.gemm(shape_w, d_y.as_slice(), a_t.as_slice());
+        let (d_wt, cycles) = backend.gemm(shape_w, d_y.as_slice(), a_t.as_slice())?;
         ledger.record(&self.name, OpKind::BackwardWeight, Some(shape_w), cycles);
         self.d_wt = Some(Tensor::from_vec(self.out_dim(), self.in_dim(), d_wt));
         self.d_bias = Some(d_bias);
@@ -195,9 +219,9 @@ impl Dense {
         // Input gradient: dA(in x B) = W(in x out) * dY(out x B), using
         // the backward-layout weight copy (no transpose needed).
         let shape_a = GemmShape::new(self.in_dim(), self.out_dim(), batch);
-        let (d_a, cycles) = backend.gemm(shape_a, self.w.as_slice(), d_y.as_slice());
+        let (d_a, cycles) = backend.gemm(shape_a, self.w.as_slice(), d_y.as_slice())?;
         ledger.record(&self.name, OpKind::BackwardData, Some(shape_a), cycles);
-        Tensor::from_vec(self.in_dim(), batch, d_a)
+        Ok(Tensor::from_vec(self.in_dim(), batch, d_a))
     }
 
     /// SGD step: `W -= lr * dW` on both weight copies, and the bias.
@@ -293,27 +317,47 @@ impl Network {
     }
 
     /// Forward pass through all layers.
-    pub fn forward(&mut self, x: &Tensor, backend: &mut Backend, ledger: &mut CycleLedger) -> Tensor {
+    ///
+    /// # Errors
+    ///
+    /// Returns the backend's [`EngineError`] if any layer GEMM fails.
+    pub fn forward(
+        &mut self,
+        x: &Tensor,
+        backend: &mut Backend,
+        ledger: &mut CycleLedger,
+    ) -> Result<Tensor, EngineError> {
         let mut a = x.clone();
         for layer in &mut self.layers {
-            a = layer.forward(&a, backend, ledger);
+            a = layer.forward(&a, backend, ledger)?;
         }
-        a
+        Ok(a)
     }
 
     /// One autoencoder training step: reconstruct `x`, MSE loss against
     /// `x` itself, full backward pass and SGD update.
+    ///
+    /// # Errors
+    ///
+    /// Returns the backend's [`EngineError`] if any GEMM in the step
+    /// fails; the network is left with whatever partial state the step
+    /// reached (no pending gradients are applied).
     pub fn train_step(
         &mut self,
         x: &Tensor,
         lr: f32,
         backend: &mut Backend,
         ledger: &mut CycleLedger,
-    ) -> StepReport {
+    ) -> Result<StepReport, EngineError> {
         self.train_step_with_target(x, x, lr, backend, ledger)
     }
 
     /// One supervised training step against an explicit target.
+    ///
+    /// # Errors
+    ///
+    /// Returns the backend's [`EngineError`] if any GEMM in the step
+    /// fails.
     ///
     /// # Panics
     ///
@@ -325,9 +369,9 @@ impl Network {
         lr: f32,
         backend: &mut Backend,
         ledger: &mut CycleLedger,
-    ) -> StepReport {
+    ) -> Result<StepReport, EngineError> {
         let before = ledger.total_cycles();
-        let y = self.forward(x, backend, ledger);
+        let y = self.forward(x, backend, ledger)?;
         assert_eq!(
             (y.rows(), y.cols()),
             (target.rows(), target.cols()),
@@ -357,16 +401,16 @@ impl Network {
 
         let mut grad = d_y;
         for layer in self.layers.iter_mut().rev() {
-            grad = layer.backward(&grad, backend, ledger);
+            grad = layer.backward(&grad, backend, ledger)?;
         }
         for layer in &mut self.layers {
             layer.apply_update(lr, backend, ledger);
         }
 
-        StepReport {
+        Ok(StepReport {
             loss,
             cycles: Cycle::new(ledger.total_cycles().count() - before.count()),
-        }
+        })
     }
 }
 
@@ -391,7 +435,9 @@ mod tests {
         let mut backend = Backend::sw();
         let mut ledger = CycleLedger::new();
         let a = Tensor::from_fn(2, 1, |r, _| (r + 1) as f32); // [1, 2]
-        let y = layer.forward(&a, &mut backend, &mut ledger);
+        let y = layer
+            .forward(&a, &mut backend, &mut ledger)
+            .expect("forward");
         for r in 0..2 {
             // Same FMA order as the backend: accumulate in index order.
             let mut acc = F16::ZERO;
@@ -407,8 +453,13 @@ mod tests {
         let mut backend = Backend::sw();
         let mut ledger = CycleLedger::new();
         let a = Tensor::from_fn(3, 2, |r, c| (r as f32 - 1.0) * (c as f32 + 1.0));
-        let y = layer.forward(&a, &mut backend, &mut ledger);
-        assert!(y.as_slice().iter().all(|v| !v.is_sign_negative() || v.is_zero()));
+        let y = layer
+            .forward(&a, &mut backend, &mut ledger)
+            .expect("forward");
+        assert!(y
+            .as_slice()
+            .iter()
+            .all(|v| !v.is_sign_negative() || v.is_zero()));
     }
 
     #[test]
@@ -417,10 +468,16 @@ mod tests {
         let mut backend = Backend::sw();
         let mut ledger = CycleLedger::new();
         let x = sample(2);
-        let first = net.train_step(&x, 0.05, &mut backend, &mut ledger).loss;
+        let first = net
+            .train_step(&x, 0.05, &mut backend, &mut ledger)
+            .expect("step")
+            .loss;
         let mut last = first;
         for _ in 0..30 {
-            last = net.train_step(&x, 0.05, &mut backend, &mut ledger).loss;
+            last = net
+                .train_step(&x, 0.05, &mut backend, &mut ledger)
+                .expect("step")
+                .loss;
         }
         assert!(
             last < first * 0.8,
@@ -437,8 +494,12 @@ mod tests {
         let mut net_s = tiny_net(9);
         let mut bh = Backend::hw();
         let mut bs = Backend::sw();
-        let rh = net_h.train_step(&x, 0.01, &mut bh, &mut ledger_h);
-        let rs = net_s.train_step(&x, 0.01, &mut bs, &mut ledger_s);
+        let rh = net_h
+            .train_step(&x, 0.01, &mut bh, &mut ledger_h)
+            .expect("hw step");
+        let rs = net_s
+            .train_step(&x, 0.01, &mut bs, &mut ledger_s)
+            .expect("sw step");
         assert_eq!(rh.loss.to_bits(), rs.loss.to_bits());
         for (lh, ls) in net_h.layers().iter().zip(net_s.layers()) {
             assert_eq!(lh.weights(), ls.weights(), "weights diverged");
@@ -452,7 +513,8 @@ mod tests {
         let mut net = tiny_net(13);
         let mut backend = Backend::sw();
         let mut ledger = CycleLedger::new();
-        net.train_step(&sample(1), 0.01, &mut backend, &mut ledger);
+        net.train_step(&sample(1), 0.01, &mut backend, &mut ledger)
+            .expect("step");
         for kind in [
             OpKind::Forward,
             OpKind::BackwardData,
@@ -506,7 +568,9 @@ mod tests {
         let mut ledger = CycleLedger::new();
         // Two identical batch columns must produce identical outputs.
         let a = Tensor::from_fn(2, 2, |r, _| r as f32 + 0.5);
-        let y = layer.forward(&a, &mut backend, &mut ledger);
+        let y = layer
+            .forward(&a, &mut backend, &mut ledger)
+            .expect("forward");
         for r in 0..3 {
             assert_eq!(y.get(r, 0).to_bits(), y.get(r, 1).to_bits());
         }

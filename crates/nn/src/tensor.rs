@@ -101,7 +101,10 @@ impl Tensor {
     ///
     /// Panics if out of range.
     pub fn get(&self, r: usize, c: usize) -> F16 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -111,7 +114,10 @@ impl Tensor {
     ///
     /// Panics if out of range.
     pub fn set(&mut self, r: usize, c: usize, v: F16) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -140,7 +146,11 @@ impl Tensor {
         if self.data.is_empty() {
             return 0.0;
         }
-        self.data.iter().map(|v| v.to_f64() * v.to_f64()).sum::<f64>() / self.data.len() as f64
+        self.data
+            .iter()
+            .map(|v| v.to_f64() * v.to_f64())
+            .sum::<f64>()
+            / self.data.len() as f64
     }
 }
 

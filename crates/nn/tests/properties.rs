@@ -32,8 +32,8 @@ proptest! {
         let mut sw_net = build();
         let mut lh = CycleLedger::new();
         let mut ls = CycleLedger::new();
-        let rh = hw_net.train_step(&x, lr, &mut Backend::hw(), &mut lh);
-        let rs = sw_net.train_step(&x, lr, &mut Backend::sw(), &mut ls);
+        let rh = hw_net.train_step(&x, lr, &mut Backend::hw(), &mut lh).expect("hw step");
+        let rs = sw_net.train_step(&x, lr, &mut Backend::sw(), &mut ls).expect("sw step");
         prop_assert_eq!(rh.loss.to_bits(), rs.loss.to_bits());
         for (a, b) in hw_net.layers().iter().zip(sw_net.layers()) {
             prop_assert_eq!(a.weights(), b.weights());
@@ -61,7 +61,7 @@ proptest! {
         let want = conv2d_reference(&layer, &input);
         for mut backend in [Backend::hw(), Backend::sw()] {
             let mut ledger = CycleLedger::new();
-            let got = layer.forward(&input, &mut backend, &mut ledger);
+            let got = layer.forward(&input, &mut backend, &mut ledger).expect("forward");
             prop_assert_eq!(got.as_slice(), want.as_slice(), "backend {}", backend.name());
         }
     }
@@ -94,10 +94,10 @@ proptest! {
         let x = Tensor::from_fn(6, batch, |r, c| ((r + 5 * c) % 11) as f32 / 11.0 - 0.3);
         let mut ledger = CycleLedger::new();
         let mut backend = Backend::hw();
-        let y = build().forward(&x, &mut backend, &mut ledger);
+        let y = build().forward(&x, &mut backend, &mut ledger).expect("batched forward");
         for c in 0..batch {
             let xc = Tensor::from_fn(6, 1, |r, _| x.get(r, c).to_f32());
-            let yc = build().forward(&xc, &mut backend, &mut ledger);
+            let yc = build().forward(&xc, &mut backend, &mut ledger).expect("column forward");
             for r in 0..y.rows() {
                 prop_assert_eq!(
                     y.get(r, c).to_bits(),

@@ -149,9 +149,8 @@ where
     let mut rejected = 0u32;
     while passed < config.cases {
         let case = u64::from(passed) + (u64::from(rejected) << 32);
-        let mut rng = TestRng::seeded(
-            seed ^ case.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(1),
-        );
+        let mut rng =
+            TestRng::seeded(seed ^ case.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(1));
         match f(&mut rng) {
             Ok(()) => passed += 1,
             Err(TestCaseError::Reject(why)) => {
@@ -313,7 +312,10 @@ where
                 return v;
             }
         }
-        panic!("prop_filter({:?}) rejected {FILTER_RETRIES} draws", self.reason);
+        panic!(
+            "prop_filter({:?}) rejected {FILTER_RETRIES} draws",
+            self.reason
+        );
     }
 }
 
@@ -727,7 +729,9 @@ macro_rules! prop_assert_ne {
         if *lhs == *rhs {
             return Err($crate::TestCaseError::fail(format!(
                 "assertion failed: `{} != {}`\n  both: {:?}",
-                stringify!($lhs), stringify!($rhs), lhs
+                stringify!($lhs),
+                stringify!($rhs),
+                lhs
             )));
         }
     }};
@@ -749,9 +753,9 @@ macro_rules! prop_assume {
 /// Glob-import surface mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose,
-        prop_oneof, proptest, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy,
-        TestCaseError, TestCaseResult,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof,
+        proptest, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+        TestCaseResult,
     };
 
     /// Mirrors `proptest::prelude::prop`.
@@ -788,8 +792,7 @@ mod tests {
 
     #[test]
     fn same_seed_same_draws() {
-        let strat = (0u32..1000, prop::option::of(0u64..99))
-            .prop_map(|(a, b)| (a * 2, b));
+        let strat = (0u32..1000, prop::option::of(0u64..99)).prop_map(|(a, b)| (a * 2, b));
         let a: Vec<_> = {
             let mut rng = crate::TestRng::seeded(42);
             (0..50).map(|_| strat.generate(&mut rng)).collect()

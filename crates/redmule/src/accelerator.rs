@@ -75,6 +75,12 @@ impl Accelerator {
         self.engine.config()
     }
 
+    /// The underlying execution engine (e.g. to wrap it in a supervised
+    /// runtime driving the same instance).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
     /// Core-visible register file (read side).
     pub fn regfile(&self) -> &RegFile {
         &self.regfile
@@ -164,49 +170,72 @@ impl Accelerator {
         y: Option<&[F16]>,
         ft: Option<(&FaultPlan, FtConfig)>,
     ) -> Result<GemmRun, EngineError> {
-        let check = |operand: &'static str, got: usize, expected: usize| {
-            if got == expected {
-                Ok(())
-            } else {
-                Err(EngineError::ShapeMismatch {
-                    operand,
-                    expected,
-                    got,
-                })
-            }
-        };
-        check("X", x.len(), shape.x_len())?;
-        check("W", w.len(), shape.w_len())?;
-        if let Some(y) = y {
-            check("Y", y.len(), shape.z_len())?;
-        }
-
-        let needed = shape.footprint_bytes() + 256;
-        let mut ccfg = ClusterConfig::default();
-        if needed > ccfg.tcdm_bytes() {
-            ccfg = ccfg.with_tcdm_kib(needed.div_ceil(1024));
-        }
-        let mut mem = Tcdm::new(&ccfg);
-        let mut hci = Hci::new(&ccfg);
-
-        let x_addr = 0u32;
-        let w_addr = x_addr + 2 * shape.x_len() as u32;
-        let z_addr = w_addr + 2 * shape.w_len() as u32;
-        mem.store_f16_slice(x_addr, x)?;
-        mem.store_f16_slice(w_addr, w)?;
-        let mut job = Job::new(x_addr, w_addr, z_addr, shape.m, shape.n, shape.k);
-        if let Some(y) = y {
-            mem.store_f16_slice(z_addr, y)?;
-            job = job.with_accumulate();
-        }
-
+        let (job, mut mem, mut hci) = stage_gemm_workspace(shape, x, w, y)?;
         let report = match ft {
             Some((plan, ft_cfg)) => self.engine.run_ft(job, &mut mem, &mut hci, plan, ft_cfg)?,
             None => self.engine.run(job, &mut mem, &mut hci)?,
         };
-        let z = mem.load_f16_slice(z_addr, shape.z_len())?;
+        let z = mem.load_f16_slice(job.z_addr, shape.z_len())?;
         Ok(GemmRun { z, report })
     }
+}
+
+/// Sizes a fresh TCDM for `shape`, places the operands at the standard
+/// layout (X at 0, then W, then Z; `y` preloads Z and enables accumulate
+/// mode) and builds the matching [`Job`].
+///
+/// This is the workspace-staging step [`Accelerator::gemm`] performs
+/// internally, exposed so external drivers — notably the supervised
+/// runtime's checkpointed execution loop — can run the exact same
+/// workspace through their own tick loop and read Z back from
+/// `job.z_addr` afterwards.
+///
+/// # Errors
+///
+/// [`EngineError::ShapeMismatch`] when a slice length does not match
+/// `shape`; [`EngineError::Memory`] when the operands cannot be placed.
+pub fn stage_gemm_workspace(
+    shape: GemmShape,
+    x: &[F16],
+    w: &[F16],
+    y: Option<&[F16]>,
+) -> Result<(Job, Tcdm, Hci), EngineError> {
+    let check = |operand: &'static str, got: usize, expected: usize| {
+        if got == expected {
+            Ok(())
+        } else {
+            Err(EngineError::ShapeMismatch {
+                operand,
+                expected,
+                got,
+            })
+        }
+    };
+    check("X", x.len(), shape.x_len())?;
+    check("W", w.len(), shape.w_len())?;
+    if let Some(y) = y {
+        check("Y", y.len(), shape.z_len())?;
+    }
+
+    let needed = shape.footprint_bytes() + 256;
+    let mut ccfg = ClusterConfig::default();
+    if needed > ccfg.tcdm_bytes() {
+        ccfg = ccfg.with_tcdm_kib(needed.div_ceil(1024));
+    }
+    let mut mem = Tcdm::new(&ccfg);
+    let hci = Hci::new(&ccfg);
+
+    let x_addr = 0u32;
+    let w_addr = x_addr + 2 * shape.x_len() as u32;
+    let z_addr = w_addr + 2 * shape.w_len() as u32;
+    mem.store_f16_slice(x_addr, x)?;
+    mem.store_f16_slice(w_addr, w)?;
+    let mut job = Job::new(x_addr, w_addr, z_addr, shape.m, shape.n, shape.k);
+    if let Some(y) = y {
+        mem.store_f16_slice(z_addr, y)?;
+        job = job.with_accumulate();
+    }
+    Ok((job, mem, hci))
 }
 
 #[cfg(test)]
@@ -311,9 +340,7 @@ mod tests {
             let y: Vec<F16> = (0..shape.z_len())
                 .map(|i| F16::from_f32(i as f32 / 4.0 - 3.0))
                 .collect();
-            let run = accel
-                .gemm_accumulate(shape, &x, &w, &y)
-                .expect("gemm runs");
+            let run = accel.gemm_accumulate(shape, &x, &w, &y).expect("gemm runs");
             let golden = gemm_golden_accumulate(shape, &x, &w, Some(&y));
             assert_eq!(bits(&run.z), bits(&golden), "shape {shape}");
         }
@@ -444,20 +471,18 @@ mod tests {
         assert!(job.validate().is_ok());
 
         let engine = Engine::new(AccelConfig::paper());
-        engine.run(job, &mut mem, &mut hci).expect("strided job runs");
+        engine
+            .run(job, &mut mem, &mut hci)
+            .expect("strided job runs");
 
         // Golden: extract the sub-blocks densely and multiply.
         let big_x_ref = &big_x;
         let big_w_ref = &big_w;
         let x_sub: Vec<F16> = (0..sub.m)
-            .flat_map(|r| {
-                (0..sub.n).map(move |c| big_x_ref[(x_off_r + r) * big_n + x_off_c + c])
-            })
+            .flat_map(|r| (0..sub.n).map(move |c| big_x_ref[(x_off_r + r) * big_n + x_off_c + c]))
             .collect();
         let w_sub: Vec<F16> = (0..sub.n)
-            .flat_map(|r| {
-                (0..sub.k).map(move |c| big_w_ref[(w_off_r + r) * big_k + w_off_c + c])
-            })
+            .flat_map(|r| (0..sub.k).map(move |c| big_w_ref[(w_off_r + r) * big_k + w_off_c + c]))
             .collect();
         let golden = gemm_golden(sub, &x_sub, &w_sub);
         for r in 0..sub.m {
@@ -499,7 +524,10 @@ mod tests {
         // Steady state (middle third): no stalls, X staging mostly full.
         let n = trace.occupancy.len();
         let mid = &trace.occupancy[n / 3..2 * n / 3];
-        assert!(mid.iter().all(|s| !s.stalled), "steady state must not stall");
+        assert!(
+            mid.iter().all(|s| !s.stalled),
+            "steady state must not stall"
+        );
         // The recorded stall count matches the report.
         let total_stalls = trace.occupancy.iter().filter(|s| s.stalled).count() as u64;
         assert_eq!(total_stalls, run.report.stall_cycles);
@@ -557,7 +585,10 @@ mod tests {
         let err = accel
             .gemm_accumulate(shape, &[F16::ONE; 4], &[F16::ONE; 4], &[])
             .expect_err("short Y must be rejected");
-        assert!(matches!(err, EngineError::ShapeMismatch { operand: "Y", .. }));
+        assert!(matches!(
+            err,
+            EngineError::ShapeMismatch { operand: "Y", .. }
+        ));
     }
 
     #[test]

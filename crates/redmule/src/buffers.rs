@@ -85,6 +85,11 @@ impl XBuffer {
         self.staging.iter().all(Option::is_some)
     }
 
+    /// Read access to the staging slots, for session snapshots.
+    pub(crate) fn staging_slots(&self) -> &[Option<Vec<F16>>] {
+        &self.staging
+    }
+
     /// Makes the staged chunks current (consumed chunk is dropped).
     ///
     /// # Panics
@@ -174,6 +179,11 @@ impl WBuffer {
     /// `true` when `col` can accept a staged group.
     pub fn staging_free(&self, col: usize) -> bool {
         self.staging[col].is_none()
+    }
+
+    /// Read access to the staging slots, for session snapshots.
+    pub(crate) fn staging_slots(&self) -> &[Option<Vec<F16>>] {
+        &self.staging
     }
 
     /// `true` when `col`'s shift register has been fully drained (used by

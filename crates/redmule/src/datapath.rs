@@ -76,12 +76,15 @@ impl Datapath {
         self.macs
     }
 
+    /// Overwrites the MAC counter when restoring a session snapshot (the
+    /// pipeline registers themselves are drained at every snapshot point).
+    pub(crate) fn restore_macs(&mut self, macs: u64) {
+        self.macs = macs;
+    }
+
     /// `true` when every pipeline stage holds a bubble.
     pub fn is_drained(&self) -> bool {
-        self.pipes
-            .iter()
-            .flatten()
-            .all(|p| p.is_empty())
+        self.pipes.iter().flatten().all(|p| p.is_empty())
     }
 
     /// Advances the array one clock cycle.
@@ -180,8 +183,8 @@ mod tests {
     /// This mirrors Fig. 2d of the paper at unit-test scale.
     fn run_single_tile(
         cfg: AccelConfig,
-        x: &[Vec<F16>],       // x[n] per row: x[r][n]
-        w: &[Vec<F16>],       // w[n][j], j in 0..phase_width
+        x: &[Vec<F16>], // x[n] per row: x[r][n]
+        w: &[Vec<F16>], // w[n][j], j in 0..phase_width
         n_real: usize,
     ) -> Vec<Vec<F16>> {
         let l = cfg.l;
@@ -222,11 +225,7 @@ mod tests {
                     passthrough: pad,
                 });
             }
-            let acc0 = if t < pw {
-                Acc0::Zero
-            } else {
-                Acc0::Ring
-            };
+            let acc0 = if t < pw { Acc0::Zero } else { Acc0::Ring };
             let outs = dp.tick(&ctrl, &acc0);
             if t >= final_start && t < final_start + pw {
                 let j = t - final_start;
@@ -307,10 +306,7 @@ mod tests {
             passthrough: true,
         }];
         dp.tick(&ctrl, &Acc0::Init(vec![F16::NEG_ZERO]));
-        let out = dp.tick(
-            &[ColumnCtrl::default()],
-            &Acc0::Zero,
-        );
+        let out = dp.tick(&[ColumnCtrl::default()], &Acc0::Zero);
         assert_eq!(out[0].expect("value emerges").to_bits(), 0x8000);
         assert_eq!(dp.macs(), 0, "passthrough must not count as a MAC");
     }

@@ -26,6 +26,7 @@ use crate::faults::FaultInjector;
 use crate::regfile::Job;
 use redmule_cluster::{Hci, MemError, Tcdm};
 use redmule_fp16::F16;
+use redmule_hwsim::snapshot::{fnv1a64, Snapshot, SnapshotError, StateReader, StateWriter};
 use redmule_hwsim::stream::{Handshake, StreamMonitor};
 use redmule_hwsim::{Cycle, FaultLog, FaultPhase, Stats};
 use std::fmt;
@@ -68,6 +69,10 @@ pub enum EngineError {
         /// Number of attempts made (initial run plus replays).
         attempts: u32,
     },
+    /// Checkpointing or resuming a session failed: the session was not at
+    /// a snapshottable point, the snapshot bytes are damaged, or they were
+    /// taken under a different engine configuration.
+    Snapshot(String),
 }
 
 impl fmt::Display for EngineError {
@@ -95,6 +100,7 @@ impl fmt::Display for EngineError {
                 f,
                 "tile {tile} still corrupted after {attempts} attempts; fault is persistent"
             ),
+            EngineError::Snapshot(msg) => write!(f, "session snapshot: {msg}"),
         }
     }
 }
@@ -104,6 +110,12 @@ impl std::error::Error for EngineError {}
 impl From<MemError> for EngineError {
     fn from(e: MemError) -> EngineError {
         EngineError::Memory(e)
+    }
+}
+
+impl From<SnapshotError> for EngineError {
+    fn from(e: SnapshotError) -> EngineError {
+        EngineError::Snapshot(e.to_string())
     }
 }
 
@@ -270,7 +282,10 @@ impl Engine {
     /// schedule verification and waveform export).
     #[must_use]
     pub fn with_trace(self) -> Engine {
-        Engine { trace: true, ..self }
+        Engine {
+            trace: true,
+            ..self
+        }
     }
 
     /// Overrides the watchdog window (cycles without forward progress
@@ -357,6 +372,233 @@ impl Engine {
         }
         Ok(session.finish())
     }
+
+    /// Rebuilds a running [`EngineSession`] from a snapshot taken by
+    /// [`EngineSession::checkpoint`]. Driving the resumed session to
+    /// completion is bit-identical to never having interrupted the
+    /// original — results, cycle counts and fault telemetry all match
+    /// (the caller must restore the matching TCDM/HCI state alongside).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Snapshot`] when the snapshot is damaged, was taken
+    /// under different instance parameters or a different streamer policy,
+    /// or this engine has per-cycle tracing enabled (traces are not
+    /// serialised, so a resumed trace would be incomplete).
+    pub fn resume(&self, state: &SessionState) -> Result<EngineSession, EngineError> {
+        if self.trace {
+            return Err(EngineError::Snapshot(
+                "cannot resume into a tracing engine: per-cycle traces are not serialised"
+                    .to_string(),
+            ));
+        }
+        let mut r = StateReader::new(&state.payload);
+        let (h, l, p): (usize, usize, usize) = r.get()?;
+        if (h, l, p) != (self.cfg.h, self.cfg.l, self.cfg.p) {
+            return Err(EngineError::Snapshot(format!(
+                "snapshot is for an H={h} L={l} P={p} instance, engine is H={} L={} P={}",
+                self.cfg.h, self.cfg.l, self.cfg.p
+            )));
+        }
+        let policy = policy_from_tag(r.get::<u8>()?)?;
+        if policy != self.policy {
+            return Err(EngineError::Snapshot(format!(
+                "snapshot was taken under streamer policy {policy:?}, engine uses {:?}",
+                self.policy
+            )));
+        }
+        let job = Job::load_state(&mut r)?;
+        job.validate()
+            .map_err(|e| EngineError::Snapshot(format!("snapshot job invalid: {e}")))?;
+        let cycle: u64 = r.get()?;
+        let stalled_for: u64 = r.get()?;
+
+        let mut sim = Sim::new(self.cfg, job, false, self.policy);
+        let corrupt = |what: &str| EngineError::Snapshot(format!("corrupt snapshot: {what}"));
+        sim.compute_tile = r.get()?;
+        if sim.compute_tile > sim.tiles.len() {
+            return Err(corrupt("tile cursor past the end of the tile grid"));
+        }
+        sim.w_cursor = r.get()?;
+        sim.x_cursor = r.get()?;
+        sim.zpre_cursor = r.get()?;
+        sim.zpre_ready_tile = r.get()?;
+        let zpre: Vec<Vec<u16>> = r.get()?;
+        if zpre.len() != sim.cfg.l || zpre.iter().any(|row| row.len() != sim.pw) {
+            return Err(corrupt("Z-preload geometry mismatch"));
+        }
+        sim.zpre = zpre.into_iter().map(f16_from_bits).collect();
+        let stores: Vec<(u32, Vec<u16>)> = r.get()?;
+        sim.store_queue = stores
+            .into_iter()
+            .map(|(addr, data)| StoreReq {
+                addr,
+                data: f16_from_bits(data),
+            })
+            .collect();
+        let x_staging: Vec<Option<Vec<u16>>> = r.get()?;
+        if x_staging.len() != sim.cfg.l || x_staging.iter().flatten().any(|row| row.len() != sim.pw)
+        {
+            return Err(corrupt("X staging geometry mismatch"));
+        }
+        for (row, slot) in x_staging.into_iter().enumerate() {
+            if let Some(data) = slot {
+                sim.xb.stage_row(row, f16_from_bits(data));
+            }
+        }
+        let w_staging: Vec<Option<Vec<u16>>> = r.get()?;
+        if w_staging.len() != sim.cfg.h || w_staging.iter().flatten().any(|g| g.len() != sim.pw) {
+            return Err(corrupt("W staging geometry mismatch"));
+        }
+        for (col, slot) in w_staging.into_iter().enumerate() {
+            if let Some(data) = slot {
+                sim.wb.stage_group(col, f16_from_bits(data));
+            }
+        }
+        let w_inflight: Option<(usize, Vec<u16>)> = r.get()?;
+        if let Some((col, group)) = &w_inflight {
+            if *col >= sim.cfg.h || group.len() != sim.pw {
+                return Err(corrupt("in-flight W group geometry mismatch"));
+            }
+        }
+        sim.w_inflight = w_inflight.map(|(col, group)| (col, f16_from_bits(group)));
+        sim.stats.restore_state(&mut r)?;
+        sim.useful_macs = r.get()?;
+        sim.stall_cycles = r.get()?;
+        let dp_macs: u64 = r.get()?;
+        sim.dp.restore_macs(dp_macs);
+        match r.get::<u8>()? {
+            0 => {}
+            1 => {
+                let mut injector = FaultInjector::default();
+                injector.restore_state(&mut r)?;
+                sim.injector = Some(injector);
+            }
+            t => return Err(corrupt(&format!("unknown injector tag {t}"))),
+        }
+        r.expect_end()?;
+
+        let mut session = EngineSession::new(sim, self.watchdog);
+        session.cycle = cycle;
+        session.stalled_for = stalled_for;
+        session.last_sig = (cycle > 0).then(|| session.sim.progress_sig());
+        Ok(session)
+    }
+}
+
+/// Container magic identifying serialised engine sessions.
+const SESSION_MAGIC: [u8; 4] = *b"RMSS";
+
+/// Version of the session snapshot payload format. Bumped whenever the
+/// serialised state layout changes; old snapshots are rejected rather than
+/// misread.
+pub const SESSION_STATE_VERSION: u32 = 1;
+
+/// A versioned, checksummed snapshot of an in-flight [`EngineSession`],
+/// taken at a tile boundary by [`EngineSession::checkpoint`] and turned
+/// back into a running session by [`Engine::resume`].
+///
+/// Snapshots are only taken at tile boundaries, where the datapath
+/// pipelines are drained, the W shift registers are empty and the Z
+/// accumulation buffer holds no live tile — so the serialised state is the
+/// scheduler cursors, the staged/in-flight operand groups, the pending
+/// store queue, the counters and the fault-injector position, which is
+/// everything needed for a bit-exact resume.
+///
+/// The wire format is `"RMSS"` magic, a little-endian format version, a
+/// length-prefixed payload and an FNV-1a-64 checksum of the payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionState {
+    payload: Vec<u8>,
+}
+
+impl SessionState {
+    /// Serialises the snapshot into a self-describing byte container.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.payload.len() + 24);
+        out.extend_from_slice(&SESSION_MAGIC);
+        out.extend_from_slice(&SESSION_STATE_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out.extend_from_slice(&fnv1a64(&self.payload).to_le_bytes());
+        out
+    }
+
+    /// Parses a container produced by [`SessionState::to_bytes`],
+    /// verifying magic, version and checksum.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Snapshot`] on any structural damage: wrong magic,
+    /// unsupported version, truncation, trailing bytes or checksum
+    /// mismatch.
+    pub fn from_bytes(bytes: &[u8]) -> Result<SessionState, EngineError> {
+        let mut r = StateReader::new(bytes);
+        let magic = r.take_bytes(4)?;
+        if magic != SESSION_MAGIC {
+            return Err(EngineError::Snapshot(
+                "not a session snapshot (bad magic)".to_string(),
+            ));
+        }
+        let version: u32 = r.get()?;
+        if version != SESSION_STATE_VERSION {
+            return Err(EngineError::Snapshot(format!(
+                "unsupported snapshot version {version} (expected {SESSION_STATE_VERSION})"
+            )));
+        }
+        let len: u64 = r.get()?;
+        let len = usize::try_from(len)
+            .map_err(|_| EngineError::Snapshot("payload length overflows usize".to_string()))?;
+        if len > r.remaining() {
+            return Err(EngineError::Snapshot(
+                "payload length exceeds container".to_string(),
+            ));
+        }
+        let payload = r.take_bytes(len)?.to_vec();
+        let checksum: u64 = r.get()?;
+        r.expect_end()?;
+        if fnv1a64(&payload) != checksum {
+            return Err(EngineError::Snapshot(
+                "payload checksum mismatch".to_string(),
+            ));
+        }
+        Ok(SessionState { payload })
+    }
+
+    /// Size of the serialised payload in bytes (excluding the container
+    /// header and checksum).
+    pub fn payload_len(&self) -> usize {
+        self.payload.len()
+    }
+}
+
+fn policy_tag(policy: StreamerPolicy) -> u8 {
+    match policy {
+        StreamerPolicy::Interleaved => 0,
+        StreamerPolicy::HalfBandwidth => 1,
+        StreamerPolicy::SingleBufferedW => 2,
+    }
+}
+
+fn policy_from_tag(tag: u8) -> Result<StreamerPolicy, EngineError> {
+    Ok(match tag {
+        0 => StreamerPolicy::Interleaved,
+        1 => StreamerPolicy::HalfBandwidth,
+        2 => StreamerPolicy::SingleBufferedW,
+        t => {
+            return Err(EngineError::Snapshot(format!(
+                "unknown streamer-policy tag {t}"
+            )))
+        }
+    })
+}
+
+fn f16_bits(values: &[F16]) -> Vec<u16> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+fn f16_from_bits(bits: Vec<u16>) -> Vec<F16> {
+    bits.into_iter().map(F16::from_bits).collect()
 }
 
 /// A running accelerator job that advances one clock at a time, sharing
@@ -560,6 +802,161 @@ impl EngineSession {
             faults,
         }
     }
+
+    /// Cycles executed so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Output tiles whose computation has fully completed.
+    pub fn tiles_completed(&self) -> usize {
+        self.sim.compute_tile.min(self.sim.tiles.len())
+    }
+
+    /// Total output tiles in the job's tile grid.
+    pub fn tiles_total(&self) -> usize {
+        self.sim.tiles.len()
+    }
+
+    /// `true` when the session sits on a tile boundary — the next compute
+    /// cycle would be the first of a fresh tile (or the job is draining
+    /// its final stores). At a boundary the datapath pipelines are
+    /// drained and the W/Z buffers hold no live tile state, which is what
+    /// makes [`EngineSession::checkpoint`] possible.
+    pub fn at_tile_boundary(&self) -> bool {
+        self.sim.t_local == 0 && !self.sim.started
+    }
+
+    /// Analytical estimate of the cycles still needed to finish the job,
+    /// from the paper's performance model: each remaining tile costs its
+    /// compute length (`H*(P+1) + n_phases*H*(P+1)` pipeline cycles) plus
+    /// the `L`-row store drain, and queued stores retire one per cycle.
+    /// Used for graceful degradation when a supervisor cuts a run short.
+    pub fn estimated_remaining_cycles(&self) -> u64 {
+        if self.is_finished() {
+            return 0;
+        }
+        let s = &self.sim;
+        let remaining_tiles = s.tiles.len().saturating_sub(s.compute_tile) as u64;
+        let per_tile = if s.n_phases == 0 {
+            1 + s.cfg.l as u64
+        } else {
+            s.tile_len() as u64 + s.cfg.l as u64 + 4
+        };
+        (remaining_tiles * per_tile + s.store_queue.len() as u64).saturating_sub(s.t_local as u64)
+    }
+
+    /// Serialises the session into a [`SessionState`] snapshot.
+    ///
+    /// Only legal at a tile boundary ([`EngineSession::at_tile_boundary`])
+    /// — between tiles the micro-architectural state collapses to the
+    /// scheduler cursors, staged operands and pending stores, so a resumed
+    /// run is bit-identical to an uninterrupted one. The TCDM and HCI are
+    /// *not* included; callers snapshot those alongside (see the runtime
+    /// crate's checkpoint container).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Snapshot`] when called mid-tile or on a session with
+    /// per-cycle tracing enabled (traces are not serialised).
+    pub fn checkpoint(&self) -> Result<SessionState, EngineError> {
+        let s = &self.sim;
+        if s.trace.is_some() {
+            return Err(EngineError::Snapshot(
+                "cannot checkpoint a tracing session: per-cycle traces are not serialised"
+                    .to_string(),
+            ));
+        }
+        if !self.at_tile_boundary() {
+            return Err(EngineError::Snapshot(format!(
+                "not at a tile boundary (tile {}, local cycle {})",
+                s.compute_tile, s.t_local
+            )));
+        }
+        debug_assert!(s.dp.is_drained(), "datapath must drain between tiles");
+        debug_assert!(
+            !s.zb.is_occupied(),
+            "Z buffer must be released between tiles"
+        );
+        let mut w = StateWriter::new();
+        w.put(&(s.cfg.h, s.cfg.l, s.cfg.p));
+        w.put(&policy_tag(s.policy));
+        s.job.save_state(&mut w);
+        w.put(&self.cycle);
+        w.put(&self.stalled_for);
+        w.put(&s.compute_tile);
+        w.put(&s.w_cursor);
+        w.put(&s.x_cursor);
+        w.put(&s.zpre_cursor);
+        w.put(&s.zpre_ready_tile);
+        w.put(
+            &s.zpre
+                .iter()
+                .map(|row| f16_bits(row))
+                .collect::<Vec<Vec<u16>>>(),
+        );
+        w.put(
+            &s.store_queue
+                .iter()
+                .map(|req| (req.addr, f16_bits(&req.data)))
+                .collect::<Vec<(u32, Vec<u16>)>>(),
+        );
+        let staged = |slots: &[Option<Vec<F16>>]| -> Vec<Option<Vec<u16>>> {
+            slots
+                .iter()
+                .map(|slot| slot.as_deref().map(f16_bits))
+                .collect()
+        };
+        w.put(&staged(s.xb.staging_slots()));
+        w.put(&staged(s.wb.staging_slots()));
+        w.put(
+            &s.w_inflight
+                .as_ref()
+                .map(|(col, group)| (*col, f16_bits(group))),
+        );
+        s.stats.save_state(&mut w);
+        w.put(&s.useful_macs);
+        w.put(&s.stall_cycles);
+        w.put(&s.dp.macs());
+        match &s.injector {
+            None => w.put(&0u8),
+            Some(injector) => {
+                w.put(&1u8);
+                injector.save_state(&mut w);
+            }
+        }
+        Ok(SessionState {
+            payload: w.finish(),
+        })
+    }
+
+    /// A [`RunReport`] covering the work done *so far*, for a session that
+    /// will not run to completion (deadline hit, cancellation). Unlike
+    /// [`EngineSession::finish`] this does not consume the session, never
+    /// panics mid-flight and skips the full-job MAC accounting check.
+    pub fn partial_report(&self) -> RunReport {
+        let mut stats = self.sim.stats.clone();
+        stats.add("stall_cycles", self.sim.stall_cycles);
+        stats.add("macs", self.sim.useful_macs);
+        stats.add("lane_macs", self.sim.dp.macs());
+        let faults = self
+            .sim
+            .injector
+            .as_ref()
+            .map(|injector| injector.log().clone())
+            .unwrap_or_default();
+        if !faults.is_empty() {
+            stats.add("faults_injected", faults.count(FaultPhase::Injected));
+        }
+        RunReport {
+            cycles: Cycle::new(self.cycle),
+            macs: self.sim.useful_macs,
+            stall_cycles: self.sim.stall_cycles,
+            stats,
+            trace: None,
+            faults,
+        }
+    }
 }
 
 /// All mutable state of one job execution.
@@ -688,7 +1085,6 @@ impl Sim {
     fn tile_len(&self) -> usize {
         self.cfg.h * self.lat + self.n_phases * self.pw
     }
-
 
     fn finished(&self) -> bool {
         self.compute_tile >= self.tiles.len() && self.store_queue.is_empty()
@@ -838,8 +1234,7 @@ impl Sim {
         if t >= final_start && t < final_start + pw {
             let j = t - final_start;
             for (r, v) in outs.iter().enumerate() {
-                self.zb
-                    .record(r, j, v.expect("final-phase output present"));
+                self.zb.record(r, j, v.expect("final-phase output present"));
             }
         }
 
@@ -1125,11 +1520,17 @@ impl Sim {
                 ready: false,
             }
         };
-        trace.w.record(if kind == 'w' { active } else { Handshake::IDLE });
-        trace.x.record(if kind == 'x' { active } else { Handshake::IDLE });
-        // Z preloads share the Z port direction bookkeeping.
         trace
-            .z
-            .record(if kind == 'z' || kind == 'p' { active } else { Handshake::IDLE });
+            .w
+            .record(if kind == 'w' { active } else { Handshake::IDLE });
+        trace
+            .x
+            .record(if kind == 'x' { active } else { Handshake::IDLE });
+        // Z preloads share the Z port direction bookkeeping.
+        trace.z.record(if kind == 'z' || kind == 'p' {
+            active
+        } else {
+            Handshake::IDLE
+        });
     }
 }

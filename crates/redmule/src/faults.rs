@@ -32,7 +32,10 @@ use redmule_cluster::{Hci, Tcdm};
 use redmule_fp16::vector::{gemm_golden_accumulate, GemmShape};
 use redmule_fp16::F16;
 use redmule_hwsim::faults::flip_bit16;
-use redmule_hwsim::{Cycle, FaultClass, FaultLog, FaultPhase, SplitMix64, Stats, StuckBit, Xoshiro256};
+use redmule_hwsim::snapshot::{Snapshot, SnapshotError, StateReader, StateWriter};
+use redmule_hwsim::{
+    Cycle, FaultClass, FaultLog, FaultPhase, SplitMix64, Stats, StuckBit, Xoshiro256,
+};
 
 /// Storage classes a random transient can strike.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -175,7 +178,11 @@ impl FaultPlan {
     /// Injects `per_tile` random transients into every tile, drawn from
     /// `targets`.
     #[must_use]
-    pub fn with_random_transients(mut self, per_tile: u32, targets: &[TransientTarget]) -> FaultPlan {
+    pub fn with_random_transients(
+        mut self,
+        per_tile: u32,
+        targets: &[TransientTarget],
+    ) -> FaultPlan {
         self.transients_per_tile = per_tile;
         self.targets = targets.to_vec();
         self
@@ -237,9 +244,8 @@ impl FaultPlan {
         }
         let pw = cfg.phase_width();
         let lat = cfg.latency();
-        let mut rng = Xoshiro256::seed_from_u64(
-            self.seed ^ SplitMix64::new(tile_idx as u64 + 1).next_u64(),
-        );
+        let mut rng =
+            Xoshiro256::seed_from_u64(self.seed ^ SplitMix64::new(tile_idx as u64 + 1).next_u64());
         for _ in 0..self.transients_per_tile {
             let target = self.targets[rng.below(self.targets.len() as u64) as usize];
             let cycle = rng.below(geom.est_len.max(1));
@@ -315,6 +321,36 @@ pub struct FaultInjector {
     stores_seen: usize,
 }
 
+impl Snapshot for FaultInjector {
+    fn save_state(&self, w: &mut StateWriter) {
+        w.put(&self.pending.len());
+        for (cycle, site) in &self.pending {
+            w.put(cycle);
+            FaultInjector::save_site(*site, w);
+        }
+        self.log.save_state(w);
+        w.put(&self.stores_seen);
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let n: usize = r.get()?;
+        if n > r.remaining() {
+            return Err(SnapshotError::Corrupt(format!(
+                "fault-injector pending length {n} exceeds remaining payload"
+            )));
+        }
+        self.pending.clear();
+        for _ in 0..n {
+            let cycle: u64 = r.get()?;
+            let site = FaultInjector::load_site(r)?;
+            self.pending.push((cycle, site));
+        }
+        self.log.restore_state(r)?;
+        self.stores_seen = r.get()?;
+        Ok(())
+    }
+}
+
 impl FaultInjector {
     /// Creates an injector from expanded `(cycle, site)` pairs.
     pub fn new(specs: Vec<(u64, FaultSite)>) -> FaultInjector {
@@ -337,6 +373,95 @@ impl FaultInjector {
         self.log
     }
 
+    fn save_site(site: FaultSite, w: &mut StateWriter) {
+        match site {
+            FaultSite::Pipe {
+                col,
+                row,
+                stage,
+                bit,
+            } => {
+                w.put(&0u8);
+                w.put(&col);
+                w.put(&row);
+                w.put(&stage);
+                w.put(&bit);
+            }
+            FaultSite::WLoad {
+                phase,
+                col,
+                elem,
+                bit,
+            } => {
+                w.put(&1u8);
+                w.put(&phase);
+                w.put(&col);
+                w.put(&elem);
+                w.put(&bit);
+            }
+            FaultSite::XLoad {
+                chunk,
+                row,
+                elem,
+                bit,
+            } => {
+                w.put(&2u8);
+                w.put(&chunk);
+                w.put(&row);
+                w.put(&elem);
+                w.put(&bit);
+            }
+            FaultSite::ZStore { store, elem, bit } => {
+                w.put(&3u8);
+                w.put(&store);
+                w.put(&elem);
+                w.put(&bit);
+            }
+            FaultSite::TcdmWord { addr, bit } => {
+                w.put(&4u8);
+                w.put(&addr);
+                w.put(&bit);
+            }
+        }
+    }
+
+    fn load_site(r: &mut StateReader<'_>) -> Result<FaultSite, SnapshotError> {
+        Ok(match r.get::<u8>()? {
+            0 => FaultSite::Pipe {
+                col: r.get()?,
+                row: r.get()?,
+                stage: r.get()?,
+                bit: r.get()?,
+            },
+            1 => FaultSite::WLoad {
+                phase: r.get()?,
+                col: r.get()?,
+                elem: r.get()?,
+                bit: r.get()?,
+            },
+            2 => FaultSite::XLoad {
+                chunk: r.get()?,
+                row: r.get()?,
+                elem: r.get()?,
+                bit: r.get()?,
+            },
+            3 => FaultSite::ZStore {
+                store: r.get()?,
+                elem: r.get()?,
+                bit: r.get()?,
+            },
+            4 => FaultSite::TcdmWord {
+                addr: r.get()?,
+                bit: r.get()?,
+            },
+            t => {
+                return Err(SnapshotError::Corrupt(format!(
+                    "unknown fault-site tag {t}"
+                )))
+            }
+        })
+    }
+
     /// Cycle-addressed strikes: FMA pipeline registers and TCDM words.
     pub(crate) fn on_cycle(&mut self, cycle: u64, dp: &mut Datapath, mem: &mut Tcdm) {
         let mut i = 0;
@@ -346,9 +471,12 @@ impl FaultInjector {
                 // Retry until the strike lands on a non-bubble stage: a
                 // flip of an empty register has no architectural effect,
                 // so keep the particle in flight.
-                FaultSite::Pipe { col, row, stage, bit }
-                    if cycle >= due && dp.corrupt(col, row, stage, bit) =>
-                {
+                FaultSite::Pipe {
+                    col,
+                    row,
+                    stage,
+                    bit,
+                } if cycle >= due && dp.corrupt(col, row, stage, bit) => {
                     self.log.record(
                         cycle,
                         format!("fma[{col}][{row}].s{stage}.b{bit}"),
@@ -383,7 +511,16 @@ impl FaultInjector {
     pub(crate) fn on_w_load(&mut self, cycle: u64, phase: usize, col: usize, group: &mut [F16]) {
         let mut i = 0;
         while i < self.pending.len() {
-            if let (_, FaultSite::WLoad { phase: p, col: c, elem, bit }) = self.pending[i] {
+            if let (
+                _,
+                FaultSite::WLoad {
+                    phase: p,
+                    col: c,
+                    elem,
+                    bit,
+                },
+            ) = self.pending[i]
+            {
                 if p == phase && c == col {
                     if let Some(v) = group.get_mut(elem) {
                         flip(v, bit);
@@ -405,7 +542,16 @@ impl FaultInjector {
     pub(crate) fn on_x_load(&mut self, cycle: u64, chunk: usize, row: usize, data: &mut [F16]) {
         let mut i = 0;
         while i < self.pending.len() {
-            if let (_, FaultSite::XLoad { chunk: ch, row: r, elem, bit }) = self.pending[i] {
+            if let (
+                _,
+                FaultSite::XLoad {
+                    chunk: ch,
+                    row: r,
+                    elem,
+                    bit,
+                },
+            ) = self.pending[i]
+            {
                 if ch == chunk && r == row {
                     if let Some(v) = data.get_mut(elem) {
                         flip(v, bit);
@@ -507,7 +653,11 @@ fn tile_signature(z: &[Vec<F16>]) -> (Vec<u64>, Vec<u64>, u16) {
         }
         row_sums.push(rs.to_bits());
     }
-    (row_sums, col_sums.into_iter().map(f64::to_bits).collect(), xor)
+    (
+        row_sums,
+        col_sums.into_iter().map(f64::to_bits).collect(),
+        xor,
+    )
 }
 
 /// One tile of the fault-tolerant tiling, mirroring the engine's own
@@ -562,7 +712,11 @@ impl Engine {
             mem.set_stuck(addr, stuck)?;
             log.record(
                 0,
-                format!("tcdm@{addr:#x}.b{} stuck-{}", stuck.bit, u8::from(stuck.value)),
+                format!(
+                    "tcdm@{addr:#x}.b{} stuck-{}",
+                    stuck.bit,
+                    u8::from(stuck.value)
+                ),
                 FaultClass::StuckAt,
                 FaultPhase::Injected,
             );
@@ -667,8 +821,7 @@ impl Engine {
                             let addr = sub_job.w_addr + 2 * (n_idx * job.w_ld()) as u32;
                             w_sub.extend(mem.load_f16_slice(addr, tile.cols)?);
                         }
-                        let y_flat: Option<Vec<F16>> =
-                            z_pre.as_ref().map(|rows| rows.concat());
+                        let y_flat: Option<Vec<F16>> = z_pre.as_ref().map(|rows| rows.concat());
                         let reference =
                             gemm_golden_accumulate(shape, &x_sub, &w_sub, y_flat.as_deref());
                         let ref_rows: Vec<Vec<F16>> = reference
@@ -805,7 +958,11 @@ mod tests {
     #[test]
     fn signature_catches_any_single_flip() {
         let base: Vec<Vec<F16>> = (0..4)
-            .map(|r| (0..4).map(|c| F16::from_f32((r * 4 + c) as f32 * 0.25)).collect())
+            .map(|r| {
+                (0..4)
+                    .map(|c| F16::from_f32((r * 4 + c) as f32 * 0.25))
+                    .collect()
+            })
             .collect();
         let sig = tile_signature(&base);
         for r in 0..4 {

@@ -414,8 +414,8 @@ mod tests {
             report.dma_hidden_fraction()
         );
         // Overlapped is close to pure compute plus the first fill.
-        let overhead = report.overlapped_cycles.count() as f64
-            / report.compute_cycles.count() as f64;
+        let overhead =
+            report.overlapped_cycles.count() as f64 / report.compute_cycles.count() as f64;
         assert!(overhead < 1.3, "overlap overhead = {overhead}");
     }
 

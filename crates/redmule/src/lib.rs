@@ -52,12 +52,14 @@ pub mod faults;
 mod l2;
 pub mod regfile;
 
-pub use accelerator::{Accelerator, GemmRun};
+pub use accelerator::{stage_gemm_workspace, Accelerator, GemmRun};
 pub use config::AccelConfig;
 pub use engine::{
-    Engine, EngineError, EngineSession, EngineTrace, OccupancySample, RunReport, StreamerPolicy,
-    TickResult, DEFAULT_WATCHDOG,
+    Engine, EngineError, EngineSession, EngineTrace, OccupancySample, RunReport, SessionState,
+    StreamerPolicy, TickResult, DEFAULT_WATCHDOG, SESSION_STATE_VERSION,
 };
-pub use faults::{FaultInjector, FaultPlan, FaultSite, FaultSpec, FtConfig, FtMode, TransientTarget};
+pub use faults::{
+    FaultInjector, FaultPlan, FaultSite, FaultSpec, FtConfig, FtMode, TransientTarget,
+};
 pub use l2::{L2TiledGemm, TileShape, TiledReport};
 pub use regfile::{Job, RegFile};

@@ -7,6 +7,7 @@
 //! [`Job`].
 
 use crate::engine::EngineError;
+use redmule_hwsim::snapshot::{SnapshotError, StateReader, StateWriter};
 use redmule_hwsim::StuckBit;
 use std::fmt;
 
@@ -114,17 +115,29 @@ impl Job {
 
     /// Effective X row stride in elements.
     pub fn x_ld(&self) -> usize {
-        if self.x_stride == 0 { self.n } else { self.x_stride }
+        if self.x_stride == 0 {
+            self.n
+        } else {
+            self.x_stride
+        }
     }
 
     /// Effective W row stride in elements.
     pub fn w_ld(&self) -> usize {
-        if self.w_stride == 0 { self.k } else { self.w_stride }
+        if self.w_stride == 0 {
+            self.k
+        } else {
+            self.w_stride
+        }
     }
 
     /// Effective Z row stride in elements.
     pub fn z_ld(&self) -> usize {
-        if self.z_stride == 0 { self.k } else { self.z_stride }
+        if self.z_stride == 0 {
+            self.k
+        } else {
+            self.z_stride
+        }
     }
 
     /// The GEMM shape of this job.
@@ -159,6 +172,36 @@ impl Job {
             }
         }
         Ok(())
+    }
+
+    /// Serialises the descriptor into a session snapshot payload.
+    pub(crate) fn save_state(&self, w: &mut StateWriter) {
+        w.put(&self.x_addr);
+        w.put(&self.w_addr);
+        w.put(&self.z_addr);
+        w.put(&self.m);
+        w.put(&self.n);
+        w.put(&self.k);
+        w.put(&self.accumulate);
+        w.put(&self.x_stride);
+        w.put(&self.w_stride);
+        w.put(&self.z_stride);
+    }
+
+    /// Deserialises a descriptor written by [`Job::save_state`].
+    pub(crate) fn load_state(r: &mut StateReader<'_>) -> Result<Job, SnapshotError> {
+        Ok(Job {
+            x_addr: r.get()?,
+            w_addr: r.get()?,
+            z_addr: r.get()?,
+            m: r.get()?,
+            n: r.get()?,
+            k: r.get()?,
+            accumulate: r.get()?,
+            x_stride: r.get()?,
+            w_stride: r.get()?,
+            z_stride: r.get()?,
+        })
     }
 }
 
@@ -441,7 +484,13 @@ mod tests {
     #[test]
     fn write_fault_pins_bits_and_survives_soft_clear() {
         let mut rf = RegFile::new();
-        rf.inject_write_stuck(offsets::M_SIZE, StuckBit { bit: 0, value: true });
+        rf.inject_write_stuck(
+            offsets::M_SIZE,
+            StuckBit {
+                bit: 0,
+                value: true,
+            },
+        );
         rf.write(offsets::M_SIZE, 4);
         assert_eq!(rf.read(offsets::M_SIZE), 5, "LSB pinned high");
         rf.write(offsets::SOFT_CLEAR, 1);

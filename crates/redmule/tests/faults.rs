@@ -73,7 +73,11 @@ fn zero_fault_plan_is_bit_identical_to_fault_free_run() {
             "{:?}: empty plan changed the result",
             ft.mode
         );
-        assert!(run.report.faults.is_empty(), "{:?}: phantom faults", ft.mode);
+        assert!(
+            run.report.faults.is_empty(),
+            "{:?}: phantom faults",
+            ft.mode
+        );
         assert_eq!(run.report.stats.get("faults_detected"), 0);
         assert_eq!(run.report.stats.get("tiles_replayed"), 0);
     }
@@ -279,7 +283,13 @@ fn stuck_output_bit_exhausts_the_replay_budget() {
     let (mut mem, mut hci, job) = staged_cluster(shape, &x, &w);
     // z = 1.0 = 0x3C00: pinning bit 1 high corrupts every readback, which
     // no amount of replay can outrun.
-    let plan = FaultPlan::new(0).with_tcdm_stuck(job.z_addr, StuckBit { bit: 1, value: true });
+    let plan = FaultPlan::new(0).with_tcdm_stuck(
+        job.z_addr,
+        StuckBit {
+            bit: 1,
+            value: true,
+        },
+    );
     let err = engine
         .run_ft(job, &mut mem, &mut hci, &plan, FtConfig::replay())
         .expect_err("a stuck output bit must defeat replay");

@@ -1,0 +1,151 @@
+//! Whole-run checkpoints: engine session + TCDM contents + HCI state.
+//!
+//! The engine's own [`SessionState`] captures the accelerator; a job's
+//! observable behaviour additionally depends on the TCDM words it still
+//! has to read/write and on the interconnect arbiter cursors (grant
+//! rotation, armed transaction drops). [`Checkpoint`] bundles all three so
+//! a run restored on a fresh cluster is bit-identical to one that never
+//! stopped.
+
+use redmule::{Engine, EngineError, EngineSession, SessionState};
+use redmule_cluster::{Hci, Tcdm};
+use redmule_hwsim::snapshot::{fnv1a64, Snapshot, StateReader, StateWriter};
+
+/// Container magic identifying serialised checkpoints.
+const CHECKPOINT_MAGIC: [u8; 4] = *b"RMCK";
+
+/// Version of the checkpoint container format.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// A resumable snapshot of one supervised job: the engine session at a
+/// tile boundary plus the TCDM and HCI state it was running against.
+///
+/// Serialises to a self-describing byte container (`"RMCK"` magic,
+/// format version, three length-prefixed sections, FNV-1a-64 checksum)
+/// via [`Checkpoint::to_bytes`] / [`Checkpoint::from_bytes`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    session: SessionState,
+    tcdm: Vec<u8>,
+    hci: Vec<u8>,
+}
+
+impl Checkpoint {
+    /// Captures a checkpoint of `session` and the cluster state it runs
+    /// against. Only legal at a tile boundary (see
+    /// [`EngineSession::checkpoint`]).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Snapshot`] when the session cannot be serialised
+    /// (mid-tile, or per-cycle tracing enabled).
+    pub fn capture(
+        session: &EngineSession,
+        mem: &Tcdm,
+        hci: &Hci,
+    ) -> Result<Checkpoint, EngineError> {
+        let state = session.checkpoint()?;
+        let mut w = StateWriter::new();
+        mem.save_state(&mut w);
+        let tcdm = w.finish();
+        let mut w = StateWriter::new();
+        hci.save_state(&mut w);
+        let hci = w.finish();
+        Ok(Checkpoint {
+            session: state,
+            tcdm,
+            hci,
+        })
+    }
+
+    /// Restores the cluster state into `mem`/`hci` (which must have the
+    /// same configuration as at capture time) and rebuilds the running
+    /// session on `engine`.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Snapshot`] when the checkpoint does not match the
+    /// cluster configuration or the engine's parameters/policy.
+    pub fn restore(
+        &self,
+        engine: &Engine,
+        mem: &mut Tcdm,
+        hci: &mut Hci,
+    ) -> Result<EngineSession, EngineError> {
+        let mut r = StateReader::new(&self.tcdm);
+        mem.restore_state(&mut r)?;
+        r.expect_end()?;
+        let mut r = StateReader::new(&self.hci);
+        hci.restore_state(&mut r)?;
+        r.expect_end()?;
+        engine.resume(&self.session)
+    }
+
+    /// The engine-session part of the checkpoint.
+    pub fn session(&self) -> &SessionState {
+        &self.session
+    }
+
+    /// Serialises the checkpoint into a self-describing byte container.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = StateWriter::new();
+        payload.put(&self.session.to_bytes());
+        payload.put(&self.tcdm);
+        payload.put(&self.hci);
+        let payload = payload.finish();
+        let mut out = Vec::with_capacity(payload.len() + 24);
+        out.extend_from_slice(&CHECKPOINT_MAGIC);
+        out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        out
+    }
+
+    /// Parses a container produced by [`Checkpoint::to_bytes`], verifying
+    /// magic, version and checksum.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Snapshot`] on structural damage: wrong magic,
+    /// unsupported version, truncation, trailing bytes or checksum
+    /// mismatch.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Checkpoint, EngineError> {
+        let mut r = StateReader::new(bytes);
+        let magic = r.take_bytes(4)?;
+        if magic != CHECKPOINT_MAGIC {
+            return Err(EngineError::Snapshot(
+                "not a checkpoint (bad magic)".to_string(),
+            ));
+        }
+        let version: u32 = r.get()?;
+        if version != CHECKPOINT_VERSION {
+            return Err(EngineError::Snapshot(format!(
+                "unsupported checkpoint version {version} (expected {CHECKPOINT_VERSION})"
+            )));
+        }
+        let len: u64 = r.get()?;
+        let len = usize::try_from(len)
+            .map_err(|_| EngineError::Snapshot("payload length overflows usize".to_string()))?;
+        if len > r.remaining() {
+            return Err(EngineError::Snapshot(
+                "payload length exceeds container".to_string(),
+            ));
+        }
+        let payload = r.take_bytes(len)?.to_vec();
+        let checksum: u64 = r.get()?;
+        r.expect_end()?;
+        if fnv1a64(&payload) != checksum {
+            return Err(EngineError::Snapshot(
+                "payload checksum mismatch".to_string(),
+            ));
+        }
+        let mut r = StateReader::new(&payload);
+        let session_bytes: Vec<u8> = r.get()?;
+        let session = SessionState::from_bytes(&session_bytes)?;
+        let tcdm: Vec<u8> = r.get()?;
+        let hci: Vec<u8> = r.get()?;
+        r.expect_end()?;
+        Ok(Checkpoint { session, tcdm, hci })
+    }
+}

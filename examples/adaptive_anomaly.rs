@@ -50,7 +50,7 @@ fn signature(batch: usize, drift: f32, fault: bool, seed: usize) -> Tensor {
 
 fn probe(net: &mut Network, x: &Tensor, backend: &mut Backend) -> f64 {
     let mut scratch = CycleLedger::new();
-    let y = net.forward(x, backend, &mut scratch);
+    let y = net.forward(x, backend, &mut scratch).expect("forward");
     let mut err = 0.0;
     for r in 0..y.rows() {
         for c in 0..y.cols() {
@@ -77,7 +77,10 @@ fn main() {
     let healthy = signature(batch, 0.0, false, 0);
     let mut loss = f64::MAX;
     for _ in 0..150 {
-        loss = net.train_step(&healthy, lr, &mut backend, &mut ledger).loss;
+        loss = net
+            .train_step(&healthy, lr, &mut backend, &mut ledger)
+            .expect("step")
+            .loss;
     }
     let threshold = loss * 3.0;
     println!("factory training: reconstruction MSE {loss:.6}, threshold {threshold:.6}");
@@ -93,14 +96,18 @@ fn main() {
             "still fine"
         }
     );
-    assert!(stale_err > threshold, "the scenario needs a drift that alarms");
+    assert!(
+        stale_err > threshold,
+        "the scenario needs a drift that alarms"
+    );
 
     // --- Phase 3: adapt on device with RedMulE ---
     let before = ledger.total_cycles().count();
     let mut steps = 0;
     let mut adapted_err = stale_err;
     while adapted_err > threshold && steps < 200 {
-        net.train_step(&drifted, lr, &mut backend, &mut ledger);
+        net.train_step(&drifted, lr, &mut backend, &mut ledger)
+            .expect("step");
         adapted_err = probe(&mut net, &drifted, &mut backend);
         steps += 1;
     }

@@ -29,7 +29,9 @@ fn main() {
     println!("training the MLPerf-Tiny autoencoder on RedMulE (B = {batch}):");
     let mut last_cycles = 0;
     for step in 0..5 {
-        let report = net.train_step(&x, lr, &mut hw, &mut ledger);
+        let report = net
+            .train_step(&x, lr, &mut hw, &mut ledger)
+            .expect("hw step");
         last_cycles = report.cycles.count();
         println!(
             "  step {step}: loss = {:.6}, {} cycles",
@@ -41,7 +43,9 @@ fn main() {
     let mut net_sw = autoencoder::mlperf_tiny(2024);
     let mut sw = Backend::sw();
     let mut sw_ledger = CycleLedger::new();
-    let sw_report = net_sw.train_step(&x, lr, &mut sw, &mut sw_ledger);
+    let sw_report = net_sw
+        .train_step(&x, lr, &mut sw, &mut sw_ledger)
+        .expect("sw step");
     println!(
         "\none step on 8 RISC-V cores: loss = {:.6}, {} cycles",
         sw_report.loss, sw_report.cycles

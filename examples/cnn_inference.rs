@@ -30,13 +30,13 @@ fn run(backend: &mut Backend) -> (CycleLedger, usize) {
     let conv3 = Conv2d::new("conv3", 16, 32, 3, 2, 1, true, 103);
     let mut head = Dense::new("head", 32 * 8 * 8, 10, false, 104);
 
-    let f1 = conv1.forward(&image, backend, &mut ledger);
-    let f2 = conv2.forward(&f1, backend, &mut ledger);
-    let f3 = conv3.forward(&f2, backend, &mut ledger);
+    let f1 = conv1.forward(&image, backend, &mut ledger).expect("conv1");
+    let f2 = conv2.forward(&f1, backend, &mut ledger).expect("conv2");
+    let f3 = conv3.forward(&f2, backend, &mut ledger).expect("conv3");
 
     // Flatten (channel-major) into a features x 1 activation column.
     let flat = Tensor::from_vec(f3.len(), 1, f3.as_slice().to_vec());
-    let logits = head.forward(&flat, backend, &mut ledger);
+    let logits = head.forward(&flat, backend, &mut ledger).expect("head");
 
     // argmax as the "prediction".
     let mut best = 0usize;

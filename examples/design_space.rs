@@ -48,7 +48,11 @@ fn main() {
         let run = accel.gemm(shape, &x, &w).expect("gemm runs");
         let a = area.redmule(h, l, p).total();
         let mpc = run.report.macs_per_cycle();
-        let marker = if (h, l, p) == (4, 8, 3) { "  <- paper" } else { "" };
+        let marker = if (h, l, p) == (4, 8, 3) {
+            "  <- paper"
+        } else {
+            ""
+        };
         println!(
             "{h:>3} {l:>3} {p:>3} {:>6} {:>6} {mpc:>10.2} {:>9.1} {a:>10.3} {:>12.1}{marker}",
             cfg.fma_count(),

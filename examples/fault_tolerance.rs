@@ -93,7 +93,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut hci = Hci::new(&ccfg);
     mem.store_f16_slice(0, &x)?;
     mem.store_f16_slice(2 * shape.x_len() as u32, &w)?;
-    let stuck = FaultPlan::new(0).with_tcdm_stuck(job.z_addr, StuckBit { bit: 1, value: true });
+    let stuck = FaultPlan::new(0).with_tcdm_stuck(
+        job.z_addr,
+        StuckBit {
+            bit: 1,
+            value: true,
+        },
+    );
     let err = Engine::new(AccelConfig::paper())
         .run_ft(job, &mut mem, &mut hci, &stuck, FtConfig::replay())
         .expect_err("a stuck output bit is unrecoverable by replay");

@@ -44,7 +44,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Spot-check numerics against the golden model.
     let golden = gemm_golden(shape, &x, &w);
     assert!(
-        z.iter().zip(&golden).all(|(a, b)| a.to_bits() == b.to_bits()),
+        z.iter()
+            .zip(&golden)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
         "tiled execution must stay bit-exact"
     );
 

@@ -43,8 +43,7 @@ fn main() {
         let hw = accel.gemm(shape, &x, &w).expect("managed job");
         let swr = sw.run(shape, &x, &w);
         assert!(
-            hw.z
-                .iter()
+            hw.z.iter()
                 .zip(&swr.z)
                 .all(|(a, b)| a.to_bits() == b.to_bits()),
             "HW/SW mismatch at {size}"

@@ -124,8 +124,12 @@ fn autoencoder_training_is_backend_invariant_and_converges() {
     let mut lh = CycleLedger::new();
     let mut ls = CycleLedger::new();
 
-    let rh = hw_net.train_step(&x, 0.01, &mut hw, &mut lh);
-    let rs = sw_net.train_step(&x, 0.01, &mut sw, &mut ls);
+    let rh = hw_net
+        .train_step(&x, 0.01, &mut hw, &mut lh)
+        .expect("hw step");
+    let rs = sw_net
+        .train_step(&x, 0.01, &mut sw, &mut ls)
+        .expect("sw step");
     assert_eq!(rh.loss.to_bits(), rs.loss.to_bits(), "losses diverged");
     for (a, b) in hw_net.layers().iter().zip(sw_net.layers()) {
         assert_eq!(a.weights(), b.weights(), "weights diverged at {}", a.name());
@@ -135,7 +139,10 @@ fn autoencoder_training_is_backend_invariant_and_converges() {
     let first = rh.loss;
     let mut last = first;
     for _ in 0..4 {
-        last = hw_net.train_step(&x, 0.01, &mut hw, &mut lh).loss;
+        last = hw_net
+            .train_step(&x, 0.01, &mut hw, &mut lh)
+            .expect("hw step")
+            .loss;
     }
     assert!(last < first, "loss must fall: {first} -> {last}");
 }
