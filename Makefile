@@ -1,16 +1,18 @@
 # Convenience targets for the RedMulE reproduction.
 #
-#   make verify   — tier-1 gate plus the full workspace suite, a
-#                   warning-free clippy pass and a formatting check
-#                   (what CI runs, see .github/workflows/ci.yml)
-#   make test     — fast: workspace tests only
-#   make figures  — regenerate every table/figure (quick sweep sizes)
+#   make verify     — tier-1 gate plus the full workspace suite, a
+#                     warning-free clippy pass, a formatting check and the
+#                     modelcheck static analyzer
+#                     (what CI runs, see .github/workflows/ci.yml)
+#   make test       — fast: workspace tests only
+#   make modelcheck — model-hygiene static analysis (DESIGN.md §10)
+#   make figures    — regenerate every table/figure (quick sweep sizes)
 
 CARGO ?= cargo
 
-.PHONY: verify build test clippy fmt figures
+.PHONY: verify build test clippy fmt modelcheck figures
 
-verify: build test clippy fmt
+verify: build test clippy fmt modelcheck
 
 build:
 	$(CARGO) build --release
@@ -23,6 +25,9 @@ clippy:
 
 fmt:
 	$(CARGO) fmt --all -- --check
+
+modelcheck:
+	$(CARGO) run -q -p modelcheck
 
 figures:
 	$(CARGO) run --release -q -p redmule-bench --bin figures -- all

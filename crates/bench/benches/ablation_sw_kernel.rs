@@ -29,7 +29,9 @@ fn bench(c: &mut Criterion) {
         ("simd2", KernelVariant::Simd2),
     ] {
         let sw = SwGemm::new(&ClusterConfig::default()).with_variant(variant);
-        group.bench_function(name, |b| b.iter(|| black_box(sw.run(shape, &x, &w).cycles)));
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(sw.run(shape, &x, &w).expect("sw run").cycles))
+        });
     }
     group.finish();
 }

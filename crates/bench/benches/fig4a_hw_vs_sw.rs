@@ -31,7 +31,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| black_box(accel.gemm(shape, &x, &w).unwrap().report.cycles))
     });
     group.bench_function("sw_sim_32x32x32", |b| {
-        b.iter(|| black_box(sw.run(shape, &x, &w).cycles))
+        b.iter(|| black_box(sw.run(shape, &x, &w).expect("sw run").cycles))
     });
     group.finish();
 }

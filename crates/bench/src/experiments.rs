@@ -80,7 +80,7 @@ pub fn hw_sw_sweep(sizes: &[usize]) -> Result<Vec<SizePoint>, EngineError> {
             let shape = GemmShape::new(s, s, s);
             let (x, w) = workloads::gemm_operands(shape, s as u32);
             let hw = accel.gemm(shape, &x, &w)?;
-            let swr = sw.run(shape, &x, &w);
+            let swr = sw.run(shape, &x, &w)?;
             assert_eq!(
                 hw.z.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
                 swr.z.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
@@ -668,7 +668,7 @@ pub fn ablation_sw_kernel() -> Result<String, EngineError> {
     ] {
         let run = SwGemm::new(&ClusterConfig::default())
             .with_variant(variant)
-            .run(shape, &x, &w);
+            .run(shape, &x, &w)?;
         out.push_str(&format!(
             "{:<10} {:>10} {:>10.3} {:>8.1}x\n",
             name,

@@ -29,7 +29,7 @@
 
 use crate::config::ClusterConfig;
 use crate::hci::{Hci, Initiator};
-use crate::tcdm::Tcdm;
+use crate::tcdm::{MemError, Tcdm};
 use redmule_fp16::vector::GemmShape;
 use redmule_fp16::F16;
 use redmule_hwsim::{Cycle, Stats};
@@ -98,8 +98,9 @@ pub enum KernelVariant {
 /// let shape = GemmShape::new(4, 4, 4);
 /// let x = vec![F16::ONE; 16];
 /// let w = vec![F16::ONE; 16];
-/// let run = SwGemm::new(&ClusterConfig::default()).run(shape, &x, &w);
+/// let run = SwGemm::new(&ClusterConfig::default()).run(shape, &x, &w)?;
 /// assert!(run.z.iter().all(|v| v.to_f32() == 4.0));
+/// # Ok::<(), redmule_cluster::MemError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct SwGemm {
@@ -177,6 +178,9 @@ impl SwGemm {
     ///
     /// Panics if the configuration fails [`ClusterConfig::validate`].
     pub fn new(cfg: &ClusterConfig) -> SwGemm {
+        // modelcheck-allow: RM-PANIC-001 -- documented constructor contract:
+        // an invalid ClusterConfig is a programming error, and
+        // ClusterConfig::validate is the fallible path for untrusted input.
         cfg.validate().expect("invalid cluster configuration");
         SwGemm {
             cfg: cfg.clone(),
@@ -198,10 +202,16 @@ impl SwGemm {
     /// enlarged for the run (recorded in `stats` as `tcdm_oversized`),
     /// mirroring the paper's operands-resident-in-L1 kernel methodology.
     ///
+    /// # Errors
+    ///
+    /// Returns a [`MemError`] if the computed scratchpad layout does not
+    /// fit the (possibly enlarged) TCDM — a modelling bug rather than a
+    /// user error, but surfaced instead of aborting the simulation.
+    ///
     /// # Panics
     ///
     /// Panics if slice lengths do not match `shape`.
-    pub fn run(&self, shape: GemmShape, x: &[F16], w: &[F16]) -> SwRun {
+    pub fn run(&self, shape: GemmShape, x: &[F16], w: &[F16]) -> Result<SwRun, MemError> {
         assert_eq!(x.len(), shape.x_len(), "X has wrong length for {shape}");
         assert_eq!(w.len(), shape.w_len(), "W has wrong length for {shape}");
 
@@ -233,16 +243,15 @@ impl SwGemm {
         let x_base = 0u32;
         let w_base = x_base + 2 * shape.x_len() as u32;
         let z_base = w_base + 2 * shape.w_len() as u32;
-        mem.store_f16_slice(x_base, x).expect("X fits in TCDM");
-        mem.store_f16_slice(w_base, w).expect("W fits in TCDM");
+        mem.store_f16_slice(x_base, x)?;
+        mem.store_f16_slice(w_base, w)?;
 
         // Per-core private W copies, bank-decorrelated by the stride pad.
         let priv_base = z_base + 2 * shape.z_len() as u32;
         let mut priv_cycles: u64 = 0;
         if privatize {
             for c in 0..n_cores_cfg {
-                mem.store_f16_slice(priv_base + c as u32 * priv_stride, w)
-                    .expect("private W copies fit in TCDM");
+                mem.store_f16_slice(priv_base + c as u32 * priv_stride, w)?;
             }
             priv_cycles = PRIVATIZE_CYCLES_PER_ELEM * shape.w_len() as u64 + BARRIER_CYCLES;
             stats.add("w_privatize_cycles", priv_cycles);
@@ -376,9 +385,9 @@ impl SwGemm {
                     Stage::LoadX => {
                         if granted[idx] {
                             let addr = x_base + 2 * (core.i * shape.n + core.l) as u32;
-                            core.rx = mem.read_f16(addr).expect("X address in range");
+                            core.rx = mem.read_f16(addr)?;
                             if simd {
-                                core.rx1 = mem.read_f16(addr + 2).expect("X pair in range");
+                                core.rx1 = mem.read_f16(addr + 2)?;
                                 // A misaligned 32-bit load needs two bus
                                 // accesses on RI5CY-class cores.
                                 core.wait = extra_mem + u32::from(!addr.is_multiple_of(4));
@@ -398,7 +407,7 @@ impl SwGemm {
                                 w_base
                             };
                             let addr = base + 2 * (core.l * shape.k + core.col(shape.k)) as u32;
-                            core.rw = mem.read_f16(addr).expect("W address in range");
+                            core.rw = mem.read_f16(addr)?;
                             core.wait = extra_mem;
                             core.stage = if simd {
                                 Stage::LoadW2
@@ -420,7 +429,7 @@ impl SwGemm {
                             };
                             let addr =
                                 base + 2 * ((core.l + 1) * shape.k + core.col(shape.k)) as u32;
-                            core.rw1 = mem.read_f16(addr).expect("W address in range");
+                            core.rw1 = mem.read_f16(addr)?;
                             core.wait = extra_mem;
                             core.stage = Stage::Addi;
                         } else {
@@ -484,7 +493,7 @@ impl SwGemm {
                     Stage::TailLoadX => {
                         if granted[idx] {
                             let addr = x_base + 2 * (core.i * shape.n + core.l) as u32;
-                            core.rx = mem.read_f16(addr).expect("X address in range");
+                            core.rx = mem.read_f16(addr)?;
                             core.wait = extra_mem;
                             core.stage = Stage::TailLoadW;
                         } else {
@@ -499,7 +508,7 @@ impl SwGemm {
                                 w_base
                             };
                             let addr = base + 2 * (core.l * shape.k + core.col(shape.k)) as u32;
-                            core.rw = mem.read_f16(addr).expect("W address in range");
+                            core.rw = mem.read_f16(addr)?;
                             core.wait = extra_mem;
                             core.stage = Stage::TailFma;
                         } else {
@@ -523,7 +532,7 @@ impl SwGemm {
                             } else {
                                 let addr =
                                     z_base + 2 * (core.i * shape.k + core.col(shape.k)) as u32;
-                                mem.write_f16(addr, core.acc).expect("Z address in range");
+                                mem.write_f16(addr, core.acc)?;
                                 core.wait = extra_mem;
                                 core.stage = Stage::JStep;
                             }
@@ -566,15 +575,13 @@ impl SwGemm {
         stats.merge(hci.stats());
         stats.add("macs", shape.macs());
 
-        let z = mem
-            .load_f16_slice(z_base, shape.z_len())
-            .expect("Z range valid");
-        SwRun {
+        let z = mem.load_f16_slice(z_base, shape.z_len())?;
+        Ok(SwRun {
             z,
             cycles: total,
             shape,
             stats,
-        }
+        })
     }
 }
 
@@ -591,7 +598,7 @@ mod tests {
         let w: Vec<F16> = (0..shape.w_len())
             .map(|i| F16::from_f32(((i % 19) as f32 - 9.0) / 16.0))
             .collect();
-        SwGemm::new(&cfg).run(shape, &x, &w)
+        SwGemm::new(&cfg).run(shape, &x, &w).unwrap()
     }
 
     fn bits(v: &[F16]) -> Vec<u16> {
@@ -608,7 +615,9 @@ mod tests {
             let w: Vec<F16> = (0..shape.w_len())
                 .map(|i| F16::from_f32(((i * 5 % 29) as f32 - 14.0) / 8.0))
                 .collect();
-            let sw = SwGemm::new(&ClusterConfig::default()).run(shape, &x, &w);
+            let sw = SwGemm::new(&ClusterConfig::default())
+                .run(shape, &x, &w)
+                .unwrap();
             let golden = gemm_golden(shape, &x, &w);
             assert_eq!(bits(&sw.z), bits(&golden), "shape {shape}");
         }
@@ -693,7 +702,8 @@ mod tests {
                 .collect();
             let run = SwGemm::new(&ClusterConfig::default())
                 .with_variant(KernelVariant::Simd2)
-                .run(shape, &x, &w);
+                .run(shape, &x, &w)
+                .unwrap();
             let golden = gemm_golden_simd2(shape, &x, &w);
             assert_eq!(bits(&run.z), bits(&golden), "shape {shape}");
         }
@@ -704,10 +714,13 @@ mod tests {
         let shape = GemmShape::new(16, 64, 16);
         let x = vec![F16::HALF; shape.x_len()];
         let w = vec![F16::HALF; shape.w_len()];
-        let scalar = SwGemm::new(&ClusterConfig::default()).run(shape, &x, &w);
+        let scalar = SwGemm::new(&ClusterConfig::default())
+            .run(shape, &x, &w)
+            .unwrap();
         let simd = SwGemm::new(&ClusterConfig::default())
             .with_variant(KernelVariant::Simd2)
-            .run(shape, &x, &w);
+            .run(shape, &x, &w)
+            .unwrap();
         let gain = scalar.cycles.count() as f64 / simd.cycles.count() as f64;
         // 5 issue slots/MAC -> 6 slots/2 MACs: ~1.6x expected.
         assert!((1.3..2.1).contains(&gain), "SIMD gain = {gain}");
@@ -727,7 +740,8 @@ mod tests {
             .collect();
         let run = SwGemm::new(&ClusterConfig::default())
             .with_variant(KernelVariant::Simd2)
-            .run(shape, &x, &w);
+            .run(shape, &x, &w)
+            .unwrap();
         assert_eq!(bits(&run.z), bits(&gemm_golden_simd2(shape, &x, &w)));
     }
 
@@ -736,10 +750,12 @@ mod tests {
         let shape = GemmShape::new(8, 32, 8);
         let x = vec![F16::ONE; shape.x_len()];
         let w = vec![F16::ONE; shape.w_len()];
-        let base = SwGemm::new(&ClusterConfig::default()).run(shape, &x, &w);
+        let base = SwGemm::new(&ClusterConfig::default())
+            .run(shape, &x, &w)
+            .unwrap();
         let mut slow_cfg = ClusterConfig::default();
         slow_cfg.core.branch = 3; // RI5CY-like taken-branch penalty
-        let slow = SwGemm::new(&slow_cfg).run(shape, &x, &w);
+        let slow = SwGemm::new(&slow_cfg).run(shape, &x, &w).unwrap();
         // Two extra cycles per inner iteration: ~7/5 slowdown.
         let ratio = slow.cycles.count() as f64 / base.cycles.count() as f64;
         assert!((1.2..1.6).contains(&ratio), "slowdown ratio = {ratio}");
@@ -753,7 +769,7 @@ mod tests {
         // also stalls the accumulator chain.
         let mut lat_cfg = ClusterConfig::default();
         lat_cfg.core.fma_latency = 8;
-        let lat = SwGemm::new(&lat_cfg).run(shape, &x, &w);
+        let lat = SwGemm::new(&lat_cfg).run(shape, &x, &w).unwrap();
         assert!(lat.cycles > base.cycles);
         assert!(lat.stats.get("fma_stalls") > base.stats.get("fma_stalls"));
     }
@@ -765,7 +781,7 @@ mod tests {
         let shape = GemmShape::new(16, 16, 16);
         let x = vec![F16::ONE; shape.x_len()];
         let w = vec![F16::ONE; shape.w_len()];
-        let r = SwGemm::new(&cfg).run(shape, &x, &w);
+        let r = SwGemm::new(&cfg).run(shape, &x, &w).unwrap();
         assert_eq!(r.stats.get("tcdm_oversized"), 1);
         assert_eq!(r.z.len(), shape.z_len());
         assert!(r.z.iter().all(|v| v.to_f32() == 16.0));

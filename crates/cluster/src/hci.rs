@@ -61,17 +61,25 @@ pub struct HciGrants {
 #[derive(Debug)]
 pub struct Hci {
     n_banks: usize,
+    // modelcheck-allow: RM-SNAP-001 -- configuration constant, rebuilt from
+    // ClusterConfig on restore; never mutated after `new`.
     shallow_banks: usize,
     bank_arb: Vec<RoundRobin>,
     group_mux: RotatingMux,
     stats: Stats,
+    // modelcheck-allow: RM-SNAP-001 -- configuration constant, rebuilt from
+    // ClusterConfig on restore; never mutated after `new`.
     max_log_initiators: usize,
     /// Remaining shallow-branch transactions to silently drop (fault
     /// injection); `u32::MAX` is effectively "drop forever".
     drop_shallow: u32,
     /// Scratch buffers reused every cycle to keep arbitration
     /// allocation-free on the hot path.
+    // modelcheck-allow: RM-SNAP-001 -- per-cycle scratch, fully overwritten at
+    // the start of every arbitrate() call; holds no cross-cycle state.
     scratch_requests: Vec<bool>,
+    // modelcheck-allow: RM-SNAP-001 -- per-cycle scratch, fully overwritten at
+    // the start of every arbitrate() call; holds no cross-cycle state.
     scratch_idx: Vec<Option<usize>>,
 }
 
@@ -82,6 +90,9 @@ impl Hci {
     ///
     /// Panics if the configuration fails [`ClusterConfig::validate`].
     pub fn new(cfg: &ClusterConfig) -> Hci {
+        // modelcheck-allow: RM-PANIC-001 -- documented constructor contract: an
+        // invalid ClusterConfig is a programming error, and validate() is the
+        // fallible path for untrusted input.
         cfg.validate().expect("invalid cluster configuration");
         assert!(cfg.n_banks <= 64, "bank bitmask limited to 64 banks");
         // Initiators on the log branch: cores + DMA.
@@ -195,6 +206,9 @@ impl Hci {
                 }
             }
             if let Some(winner) = self.bank_arb[bank].grant(&self.scratch_requests) {
+                // modelcheck-allow: RM-PANIC-001 -- arbiter invariant: a grant
+                // can only be issued for a slot that raised a request, and the
+                // request/idx scratch vectors are filled together just above.
                 let idx = self.scratch_idx[winner].expect("granted slot has a request");
                 log_granted[idx] = true;
                 grants += 1;

@@ -35,13 +35,15 @@
 //! let shape = GemmShape::new(8, 16, 8);
 //! let x = vec![F16::ONE; shape.x_len()];
 //! let w = vec![F16::HALF; shape.w_len()];
-//! let run = SwGemm::new(&cfg).run(shape, &x, &w);
+//! let run = SwGemm::new(&cfg).run(shape, &x, &w)?;
 //! assert_eq!(run.z[0].to_f32(), 8.0);
 //! assert!(run.cycles.count() > 0);
+//! # Ok::<(), redmule_cluster::MemError>(())
 //! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod baseline;
 mod config;

@@ -271,6 +271,8 @@ pub fn fma(a: u16, b: u16, c: u16, mode: Round) -> u16 {
                 round_pack(sign, sum.unsigned_abs(), q_min, mode)
             }
         }
+        // modelcheck-allow: RM-PANIC-001 -- NaN/Inf operands are classified and
+        // returned before this match; the arm is statically dead.
         (_, Class::Nan | Class::Inf { .. }) => unreachable!("handled above"),
     }
 }
@@ -326,6 +328,8 @@ pub fn mul(a: u16, b: u16, mode: Round) -> u16 {
             let prod = u64::from(ua.sig) * u64::from(ub.sig);
             round_pack(sign, u128::from(prod), ua.q + ub.q, mode)
         }
+        // modelcheck-allow: RM-PANIC-001 -- NaN operands are classified and
+        // returned before this match; the arm is statically dead.
         (Class::Nan, _) | (_, Class::Nan) => unreachable!("NaN handled above"),
     }
 }
@@ -358,6 +362,8 @@ pub fn div(a: u16, b: u16, mode: Round) -> u16 {
             }
             round_pack(sign, u128::from(quo), ua.q - ub.q - 20, mode)
         }
+        // modelcheck-allow: RM-PANIC-001 -- NaN operands are classified and
+        // returned before this match; the arm is statically dead.
         (Class::Nan, _) | (_, Class::Nan) => unreachable!("NaN handled above"),
     }
 }
@@ -403,6 +409,8 @@ fn isqrt(v: u128) -> u128 {
 }
 
 /// Converts an `f32` to binary16 bits with a single correct rounding.
+// modelcheck-allow: RM-FP-001 -- host-float conversion boundary: operates on
+// IEEE bit patterns only (to_bits + integer round_pack), no native arithmetic.
 pub fn from_f32(v: f32, mode: Round) -> u16 {
     let bits = v.to_bits();
     let sign = bits >> 31 != 0;
@@ -433,6 +441,8 @@ pub fn from_f32(v: f32, mode: Round) -> u16 {
 }
 
 /// Converts an `f64` to binary16 bits with a single correct rounding.
+// modelcheck-allow: RM-FP-001 -- host-float conversion boundary: operates on
+// IEEE bit patterns only (to_bits + integer round_pack), no native arithmetic.
 pub fn from_f64(v: f64, mode: Round) -> u16 {
     let bits = v.to_bits();
     let sign = bits >> 63 != 0;
@@ -463,6 +473,8 @@ pub fn from_f64(v: f64, mode: Round) -> u16 {
 }
 
 /// Converts binary16 bits to `f32` (always exact).
+// modelcheck-allow: RM-FP-001 -- host-float conversion boundary: every
+// binary16 value is exactly representable in f32, so widening is lossless.
 pub fn to_f32(bits: u16) -> f32 {
     match classify(bits) {
         Class::Nan => f32::NAN,
@@ -492,6 +504,8 @@ pub fn to_f32(bits: u16) -> f32 {
 }
 
 /// Converts binary16 bits to `f64` (always exact).
+// modelcheck-allow: RM-FP-001 -- host-float conversion boundary: every
+// binary16 value is exactly representable in f64, so widening is lossless.
 pub fn to_f64(bits: u16) -> f64 {
     match classify(bits) {
         Class::Nan => f64::NAN,

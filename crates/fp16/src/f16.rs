@@ -113,36 +113,48 @@ impl F16 {
     }
 
     /// Converts from `f32` with round-to-nearest-even.
+    // modelcheck-allow: RM-FP-001 -- host-float conversion boundary:
+    // delegates to the bit-pattern converter in `arith`.
     #[inline]
     pub fn from_f32(v: f32) -> F16 {
         F16(arith::from_f32(v, Round::NearestEven))
     }
 
     /// Converts from `f32` in an explicit rounding mode.
+    // modelcheck-allow: RM-FP-001 -- host-float conversion boundary:
+    // delegates to the bit-pattern converter in `arith`.
     #[inline]
     pub fn from_f32_round(v: f32, mode: Round) -> F16 {
         F16(arith::from_f32(v, mode))
     }
 
     /// Converts from `f64` with round-to-nearest-even.
+    // modelcheck-allow: RM-FP-001 -- host-float conversion boundary:
+    // delegates to the bit-pattern converter in `arith`.
     #[inline]
     pub fn from_f64(v: f64) -> F16 {
         F16(arith::from_f64(v, Round::NearestEven))
     }
 
     /// Converts from `f64` in an explicit rounding mode.
+    // modelcheck-allow: RM-FP-001 -- host-float conversion boundary:
+    // delegates to the bit-pattern converter in `arith`.
     #[inline]
     pub fn from_f64_round(v: f64, mode: Round) -> F16 {
         F16(arith::from_f64(v, mode))
     }
 
     /// Converts to `f32`. This widening conversion is always exact.
+    // modelcheck-allow: RM-FP-001 -- host-float conversion boundary: exact
+    // binary16 -> f32 widening via `arith::to_f32`.
     #[inline]
     pub fn to_f32(self) -> f32 {
         arith::to_f32(self.0)
     }
 
     /// Converts to `f64`. This widening conversion is always exact.
+    // modelcheck-allow: RM-FP-001 -- host-float conversion boundary: exact
+    // binary16 -> f64 widening via `arith::to_f64`.
     #[inline]
     pub fn to_f64(self) -> f64 {
         arith::to_f64(self.0)
@@ -474,18 +486,24 @@ impl_binop!(Sub, sub, SubAssign, sub_assign, arith::sub);
 impl_binop!(Mul, mul, MulAssign, mul_assign, arith::mul);
 impl_binop!(Div, div, DivAssign, div_assign, arith::div);
 
+// modelcheck-allow: RM-FP-001 -- host-float conversion boundary: exact
+// widening, delegates to `to_f32`.
 impl From<F16> for f32 {
     fn from(v: F16) -> f32 {
         v.to_f32()
     }
 }
 
+// modelcheck-allow: RM-FP-001 -- host-float conversion boundary: exact
+// widening, delegates to `to_f64`.
 impl From<F16> for f64 {
     fn from(v: F16) -> f64 {
         v.to_f64()
     }
 }
 
+// modelcheck-allow: RM-FP-001 -- host-float conversion boundary: every i8 is
+// exactly representable in f32 and in binary16; one exact hop each.
 impl From<i8> for F16 {
     /// Lossless: every `i8` is exactly representable in binary16.
     fn from(v: i8) -> F16 {
@@ -493,6 +511,8 @@ impl From<i8> for F16 {
     }
 }
 
+// modelcheck-allow: RM-FP-001 -- host-float conversion boundary: every u8 is
+// exactly representable in f32 and in binary16; one exact hop each.
 impl From<u8> for F16 {
     /// Lossless: every `u8` is exactly representable in binary16.
     fn from(v: u8) -> F16 {
@@ -500,6 +520,8 @@ impl From<u8> for F16 {
     }
 }
 
+// modelcheck-allow: RM-FP-001 -- host-float conversion boundary: parses via
+// f64 and performs a single correct rounding to binary16.
 impl FromStr for F16 {
     type Err = ParseFloatError;
 

@@ -209,6 +209,8 @@ pub fn gemm_golden_simd2(shape: GemmShape, x: &[F16], w: &[F16]) -> Vec<F16> {
 /// GEMM computed entirely in `f64` and rounded once at the end — a
 /// *different* (more accurate) contract than [`gemm_golden`], used by tests
 /// to bound FP16 accumulation error rather than to check bit-identity.
+// modelcheck-allow: RM-FP-001 -- reference path: deliberately computes in f64
+// to bound FP16 accumulation error in tests; never feeds the datapath.
 pub fn gemm_f64_reference(shape: GemmShape, x: &[F16], w: &[F16]) -> Vec<F16> {
     assert_eq!(x.len(), shape.x_len(), "X has wrong length for {shape}");
     assert_eq!(w.len(), shape.w_len(), "W has wrong length for {shape}");

@@ -174,6 +174,9 @@ impl RotatingMux {
     /// conflicts; an idle bank has no grant).
     pub fn grant(&mut self, log_req: bool, shallow_req: bool) -> Side {
         match (log_req, shallow_req) {
+            // modelcheck-allow: RM-PANIC-001 -- documented API contract (see
+            // # Panics): arbitrating an idle bank is a caller bug, and every
+            // call site gates on a request being present.
             (false, false) => panic!("grant called with no requests"),
             (true, false) => Side::Log,
             (false, true) => Side::Shallow,

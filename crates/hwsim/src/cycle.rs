@@ -64,6 +64,9 @@ impl AddAssign<u64> for Cycle {
 impl Sub for Cycle {
     type Output = u64;
     fn sub(self, rhs: Cycle) -> u64 {
+        // modelcheck-allow: RM-PANIC-001 -- monotonic-time invariant: Cycle
+        // differences are only taken between ordered timestamps; silent
+        // wrap-around would corrupt every latency statistic downstream.
         self.0
             .checked_sub(rhs.0)
             .expect("cycle subtraction underflow")

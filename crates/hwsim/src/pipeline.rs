@@ -53,6 +53,8 @@ impl<T> Pipeline<T> {
     /// Advances one clock cycle: shifts every stage forward, inserts
     /// `input` into stage 0 and returns the value leaving the final stage.
     pub fn tick(&mut self, input: Option<T>) -> Option<T> {
+        // modelcheck-allow: RM-PANIC-001 -- structural invariant: the
+        // constructor rejects depth 0, so the stage deque is never empty.
         let out = self.stages.pop_back().expect("depth >= 1");
         self.stages.push_front(input);
         out
@@ -80,6 +82,8 @@ impl<T> Pipeline<T> {
     /// this is how same-cycle feedback paths (like RedMulE's row ring) are
     /// modelled: snapshot `back()` of every stage, then tick.
     pub fn back(&self) -> Option<&T> {
+        // modelcheck-allow: RM-PANIC-001 -- structural invariant: the
+        // constructor rejects depth 0, so the stage deque is never empty.
         self.stages.back().expect("depth >= 1").as_ref()
     }
 

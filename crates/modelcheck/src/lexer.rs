@@ -1,0 +1,484 @@
+//! A minimal Rust token scanner.
+//!
+//! The build image has no access to crates.io, so `modelcheck` cannot use
+//! `syn`; instead it lexes source files itself. The scanner understands
+//! exactly as much Rust as the hygiene rules need:
+//!
+//! * identifiers/keywords, numeric literals (with type suffix, kept
+//!   verbatim), single-character punctuation;
+//! * string, raw-string, byte-string and char literals (content
+//!   discarded — rules never match inside literals);
+//! * line and (nested) block comments, collected separately so the
+//!   allowlist layer can attach `modelcheck-allow` comments to code;
+//! * lifetimes vs. char literals (`'a` vs `'a'`).
+//!
+//! It does **not** build a syntax tree. Rules operate on the flat token
+//! stream plus brace matching, which is enough for name-based hygiene
+//! checks and keeps the analyzer dependency-free.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    /// What was lexed.
+    pub kind: TokKind,
+}
+
+/// Token payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `fn`, `r#type`, …).
+    Ident(String),
+    /// Numeric literal, verbatim including any suffix (`1.0f32`, `0xFF`).
+    Number(String),
+    /// One punctuation character (`{`, `.`, `!`, …).
+    Punct(char),
+    /// String / byte-string / char literal; content is irrelevant to the
+    /// rules and is not kept.
+    Literal,
+}
+
+impl TokKind {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// `true` when the token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self, TokKind::Punct(p) if *p == c)
+    }
+}
+
+/// One comment, kept for the allowlist / marker layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment text without the `//` / `/*` delimiters, trimmed.
+    pub text: String,
+    /// `true` when code tokens precede the comment on its line
+    /// (a trailing comment annotates its own line, a standalone comment
+    /// annotates the item that follows).
+    pub trailing: bool,
+}
+
+/// Result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` into tokens and comments.
+///
+/// The scanner is permissive: malformed input (unterminated literal,
+/// stray byte) never panics, it simply ends the current token at end of
+/// input. `modelcheck` runs on code that `rustc` already accepted, so
+/// error recovery is not a goal.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+        last_code_line: 0,
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+    /// Line of the most recent code token — tells trailing comments apart
+    /// from standalone ones.
+    last_code_line: u32,
+}
+
+impl Lexer {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push_tok(&mut self, line: u32, kind: TokKind) {
+        self.last_code_line = line;
+        self.out.toks.push(Tok { line, kind });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek() {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek_at(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek_at(1) == Some('*') => self.block_comment(line),
+                '"' => {
+                    self.bump();
+                    self.string_body();
+                    self.push_tok(line, TokKind::Literal);
+                }
+                '\'' => self.quote(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c if is_ident_start(c) => self.ident_or_prefixed_literal(line),
+                _ => {
+                    self.bump();
+                    self.push_tok(line, TokKind::Punct(c));
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        let trailing = self.last_code_line == line;
+        self.out.comments.push(Comment {
+            line,
+            text: text.trim_matches(['/', '!', ' ']).trim().to_string(),
+            trailing,
+        });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c == '/' && self.peek_at(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek_at(1) == Some('/') {
+                self.bump();
+                self.bump();
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        let trailing = self.last_code_line == line;
+        self.out.comments.push(Comment {
+            line,
+            text: text.trim().to_string(),
+            trailing,
+        });
+    }
+
+    /// Body of a `"…"` literal, opening quote already consumed.
+    fn string_body(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Body of a raw literal `r##"…"##`, the `r` consumed, `self.pos` at
+    /// the first `#` or `"`. Returns `false` when this is not actually a
+    /// raw string opener (caller then treats the prefix as an identifier).
+    fn raw_string_body(&mut self) -> bool {
+        let mut hashes = 0usize;
+        while self.peek_at(hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek_at(hashes) != Some('"') {
+            return false;
+        }
+        for _ in 0..=hashes {
+            self.bump();
+        }
+        // Scan until `"` followed by `hashes` hashes.
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut n = 0usize;
+                while n < hashes && self.peek() == Some('#') {
+                    self.bump();
+                    n += 1;
+                }
+                if n == hashes {
+                    return true;
+                }
+            }
+        }
+        true
+    }
+
+    /// `'a` (lifetime) vs `'a'` / `'\n'` (char literal).
+    fn quote(&mut self, line: u32) {
+        self.bump();
+        match self.peek() {
+            Some('\\') => {
+                // Escaped char literal.
+                self.bump();
+                self.bump();
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push_tok(line, TokKind::Literal);
+            }
+            Some(c) if is_ident_start(c) => {
+                let mut run = 0usize;
+                while self
+                    .peek_at(run)
+                    .map(|c| is_ident_start(c) || c.is_ascii_digit())
+                    == Some(true)
+                {
+                    run += 1;
+                }
+                if self.peek_at(run) == Some('\'') {
+                    // Char literal like 'x' (or a multi-byte scalar).
+                    for _ in 0..=run {
+                        self.bump();
+                    }
+                    self.push_tok(line, TokKind::Literal);
+                } else {
+                    // Lifetime: consume the identifier, emit nothing — no
+                    // rule cares about lifetimes.
+                    for _ in 0..run {
+                        self.bump();
+                    }
+                }
+            }
+            Some(_) => {
+                // Char literal holding punctuation or whitespace: '+' , ' '.
+                self.bump();
+                if self.peek() == Some('\'') {
+                    self.bump();
+                }
+                self.push_tok(line, TokKind::Literal);
+            }
+            None => {}
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else if c == '.' && self.peek_at(1).map(|d| d.is_ascii_digit()) == Some(true) {
+                // `1.5` but not the range `1..n`.
+                text.push(c);
+                self.bump();
+            } else if (c == '+' || c == '-')
+                && matches!(text.chars().last(), Some('e') | Some('E'))
+                && text.contains('.')
+            {
+                // Float exponent sign: `1.0e-3`.
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push_tok(line, TokKind::Number(text));
+    }
+
+    fn ident_or_prefixed_literal(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if is_ident_start(c) || c.is_ascii_digit() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match (text.as_str(), self.peek()) {
+            // Raw identifier r#type — strip the prefix, keep the name.
+            ("r", Some('#')) if self.peek_at(1).map(is_ident_start) == Some(true) => {
+                self.bump();
+                let mut name = String::new();
+                while let Some(c) = self.peek() {
+                    if is_ident_start(c) || c.is_ascii_digit() {
+                        name.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push_tok(line, TokKind::Ident(name));
+            }
+            // Raw / byte string literals.
+            ("r" | "br" | "b" | "rb", Some('"')) => {
+                if text.starts_with('r') || text.ends_with('r') {
+                    self.raw_string_body();
+                } else {
+                    self.bump();
+                    self.string_body();
+                }
+                self.push_tok(line, TokKind::Literal);
+            }
+            ("r" | "br" | "rb", Some('#')) => {
+                if self.raw_string_body() {
+                    self.push_tok(line, TokKind::Literal);
+                } else {
+                    self.push_tok(line, TokKind::Ident(text));
+                }
+            }
+            // Byte char literal b'x'.
+            ("b", Some('\'')) => {
+                self.quote(line);
+                // `quote` already pushed a Literal (or a lifetime, which
+                // cannot follow `b` in valid Rust).
+            }
+            _ => self.push_tok(line, TokKind::Ident(text)),
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+/// Returns the index of the matching close token for the open token at
+/// `open` (which must be `{`/`(`/`[`), or `None` when unbalanced.
+pub fn matching_close(toks: &[Tok], open: usize) -> Option<usize> {
+    let (open_c, close_c) = match &toks[open].kind {
+        TokKind::Punct('{') => ('{', '}'),
+        TokKind::Punct('(') => ('(', ')'),
+        TokKind::Punct('[') => ('[', ']'),
+        _ => return None,
+    };
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.kind.is_punct(open_c) {
+            depth += 1;
+        } else if t.kind.is_punct(close_c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_chars_hide_their_content() {
+        let src = r##"let s = "HashMap 'x' f32"; let r = r#"Instant"#; let c = 'f'; let l: &'static str = b"f64";"##;
+        let ids = idents(src);
+        assert!(ids.contains(&"let".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"f64".to_string()));
+        // The lifetime in `&'static` is dropped entirely — its name never
+        // reaches the identifier stream.
+        assert!(!ids.contains(&"static".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> &'a str { x }");
+        let lits = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .count();
+        assert_eq!(lits, 0);
+    }
+
+    #[test]
+    fn comments_are_collected_with_trailing_flag() {
+        let src = "// standalone\nlet x = 1; // trailing\n/* block */\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 3);
+        assert!(!lexed.comments[0].trailing);
+        assert_eq!(lexed.comments[0].text, "standalone");
+        assert!(lexed.comments[1].trailing);
+        assert_eq!(lexed.comments[1].line, 2);
+        assert!(!lexed.comments[2].trailing);
+    }
+
+    #[test]
+    fn number_suffixes_are_kept() {
+        let lexed = lex("let a = 1.0f32 + 2f64; let b = 0..n;");
+        let nums: Vec<String> = lexed
+            .toks
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Number(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec!["1.0f32", "2f64", "0"]);
+    }
+
+    #[test]
+    fn nested_block_comments_terminate() {
+        let lexed = lex("/* a /* b */ c */ fn main() {}");
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.toks.iter().any(|t| t.kind.ident() == Some("fn")));
+    }
+
+    #[test]
+    fn matching_close_pairs_braces() {
+        let lexed = lex("fn f() { if x { y } else { z } }");
+        let open = lexed
+            .toks
+            .iter()
+            .position(|t| t.kind.is_punct('{'))
+            .unwrap();
+        let close = matching_close(&lexed.toks, open).unwrap();
+        assert_eq!(close, lexed.toks.len() - 1);
+    }
+}

@@ -1,0 +1,117 @@
+//! `modelcheck` — workspace static analyzer for model hygiene.
+//!
+//! The RedMulE reproduction's claims (cycle counts matching the paper's
+//! `H×(P+1)` schedule, IEEE binary16 bit-exactness, bit-identical
+//! checkpoint/resume) are *structural* properties of the model crates.
+//! This tool enforces the hygiene invariants that keep them structural:
+//!
+//! * **RM-DET-001 / RM-DET-002** — determinism: no hash containers, no
+//!   wall clocks, no OS entropy in model-state crates;
+//! * **RM-FP-001** — bit-exactness: no native `f32`/`f64` outside
+//!   annotated reference/telemetry paths in `fp16` and `redmule`;
+//! * **RM-SNAP-001** — snapshot completeness: every field of a
+//!   serialized state struct is covered by its save/load pair;
+//! * **RM-PANIC-001** — no panicking calls in model code (extends the
+//!   clippy `unwrap_used` deny with the panic macros);
+//! * **RM-ALLOW-001 / RM-ALLOW-002** — allowlist hygiene: every
+//!   suppression is justified and still needed.
+//!
+//! Run it as `cargo run -p modelcheck` from the workspace root (wired
+//! into `make verify` and CI). The analyzer is dependency-free — the
+//! build image has no crates.io access, so instead of `syn` it uses its
+//! own minimal Rust lexer ([`lexer`]); rules match real tokens, never
+//! text inside strings or comments.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod lexer;
+pub mod rules;
+pub mod scope;
+pub mod snapshot;
+
+use std::path::{Path, PathBuf};
+
+pub use rules::{check_file, crate_is_checked, Diagnostic, FP_STRICT_CRATES, MODEL_CRATES};
+
+/// Result of a workspace scan.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by `(file, line, rule)`.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// `true` when the scan found no violations.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Scans every checked crate under `<root>/crates`, skipping test-only
+/// trees (`tests/`, `benches/`, `examples/`) — in-file `#[cfg(test)]`
+/// items are stripped by the rules themselves.
+///
+/// # Errors
+///
+/// Returns an error when the workspace layout cannot be read (missing
+/// `crates/` directory, unreadable file).
+pub fn check_workspace(root: &Path) -> Result<Report, String> {
+    let crates_dir = root.join("crates");
+    let mut crate_names: Vec<String> = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?
+        .filter_map(|entry| entry.ok())
+        .filter(|entry| entry.path().is_dir())
+        .filter_map(|entry| entry.file_name().into_string().ok())
+        .collect();
+    crate_names.sort();
+
+    let mut report = Report::default();
+    for name in crate_names {
+        if !crate_is_checked(&name) {
+            continue;
+        }
+        let src_dir = crates_dir.join(&name).join("src");
+        for file in rust_files(&src_dir)? {
+            let src = std::fs::read_to_string(&file)
+                .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+            let label = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .display()
+                .to_string();
+            report
+                .diagnostics
+                .extend(rules::check_file(&name, &label, &src));
+            report.files_scanned += 1;
+        }
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
+}
+
+/// All `.rs` files under `dir`, recursively, in deterministic order.
+fn rust_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&d)
+            .map_err(|e| format!("cannot read {}: {e}", d.display()))?
+            .filter_map(|entry| entry.ok())
+            .map(|entry| entry.path())
+            .collect();
+        entries.sort();
+        for path in entries {
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}

@@ -1,0 +1,326 @@
+//! The named hygiene rules and the per-file checking engine.
+//!
+//! Rule catalogue (see DESIGN.md §10 for rationale):
+//!
+//! | code         | scope                       | forbids                                  |
+//! |--------------|-----------------------------|------------------------------------------|
+//! | RM-DET-001   | model-state crates          | `HashMap` / `HashSet`                    |
+//! | RM-DET-002   | model-state crates          | `Instant` / `SystemTime` / `thread_rng`  |
+//! | RM-FP-001    | `fp16`, `redmule`           | native `f32` / `f64` usage               |
+//! | RM-PANIC-001 | model-state crates          | `panic!`-family, `.unwrap()`, `.expect()`|
+//! | RM-SNAP-001  | model-state crates          | snapshot structs with uncovered fields   |
+//! | RM-ALLOW-001 | everywhere modelcheck scans | allow entries without a justification    |
+//! | RM-ALLOW-002 | everywhere modelcheck scans | allow entries that suppress nothing      |
+//!
+//! All rules run on non-test code only (`#[cfg(test)]` / `#[test]` items
+//! are stripped first) and never match inside string literals or
+//! comments — the scanner works on real tokens, not text.
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::scope::{allowances, non_test_tokens, snapshot_markers};
+use crate::snapshot;
+
+/// Crates whose sources hold simulated hardware / session state. Keyed by
+/// directory name under `crates/`.
+pub const MODEL_CRATES: [&str; 5] = ["fp16", "hwsim", "cluster", "redmule", "runtime"];
+
+/// Crates where native-float usage (RM-FP-001) is banned: the softfloat
+/// itself and the accelerator datapath built on it.
+pub const FP_STRICT_CRATES: [&str; 2] = ["fp16", "redmule"];
+
+/// One finding, formatted as `RULE file:line: message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule code, e.g. `RM-DET-001`.
+    pub rule: &'static str,
+    /// Path of the offending file, as given to [`check_file`].
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {}:{}: {}",
+            self.rule, self.file, self.line, self.message
+        )
+    }
+}
+
+/// Whether any rule at all applies to `crate_name` — lets the walker skip
+/// non-model crates without reading them.
+pub fn crate_is_checked(crate_name: &str) -> bool {
+    MODEL_CRATES.contains(&crate_name)
+}
+
+/// Runs every applicable rule over one source file.
+///
+/// `file` is the diagnostic label (workspace-relative path),
+/// `crate_name` the directory name under `crates/` the file belongs to.
+pub fn check_file(crate_name: &str, file: &str, src: &str) -> Vec<Diagnostic> {
+    let lexed = lex(src);
+    let code = non_test_tokens(&lexed.toks);
+    let mut allows = allowances(&lexed.comments, &lexed.toks);
+    let markers = snapshot_markers(&lexed.comments);
+
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    if MODEL_CRATES.contains(&crate_name) {
+        rule_det_001(file, &code, &mut raw);
+        rule_det_002(file, &code, &mut raw);
+        rule_panic_001(file, &code, &mut raw);
+        snapshot::rule_snap_001(file, &code, &markers, &mut raw);
+    }
+    if FP_STRICT_CRATES.contains(&crate_name) {
+        rule_fp_001(file, &code, &mut raw);
+    }
+
+    // Apply the allowlist: a finding covered by an allow entry is
+    // suppressed and marks the entry as used.
+    let mut out: Vec<Diagnostic> = Vec::new();
+    'finding: for d in raw {
+        for a in allows.iter_mut() {
+            if a.covers(d.rule, d.line) {
+                a.used = true;
+                continue 'finding;
+            }
+        }
+        out.push(d);
+    }
+
+    // Allow-entry hygiene: justification is mandatory, stale entries are
+    // an error (they claim a violation that no longer exists).
+    for a in &allows {
+        if !a.has_reason {
+            out.push(Diagnostic {
+                rule: "RM-ALLOW-001",
+                file: file.to_string(),
+                line: a.comment_line,
+                message: format!(
+                    "allow entry for {} has no justification; write \
+                     `// modelcheck-allow: {} -- <why this is sound>`",
+                    a.rules.join(", "),
+                    a.rules.join(", "),
+                ),
+            });
+        } else if !a.used {
+            out.push(Diagnostic {
+                rule: "RM-ALLOW-002",
+                file: file.to_string(),
+                line: a.comment_line,
+                message: format!(
+                    "stale allow entry: no {} finding in its scope (lines {}..={}); remove it",
+                    a.rules.join(", "),
+                    a.from_line,
+                    if a.to_line == u32::MAX {
+                        "EOF".to_string()
+                    } else {
+                        a.to_line.to_string()
+                    }
+                ),
+            });
+        }
+    }
+
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// RM-DET-001: hash containers iterate in randomized order, which leaks
+/// into schedules, logs and serialized state. Model crates must use
+/// `BTreeMap` / `BTreeSet` / `Vec` / `VecDeque`.
+fn rule_det_001(file: &str, toks: &[Tok], out: &mut Vec<Diagnostic>) {
+    for t in toks {
+        if let Some(name @ ("HashMap" | "HashSet")) = t.kind.ident() {
+            out.push(Diagnostic {
+                rule: "RM-DET-001",
+                file: file.to_string(),
+                line: t.line,
+                message: format!(
+                    "{name} in a model-state crate: iteration order is \
+                     nondeterministic; use {} (or justify with an allow comment)",
+                    if name == "HashMap" {
+                        "BTreeMap"
+                    } else {
+                        "BTreeSet"
+                    },
+                ),
+            });
+        }
+    }
+}
+
+/// RM-DET-002: simulated time comes from `hwsim::cycle`, randomness from
+/// the seeded `hwsim::rng`. Wall clocks and OS entropy make runs
+/// unreproducible.
+fn rule_det_002(file: &str, toks: &[Tok], out: &mut Vec<Diagnostic>) {
+    for t in toks {
+        if let Some(name @ ("Instant" | "SystemTime" | "thread_rng" | "ThreadRng")) = t.kind.ident()
+        {
+            let hint = match name {
+                "Instant" | "SystemTime" => "model time is hwsim::cycle::Cycle",
+                _ => "randomness must come from the seeded hwsim::rng generators",
+            };
+            out.push(Diagnostic {
+                rule: "RM-DET-002",
+                file: file.to_string(),
+                line: t.line,
+                message: format!(
+                    "{name} in a model-state crate: {hint} \
+                     (or justify with an allow comment)"
+                ),
+            });
+        }
+    }
+}
+
+/// RM-FP-001: every numeric result on the modelled datapath must be
+/// bit-identical to IEEE binary16 hardware, so all arithmetic goes
+/// through the `redmule_fp16` softfloat. Native floats are only legal on
+/// explicitly annotated reference / telemetry paths.
+fn rule_fp_001(file: &str, toks: &[Tok], out: &mut Vec<Diagnostic>) {
+    for t in toks {
+        let found = match &t.kind {
+            TokKind::Ident(s) if s == "f32" || s == "f64" => Some(s.as_str()),
+            TokKind::Number(n) if n.ends_with("f32") => Some("f32"),
+            TokKind::Number(n) if n.ends_with("f64") => Some("f64"),
+            _ => None,
+        };
+        if let Some(name) = found {
+            out.push(Diagnostic {
+                rule: "RM-FP-001",
+                file: file.to_string(),
+                line: t.line,
+                message: format!(
+                    "native {name} in bit-exact code: all datapath numerics go \
+                     through the redmule_fp16 softfloat; reference/telemetry \
+                     paths need an explicit allow comment"
+                ),
+            });
+        }
+    }
+}
+
+/// RM-PANIC-001: model crates return `Result`, they do not abort the
+/// simulation. Extends the clippy `unwrap_used` deny with the panic
+/// macros clippy's lint does not cover.
+fn rule_panic_001(file: &str, toks: &[Tok], out: &mut Vec<Diagnostic>) {
+    for (i, t) in toks.iter().enumerate() {
+        match t.kind.ident() {
+            Some(name @ ("panic" | "unreachable" | "todo" | "unimplemented"))
+                if toks.get(i + 1).map(|n| n.kind.is_punct('!')) == Some(true) =>
+            {
+                out.push(Diagnostic {
+                    rule: "RM-PANIC-001",
+                    file: file.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "{name}! in a model-state crate: surface an error \
+                         (EngineError / SnapshotError) instead of aborting, \
+                         or justify with an allow comment"
+                    ),
+                });
+            }
+            Some(name @ ("unwrap" | "expect"))
+                if i > 0
+                    && toks[i - 1].kind.is_punct('.')
+                    && toks.get(i + 1).map(|n| n.kind.is_punct('(')) == Some(true) =>
+            {
+                out.push(Diagnostic {
+                    rule: "RM-PANIC-001",
+                    file: file.to_string(),
+                    line: t.line,
+                    message: format!(
+                        ".{name}() in a model-state crate: propagate the error \
+                         with `?` or handle the None/Err arm explicitly"
+                    ),
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_fired(crate_name: &str, src: &str) -> Vec<(&'static str, u32)> {
+        check_file(crate_name, "x.rs", src)
+            .into_iter()
+            .map(|d| (d.rule, d.line))
+            .collect()
+    }
+
+    #[test]
+    fn det_001_fires_on_hashmap_but_not_btreemap() {
+        let src = "use std::collections::BTreeMap;\nfn f() { let m: HashMap<u8, u8> = HashMap::new(); }\n";
+        let fired = rules_fired("hwsim", src);
+        assert_eq!(fired, vec![("RM-DET-001", 2), ("RM-DET-001", 2)]);
+    }
+
+    #[test]
+    fn det_002_fires_on_instant() {
+        let fired = rules_fired("runtime", "fn f() { let t = Instant::now(); }\n");
+        assert_eq!(fired, vec![("RM-DET-002", 1)]);
+    }
+
+    #[test]
+    fn fp_001_fires_on_suffix_and_ident_in_strict_crates_only() {
+        let src = "fn f(x: f32) { let y = 1.0f64; }\n";
+        assert_eq!(
+            rules_fired("fp16", src),
+            vec![("RM-FP-001", 1), ("RM-FP-001", 1)]
+        );
+        // hwsim is a model crate but not FP-strict.
+        assert_eq!(rules_fired("hwsim", src), vec![]);
+    }
+
+    #[test]
+    fn panic_001_fires_on_macros_and_unwrap_only_as_calls() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    let _ = x.unwrap_or(3);\n    x.unwrap()\n}\nfn g() { panic!(\"boom\") }\n";
+        let fired = rules_fired("cluster", src);
+        assert_eq!(fired, vec![("RM-PANIC-001", 3), ("RM-PANIC-001", 5)]);
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let m = std::collections::HashMap::<u8, u8>::new(); m.get(&1).unwrap(); }\n}\n";
+        assert_eq!(rules_fired("redmule", src), vec![]);
+    }
+
+    #[test]
+    fn strings_and_comments_are_exempt() {
+        let src = "// HashMap in a comment\nfn f() -> &'static str { \"HashMap f32 panic!\" }\n";
+        assert_eq!(rules_fired("redmule", src), vec![]);
+    }
+
+    #[test]
+    fn allow_comment_suppresses_and_is_marked_used() {
+        let src = "// modelcheck-allow: RM-DET-002 -- host-side wall clock for CI deadlines\nfn f() { let t = Instant::now(); }\n";
+        assert_eq!(rules_fired("runtime", src), vec![]);
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_violation() {
+        let src = "// modelcheck-allow: RM-DET-002\nfn f() { let t = Instant::now(); }\n";
+        assert_eq!(rules_fired("runtime", src), vec![("RM-ALLOW-001", 1)]);
+    }
+
+    #[test]
+    fn stale_allow_is_a_violation() {
+        let src = "// modelcheck-allow: RM-DET-001 -- there used to be a HashMap here\nfn f() {}\n";
+        assert_eq!(rules_fired("runtime", src), vec![("RM-ALLOW-002", 1)]);
+    }
+
+    #[test]
+    fn non_model_crates_are_unchecked() {
+        let src = "fn f() { let m: HashMap<u8, u8> = HashMap::new(); panic!(\"x\") }\n";
+        assert_eq!(rules_fired("criterion", src), vec![]);
+        assert!(!crate_is_checked("criterion"));
+        assert!(crate_is_checked("redmule"));
+    }
+}

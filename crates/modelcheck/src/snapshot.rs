@@ -1,0 +1,371 @@
+//! RM-SNAP-001 — snapshot completeness.
+//!
+//! Bit-exact resume (the RMSS / RMCK containers from PRs 1–2) only holds
+//! if *every* field of a serialized state struct is either written+read
+//! by the snapshot code or provably derived/drained at the snapshot
+//! point. A field added to the struct but not to the codec does not fail
+//! any existing test — the resumed run silently diverges. This rule makes
+//! that a `make verify` failure instead.
+//!
+//! Two ways a struct is covered:
+//!
+//! * automatically, when the file contains `impl Snapshot for T`: every
+//!   named field of `T` must be mentioned in both the `save_state` and
+//!   `restore_state` bodies;
+//! * explicitly, with a marker comment naming the save/load pair:
+//!
+//!   ```text
+//!   // modelcheck: snapshot(save = checkpoint, load = resume)
+//!   struct Sim { ... }
+//!   ```
+//!
+//!   every field must then be mentioned in the bodies of both named
+//!   functions (searched in the same file).
+//!
+//! Fields that are intentionally not serialized (reconstructed by the
+//! constructor, drained at the snapshot boundary) carry a field-level
+//! `// modelcheck-allow: RM-SNAP-001 -- <why>` annotation.
+//!
+//! The check is name-based: mentioning a field anywhere in the
+//! save/load body counts as coverage. That is deliberately permissive —
+//! the rule exists to catch *forgotten* fields, not to prove the codec
+//! correct (the proptest round-trip suites do that).
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{matching_close, Tok, TokKind};
+use crate::rules::Diagnostic;
+use crate::scope::SnapshotMarker;
+
+/// A named struct and its named fields.
+struct StructDef {
+    name: String,
+    /// Line of the `struct` keyword.
+    line: u32,
+    /// `(field name, line)` pairs.
+    fields: Vec<(String, u32)>,
+}
+
+/// Runs RM-SNAP-001 over one file's (test-stripped) tokens.
+pub fn rule_snap_001(
+    file: &str,
+    toks: &[Tok],
+    markers: &[SnapshotMarker],
+    out: &mut Vec<Diagnostic>,
+) {
+    let structs = collect_structs(toks);
+
+    // Automatic pairing: `impl Snapshot for T`.
+    for (type_name, impl_range) in snapshot_impls(toks) {
+        let Some(def) = structs.iter().find(|s| s.name == type_name) else {
+            // Struct defined elsewhere (other file/module) — out of reach
+            // for a single-file check.
+            continue;
+        };
+        let impl_toks = &toks[impl_range.0..impl_range.1];
+        let save = fn_body_idents(impl_toks, "save_state").unwrap_or_else(|| ident_set(impl_toks));
+        let load =
+            fn_body_idents(impl_toks, "restore_state").unwrap_or_else(|| ident_set(impl_toks));
+        report_uncovered(file, def, &save, &load, "save_state", "restore_state", out);
+    }
+
+    // Explicit pairing via marker comments.
+    for m in markers {
+        let Some(def) = structs.iter().find(|s| s.line > m.line) else {
+            out.push(Diagnostic {
+                rule: "RM-SNAP-001",
+                file: file.to_string(),
+                line: m.line,
+                message: "snapshot marker is not followed by a struct definition".to_string(),
+            });
+            continue;
+        };
+        let save = fn_body_idents(toks, &m.save_fn);
+        let load = fn_body_idents(toks, &m.load_fn);
+        match (save, load) {
+            (Some(save), Some(load)) => {
+                report_uncovered(file, def, &save, &load, &m.save_fn, &m.load_fn, out);
+            }
+            (save, _) => {
+                let missing = if save.is_none() {
+                    &m.save_fn
+                } else {
+                    &m.load_fn
+                };
+                out.push(Diagnostic {
+                    rule: "RM-SNAP-001",
+                    file: file.to_string(),
+                    line: m.line,
+                    message: format!(
+                        "snapshot marker for `{}` names fn `{missing}` which does \
+                         not exist in this file",
+                        def.name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn report_uncovered(
+    file: &str,
+    def: &StructDef,
+    save: &BTreeSet<String>,
+    load: &BTreeSet<String>,
+    save_name: &str,
+    load_name: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (field, line) in &def.fields {
+        let in_save = save.contains(field);
+        let in_load = load.contains(field);
+        if in_save && in_load {
+            continue;
+        }
+        let gap = match (in_save, in_load) {
+            (false, false) => format!("neither `{save_name}` nor `{load_name}`"),
+            (false, true) => format!("`{save_name}`"),
+            (true, false) => format!("`{load_name}`"),
+            _ => unreachable!("covered fields are skipped above"),
+        };
+        out.push(Diagnostic {
+            rule: "RM-SNAP-001",
+            file: file.to_string(),
+            line: *line,
+            message: format!(
+                "field `{}` of snapshot struct `{}` is not mentioned in {gap}: \
+                 extend the snapshot codec, or annotate the field with why it \
+                 is derived/drained at the snapshot point",
+                field, def.name
+            ),
+        });
+    }
+}
+
+/// Every named-field struct in the token stream.
+fn collect_structs(toks: &[Tok]) -> Vec<StructDef> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].kind.ident() == Some("struct") {
+            if let Some(TokKind::Ident(name)) = toks.get(i + 1).map(|t| &t.kind) {
+                let line = toks[i].line;
+                let mut j = i + 2;
+                // Skip generic parameters `<...>` (naive angle matching —
+                // the model structs are not generic, this is best-effort).
+                if toks.get(j).map(|t| t.kind.is_punct('<')) == Some(true) {
+                    let mut depth = 0i64;
+                    while j < toks.len() {
+                        if toks[j].kind.is_punct('<') {
+                            depth += 1;
+                        } else if toks[j].kind.is_punct('>') {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                }
+                if toks.get(j).map(|t| t.kind.is_punct('{')) == Some(true) {
+                    if let Some(close) = matching_close(toks, j) {
+                        out.push(StructDef {
+                            name: name.clone(),
+                            line,
+                            fields: collect_fields(&toks[j + 1..close]),
+                        });
+                        i = close + 1;
+                        continue;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Named fields inside a struct body: an identifier directly followed by
+/// a single `:`, outside any nested parens/brackets/braces (which is
+/// where tuple types, array lengths and attribute arguments live).
+fn collect_fields(body: &[Tok]) -> Vec<(String, u32)> {
+    let mut fields = Vec::new();
+    let mut nest = 0i64;
+    for (i, t) in body.iter().enumerate() {
+        match &t.kind {
+            TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => nest += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => nest -= 1,
+            TokKind::Ident(name) if nest == 0 => {
+                let prev_colon = i > 0 && body[i - 1].kind.is_punct(':');
+                let next_colon = body.get(i + 1).map(|n| n.kind.is_punct(':')) == Some(true);
+                let double_colon = body.get(i + 2).map(|n| n.kind.is_punct(':')) == Some(true);
+                if next_colon && !double_colon && !prev_colon {
+                    fields.push((name.clone(), t.line));
+                }
+            }
+            _ => {}
+        }
+    }
+    fields
+}
+
+/// `(type name, token range)` of every `impl Snapshot for T { ... }`.
+fn snapshot_impls(toks: &[Tok]) -> Vec<(String, (usize, usize))> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].kind.ident() == Some("impl")
+            && toks.get(i + 1).and_then(|t| t.kind.ident()) == Some("Snapshot")
+            && toks.get(i + 2).and_then(|t| t.kind.ident()) == Some("for")
+        {
+            if let Some(TokKind::Ident(name)) = toks.get(i + 3).map(|t| &t.kind) {
+                if toks.get(i + 4).map(|t| t.kind.is_punct('{')) == Some(true) {
+                    if let Some(close) = matching_close(toks, i + 4) {
+                        out.push((name.clone(), (i + 5, close)));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The identifier set of the body of `fn <name>` in `toks`, if present.
+fn fn_body_idents(toks: &[Tok], name: &str) -> Option<BTreeSet<String>> {
+    for i in 0..toks.len() {
+        if toks[i].kind.ident() == Some("fn")
+            && toks.get(i + 1).and_then(|t| t.kind.ident()) == Some(name)
+        {
+            // Body = first `{` outside parens/brackets after the name.
+            let mut nest = 0i64;
+            let mut j = i + 2;
+            while j < toks.len() {
+                match &toks[j].kind {
+                    TokKind::Punct('(') | TokKind::Punct('[') => nest += 1,
+                    TokKind::Punct(')') | TokKind::Punct(']') => nest -= 1,
+                    TokKind::Punct(';') if nest == 0 => break, // trait method without body
+                    TokKind::Punct('{') if nest == 0 => {
+                        let close = matching_close(toks, j)?;
+                        return Some(ident_set(&toks[j + 1..close]));
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+    }
+    None
+}
+
+fn ident_set(toks: &[Tok]) -> BTreeSet<String> {
+    toks.iter()
+        .filter_map(|t| t.kind.ident().map(str::to_string))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rules::check_file;
+
+    fn fired(src: &str) -> Vec<(String, u32)> {
+        check_file("hwsim", "x.rs", src)
+            .into_iter()
+            .map(|d| (format!("{}:{}", d.rule, d.message), d.line))
+            .collect()
+    }
+
+    const COMPLETE: &str = "
+struct Counter { ticks: u64, rollovers: u32 }
+impl Snapshot for Counter {
+    fn save_state(&self, w: &mut StateWriter) { w.put(&self.ticks); w.put(&self.rollovers); }
+    fn restore_state(&mut self, r: &mut StateReader) -> Result<(), SnapshotError> {
+        self.ticks = r.get()?; self.rollovers = r.get()?; Ok(())
+    }
+}
+";
+
+    #[test]
+    fn complete_impl_passes() {
+        assert_eq!(fired(COMPLETE), vec![]);
+    }
+
+    #[test]
+    fn missing_field_in_impl_fires_at_field_line() {
+        let src = "
+struct Counter { ticks: u64, rollovers: u32 }
+impl Snapshot for Counter {
+    fn save_state(&self, w: &mut StateWriter) { w.put(&self.ticks); }
+    fn restore_state(&mut self, r: &mut StateReader) -> Result<(), SnapshotError> {
+        self.ticks = r.get()?; Ok(())
+    }
+}
+";
+        let f = fired(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].1, 2);
+        assert!(f[0].0.contains("rollovers"));
+        assert!(f[0].0.starts_with("RM-SNAP-001"));
+    }
+
+    #[test]
+    fn field_allow_suppresses() {
+        let src = "
+struct Counter {
+    ticks: u64,
+    // modelcheck-allow: RM-SNAP-001 -- derived from ticks on restore
+    rollovers: u32,
+}
+impl Snapshot for Counter {
+    fn save_state(&self, w: &mut StateWriter) { w.put(&self.ticks); }
+    fn restore_state(&mut self, r: &mut StateReader) -> Result<(), SnapshotError> {
+        self.ticks = r.get()?; Ok(())
+    }
+}
+";
+        assert_eq!(fired(src), vec![]);
+    }
+
+    #[test]
+    fn marker_pairs_struct_with_named_fns() {
+        let src = "
+// modelcheck: snapshot(save = checkpoint, load = resume)
+struct Sim { cursor: usize, stalled: u64 }
+fn checkpoint(s: &Sim) { put(s.cursor); }
+fn resume(s: &mut Sim) { s.cursor = get(); s.stalled = get(); }
+";
+        let f = fired(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].0.contains("stalled"));
+        assert!(f[0].0.contains("`checkpoint`"));
+    }
+
+    #[test]
+    fn marker_with_unknown_fn_fires() {
+        let src = "
+// modelcheck: snapshot(save = nope, load = resume)
+struct Sim { cursor: usize }
+fn resume() {}
+";
+        let f = fired(src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].0.contains("nope"));
+    }
+
+    #[test]
+    fn tuple_and_generic_types_in_fields_do_not_confuse_parsing() {
+        let src = "
+struct S {
+    pub(crate) cursor: (usize, usize, usize),
+    queue: std::collections::VecDeque<(u32, Vec<u16>)>,
+    grid: [u8; 4],
+}
+impl Snapshot for S {
+    fn save_state(&self, w: &mut W) { w.put(&self.cursor); w.put(&self.queue); w.put(&self.grid); }
+    fn restore_state(&mut self, r: &mut R) -> Result<(), E> {
+        self.cursor = r.get()?; self.queue = r.get()?; self.grid = r.get()?; Ok(())
+    }
+}
+";
+        assert_eq!(fired(src), vec![]);
+    }
+}

@@ -1,0 +1,138 @@
+//! End-to-end rule tests over the fixture files in `tests/fixtures/`.
+//!
+//! Each `*_<rule>_*.rs` fixture contains exactly one violation of its
+//! rule (plus decoys: test modules, string literals, allowlisted sites);
+//! `allowlisted_clean.rs` contains several violations that are all
+//! justified and must scan clean. The fixtures are plain text — they are
+//! never compiled — so they can reference traits that do not resolve.
+
+use modelcheck::{check_file, Diagnostic};
+
+/// Scans a fixture as if it lived in the given model crate.
+fn scan(crate_name: &str, name: &str, src: &str) -> Vec<Diagnostic> {
+    check_file(crate_name, name, src)
+}
+
+/// Asserts the scan produced exactly one finding, of `rule`, at `line`.
+fn assert_fires_once(diags: &[Diagnostic], rule: &str, line: u32) {
+    assert_eq!(
+        diags.len(),
+        1,
+        "expected exactly one {rule} finding, got: {diags:#?}"
+    );
+    assert_eq!(diags[0].rule, rule, "wrong rule: {diags:#?}");
+    assert_eq!(diags[0].line, line, "wrong line: {diags:#?}");
+}
+
+#[test]
+fn det_001_fires_once_on_hashmap_outside_tests() {
+    let diags = scan(
+        "redmule",
+        "det_001_hashmap.rs",
+        include_str!("fixtures/det_001_hashmap.rs"),
+    );
+    assert_fires_once(&diags, "RM-DET-001", 2);
+}
+
+#[test]
+fn det_002_fires_once_on_instant_not_in_strings() {
+    let diags = scan(
+        "hwsim",
+        "det_002_instant.rs",
+        include_str!("fixtures/det_002_instant.rs"),
+    );
+    assert_fires_once(&diags, "RM-DET-002", 4);
+}
+
+#[test]
+fn fp_001_fires_once_on_unallowed_native_float() {
+    let diags = scan(
+        "fp16",
+        "fp_001_native_float.rs",
+        include_str!("fixtures/fp_001_native_float.rs"),
+    );
+    assert_fires_once(&diags, "RM-FP-001", 4);
+}
+
+#[test]
+fn fp_001_is_scoped_to_strict_crates() {
+    // The same source in a crate outside the FP-strict set (cluster uses
+    // fp16 types but hosts no datapath numerics) raises nothing.
+    let diags = scan(
+        "cluster",
+        "fp_001_native_float.rs",
+        include_str!("fixtures/fp_001_native_float.rs"),
+    );
+    // The unused FP allow in the fixture is stale from this crate's
+    // point of view — that is the only acceptable finding.
+    assert!(
+        diags.iter().all(|d| d.rule == "RM-ALLOW-002"),
+        "unexpected findings: {diags:#?}"
+    );
+}
+
+#[test]
+fn snap_001_fires_once_on_forgotten_field() {
+    let diags = scan(
+        "redmule",
+        "snap_001_missing_field.rs",
+        include_str!("fixtures/snap_001_missing_field.rs"),
+    );
+    assert_fires_once(&diags, "RM-SNAP-001", 5);
+    assert!(diags[0].message.contains("rollovers"), "{diags:#?}");
+}
+
+#[test]
+fn panic_001_fires_once_on_unwrap_outside_tests() {
+    let diags = scan(
+        "runtime",
+        "panic_001_unwrap.rs",
+        include_str!("fixtures/panic_001_unwrap.rs"),
+    );
+    assert_fires_once(&diags, "RM-PANIC-001", 4);
+}
+
+#[test]
+fn allow_001_fires_once_on_reasonless_allow() {
+    let diags = scan(
+        "redmule",
+        "allow_001_no_reason.rs",
+        include_str!("fixtures/allow_001_no_reason.rs"),
+    );
+    assert_fires_once(&diags, "RM-ALLOW-001", 5);
+}
+
+#[test]
+fn allow_002_fires_once_on_stale_allow() {
+    let diags = scan(
+        "redmule",
+        "allow_002_stale.rs",
+        include_str!("fixtures/allow_002_stale.rs"),
+    );
+    assert_fires_once(&diags, "RM-ALLOW-002", 4);
+}
+
+#[test]
+fn fully_allowlisted_fixture_scans_clean() {
+    let diags = scan(
+        "fp16",
+        "allowlisted_clean.rs",
+        include_str!("fixtures/allowlisted_clean.rs"),
+    );
+    assert!(diags.is_empty(), "expected a clean scan: {diags:#?}");
+}
+
+#[test]
+fn diagnostics_render_with_rule_and_location() {
+    let diags = scan(
+        "redmule",
+        "crates/redmule/src/engine.rs",
+        "pub fn f() { None::<u32>.unwrap(); }",
+    );
+    assert_eq!(diags.len(), 1);
+    let rendered = diags[0].to_string();
+    assert!(
+        rendered.starts_with("RM-PANIC-001 crates/redmule/src/engine.rs:1: "),
+        "bad rendering: {rendered}"
+    );
+}

@@ -1,0 +1,8 @@
+//! Fixture: RM-ALLOW-001 must fire exactly once — an allow without a
+//! `-- reason` suffix is itself a violation (and still suppresses the
+//! underlying finding, so only the hygiene rule fires).
+
+// modelcheck-allow: RM-PANIC-001
+pub fn head(values: &[u16]) -> u16 {
+    *values.first().unwrap()
+}

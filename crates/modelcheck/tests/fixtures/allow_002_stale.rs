@@ -1,0 +1,7 @@
+//! Fixture: RM-ALLOW-002 must fire exactly once — the allow below
+//! suppresses nothing, so it is reported as stale.
+
+// modelcheck-allow: RM-PANIC-001 -- left over from a removed unwrap
+pub fn head(values: &[u16]) -> Option<u16> {
+    values.first().copied()
+}

@@ -1,0 +1,30 @@
+//! Fixture: every violation below carries a justified allow, so the
+//! scan must come back clean — the allowlist grammar end-to-end.
+
+// modelcheck-allow: RM-DET-002 -- fixture: host-side wall clock
+pub fn stamp() -> u128 {
+    std::time::Instant::now().elapsed().as_nanos()
+}
+
+// modelcheck-allow: RM-FP-001, RM-PANIC-001 -- fixture: one comment
+// covering two rules over the same item
+pub fn widen_head(values: &[u16]) -> f32 {
+    f32::from(*values.first().unwrap())
+}
+
+pub struct Counter {
+    ticks: u64,
+    // modelcheck-allow: RM-SNAP-001 -- fixture: derived from ticks
+    rollovers: u32,
+}
+
+impl Snapshot for Counter {
+    fn save_state(&self, w: &mut StateWriter) {
+        w.put(&self.ticks);
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader) -> Result<(), SnapshotError> {
+        self.ticks = r.get()?;
+        Ok(())
+    }
+}

@@ -1,0 +1,23 @@
+//! Fixture: RM-DET-001 must fire exactly once, on the HashMap use.
+use std::collections::HashMap;
+
+pub fn histogram(values: &[u32]) -> usize {
+    // Iteration order of this map would make cycle-by-cycle traces
+    // nondeterministic if it ever drove model state.
+    let mut counts: std::collections::BTreeMap<u32, u32> = Default::default();
+    for v in values {
+        *counts.entry(*v).or_insert(0) += 1;
+    }
+    counts.len()
+}
+
+#[cfg(test)]
+mod tests {
+    // Inside #[cfg(test)] the rule must NOT fire.
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_scope_is_exempt() {
+        let _m: HashMap<u32, u32> = HashMap::new();
+    }
+}

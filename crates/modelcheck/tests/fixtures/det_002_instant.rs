@@ -1,0 +1,9 @@
+//! Fixture: RM-DET-002 must fire exactly once, on the Instant::now call.
+
+pub fn stamp() -> u128 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos()
+}
+
+// The word Instant inside a string literal must not match.
+pub const LABEL: &str = "Instant::now is banned in model crates";

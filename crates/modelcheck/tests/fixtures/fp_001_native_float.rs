@@ -1,0 +1,14 @@
+//! Fixture: RM-FP-001 must fire exactly once, on the f32 literal.
+
+pub fn accumulate(values: &[u16]) -> u32 {
+    let mut acc = 0.0f32;
+    for v in values {
+        acc += widen_stub(*v);
+    }
+    acc as u32
+}
+
+// modelcheck-allow: RM-FP-001 -- fixture: exercised allowlisted path
+fn widen_stub(v: u16) -> f32 {
+    f32::from(v)
+}

@@ -1,0 +1,20 @@
+//! Fixture: RM-PANIC-001 must fire exactly once, on the unwrap call.
+
+pub fn head(values: &[u16]) -> u16 {
+    *values.first().unwrap()
+}
+
+// A method *named* unwrap is not a call to Option/Result unwrap, but the
+// rule is token-based and conservative, so keep the fixture to one site.
+pub fn safe_head(values: &[u16]) -> Option<u16> {
+    values.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v = [1u16];
+        assert_eq!(super::head(&v), *v.first().unwrap());
+    }
+}

@@ -1,0 +1,18 @@
+//! Fixture: RM-SNAP-001 must fire exactly once, on the forgotten field.
+
+pub struct Counter {
+    ticks: u64,
+    rollovers: u32,
+}
+
+impl Snapshot for Counter {
+    fn save_state(&self, w: &mut StateWriter) {
+        w.put(&self.ticks);
+        // `rollovers` forgotten: the resumed run silently diverges.
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader) -> Result<(), SnapshotError> {
+        self.ticks = r.get()?;
+        Ok(())
+    }
+}

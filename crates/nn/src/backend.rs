@@ -260,7 +260,7 @@ impl Backend {
                 Ok((z, report.overlapped_cycles))
             }
             Inner::Sw(sw) => {
-                let run = sw.run(shape, x, w);
+                let run = sw.run(shape, x, w)?;
                 Ok((run.z, run.cycles))
             }
         }

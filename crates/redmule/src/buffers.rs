@@ -108,6 +108,9 @@ impl XBuffer {
     ///
     /// Panics if no chunk is current or indices are out of range.
     pub fn operand(&self, row: usize, idx: usize) -> F16 {
+        // modelcheck-allow: RM-PANIC-001 -- documented schedule invariant (see
+        // # Panics): the datapath stalls while no chunk is current, so a miss
+        // here is a scheduler bug that must not be silently absorbed.
         self.current[row]
             .as_ref()
             .expect("no current chunk; datapath should have stalled")[idx]
@@ -202,6 +205,9 @@ impl WBuffer {
     pub fn activate(&mut self, col: usize) -> bool {
         match self.staging[col].take() {
             Some(data) => {
+                // modelcheck-allow: RM-PANIC-001 -- documented schedule
+                // invariant (see # Panics): activate() only runs after the
+                // register drained; a violation is a scheduler bug.
                 self.current[col]
                     .load(data)
                     .expect("register drained before reload");
@@ -218,6 +224,9 @@ impl WBuffer {
     /// Panics if the register is empty (a schedule bug: `activate` governs
     /// phase starts).
     pub fn broadcast(&mut self, col: usize) -> F16 {
+        // modelcheck-allow: RM-PANIC-001 -- documented schedule invariant (see
+        // # Panics): the datapath stalls on W underrun, so an empty register
+        // here is a scheduler bug.
         self.current[col]
             .shift()
             .expect("W register underrun; datapath should have stalled")

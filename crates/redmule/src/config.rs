@@ -43,6 +43,9 @@ impl AccelConfig {
     /// Panics if any dimension is zero.
     pub fn new(h: usize, l: usize, p: usize) -> AccelConfig {
         let cfg = AccelConfig { h, l, p };
+        // modelcheck-allow: RM-PANIC-001 -- documented constructor contract: a
+        // zero dimension is a programming error; validate() is the fallible
+        // path for untrusted input.
         cfg.validate().expect("invalid accelerator configuration");
         cfg
     }

@@ -121,10 +121,16 @@ impl Datapath {
                             match acc0 {
                                 Acc0::Zero => F16::ZERO,
                                 Acc0::Init(vals) => vals[r],
+                                // modelcheck-allow: RM-PANIC-001 -- datapath
+                                // invariant: the ring feedback path is only
+                                // selected when the last column holds a value.
                                 Acc0::Ring => outs[self.cfg.h - 1][r]
                                     .expect("ring feedback bubble reached column 0"),
                             }
                         } else {
+                            // modelcheck-allow: RM-PANIC-001 -- datapath
+                            // invariant: columns feed forward in lockstep, so
+                            // a mid-row bubble means the schedule is broken.
                             outs[h - 1][r].expect("partial-sum bubble mid-row")
                         };
                         if cc.passthrough {
@@ -139,6 +145,8 @@ impl Datapath {
             }
         }
 
+        // modelcheck-allow: RM-PANIC-001 -- structural invariant: AccelConfig
+        // rejects H = 0, so the outs vector is never empty.
         outs.into_iter().next_back().expect("H >= 1")
     }
 

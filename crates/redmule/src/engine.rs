@@ -170,6 +170,8 @@ pub struct RunReport {
 
 impl RunReport {
     /// Achieved MACs per cycle.
+    // modelcheck-allow: RM-FP-001 -- telemetry: throughput ratio reported to
+    // humans and benchmarks; never feeds back into model state.
     pub fn macs_per_cycle(&self) -> f64 {
         if self.cycles.count() == 0 {
             return 0.0;
@@ -178,6 +180,8 @@ impl RunReport {
     }
 
     /// Fraction of the ideal `H*L` MACs/cycle achieved.
+    // modelcheck-allow: RM-FP-001 -- telemetry: utilization ratio reported to
+    // humans and benchmarks; never feeds back into model state.
     pub fn utilization(&self, cfg: &AccelConfig) -> f64 {
         self.macs_per_cycle() / cfg.ideal_macs_per_cycle() as f64
     }
@@ -636,13 +640,22 @@ fn f16_from_bits(bits: Vec<u16>) -> Vec<F16> {
 /// assert!(report.cycles.count() > 0);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
+// modelcheck: snapshot(save = checkpoint, load = resume)
 #[derive(Debug)]
 pub struct EngineSession {
     sim: Sim,
     cycle: u64,
+    // modelcheck-allow: RM-SNAP-001 -- derived: recomputed from sim.tiles
+    // by EngineSession::new on resume.
     no_work: bool,
+    // modelcheck-allow: RM-SNAP-001 -- derived: the cycle bound is a pure
+    // function of (cfg, job), recomputed by EngineSession::new on resume.
     bound: u64,
+    // modelcheck-allow: RM-SNAP-001 -- engine configuration, not job
+    // state: resume() reinstalls the *resuming* engine's watchdog.
     watchdog: u64,
+    // modelcheck-allow: RM-SNAP-001 -- derived: recomputed from the
+    // restored scheduler cursors (progress_sig) at the end of resume().
     last_sig: Option<ProgressSig>,
     stalled_for: u64,
 }
@@ -960,23 +973,39 @@ impl EngineSession {
 }
 
 /// All mutable state of one job execution.
+// modelcheck: snapshot(save = checkpoint, load = resume)
 #[derive(Debug)]
 struct Sim {
     cfg: AccelConfig,
     job: Job,
+    // modelcheck-allow: RM-SNAP-001 -- derived: recomputed from cfg by
+    // Sim::new on resume.
     pw: usize,
+    // modelcheck-allow: RM-SNAP-001 -- derived: recomputed from cfg by
+    // Sim::new on resume.
     lat: usize,
+    // modelcheck-allow: RM-SNAP-001 -- derived: recomputed from the job
+    // shape by Sim::new on resume.
     n_phases: usize,
+    // modelcheck-allow: RM-SNAP-001 -- derived: the tile grid is a pure
+    // function of (cfg, job), rebuilt by Sim::new on resume.
     tiles: Vec<Tile>,
 
     dp: Datapath,
     xb: XBuffer,
     wb: WBuffer,
+    // modelcheck-allow: RM-SNAP-001 -- drained: checkpoints are only taken
+    // at tile boundaries, where the Z buffer holds no live tile (asserted
+    // in checkpoint()).
     zb: ZBuffer,
 
     /// Tile currently being computed and its local cycle.
     compute_tile: usize,
+    // modelcheck-allow: RM-SNAP-001 -- drained: at a tile boundary the
+    // local cycle is 0 (enforced by at_tile_boundary before serialising).
     t_local: usize,
+    // modelcheck-allow: RM-SNAP-001 -- drained: at a tile boundary the
+    // next tile has not started (enforced by at_tile_boundary).
     started: bool,
 
     /// W generator cursor: (tile, phase, col) in deadline order.
@@ -1234,6 +1263,9 @@ impl Sim {
         if t >= final_start && t < final_start + pw {
             let j = t - final_start;
             for (r, v) in outs.iter().enumerate() {
+                // modelcheck-allow: RM-PANIC-001 -- schedule invariant: during
+                // the final-phase window every datapath column emits a value;
+                // a bubble here means the cycle-accurate schedule is broken.
                 self.zb.record(r, j, v.expect("final-phase output present"));
             }
         }
@@ -1416,6 +1448,9 @@ impl Sim {
                 let t = self.tiles[tile];
                 self.job.x_addr + 2 * ((t.row0 + row) * self.job.x_ld() + chunk * self.pw) as u32
             }
+            // modelcheck-allow: RM-PANIC-001 -- arbitration invariant:
+            // Pick::ZStore is only selected when the store queue is
+            // non-empty (checked when building the pick).
             Pick::ZStore => self.store_queue.front().expect("queue checked").addr,
         };
 
@@ -1490,6 +1525,9 @@ impl Sim {
                 self.stats.incr("x_loads");
             }
             Pick::ZStore => {
+                // modelcheck-allow: RM-PANIC-001 -- arbitration invariant:
+                // Pick::ZStore is only selected when the store queue is
+                // non-empty (checked when building the pick).
                 let StoreReq { addr, mut data } =
                     self.store_queue.pop_front().expect("queue checked");
                 if let Some(inj) = self.injector.as_mut() {

@@ -638,6 +638,9 @@ impl FtConfig {
 /// FP16 row/column checksums of a tile, exact in `f64` (each sum folds at
 /// most `H*(P+1)` half-precision values, far within the 53-bit mantissa),
 /// plus an XOR fold so even sign flips of zero are caught.
+// modelcheck-allow: RM-FP-001 -- ABFT reference path: checksums fold F16
+// values exactly in f64 (sums stay far within the 53-bit mantissa); the
+// signatures detect faults and never enter the FP16 datapath.
 fn tile_signature(z: &[Vec<F16>]) -> (Vec<u64>, Vec<u64>, u16) {
     let cols = z.first().map_or(0, Vec::len);
     let mut row_sums = Vec::with_capacity(z.len());

@@ -59,6 +59,8 @@ pub struct TiledReport {
 
 impl TiledReport {
     /// Effective MACs per cycle of the double-buffered execution.
+    // modelcheck-allow: RM-FP-001 -- telemetry: throughput ratio reported to
+    // humans and benchmarks; never feeds back into model state.
     pub fn macs_per_cycle(&self, shape: GemmShape) -> f64 {
         if self.overlapped_cycles.count() == 0 {
             return 0.0;
@@ -67,6 +69,8 @@ impl TiledReport {
     }
 
     /// Fraction of DMA cost hidden under compute by double buffering.
+    // modelcheck-allow: RM-FP-001 -- telemetry: overlap ratio reported to
+    // humans and benchmarks; never feeds back into model state.
     pub fn dma_hidden_fraction(&self) -> f64 {
         if self.dma_cycles.count() == 0 {
             return 1.0;
@@ -111,6 +115,9 @@ impl L2TiledGemm {
     ///
     /// Panics if the cluster configuration is invalid.
     pub fn new(accel: AccelConfig, cluster: ClusterConfig) -> L2TiledGemm {
+        // modelcheck-allow: RM-PANIC-001 -- documented constructor contract: an
+        // invalid ClusterConfig is a programming error; validate() is the
+        // fallible path for untrusted input.
         cluster.validate().expect("invalid cluster configuration");
         L2TiledGemm {
             accel,

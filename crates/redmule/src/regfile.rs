@@ -273,6 +273,8 @@ impl RegFile {
     /// Use [`RegFile::try_write`] to handle the error instead.
     pub fn write(&mut self, offset: u32, value: u32) {
         if let Err(e) = self.try_write(offset, value) {
+            // modelcheck-allow: RM-PANIC-001 -- documented panicking wrapper
+            // (see # Panics); try_write is the fallible alternative.
             panic!("write to unmapped HWPE register: {e}");
         }
     }
@@ -322,6 +324,8 @@ impl RegFile {
     pub fn read(&self, offset: u32) -> u32 {
         match self.try_read(offset) {
             Ok(v) => v,
+            // modelcheck-allow: RM-PANIC-001 -- documented panicking wrapper
+            // (see # Panics); try_read is the fallible alternative.
             Err(e) => panic!("read from unmapped HWPE register: {e}"),
         }
     }

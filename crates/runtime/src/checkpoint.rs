@@ -23,6 +23,7 @@ pub const CHECKPOINT_VERSION: u32 = 1;
 /// Serialises to a self-describing byte container (`"RMCK"` magic,
 /// format version, three length-prefixed sections, FNV-1a-64 checksum)
 /// via [`Checkpoint::to_bytes`] / [`Checkpoint::from_bytes`].
+// modelcheck: snapshot(save = capture, load = restore)
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Checkpoint {
     session: SessionState,

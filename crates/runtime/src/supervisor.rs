@@ -8,6 +8,9 @@ use redmule_fp16::F16;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+// modelcheck-allow: RM-DET-002 -- host-side supervision: wall-clock deadlines
+// bound *real* runtime of a simulation, orthogonal to model time (Cycle);
+// they never influence simulated state, only when the host stops driving it.
 use std::time::{Duration, Instant};
 
 /// A cooperative cancellation flag shared between the supervisor and any
@@ -297,6 +300,8 @@ impl Supervisor {
         hci: &mut Hci,
         observe: &mut dyn FnMut(&EngineSession),
     ) -> Result<SupervisedRun, EngineError> {
+        // modelcheck-allow: RM-DET-002 -- host-side supervision: wall-clock
+        // deadline enforcement; model time remains session.cycle().
         let start = Instant::now();
         let start_cycle = session.cycle();
         // The entry point (cycle 0 or a resume point) is always a tile

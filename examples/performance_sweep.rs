@@ -41,7 +41,7 @@ fn main() {
             .collect();
 
         let hw = accel.gemm(shape, &x, &w).expect("managed job");
-        let swr = sw.run(shape, &x, &w);
+        let swr = sw.run(shape, &x, &w).expect("sw baseline run");
         assert!(
             hw.z.iter()
                 .zip(&swr.z)

@@ -68,7 +68,7 @@ fn speedup_over_software_in_band() {
     let shape = GemmShape::new(128, 128, 128);
     let (x, w) = operands(shape, 5);
     let hw = accel.gemm(shape, &x, &w).expect("hw");
-    let swr = sw.run(shape, &x, &w);
+    let swr = sw.run(shape, &x, &w).expect("sw run");
     let speedup = swr.cycles.count() as f64 / hw.report.cycles.count() as f64;
     assert!(
         (16.0..=26.0).contains(&speedup),
@@ -84,7 +84,7 @@ fn efficiency_gain_in_band() {
     let shape = GemmShape::new(128, 128, 128);
     let (x, w) = operands(shape, 6);
     let hw = accel.gemm(shape, &x, &w).expect("hw");
-    let swr = sw.run(shape, &x, &w);
+    let swr = sw.run(shape, &x, &w).expect("sw run");
     let m = PowerModel::new(Technology::Gf22Fdx, OperatingPoint::peak_efficiency());
     let gain = m.efficiency_gain_over_sw(
         hw.report.macs_per_cycle(),

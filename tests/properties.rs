@@ -60,7 +60,7 @@ proptest! {
         let x = deterministic(shape.x_len(), seed);
         let w = deterministic(shape.w_len(), seed ^ 0x55);
         let sw = SwGemm::new(&ClusterConfig::default().with_cores(cores));
-        let run = sw.run(shape, &x, &w);
+        let run = sw.run(shape, &x, &w).expect("sw run");
         prop_assert_eq!(bits(&run.z), bits(&gemm_golden(shape, &x, &w)));
     }
 
@@ -75,7 +75,7 @@ proptest! {
         }),
     ) {
         let hw = Accelerator::paper_instance().gemm(shape, &x, &w).expect("hw");
-        let sw = SwGemm::new(&ClusterConfig::default()).run(shape, &x, &w);
+        let sw = SwGemm::new(&ClusterConfig::default()).run(shape, &x, &w).expect("sw run");
         prop_assert_eq!(bits(&hw.z), bits(&sw.z));
     }
 

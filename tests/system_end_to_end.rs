@@ -42,7 +42,7 @@ fn hw_sw_golden_triangle() {
         let (x, w) = data(shape, (m * 100 + n * 10 + k) as u32);
         let golden = gemm_golden(shape, &x, &w);
         let hw = accel.gemm(shape, &x, &w).expect("hw run");
-        let swr = sw.run(shape, &x, &w);
+        let swr = sw.run(shape, &x, &w).expect("sw run");
         assert_eq!(bits(&hw.z), bits(&golden), "HW vs golden at {shape}");
         assert_eq!(bits(&swr.z), bits(&golden), "SW vs golden at {shape}");
     }
