@@ -1,24 +1,32 @@
 # Convenience targets for the RedMulE reproduction.
 #
-#   make verify     — tier-1 gate plus the full workspace suite, a
-#                     warning-free clippy pass, a formatting check and the
-#                     modelcheck static analyzer
-#                     (what CI runs, see .github/workflows/ci.yml)
-#   make test       — fast: workspace tests only
-#   make modelcheck — model-hygiene static analysis (DESIGN.md §10)
-#   make figures    — regenerate every table/figure (quick sweep sizes)
+#   make verify      — tier-1 gate plus the full workspace suite, a
+#                      warning-free clippy pass, a formatting check, the
+#                      modelcheck static analyzer and the batch-bench
+#                      smoke gate (what CI runs, see
+#                      .github/workflows/ci.yml)
+#   make test        — fast: workspace tests only
+#   make test-full   — workspace tests including the #[ignore]d deep
+#                      sweeps (what nightly CI runs)
+#   make modelcheck  — model-hygiene static analysis (DESIGN.md §10)
+#   make figures     — regenerate every table/figure (quick sweep sizes)
+#   make batch-smoke — batch-throughput smoke run; fails unless
+#                      BENCH_batch.json exists and scaling holds
 
 CARGO ?= cargo
 
-.PHONY: verify build test clippy fmt modelcheck figures
+.PHONY: verify build test test-full clippy fmt modelcheck figures batch-smoke
 
-verify: build test clippy fmt modelcheck
+verify: build test clippy fmt modelcheck batch-smoke
 
 build:
 	$(CARGO) build --release
 
 test:
 	$(CARGO) test -q --workspace
+
+test-full:
+	$(CARGO) test -q --workspace -- --include-ignored
 
 clippy:
 	$(CARGO) clippy --workspace -- -D warnings
@@ -31,3 +39,7 @@ modelcheck:
 
 figures:
 	$(CARGO) run --release -q -p redmule-bench --bin figures -- all
+
+batch-smoke:
+	$(CARGO) run --release -q -p redmule-bench --bin figures -- batch --smoke
+	test -f BENCH_batch.json

@@ -1,0 +1,162 @@
+//! Ordering-bug canary: the canonical [`BatchReport`] serialization must
+//! be byte-identical no matter how many workers the pool runs — results
+//! are keyed by job id, never by completion order, and per-job outcomes
+//! depend only on the job itself.
+//!
+//! The job set deliberately mixes everything that could tempt an
+//! implementation into order-dependence: both backends, accumulate mode,
+//! a degraded (cycle-budget) job, a raw fault injection and an
+//! FT-protected fault plan, submitted in shuffled id order.
+
+use redmule::{BackendKind, FaultPlan, FaultSite, FtConfig, TransientTarget};
+use redmule_batch::{BatchExecutor, GemmJob, JobFaults, JobStatus};
+use redmule_fp16::vector::GemmShape;
+use redmule_fp16::F16;
+use redmule_runtime::Limits;
+
+fn data(shape: GemmShape, seed: u32) -> (Vec<F16>, Vec<F16>) {
+    let gen = |len: usize, s: u32| -> Vec<F16> {
+        (0..len)
+            .map(|i| {
+                let h = ((i as u32).wrapping_mul(2654435761) ^ s.wrapping_mul(0x85EB_CA6B)) >> 17;
+                F16::from_f32((h % 63) as f32 / 64.0 - 0.5)
+            })
+            .collect()
+    };
+    (gen(shape.x_len(), seed), gen(shape.w_len(), seed ^ 0xBEEF))
+}
+
+/// A batch exercising every execution path the executor has.
+fn adversarial_job_set() -> Vec<GemmJob> {
+    let mut jobs = Vec::new();
+
+    // Plain cycle-accurate jobs of different weights.
+    for (id, (m, n, k)) in [(0u64, (8, 16, 16)), (1, (3, 7, 21)), (2, (16, 8, 32))] {
+        let shape = GemmShape::new(m, n, k);
+        let (x, w) = data(shape, id as u32);
+        jobs.push(GemmJob::new(id, shape, x, w));
+    }
+
+    // Functional jobs, one with accumulate.
+    let shape = GemmShape::new(6, 12, 10);
+    let (x, w) = data(shape, 33);
+    jobs.push(GemmJob::new(3, shape, x.clone(), w.clone()).with_backend(BackendKind::Functional));
+    let y: Vec<F16> = (0..shape.z_len())
+        .map(|i| F16::from_f32((i % 5) as f32 - 2.0))
+        .collect();
+    jobs.push(
+        GemmJob::new(4, shape, x, w)
+            .with_backend(BackendKind::Functional)
+            .with_accumulate(y),
+    );
+
+    // A job that exhausts its cycle budget (deterministically degraded).
+    let big = GemmShape::new(16, 16, 32);
+    let (x, w) = data(big, 44);
+    jobs.push(
+        GemmJob::new(5, big, x, w)
+            .with_limits(Limits::none().with_max_cycles(60))
+            .with_checkpoint_interval(1),
+    );
+
+    // Raw fault injection under supervision: the corrupted result is
+    // deterministic because the strike schedule is.
+    let shape = GemmShape::new(4, 6, 8);
+    let (x, w) = data(shape, 55);
+    jobs.push(
+        GemmJob::new(6, shape, x, w).with_faults(JobFaults::Raw(vec![
+            (
+                10,
+                FaultSite::Pipe {
+                    col: 1,
+                    row: 2,
+                    stage: 0,
+                    bit: 7,
+                },
+            ),
+            (
+                0,
+                FaultSite::WLoad {
+                    phase: 0,
+                    col: 0,
+                    elem: 1,
+                    bit: 3,
+                },
+            ),
+        ])),
+    );
+
+    // FT-protected execution of a seeded transient plan.
+    let shape = GemmShape::new(8, 8, 16);
+    let (x, w) = data(shape, 66);
+    jobs.push(
+        GemmJob::new(7, shape, x, w).with_faults(JobFaults::Protected {
+            plan: FaultPlan::new(0xBAD5_EED).with_random_transients(1, &[TransientTarget::Pipe]),
+            ft: FtConfig::replay(),
+        }),
+    );
+
+    // Submit in shuffled order; the report must still come out id-sorted.
+    jobs.swap(0, 7);
+    jobs.swap(2, 5);
+    jobs
+}
+
+#[test]
+fn report_bytes_are_identical_for_1_2_and_8_workers() {
+    let reference = BatchExecutor::new(1)
+        .run(adversarial_job_set())
+        .expect("1-worker batch")
+        .report
+        .to_canonical_json();
+
+    for workers in [2usize, 8] {
+        let got = BatchExecutor::new(workers)
+            .run(adversarial_job_set())
+            .expect("parallel batch")
+            .report
+            .to_canonical_json();
+        assert_eq!(
+            got, reference,
+            "BatchReport serialization diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn repeated_runs_are_identical_at_fixed_worker_count() {
+    let a = BatchExecutor::new(8)
+        .run(adversarial_job_set())
+        .expect("first run");
+    let b = BatchExecutor::new(8)
+        .run(adversarial_job_set())
+        .expect("second run");
+    assert_eq!(a.report.to_canonical_json(), b.report.to_canonical_json());
+    // The schedule stats are a deterministic virtual replay, so they
+    // repeat exactly too — host thread timing must not leak in.
+    assert_eq!(a.schedule, b.schedule);
+}
+
+#[test]
+fn the_job_set_actually_covers_the_interesting_paths() {
+    // Guard against this canary silently weakening: the batch must
+    // contain a degraded job, fault telemetry and both backends.
+    let report = BatchExecutor::new(4)
+        .run(adversarial_job_set())
+        .expect("batch")
+        .report;
+    assert_eq!(report.jobs.len(), 8);
+    assert_eq!(
+        report.jobs.iter().map(|j| j.id).collect::<Vec<_>>(),
+        (0..8).collect::<Vec<_>>()
+    );
+    assert_eq!(report.degraded(), 1);
+    assert_eq!(report.jobs[5].status, JobStatus::CycleBudget);
+    assert!(report.total_fault_events() > 0);
+    assert!(report
+        .jobs
+        .iter()
+        .any(|j| j.backend == BackendKind::Functional));
+    assert!(report.failed() == 0, "no job in this set may fail outright");
+    assert!(report.utilization(&redmule::AccelConfig::paper()) > 0.0);
+}

@@ -52,6 +52,7 @@ fn run_isolated(name: &str, exp: impl FnOnce() -> Result<String, EngineError>) -
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
+    let smoke = args.iter().any(|a| a == "--smoke");
     let mut wanted: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -71,6 +72,7 @@ fn main() {
             "ablations",
             "faults",
             "degradation",
+            "batch",
         ];
     }
     let sizes = workloads::sweep_sizes(full);
@@ -136,9 +138,24 @@ fn main() {
                 run_isolated(item, || Ok(experiments::fault_sweep()?.to_string())),
             ),
             "degradation" => record(item, run_isolated(item, experiments::degradation)),
+            "batch" => record(
+                item,
+                run_isolated(item, || {
+                    let bt = experiments::batch_throughput(smoke || !full)?;
+                    std::fs::write("BENCH_batch.json", bt.to_json()).map_err(|e| {
+                        EngineError::InvalidJob(format!("cannot write BENCH_batch.json: {e}"))
+                    })?;
+                    if let Some(violation) = bt.scaling_violation() {
+                        return Err(EngineError::InvalidJob(format!(
+                            "batch scaling guard failed: {violation}"
+                        )));
+                    }
+                    Ok(format!("{bt}wrote BENCH_batch.json\n"))
+                }),
+            ),
             other => eprintln!(
                 "unknown item `{other}` (try: all, table1, fig3a..fig4d, ablations, faults, \
-                 degradation)"
+                 degradation, batch)"
             ),
         }
     }

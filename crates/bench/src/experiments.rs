@@ -8,6 +8,7 @@
 use crate::workloads;
 use redmule::faults::{FaultPlan, FtConfig, FtMode, TransientTarget};
 use redmule::{AccelConfig, Accelerator, EngineError};
+use redmule_batch::{BatchExecutor, GemmJob};
 use redmule_cluster::{baseline::SwGemm, ClusterConfig};
 use redmule_energy::{table1, AreaModel, OperatingPoint, PowerModel, Technology};
 use redmule_fp16::vector::GemmShape;
@@ -969,6 +970,196 @@ pub fn degradation() -> Result<String, EngineError> {
     Ok(out)
 }
 
+/// One worker-count point of the batch scaling sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchPoint {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Modeled makespan: simulated cycles of the busiest worker.
+    pub makespan_cycles: u64,
+    /// Total simulated cycles over all jobs (worker-count invariant).
+    pub busy_cycles: u64,
+    /// Modeled throughput at the 0.80 V operating point.
+    pub jobs_per_sec: f64,
+}
+
+/// Batch-throughput scaling artefact (`BENCH_batch.json`): jobs/sec vs
+/// worker count for a fixed batch of independent GEMMs.
+///
+/// Throughput is *modeled*, not wall-clock: each worker accounts the
+/// simulated cycles of the jobs it executed, the makespan is the busiest
+/// worker's total, and jobs/sec = jobs × f_clk / makespan. This keeps
+/// the artefact meaningful on a single-core CI host while still guarding
+/// the scheduler — a pool that serialized every job onto one worker
+/// would show a makespan equal to the total and no scaling at all.
+#[derive(Debug, Clone)]
+pub struct BatchThroughput {
+    /// Number of jobs in the batch.
+    pub jobs: usize,
+    /// Clock frequency assumed by the throughput model (MHz).
+    pub freq_mhz: f64,
+    /// One point per worker count, ascending.
+    pub points: Vec<BatchPoint>,
+}
+
+impl BatchThroughput {
+    /// Modeled speedup of `workers` over the single-worker point.
+    pub fn speedup_at(&self, workers: usize) -> f64 {
+        let base = self.points.first().map_or(0.0, |p| p.jobs_per_sec);
+        self.points
+            .iter()
+            .find(|p| p.workers == workers)
+            .map_or(0.0, |p| {
+                if base > 0.0 {
+                    p.jobs_per_sec / base
+                } else {
+                    0.0
+                }
+            })
+    }
+
+    /// Scaling guard used by CI: 4 workers must beat 1 strictly, and 8
+    /// workers must reach at least 3x. Returns the violation, if any.
+    pub fn scaling_violation(&self) -> Option<String> {
+        let s4 = self.speedup_at(4);
+        let s8 = self.speedup_at(8);
+        if s4 <= 1.0 {
+            return Some(format!(
+                "jobs/sec at 4 workers is {s4:.2}x of 1 worker (need > 1x)"
+            ));
+        }
+        if s8 < 3.0 {
+            return Some(format!(
+                "jobs/sec at 8 workers is {s8:.2}x of 1 worker (need >= 3x)"
+            ));
+        }
+        None
+    }
+
+    /// Renders the artefact as the JSON written to `BENCH_batch.json`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"experiment\": \"batch_throughput\",\n");
+        out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        out.push_str(&format!("  \"freq_mhz\": {:.1},\n", self.freq_mhz));
+        out.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            let sep = if i + 1 == self.points.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"workers\": {}, \"makespan_cycles\": {}, \"busy_cycles\": {}, \
+                 \"jobs_per_sec\": {:.1}, \"speedup\": {:.3}}}{}\n",
+                p.workers,
+                p.makespan_cycles,
+                p.busy_cycles,
+                p.jobs_per_sec,
+                self.speedup_at(p.workers),
+                sep,
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+impl fmt::Display for BatchThroughput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Batch throughput ({} independent GEMM jobs, modeled at {:.0} MHz)",
+            self.jobs, self.freq_mhz
+        )?;
+        writeln!(
+            f,
+            "{:>8} {:>16} {:>14} {:>9}",
+            "workers", "makespan (cyc)", "jobs/sec", "speedup"
+        )?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "{:>8} {:>16} {:>14.0} {:>8.2}x",
+                p.workers,
+                p.makespan_cycles,
+                p.jobs_per_sec,
+                self.speedup_at(p.workers),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs a fixed batch of independent GEMM jobs through the work-stealing
+/// executor at 1, 2, 4 and 8 workers and reports modeled jobs/sec.
+///
+/// `smoke` selects the small CI workload (64 jobs of small shapes);
+/// without it the batch is 4x larger with heavier shapes.
+///
+/// # Errors
+///
+/// Returns an [`EngineError`] if the executor rejects the batch or a
+/// job's engine run fails.
+pub fn batch_throughput(smoke: bool) -> Result<BatchThroughput, EngineError> {
+    let n_jobs: usize = if smoke { 64 } else { 256 };
+    // Five shapes: coprime with every worker count in the sweep, so the
+    // round-robin deal hands each worker a mix of weights rather than a
+    // resonant all-light / all-heavy split.
+    let shapes: &[(usize, usize, usize)] = if smoke {
+        &[
+            (8, 16, 16),
+            (16, 8, 32),
+            (12, 24, 16),
+            (16, 16, 16),
+            (8, 32, 24),
+        ]
+    } else {
+        &[
+            (32, 32, 32),
+            (16, 64, 32),
+            (48, 16, 48),
+            (32, 48, 64),
+            (24, 40, 40),
+        ]
+    };
+    let jobs: Vec<GemmJob> = (0..n_jobs)
+        .map(|i| {
+            let (m, n, k) = shapes[i % shapes.len()];
+            let shape = GemmShape::new(m, n, k);
+            let (x, w) = workloads::gemm_operands(shape, i as u32);
+            GemmJob::new(i as u64, shape, x, w)
+        })
+        .collect();
+
+    let freq_mhz = OperatingPoint::peak_performance().frequency().as_mhz();
+    let mut points = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let outcome = BatchExecutor::new(workers)
+            .run(jobs.clone())
+            .map_err(|e| EngineError::InvalidJob(format!("batch executor: {e}")))?;
+        if !outcome.report.all_completed() {
+            return Err(EngineError::InvalidJob(format!(
+                "{} of {} jobs did not complete at {} workers",
+                outcome.report.jobs.len() - outcome.report.completed(),
+                outcome.report.jobs.len(),
+                workers,
+            )));
+        }
+        let makespan = outcome.schedule.makespan_cycles();
+        let busy = outcome.schedule.total_busy_cycles();
+        let jobs_per_sec = n_jobs as f64 * freq_mhz * 1e6 / makespan as f64;
+        points.push(BatchPoint {
+            workers,
+            makespan_cycles: makespan,
+            busy_cycles: busy,
+            jobs_per_sec,
+        });
+    }
+    Ok(BatchThroughput {
+        jobs: n_jobs,
+        freq_mhz,
+        points,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1080,6 +1271,20 @@ mod tests {
         }
         let text = sweep.to_string();
         assert!(text.contains("Replay") && text.contains("Redundancy"));
+    }
+
+    #[test]
+    fn batch_throughput_scales_with_workers() {
+        let bt = batch_throughput(true).expect("batch throughput");
+        assert_eq!(bt.points.len(), 4);
+        assert_eq!(bt.scaling_violation(), None);
+        // Total simulated work is invariant in the worker count.
+        let busy = bt.points[0].busy_cycles;
+        assert!(bt.points.iter().all(|p| p.busy_cycles == busy));
+        let json = bt.to_json();
+        assert!(json.contains("\"experiment\": \"batch_throughput\""));
+        assert!(json.contains("\"workers\": 8"));
+        assert!(bt.to_string().contains("jobs/sec"));
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! | Fig. 4b area sweep over (H, L) | [`experiments::fig4b`] |
 //! | Fig. 4c autoencoder per-layer | [`experiments::fig4c`] |
 //! | Fig. 4d batching effect | [`experiments::fig4d`] |
+//! | batch throughput scaling (`BENCH_batch.json`) | [`experiments::batch_throughput`] |
 //!
 //! The `figures` binary prints any subset (`cargo run --release -p
 //! redmule-bench --bin figures -- all --full`); the Criterion benches in

@@ -6,7 +6,8 @@
 //! This tool enforces the hygiene invariants that keep them structural:
 //!
 //! * **RM-DET-001 / RM-DET-002** — determinism: no hash containers, no
-//!   wall clocks, no OS entropy in model-state crates;
+//!   wall clocks, no OS entropy in model-state crates (host-side
+//!   orchestration crates keep RM-DET-001 but may use wall clocks);
 //! * **RM-FP-001** — bit-exactness: no native `f32`/`f64` outside
 //!   annotated reference/telemetry paths in `fp16` and `redmule`;
 //! * **RM-SNAP-001** — snapshot completeness: every field of a
@@ -31,7 +32,9 @@ pub mod snapshot;
 
 use std::path::{Path, PathBuf};
 
-pub use rules::{check_file, crate_is_checked, Diagnostic, FP_STRICT_CRATES, MODEL_CRATES};
+pub use rules::{
+    check_file, crate_is_checked, Diagnostic, FP_STRICT_CRATES, HOST_CRATES, MODEL_CRATES,
+};
 
 /// Result of a workspace scan.
 #[derive(Debug, Default)]

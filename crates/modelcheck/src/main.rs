@@ -60,9 +60,10 @@ fn main() -> ExitCode {
             }
             if report.is_clean() {
                 println!(
-                    "modelcheck: clean — {} files, {} model crates, 0 violations",
+                    "modelcheck: clean — {} files, {} model + {} host crates, 0 violations",
                     report.files_scanned,
                     modelcheck::MODEL_CRATES.len(),
+                    modelcheck::HOST_CRATES.len(),
                 );
                 ExitCode::SUCCESS
             } else {

@@ -4,13 +4,20 @@
 //!
 //! | code         | scope                       | forbids                                  |
 //! |--------------|-----------------------------|------------------------------------------|
-//! | RM-DET-001   | model-state crates          | `HashMap` / `HashSet`                    |
+//! | RM-DET-001   | model-state + host crates   | `HashMap` / `HashSet`                    |
 //! | RM-DET-002   | model-state crates          | `Instant` / `SystemTime` / `thread_rng`  |
 //! | RM-FP-001    | `fp16`, `redmule`           | native `f32` / `f64` usage               |
-//! | RM-PANIC-001 | model-state crates          | `panic!`-family, `.unwrap()`, `.expect()`|
+//! | RM-PANIC-001 | model-state + host crates   | `panic!`-family, `.unwrap()`, `.expect()`|
 //! | RM-SNAP-001  | model-state crates          | snapshot structs with uncovered fields   |
 //! | RM-ALLOW-001 | everywhere modelcheck scans | allow entries without a justification    |
 //! | RM-ALLOW-002 | everywhere modelcheck scans | allow entries that suppress nothing      |
+//!
+//! *Host crates* ([`HOST_CRATES`]) sit between the deterministic model
+//! and the unchecked tooling: they orchestrate model instances from the
+//! host (threads are fine, wall clocks are fine) but still promise
+//! deterministic, panic-free results — so the ordering rule (RM-DET-001)
+//! and the panic rule apply, while the simulation-time rules
+//! (RM-DET-002, RM-SNAP-001) do not.
 //!
 //! All rules run on non-test code only (`#[cfg(test)]` / `#[test]` items
 //! are stripped first) and never match inside string literals or
@@ -27,6 +34,12 @@ pub const MODEL_CRATES: [&str; 5] = ["fp16", "hwsim", "cluster", "redmule", "run
 /// Crates where native-float usage (RM-FP-001) is banned: the softfloat
 /// itself and the accelerator datapath built on it.
 pub const FP_STRICT_CRATES: [&str; 2] = ["fp16", "redmule"];
+
+/// Host-side orchestration crates: they drive model instances from OS
+/// threads, so wall-clock types are legitimate (RM-DET-002 and
+/// RM-SNAP-001 do not apply), but results must still be deterministic
+/// and panic-free — RM-DET-001 and RM-PANIC-001 do apply.
+pub const HOST_CRATES: [&str; 1] = ["batch"];
 
 /// One finding, formatted as `RULE file:line: message`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,7 +67,7 @@ impl std::fmt::Display for Diagnostic {
 /// Whether any rule at all applies to `crate_name` — lets the walker skip
 /// non-model crates without reading them.
 pub fn crate_is_checked(crate_name: &str) -> bool {
-    MODEL_CRATES.contains(&crate_name)
+    MODEL_CRATES.contains(&crate_name) || HOST_CRATES.contains(&crate_name)
 }
 
 /// Runs every applicable rule over one source file.
@@ -73,6 +86,9 @@ pub fn check_file(crate_name: &str, file: &str, src: &str) -> Vec<Diagnostic> {
         rule_det_002(file, &code, &mut raw);
         rule_panic_001(file, &code, &mut raw);
         snapshot::rule_snap_001(file, &code, &markers, &mut raw);
+    } else if HOST_CRATES.contains(&crate_name) {
+        rule_det_001(file, &code, &mut raw);
+        rule_panic_001(file, &code, &mut raw);
     }
     if FP_STRICT_CRATES.contains(&crate_name) {
         rule_fp_001(file, &code, &mut raw);
@@ -322,5 +338,41 @@ mod tests {
         assert_eq!(rules_fired("criterion", src), vec![]);
         assert!(!crate_is_checked("criterion"));
         assert!(crate_is_checked("redmule"));
+    }
+
+    #[test]
+    fn host_crates_are_checked() {
+        assert!(crate_is_checked("batch"));
+        assert!(HOST_CRATES.contains(&"batch"));
+    }
+
+    #[test]
+    fn host_crates_allow_wall_clock_but_not_hashmap_or_unwrap() {
+        // Wall-clock types are fine on the host side...
+        assert_eq!(
+            rules_fired("batch", "fn f() { let t = Instant::now(); }\n"),
+            vec![]
+        );
+        // ...but nondeterministic iteration order and panics are not.
+        assert_eq!(
+            rules_fired("batch", "fn f() { let m = HashMap::<u8, u8>::new(); }\n"),
+            vec![("RM-DET-001", 1)]
+        );
+        assert_eq!(
+            rules_fired("batch", "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n"),
+            vec![("RM-PANIC-001", 1)]
+        );
+    }
+
+    #[test]
+    fn host_crates_are_exempt_from_fp_and_snapshot_rules() {
+        // Native floats are allowed (throughput math is host-side)...
+        assert_eq!(
+            rules_fired("batch", "fn f(x: f64) -> f64 { x * 2.0 }\n"),
+            []
+        );
+        // ...and so are structs without snapshot coverage markers.
+        let src = "pub struct ScheduleStats { workers: usize }\n";
+        assert_eq!(rules_fired("batch", src), []);
     }
 }

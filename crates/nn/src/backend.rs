@@ -9,7 +9,8 @@
 //! Elementwise work (bias, ReLU, loss gradient, SGD update) always runs on
 //! the cores; its cost model is shared by both backends.
 
-use redmule::{AccelConfig, Accelerator, EngineError, L2TiledGemm};
+pub use redmule::BackendKind;
+use redmule::{AccelConfig, Accelerator, EngineError, FunctionalGemm, L2TiledGemm};
 use redmule_cluster::{baseline::SwGemm, ClusterConfig};
 use redmule_fp16::vector::GemmShape;
 use redmule_fp16::F16;
@@ -164,6 +165,7 @@ pub struct Backend {
 #[derive(Debug)]
 enum Inner {
     Hw(Accelerator),
+    HwFn(FunctionalGemm),
     HwL2(L2TiledGemm),
     Sw(SwGemm),
 }
@@ -172,6 +174,27 @@ impl Backend {
     /// The paper's accelerator instance (`H=4, L=8, P=3`).
     pub fn hw() -> Backend {
         Backend::hw_with(Accelerator::paper_instance())
+    }
+
+    /// The paper's accelerator instance on the chosen execution model:
+    /// [`BackendKind::CycleAccurate`] simulates every clock edge,
+    /// [`BackendKind::Functional`] returns bit-identical results with an
+    /// analytical cycle estimate at a fraction of the host cost.
+    pub fn hw_kind(kind: BackendKind) -> Backend {
+        match kind {
+            BackendKind::CycleAccurate => Backend::hw(),
+            BackendKind::Functional => Backend::hw_functional(),
+        }
+    }
+
+    /// The fast functional model of the paper's accelerator instance
+    /// (see [`redmule::FunctionalGemm`]): numerics bit-identical to
+    /// [`Backend::hw`], cycles from the analytical performance model.
+    pub fn hw_functional() -> Backend {
+        Backend {
+            inner: Inner::HwFn(FunctionalGemm::paper_instance()),
+            cluster: ClusterConfig::default(),
+        }
     }
 
     /// A custom accelerator instance.
@@ -207,10 +230,11 @@ impl Backend {
         }
     }
 
-    /// `"hw"`, `"hw-l2"` or `"sw"`.
+    /// `"hw"`, `"hw-fn"`, `"hw-l2"` or `"sw"`.
     pub fn name(&self) -> &'static str {
         match self.inner {
             Inner::Hw(_) => "hw",
+            Inner::HwFn(_) => "hw-fn",
             Inner::HwL2(_) => "hw-l2",
             Inner::Sw(_) => "sw",
         }
@@ -254,6 +278,10 @@ impl Backend {
                     // supervisor, so budget stops cannot occur.
                     other => unreachable!("unlimited supervised run stopped with {other:?}"),
                 }
+            }
+            Inner::HwFn(f) => {
+                let run = f.run(shape, x, w)?;
+                Ok((run.z, run.estimated_cycles))
             }
             Inner::HwL2(driver) => {
                 let (z, report) = driver.run(shape, x, w)?;
@@ -318,8 +346,32 @@ mod tests {
     #[test]
     fn names() {
         assert_eq!(Backend::hw().name(), "hw");
+        assert_eq!(Backend::hw_functional().name(), "hw-fn");
         assert_eq!(Backend::hw_l2().name(), "hw-l2");
         assert_eq!(Backend::sw().name(), "sw");
+    }
+
+    #[test]
+    fn functional_backend_matches_cycle_accurate_bitwise() {
+        let shape = GemmShape::new(7, 19, 13);
+        let (x, w) = shape_data(shape);
+        let (zc, cc) = Backend::hw().gemm(shape, &x, &w).expect("cycle gemm");
+        let (zf, cf) = Backend::hw_functional()
+            .gemm(shape, &x, &w)
+            .expect("functional gemm");
+        let cb: Vec<u16> = zc.iter().map(|v| v.to_bits()).collect();
+        let fb: Vec<u16> = zf.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(cb, fb, "functional backend must be bit-identical");
+        // The estimate is the supervisor's analytical model: same order
+        // of magnitude as the measured cycles, never zero.
+        assert!(cf.count() > 0);
+        assert!(cf.count() < 4 * cc.count());
+    }
+
+    #[test]
+    fn hw_kind_selects_the_execution_model() {
+        assert_eq!(Backend::hw_kind(BackendKind::CycleAccurate).name(), "hw");
+        assert_eq!(Backend::hw_kind(BackendKind::Functional).name(), "hw-fn");
     }
 
     #[test]

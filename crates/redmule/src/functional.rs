@@ -1,0 +1,375 @@
+//! Fast functional backend: bit-exact GEMM results without per-cycle
+//! simulation.
+//!
+//! [`FunctionalGemm`] computes `Z = X * W (+ Y)` by walking the *same*
+//! schedule as the cycle-accurate engine — `L x phase_width` output tiles
+//! in row-major tile order, H-wide reduction phases over N, one FP16 FMA
+//! per reduction element in index order through the crate softfloat — but
+//! skips the streamer, buffers and datapath pipeline entirely. Because the
+//! datapath's row ring accumulates each output element through exactly
+//! that FMA sequence (see [`Engine`](crate::Engine)), the functional
+//! result is **bit-identical** to [`Engine::run`](crate::Engine::run) and
+//! to `redmule_fp16::vector::gemm_golden`; only the cycle count differs
+//! (here an analytical estimate instead of a measurement).
+//!
+//! Bit-exactness with the cycle model is a hard invariant, enforced by
+//! the differential conformance harness (`tests/conformance.rs` at the
+//! workspace root) in addition to the unit tests below.
+//!
+//! Use it when throughput of *results* matters more than cycle accuracy:
+//! batched execution, conformance fuzzing, or network training loops that
+//! only occasionally need a cycle-accurate calibration run.
+
+use crate::config::AccelConfig;
+use crate::engine::EngineError;
+use redmule_fp16::vector::GemmShape;
+use redmule_fp16::F16;
+use redmule_hwsim::Cycle;
+
+/// Which execution model a GEMM runs on.
+///
+/// Both kinds produce bit-identical `Z`; they differ only in speed and in
+/// the fidelity of the reported cycle count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// The cycle-accurate engine: exact cycles, slow (simulates every
+    /// clock edge).
+    #[default]
+    CycleAccurate,
+    /// [`FunctionalGemm`]: identical numerics, cycles from the analytical
+    /// performance model, orders of magnitude faster on the host.
+    Functional,
+}
+
+impl BackendKind {
+    /// Short stable label (`"cycle"` / `"functional"`), used in reports
+    /// and benchmark artefacts.
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::CycleAccurate => "cycle",
+            BackendKind::Functional => "functional",
+        }
+    }
+}
+
+/// Outcome of a functional GEMM run.
+#[derive(Debug, Clone)]
+pub struct FunctionalRun {
+    /// The output matrix (`m x k`, row-major) — bit-identical to the
+    /// cycle-accurate engine's result for the same operands.
+    pub z: Vec<F16>,
+    /// Analytical cycle estimate from the paper's performance model (the
+    /// same model the supervisor uses for degradation decisions); not a
+    /// measurement.
+    pub estimated_cycles: Cycle,
+    /// Useful FMA operations (`M*N*K`).
+    pub macs: u64,
+}
+
+/// The functional (untimed) GEMM model for one accelerator instance.
+///
+/// # Example
+///
+/// ```
+/// use redmule::{Accelerator, FunctionalGemm};
+/// use redmule_fp16::{vector::GemmShape, F16};
+///
+/// let shape = GemmShape::new(5, 11, 7);
+/// let x: Vec<F16> = (0..shape.x_len()).map(|i| F16::from_f32(i as f32 / 8.0)).collect();
+/// let w: Vec<F16> = (0..shape.w_len()).map(|i| F16::from_f32(0.5 - i as f32 / 64.0)).collect();
+/// let fast = FunctionalGemm::paper_instance().run(shape, &x, &w)?;
+/// let slow = Accelerator::paper_instance().gemm(shape, &x, &w)?;
+/// assert_eq!(
+///     fast.z.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+///     slow.z.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+/// );
+/// # Ok::<(), redmule::EngineError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FunctionalGemm {
+    cfg: AccelConfig,
+}
+
+impl FunctionalGemm {
+    /// A functional model of the paper's instance (`H=4, L=8, P=3`).
+    pub fn paper_instance() -> FunctionalGemm {
+        FunctionalGemm::new(AccelConfig::paper())
+    }
+
+    /// A functional model of a custom instance. The instance parameters
+    /// only affect the cycle estimate and the tile walk order — never the
+    /// numerics, which are schedule-invariant by construction.
+    pub fn new(cfg: AccelConfig) -> FunctionalGemm {
+        FunctionalGemm { cfg }
+    }
+
+    /// The modelled instance parameters.
+    pub fn config(&self) -> &AccelConfig {
+        &self.cfg
+    }
+
+    /// Computes `Z = X * W`.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::ShapeMismatch`] when an operand slice length does
+    /// not match `shape`.
+    pub fn run(
+        &self,
+        shape: GemmShape,
+        x: &[F16],
+        w: &[F16],
+    ) -> Result<FunctionalRun, EngineError> {
+        self.run_inner(shape, x, w, None)
+    }
+
+    /// Computes `Z = X * W + Y` (accumulate mode).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::ShapeMismatch`] when an operand slice length does
+    /// not match `shape` (`Y` must be `m x k`).
+    pub fn run_accumulate(
+        &self,
+        shape: GemmShape,
+        x: &[F16],
+        w: &[F16],
+        y: &[F16],
+    ) -> Result<FunctionalRun, EngineError> {
+        self.run_inner(shape, x, w, Some(y))
+    }
+
+    /// Analytical cycle estimate for `shape` on this instance: per tile
+    /// the compute length (`H*(P+1)` fill plus `n_phases * phase_width`
+    /// reduction cycles) plus the `L`-row store drain — the same model
+    /// [`EngineSession::estimated_remaining_cycles`]
+    /// (crate::EngineSession::estimated_remaining_cycles) applies to a
+    /// fresh session.
+    pub fn estimated_cycles(&self, shape: GemmShape) -> Cycle {
+        let cfg = &self.cfg;
+        let pw = cfg.phase_width();
+        let n_phases = shape.n.div_ceil(cfg.h);
+        let n_tiles = (shape.m.div_ceil(cfg.l) * shape.k.div_ceil(pw)) as u64;
+        let per_tile = if n_phases == 0 {
+            1 + cfg.l as u64
+        } else {
+            (cfg.h * cfg.latency() + n_phases * pw) as u64 + cfg.l as u64 + 4
+        };
+        Cycle::new(n_tiles * per_tile)
+    }
+
+    fn run_inner(
+        &self,
+        shape: GemmShape,
+        x: &[F16],
+        w: &[F16],
+        y: Option<&[F16]>,
+    ) -> Result<FunctionalRun, EngineError> {
+        check_len("X", shape.x_len(), x.len())?;
+        check_len("W", shape.w_len(), w.len())?;
+        if let Some(y) = y {
+            check_len("Y", shape.z_len(), y.len())?;
+        }
+
+        let (m, n, k) = (shape.m, shape.n, shape.k);
+        let cfg = &self.cfg;
+        let pw = cfg.phase_width();
+        let n_phases = n.div_ceil(cfg.h);
+        let mut z = vec![F16::ZERO; shape.z_len()];
+
+        // The engine's tile enumeration: L-row bands, phase_width-column
+        // panels, row-major. Within a tile, outputs retire z-row-major;
+        // each output element folds its N reduction terms in index order
+        // through H-wide phases — the exact FMA sequence the datapath's
+        // row ring performs, so rounding is identical step by step.
+        // Padding lanes (beyond `rows_live`/`cols_live`/`n`) are
+        // clock-gated in hardware and simply not computed here.
+        for row0 in (0..m).step_by(cfg.l.max(1)) {
+            for k0 in (0..k).step_by(pw.max(1)) {
+                let rows_live = (m - row0).min(cfg.l);
+                let cols_live = (k - k0).min(pw);
+                for r in 0..rows_live {
+                    let i = row0 + r;
+                    for c in 0..cols_live {
+                        let j = k0 + c;
+                        let mut acc = y.map_or(F16::ZERO, |y| y[i * k + j]);
+                        for phase in 0..n_phases {
+                            for lane in 0..cfg.h {
+                                let l = phase * cfg.h + lane;
+                                if l < n {
+                                    acc = x[i * n + l].mul_add(w[l * k + j], acc);
+                                }
+                            }
+                        }
+                        z[i * k + j] = acc;
+                    }
+                }
+            }
+        }
+
+        Ok(FunctionalRun {
+            z,
+            estimated_cycles: self.estimated_cycles(shape),
+            macs: shape.macs(),
+        })
+    }
+}
+
+fn check_len(operand: &'static str, expected: usize, got: usize) -> Result<(), EngineError> {
+    if expected == got {
+        Ok(())
+    } else {
+        Err(EngineError::ShapeMismatch {
+            operand,
+            expected,
+            got,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accelerator::Accelerator;
+    use redmule_fp16::vector::gemm_golden;
+
+    fn bits(z: &[F16]) -> Vec<u16> {
+        z.iter().map(|v| v.to_bits()).collect()
+    }
+
+    fn operands(shape: GemmShape, seed: u32) -> (Vec<F16>, Vec<F16>) {
+        let gen = |len: usize, s: u32| -> Vec<F16> {
+            (0..len)
+                .map(|i| {
+                    let h =
+                        ((i as u32).wrapping_mul(2654435761) ^ s.wrapping_mul(0x85EB_CA6B)) >> 16;
+                    F16::from_f32((h % 97) as f32 / 32.0 - 1.5)
+                })
+                .collect()
+        };
+        (gen(shape.x_len(), seed), gen(shape.w_len(), seed ^ 0xABCD))
+    }
+
+    #[test]
+    fn matches_golden_and_engine_on_aligned_and_ragged_shapes() {
+        for (m, n, k) in [
+            (8, 16, 16), // exactly one tile
+            (16, 32, 32),
+            (1, 1, 1),
+            (5, 11, 7),   // ragged in every dimension
+            (9, 4, 17),   // crosses both tile boundaries
+            (20, 24, 20), // multiple tiles each way
+        ] {
+            let shape = GemmShape::new(m, n, k);
+            let (x, w) = operands(shape, (m * 1000 + n * 10 + k) as u32);
+            let fast = FunctionalGemm::paper_instance()
+                .run(shape, &x, &w)
+                .expect("functional run");
+            let golden = gemm_golden(shape, &x, &w);
+            let hw = Accelerator::paper_instance()
+                .gemm(shape, &x, &w)
+                .expect("engine run");
+            assert_eq!(bits(&fast.z), bits(&golden), "vs golden at {m}x{n}x{k}");
+            assert_eq!(bits(&fast.z), bits(&hw.z), "vs engine at {m}x{n}x{k}");
+            assert_eq!(fast.macs, shape.macs());
+            assert!(fast.estimated_cycles.count() > 0);
+        }
+    }
+
+    #[test]
+    fn accumulate_matches_engine() {
+        let shape = GemmShape::new(10, 12, 18);
+        let (x, w) = operands(shape, 7);
+        let y: Vec<F16> = (0..shape.z_len())
+            .map(|i| F16::from_f32((i % 9) as f32 / 4.0 - 1.0))
+            .collect();
+        let fast = FunctionalGemm::paper_instance()
+            .run_accumulate(shape, &x, &w, &y)
+            .expect("functional accumulate");
+        let hw = Accelerator::paper_instance()
+            .gemm_accumulate(shape, &x, &w, &y)
+            .expect("engine accumulate");
+        assert_eq!(bits(&fast.z), bits(&hw.z));
+    }
+
+    #[test]
+    fn special_values_match_engine() {
+        // NaN / Inf / subnormal operands must flow through the identical
+        // FMA special-case logic in both models.
+        let shape = GemmShape::new(4, 8, 6);
+        let specials = [
+            F16::NAN,
+            F16::INFINITY,
+            F16::NEG_INFINITY,
+            F16::MIN_POSITIVE_SUBNORMAL,
+            F16::NEG_ZERO,
+            F16::MAX,
+        ];
+        let x: Vec<F16> = (0..shape.x_len())
+            .map(|i| specials[i % specials.len()])
+            .collect();
+        let w: Vec<F16> = (0..shape.w_len())
+            .map(|i| specials[(i * 5 + 1) % specials.len()])
+            .collect();
+        let fast = FunctionalGemm::paper_instance()
+            .run(shape, &x, &w)
+            .expect("functional run");
+        let hw = Accelerator::paper_instance()
+            .gemm(shape, &x, &w)
+            .expect("engine run");
+        assert_eq!(bits(&fast.z), bits(&hw.z));
+    }
+
+    #[test]
+    fn empty_reduction_matches_engine() {
+        // N == 0: the output is all zeros (or Y in accumulate mode).
+        let shape = GemmShape::new(3, 0, 5);
+        let fast = FunctionalGemm::paper_instance()
+            .run(shape, &[], &[])
+            .expect("functional run");
+        assert!(fast.z.iter().all(|v| v.to_bits() == 0));
+        assert_eq!(fast.macs, 0);
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let shape = GemmShape::new(2, 2, 2);
+        let bad = vec![F16::ONE; 3];
+        let good = vec![F16::ONE; 4];
+        let f = FunctionalGemm::paper_instance();
+        assert!(matches!(
+            f.run(shape, &bad, &good),
+            Err(EngineError::ShapeMismatch { operand: "X", .. })
+        ));
+        assert!(matches!(
+            f.run(shape, &good, &bad),
+            Err(EngineError::ShapeMismatch { operand: "W", .. })
+        ));
+        assert!(matches!(
+            f.run_accumulate(shape, &good, &good, &bad),
+            Err(EngineError::ShapeMismatch { operand: "Y", .. })
+        ));
+    }
+
+    #[test]
+    fn estimate_tracks_the_supervisor_model() {
+        // One paper-instance tile: H*latency + n_phases*phase_width
+        // compute plus the L-row drain and the 4-cycle epilogue.
+        let f = FunctionalGemm::paper_instance();
+        let shape = GemmShape::new(8, 16, 16);
+        assert_eq!(f.estimated_cycles(shape).count(), (16 + 4 * 16 + 8 + 4));
+        // Tile count scales the estimate linearly.
+        let quad = GemmShape::new(16, 16, 32);
+        assert_eq!(
+            f.estimated_cycles(quad).count(),
+            4 * f.estimated_cycles(shape).count()
+        );
+    }
+
+    #[test]
+    fn backend_kind_labels() {
+        assert_eq!(BackendKind::CycleAccurate.label(), "cycle");
+        assert_eq!(BackendKind::Functional.label(), "functional");
+        assert_eq!(BackendKind::default(), BackendKind::CycleAccurate);
+    }
+}

@@ -18,6 +18,8 @@
 //! * [`RegFile`] and [`Job`] — the HWPE peripheral interface the cores
 //!   program.
 //! * [`Accelerator`] — the top-level facade.
+//! * [`FunctionalGemm`] — the fast functional backend: bit-identical
+//!   results without per-cycle simulation, selected via [`BackendKind`].
 //!
 //! # Quick start
 //!
@@ -49,6 +51,7 @@ mod config;
 pub mod datapath;
 mod engine;
 pub mod faults;
+mod functional;
 mod l2;
 pub mod regfile;
 
@@ -61,5 +64,6 @@ pub use engine::{
 pub use faults::{
     FaultInjector, FaultPlan, FaultSite, FaultSpec, FtConfig, FtMode, TransientTarget,
 };
+pub use functional::{BackendKind, FunctionalGemm, FunctionalRun};
 pub use l2::{L2TiledGemm, TileShape, TiledReport};
 pub use regfile::{Job, RegFile};

@@ -9,6 +9,8 @@
 //! * [`redmule`] — the paper's contribution: the cycle-accurate accelerator.
 //! * [`energy`] — calibrated area / power / energy models.
 //! * [`nn`] — FP16 network layers and the MLPerf-Tiny autoencoder use case.
+//! * [`runtime`] — supervised execution: limits, checkpoints, degradation.
+//! * [`batch`] — host-side work-stealing batch executor over many jobs.
 //!
 //! # Example
 //!
@@ -20,8 +22,10 @@
 //! ```
 
 pub use redmule;
+pub use redmule_batch as batch;
 pub use redmule_cluster as cluster;
 pub use redmule_energy as energy;
 pub use redmule_fp16 as fp16;
 pub use redmule_hwsim as hwsim;
 pub use redmule_nn as nn;
+pub use redmule_runtime as runtime;
