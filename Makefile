@@ -12,12 +12,15 @@
 #   make figures     — regenerate every table/figure (quick sweep sizes)
 #   make batch-smoke — batch-throughput smoke run; fails unless
 #                      BENCH_batch.json exists and scaling holds
+#   make trace-smoke — traced-batch smoke run; fails unless the Chrome
+#                      trace export validates, is byte-identical across
+#                      worker counts, and BENCH_trace.json exists
 
 CARGO ?= cargo
 
-.PHONY: verify build test test-full clippy fmt modelcheck figures batch-smoke
+.PHONY: verify build test test-full clippy fmt modelcheck figures batch-smoke trace-smoke
 
-verify: build test clippy fmt modelcheck batch-smoke
+verify: build test clippy fmt modelcheck batch-smoke trace-smoke
 
 build:
 	$(CARGO) build --release
@@ -43,3 +46,7 @@ figures:
 batch-smoke:
 	$(CARGO) run --release -q -p redmule-bench --bin figures -- batch --smoke
 	test -f BENCH_batch.json
+
+trace-smoke:
+	$(CARGO) run --release -q -p redmule-bench --bin figures -- trace --smoke
+	test -f BENCH_trace.json

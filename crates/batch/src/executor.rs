@@ -2,6 +2,7 @@
 
 use crate::job::{GemmJob, JobFaults, JobResult, JobStatus};
 use crate::report::BatchReport;
+use redmule::obs::{EventLog, TraceEvent};
 use redmule::{
     stage_gemm_workspace, AccelConfig, BackendKind, Engine, FaultInjector, FunctionalGemm,
 };
@@ -115,6 +116,7 @@ pub struct BatchOutcome {
 pub struct BatchExecutor {
     workers: usize,
     engine: Engine,
+    trace: bool,
 }
 
 impl BatchExecutor {
@@ -123,6 +125,7 @@ impl BatchExecutor {
         BatchExecutor {
             workers,
             engine: Engine::new(AccelConfig::paper()),
+            trace: false,
         }
     }
 
@@ -131,6 +134,16 @@ impl BatchExecutor {
     #[must_use]
     pub fn with_engine(mut self, engine: Engine) -> BatchExecutor {
         self.engine = engine;
+        self
+    }
+
+    /// Records per-job trace events (simulated-cycle timestamps) into
+    /// each [`JobResult::events`], ready for
+    /// [`BatchReport::chrome_trace`]. Off by default: untraced runs pay
+    /// no per-tick observation cost.
+    #[must_use]
+    pub fn with_event_trace(mut self) -> BatchExecutor {
+        self.trace = true;
         self
     }
 
@@ -182,9 +195,10 @@ impl BatchExecutor {
                 .map(|w| {
                     let deques = &deques;
                     let results = &results;
+                    let trace = self.trace;
                     scope.spawn(move || {
                         while let Some(idx) = next_job(deques, w) {
-                            let result = exec_job(engine, &jobs_ref[idx]);
+                            let result = exec_job(engine, &jobs_ref[idx], trace);
                             lock(results)[idx] = Some(result);
                         }
                     })
@@ -301,19 +315,19 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 /// Executes one job on a private engine/workspace. Infallible by design:
 /// every failure mode lands in the result's [`JobStatus`].
-fn exec_job(engine: &Engine, job: &GemmJob) -> JobResult {
+fn exec_job(engine: &Engine, job: &GemmJob, trace: bool) -> JobResult {
     let cfg = *engine.config();
     let tiles_total = job.shape.m.div_ceil(cfg.l) * job.shape.k.div_ceil(cfg.phase_width());
     match (&job.faults, job.backend) {
-        (None, BackendKind::Functional) => exec_functional(&cfg, job, tiles_total),
+        (None, BackendKind::Functional) => exec_functional(&cfg, job, tiles_total, trace),
         (Some(JobFaults::Protected { plan, ft }), _) => {
-            exec_protected(engine, job, tiles_total, plan, *ft)
+            exec_protected(engine, job, tiles_total, plan, *ft, trace)
         }
-        _ => exec_supervised(engine, job, tiles_total),
+        _ => exec_supervised(engine, job, tiles_total, trace),
     }
 }
 
-fn exec_functional(cfg: &AccelConfig, job: &GemmJob, tiles_total: usize) -> JobResult {
+fn exec_functional(cfg: &AccelConfig, job: &GemmJob, tiles_total: usize, trace: bool) -> JobResult {
     let model = FunctionalGemm::new(*cfg);
     let run = match &job.y {
         Some(y) => model.run_accumulate(job.shape, &job.x, &job.w, y),
@@ -334,6 +348,11 @@ fn exec_functional(cfg: &AccelConfig, job: &GemmJob, tiles_total: usize) -> JobR
             fault_events: 0,
             tiles_done: tiles_total,
             tiles_total,
+            events: if trace {
+                model.synthetic_events(job.shape)
+            } else {
+                EventLog::new()
+            },
         },
         Err(e) => failed(job, BackendKind::Functional, tiles_total, e.to_string()),
     }
@@ -345,6 +364,7 @@ fn exec_protected(
     tiles_total: usize,
     plan: &redmule::FaultPlan,
     ft: redmule::FtConfig,
+    trace: bool,
 ) -> JobResult {
     let staged = stage_gemm_workspace(job.shape, &job.x, &job.w, job.y.as_deref());
     let (hw_job, mut mem, mut hci) = match staged {
@@ -352,28 +372,44 @@ fn exec_protected(
         Err(e) => return failed(job, BackendKind::CycleAccurate, tiles_total, e.to_string()),
     };
     match engine.run_ft(hw_job, &mut mem, &mut hci, plan, ft) {
-        Ok(report) => JobResult {
-            id: job.id,
-            backend: BackendKind::CycleAccurate,
-            shape: job.shape,
-            z: mem
-                .load_f16_slice(hw_job.z_addr, job.shape.z_len())
-                .unwrap_or_default(),
-            cycles: report.cycles.count(),
-            macs: report.macs,
-            stall_cycles: report.stall_cycles,
-            status: JobStatus::Completed,
-            degraded: false,
-            retries: 0,
-            fault_events: report.faults.events().len() as u64,
-            tiles_done: tiles_total,
-            tiles_total,
-        },
+        Ok(report) => {
+            // run_ft drives multiple internal sub-runs, so a live sink
+            // cannot be threaded through; synthesize Fault events from
+            // the merged fault log instead (same cycles, same order).
+            let mut events = EventLog::new();
+            if trace {
+                for ev in report.faults.events() {
+                    events.push(TraceEvent::Fault {
+                        cycle: ev.cycle,
+                        class: ev.class,
+                        phase: ev.phase,
+                    });
+                }
+            }
+            JobResult {
+                id: job.id,
+                backend: BackendKind::CycleAccurate,
+                shape: job.shape,
+                z: mem
+                    .load_f16_slice(hw_job.z_addr, job.shape.z_len())
+                    .unwrap_or_default(),
+                cycles: report.cycles.count(),
+                macs: report.macs,
+                stall_cycles: report.stall_cycles,
+                status: JobStatus::Completed,
+                degraded: false,
+                retries: 0,
+                fault_events: report.faults.events().len() as u64,
+                tiles_done: tiles_total,
+                tiles_total,
+                events,
+            }
+        }
         Err(e) => failed(job, BackendKind::CycleAccurate, tiles_total, e.to_string()),
     }
 }
 
-fn exec_supervised(engine: &Engine, job: &GemmJob, tiles_total: usize) -> JobResult {
+fn exec_supervised(engine: &Engine, job: &GemmJob, tiles_total: usize, trace: bool) -> JobResult {
     use redmule_runtime::Supervisor;
     let staged = stage_gemm_workspace(job.shape, &job.x, &job.w, job.y.as_deref());
     let (hw_job, mut mem, mut hci) = match staged {
@@ -389,7 +425,12 @@ fn exec_supervised(engine: &Engine, job: &GemmJob, tiles_total: usize) -> JobRes
     let supervisor = Supervisor::new(engine.clone())
         .with_limits(job.limits)
         .with_checkpoint_interval(job.checkpoint_interval);
-    let run = session.and_then(|s| supervisor.run_session(s, &mut mem, &mut hci));
+    let run = session.and_then(|mut s| {
+        if trace {
+            s.attach_sink(Box::new(EventLog::new()));
+        }
+        supervisor.run_session(s, &mut mem, &mut hci)
+    });
     match run {
         Ok(run) => JobResult {
             id: job.id,
@@ -407,6 +448,7 @@ fn exec_supervised(engine: &Engine, job: &GemmJob, tiles_total: usize) -> JobRes
             fault_events: run.report.faults.events().len() as u64,
             tiles_done: run.tiles_done,
             tiles_total: run.tiles_total,
+            events: run.events,
         },
         Err(e) => failed(job, BackendKind::CycleAccurate, tiles_total, e.to_string()),
     }
@@ -427,6 +469,7 @@ fn failed(job: &GemmJob, backend: BackendKind, tiles_total: usize, msg: String) 
         fault_events: 0,
         tiles_done: 0,
         tiles_total,
+        events: EventLog::new(),
     }
 }
 

@@ -1,5 +1,6 @@
 //! Batch work items and their per-job outcomes.
 
+use redmule::obs::EventLog;
 use redmule::{BackendKind, FaultPlan, FaultSite, FtConfig};
 use redmule_fp16::vector::GemmShape;
 use redmule_fp16::F16;
@@ -211,6 +212,12 @@ pub struct JobResult {
     pub tiles_done: usize,
     /// Output tiles the job has in total.
     pub tiles_total: usize,
+    /// Simulated-cycle trace events, populated only when the batch ran
+    /// with [`BatchExecutor::with_event_trace`](crate::BatchExecutor::with_event_trace).
+    /// Cycle-accurate jobs record the engine's event stream; functional
+    /// jobs carry the analytical model's synthetic tile spans. Depends
+    /// only on the job, never on the worker count.
+    pub events: EventLog,
 }
 
 impl JobResult {
@@ -275,6 +282,7 @@ mod tests {
             fault_events: 0,
             tiles_done: 1,
             tiles_total: 1,
+            events: EventLog::new(),
         };
         assert_ne!(
             mk(&[0x3C00, 0x4000]).z_checksum(),

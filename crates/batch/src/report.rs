@@ -2,6 +2,7 @@
 //! serialization.
 
 use crate::job::{JobResult, JobStatus};
+use redmule::obs::{chrome_trace, TraceLane};
 use redmule::AccelConfig;
 use std::fmt::Write as _;
 
@@ -65,9 +66,12 @@ impl BatchReport {
         self.count(|s| matches!(s, JobStatus::Failed(_) | JobStatus::Panicked(_)))
     }
 
-    /// True when every job completed.
+    /// True when the batch ran at least one job and every job completed.
+    /// An empty batch answers `false`: "all jobs completed" is a claim
+    /// about work done, and the vacuous-truth reading let empty batches
+    /// masquerade as successful ones in success gates.
     pub fn all_completed(&self) -> bool {
-        self.completed() == self.jobs.len()
+        !self.jobs.is_empty() && self.completed() == self.jobs.len()
     }
 
     /// Achieved fraction of the instance's ideal `H*L` MACs/cycle over
@@ -132,6 +136,26 @@ impl BatchReport {
         out
     }
 
+    /// Chrome trace-event JSON (Perfetto-loadable) for a batch run with
+    /// [`BatchExecutor::with_event_trace`](crate::BatchExecutor::with_event_trace):
+    /// one lane per job, `tid` = job id, events on the job's own
+    /// simulated-cycle clock. Lanes come from [`JobResult::events`], so
+    /// the bytes are — like the canonical JSON — invariant under the
+    /// worker count (pinned by `tests/trace.rs`). Untraced runs yield a
+    /// valid document with empty lanes.
+    pub fn chrome_trace(&self) -> String {
+        let lanes: Vec<TraceLane<'_>> = self
+            .jobs
+            .iter()
+            .map(|j| TraceLane {
+                tid: j.id,
+                name: format!("job {} ({})", j.id, j.shape),
+                events: j.events.events(),
+            })
+            .collect();
+        chrome_trace(&lanes)
+    }
+
     fn count(&self, pred: impl Fn(&JobStatus) -> bool) -> usize {
         self.jobs.iter().filter(|j| pred(&j.status)).count()
     }
@@ -159,6 +183,7 @@ mod tests {
             fault_events: 0,
             tiles_done: 1,
             tiles_total: 1,
+            events: redmule::obs::EventLog::new(),
         }
     }
 
@@ -201,5 +226,53 @@ mod tests {
         assert!((u - 8.0 / (32.0 * 8.0)).abs() < 1e-12);
         let empty = BatchReport::new(Vec::new());
         assert_eq!(empty.utilization(&cfg), 0.0);
+    }
+
+    #[test]
+    fn empty_batch_is_well_defined() {
+        let empty = BatchReport::new(Vec::new());
+        assert!(
+            !empty.all_completed(),
+            "an empty batch completed no jobs and must not claim success"
+        );
+        assert_eq!(empty.completed(), 0);
+        assert_eq!(empty.degraded(), 0);
+        assert_eq!(empty.failed(), 0);
+        assert_eq!(empty.total_cycles(), 0);
+        assert_eq!(empty.total_macs(), 0);
+        assert_eq!(empty.total_stall_cycles(), 0);
+        assert_eq!(empty.total_fault_events(), 0);
+        assert_eq!(
+            empty.to_canonical_json(),
+            "{\"jobs\":[],\"totals\":{\"jobs\":0,\"completed\":0,\"degraded\":0,\
+             \"failed\":0,\"cycles\":0,\"macs\":0,\"stall_cycles\":0,\"fault_events\":0}}"
+        );
+    }
+
+    #[test]
+    fn all_failed_batch_is_well_defined() {
+        let report = BatchReport::new(vec![
+            result(0, JobStatus::Failed("stage".into()), 0),
+            result(1, JobStatus::Panicked("sim".into()), 0),
+        ]);
+        assert!(!report.all_completed());
+        assert_eq!(report.completed(), 0);
+        assert_eq!(report.failed(), 2);
+        assert_eq!(report.total_cycles(), 0);
+        // Zero total cycles must not divide-by-zero the utilization.
+        assert_eq!(report.utilization(&AccelConfig::paper()), 0.0);
+        let json = report.to_canonical_json();
+        assert!(json.contains("\"failed\":2"), "{json}");
+        assert!(json.contains("\"completed\":0"), "{json}");
+        assert_eq!(json, report.to_canonical_json());
+    }
+
+    #[test]
+    fn chrome_trace_of_untraced_report_is_valid_and_empty() {
+        let report = BatchReport::new(vec![result(0, JobStatus::Completed, 10)]);
+        let json = report.chrome_trace();
+        let summary = redmule::obs::validate_chrome_trace(&json).expect("valid chrome JSON");
+        assert_eq!(summary.lanes, 1);
+        assert_eq!(summary.events, 0, "untraced jobs contribute no events");
     }
 }

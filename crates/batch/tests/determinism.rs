@@ -3,104 +3,14 @@
 //! are keyed by job id, never by completion order, and per-job outcomes
 //! depend only on the job itself.
 //!
-//! The job set deliberately mixes everything that could tempt an
-//! implementation into order-dependence: both backends, accumulate mode,
-//! a degraded (cycle-budget) job, a raw fault injection and an
-//! FT-protected fault plan, submitted in shuffled id order.
+//! The adversarial job set lives in `tests/common` and is shared with the
+//! trace-determinism canary (`tests/trace.rs`).
 
-use redmule::{BackendKind, FaultPlan, FaultSite, FtConfig, TransientTarget};
-use redmule_batch::{BatchExecutor, GemmJob, JobFaults, JobStatus};
-use redmule_fp16::vector::GemmShape;
-use redmule_fp16::F16;
-use redmule_runtime::Limits;
+mod common;
 
-fn data(shape: GemmShape, seed: u32) -> (Vec<F16>, Vec<F16>) {
-    let gen = |len: usize, s: u32| -> Vec<F16> {
-        (0..len)
-            .map(|i| {
-                let h = ((i as u32).wrapping_mul(2654435761) ^ s.wrapping_mul(0x85EB_CA6B)) >> 17;
-                F16::from_f32((h % 63) as f32 / 64.0 - 0.5)
-            })
-            .collect()
-    };
-    (gen(shape.x_len(), seed), gen(shape.w_len(), seed ^ 0xBEEF))
-}
-
-/// A batch exercising every execution path the executor has.
-fn adversarial_job_set() -> Vec<GemmJob> {
-    let mut jobs = Vec::new();
-
-    // Plain cycle-accurate jobs of different weights.
-    for (id, (m, n, k)) in [(0u64, (8, 16, 16)), (1, (3, 7, 21)), (2, (16, 8, 32))] {
-        let shape = GemmShape::new(m, n, k);
-        let (x, w) = data(shape, id as u32);
-        jobs.push(GemmJob::new(id, shape, x, w));
-    }
-
-    // Functional jobs, one with accumulate.
-    let shape = GemmShape::new(6, 12, 10);
-    let (x, w) = data(shape, 33);
-    jobs.push(GemmJob::new(3, shape, x.clone(), w.clone()).with_backend(BackendKind::Functional));
-    let y: Vec<F16> = (0..shape.z_len())
-        .map(|i| F16::from_f32((i % 5) as f32 - 2.0))
-        .collect();
-    jobs.push(
-        GemmJob::new(4, shape, x, w)
-            .with_backend(BackendKind::Functional)
-            .with_accumulate(y),
-    );
-
-    // A job that exhausts its cycle budget (deterministically degraded).
-    let big = GemmShape::new(16, 16, 32);
-    let (x, w) = data(big, 44);
-    jobs.push(
-        GemmJob::new(5, big, x, w)
-            .with_limits(Limits::none().with_max_cycles(60))
-            .with_checkpoint_interval(1),
-    );
-
-    // Raw fault injection under supervision: the corrupted result is
-    // deterministic because the strike schedule is.
-    let shape = GemmShape::new(4, 6, 8);
-    let (x, w) = data(shape, 55);
-    jobs.push(
-        GemmJob::new(6, shape, x, w).with_faults(JobFaults::Raw(vec![
-            (
-                10,
-                FaultSite::Pipe {
-                    col: 1,
-                    row: 2,
-                    stage: 0,
-                    bit: 7,
-                },
-            ),
-            (
-                0,
-                FaultSite::WLoad {
-                    phase: 0,
-                    col: 0,
-                    elem: 1,
-                    bit: 3,
-                },
-            ),
-        ])),
-    );
-
-    // FT-protected execution of a seeded transient plan.
-    let shape = GemmShape::new(8, 8, 16);
-    let (x, w) = data(shape, 66);
-    jobs.push(
-        GemmJob::new(7, shape, x, w).with_faults(JobFaults::Protected {
-            plan: FaultPlan::new(0xBAD5_EED).with_random_transients(1, &[TransientTarget::Pipe]),
-            ft: FtConfig::replay(),
-        }),
-    );
-
-    // Submit in shuffled order; the report must still come out id-sorted.
-    jobs.swap(0, 7);
-    jobs.swap(2, 5);
-    jobs
-}
+use common::adversarial_job_set;
+use redmule::BackendKind;
+use redmule_batch::{BatchExecutor, JobStatus};
 
 #[test]
 fn report_bytes_are_identical_for_1_2_and_8_workers() {

@@ -73,6 +73,7 @@ fn main() {
             "faults",
             "degradation",
             "batch",
+            "trace",
         ];
     }
     let sizes = workloads::sweep_sizes(full);
@@ -153,9 +154,19 @@ fn main() {
                     Ok(format!("{bt}wrote BENCH_batch.json\n"))
                 }),
             ),
+            "trace" => record(
+                item,
+                run_isolated(item, || {
+                    let te = experiments::trace_export(smoke || !full)?;
+                    std::fs::write("BENCH_trace.json", &te.json).map_err(|e| {
+                        EngineError::InvalidJob(format!("cannot write BENCH_trace.json: {e}"))
+                    })?;
+                    Ok(format!("{te}wrote BENCH_trace.json\n"))
+                }),
+            ),
             other => eprintln!(
                 "unknown item `{other}` (try: all, table1, fig3a..fig4d, ablations, faults, \
-                 degradation, batch)"
+                 degradation, batch, trace)"
             ),
         }
     }

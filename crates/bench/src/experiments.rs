@@ -1160,6 +1160,125 @@ pub fn batch_throughput(smoke: bool) -> Result<BatchThroughput, EngineError> {
     })
 }
 
+/// Trace-export artefact (`BENCH_trace.json`): a Chrome trace-event
+/// document (Perfetto-loadable) for a small deterministic mixed batch,
+/// plus the invariance evidence gathered while producing it.
+#[derive(Debug, Clone)]
+pub struct TraceExport {
+    /// Jobs in the traced batch.
+    pub jobs: usize,
+    /// Trace events across all lanes.
+    pub events: usize,
+    /// Lanes (one per job).
+    pub lanes: usize,
+    /// Largest timestamp in the document (simulated cycles).
+    pub max_ts: u64,
+    /// Worker counts whose exports were byte-compared.
+    pub worker_counts: Vec<usize>,
+    /// The validated Chrome trace JSON.
+    pub json: String,
+}
+
+impl fmt::Display for TraceExport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Trace export: {} jobs, {} lanes, {} events, max ts {} cycles",
+            self.jobs, self.lanes, self.events, self.max_ts
+        )?;
+        writeln!(
+            f,
+            "Chrome trace bytes identical across {:?} workers ({} bytes)",
+            self.worker_counts,
+            self.json.len()
+        )
+    }
+}
+
+/// Runs a small deterministic mixed batch (both backends, accumulate, a
+/// fault drill) with event tracing at several worker counts, checks the
+/// exported Chrome trace is byte-identical across all of them, and
+/// validates the document structurally.
+///
+/// `smoke` selects the CI workload (6 jobs); without it the batch is
+/// larger with heavier shapes.
+///
+/// # Errors
+///
+/// Returns an [`EngineError`] if the executor rejects the batch, the
+/// trace bytes differ between worker counts, or the document fails
+/// validation.
+pub fn trace_export(smoke: bool) -> Result<TraceExport, EngineError> {
+    use redmule::obs::validate_chrome_trace;
+    use redmule::BackendKind;
+    use redmule_batch::JobFaults;
+
+    let shapes: &[(usize, usize, usize)] = if smoke {
+        &[(8, 16, 16), (3, 7, 21), (16, 8, 32)]
+    } else {
+        &[(16, 32, 32), (13, 24, 40), (32, 16, 48)]
+    };
+    let reps = if smoke { 2 } else { 8 };
+    let mut jobs: Vec<GemmJob> = (0..shapes.len() * reps)
+        .map(|i| {
+            let (m, n, k) = shapes[i % shapes.len()];
+            let shape = GemmShape::new(m, n, k);
+            let (x, w) = workloads::gemm_operands(shape, i as u32);
+            let job = GemmJob::new(i as u64, shape, x, w);
+            if i % 3 == 1 {
+                job.with_backend(BackendKind::Functional)
+            } else {
+                job
+            }
+        })
+        .collect();
+    // One FT-protected fault drill so Fault events appear in the trace.
+    let shape = GemmShape::new(8, 8, 16);
+    let (x, w) = workloads::gemm_operands(shape, 99);
+    jobs.push(
+        GemmJob::new(jobs.len() as u64, shape, x, w).with_faults(JobFaults::Protected {
+            plan: FaultPlan::new(0x7ACE).with_random_transients(1, &[TransientTarget::Pipe]),
+            ft: FtConfig::replay(),
+        }),
+    );
+    let n_jobs = jobs.len();
+
+    let worker_counts = vec![1usize, 2, 4];
+    let mut reference: Option<String> = None;
+    for &workers in &worker_counts {
+        let outcome = BatchExecutor::new(workers)
+            .with_event_trace()
+            .run(jobs.clone())
+            .map_err(|e| EngineError::InvalidJob(format!("batch executor: {e}")))?;
+        let json = outcome.report.chrome_trace();
+        match &reference {
+            None => reference = Some(json),
+            Some(r) if *r != json => {
+                return Err(EngineError::InvalidJob(format!(
+                    "chrome trace bytes diverged at {workers} workers"
+                )))
+            }
+            Some(_) => {}
+        }
+    }
+    let json = reference.unwrap_or_default();
+    let summary = validate_chrome_trace(&json)
+        .map_err(|e| EngineError::InvalidJob(format!("invalid chrome trace: {e}")))?;
+    if summary.events == 0 {
+        return Err(EngineError::InvalidJob(
+            "traced batch produced an empty event stream".to_owned(),
+        ));
+    }
+    Ok(TraceExport {
+        jobs: n_jobs,
+        events: summary.events,
+        lanes: summary.lanes,
+        max_ts: summary.max_ts,
+        worker_counts,
+        json,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -28,8 +28,11 @@ use crate::scope::{allowances, non_test_tokens, snapshot_markers};
 use crate::snapshot;
 
 /// Crates whose sources hold simulated hardware / session state. Keyed by
-/// directory name under `crates/`.
-pub const MODEL_CRATES: [&str; 5] = ["fp16", "hwsim", "cluster", "redmule", "runtime"];
+/// directory name under `crates/`. `obs` qualifies because trace events
+/// and phase ledgers are keyed by simulated cycles and serialised into
+/// checkpoints — wall-clock or hash-order leakage there would break trace
+/// determinism exactly like it would in the engine.
+pub const MODEL_CRATES: [&str; 6] = ["fp16", "hwsim", "cluster", "redmule", "runtime", "obs"];
 
 /// Crates where native-float usage (RM-FP-001) is banned: the softfloat
 /// itself and the accelerator datapath built on it.

@@ -1,0 +1,230 @@
+//! Typed trace events, timestamped in simulated cycles.
+
+use crate::phase::Phase;
+use redmule_hwsim::{FaultClass, FaultPhase};
+use std::fmt;
+
+/// Which streamer channel a buffer-traffic event belongs to.
+///
+/// Mirrors the four request kinds of the engine's streamer: W-buffer
+/// refills (one row every `P+1` cycles), X-buffer loads and Z preloads
+/// (interleaved into the spare slots of Fig. 2c), and Z store drains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Channel {
+    /// W-buffer row refill.
+    W,
+    /// X-buffer block load.
+    X,
+    /// Z-buffer accumulate preload (Y row).
+    ZPre,
+    /// Z-buffer store drain (computed row written back).
+    ZStore,
+}
+
+impl Channel {
+    /// Stable lowercase label, used for counter names and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            Channel::W => "w",
+            Channel::X => "x",
+            Channel::ZPre => "zpre",
+            Channel::ZStore => "zstore",
+        }
+    }
+}
+
+impl fmt::Display for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One sim-cycle-timestamped observation from the engine.
+///
+/// Every variant carries `cycle`, the value of the session's cycle counter
+/// when the event was emitted. Because the engine is cycle-deterministic,
+/// the event stream for a given job is a pure function of the job — host
+/// thread count and wall-clock timing never appear.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A compute tile left the stall-at-start state and began issuing
+    /// FMA phases (or, for empty-reduction jobs, flushed in one cycle).
+    TileStart {
+        /// Cycle of the first compute tick of the tile.
+        cycle: u64,
+        /// Tile index in schedule order.
+        tile: u32,
+        /// First output row covered by the tile.
+        row0: u32,
+        /// Live output rows in the tile (≤ L).
+        rows: u32,
+        /// Live output columns in the tile (≤ phase width).
+        cols: u32,
+    },
+    /// A compute tile finished its last FMA tick and enqueued its stores.
+    TileEnd {
+        /// Cycle of the last compute tick of the tile.
+        cycle: u64,
+        /// Tile index in schedule order.
+        tile: u32,
+    },
+    /// The streamer completed a buffer load on a channel (`W`, `X` or
+    /// `ZPre`).
+    Refill {
+        /// Completion cycle.
+        cycle: u64,
+        /// Which buffer was refilled.
+        channel: Channel,
+        /// Running per-channel sequence number (1-based).
+        seq: u64,
+    },
+    /// The streamer drained one computed row from the store queue.
+    StoreDrain {
+        /// Completion cycle.
+        cycle: u64,
+        /// Store-queue depth after the drain.
+        pending: u32,
+    },
+    /// The HCI (or the streamer policy) denied this cycle's memory
+    /// request — interconnect contention, not a schedule hazard.
+    HciStall {
+        /// Cycle of the denied request.
+        cycle: u64,
+    },
+    /// The datapath could not advance this cycle; `phase` records the
+    /// attribution category the ledger charged it to.
+    Stall {
+        /// The stalled cycle.
+        cycle: u64,
+        /// Attribution category (`Fill`, `Refill`, `Stall` or `Drain`).
+        phase: Phase,
+    },
+    /// A fault lifecycle observation (injection, detection, correction).
+    Fault {
+        /// Cycle the fault event was recorded.
+        cycle: u64,
+        /// Fault kind.
+        class: FaultClass,
+        /// Lifecycle stage.
+        phase: FaultPhase,
+    },
+    /// A checkpoint container was captured at a tile boundary.
+    Checkpoint {
+        /// Capture cycle.
+        cycle: u64,
+        /// Next tile to compute after resume.
+        tile: u32,
+    },
+    /// The progress-signature watchdog (or the structural cycle bound)
+    /// tripped; the session aborts after emitting this.
+    Watchdog {
+        /// Cycle of the trip.
+        cycle: u64,
+        /// Consecutive cycles without forward progress.
+        stalled_for: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The simulated cycle the event is stamped with.
+    pub fn cycle(&self) -> u64 {
+        match self {
+            TraceEvent::TileStart { cycle, .. }
+            | TraceEvent::TileEnd { cycle, .. }
+            | TraceEvent::Refill { cycle, .. }
+            | TraceEvent::StoreDrain { cycle, .. }
+            | TraceEvent::HciStall { cycle }
+            | TraceEvent::Stall { cycle, .. }
+            | TraceEvent::Fault { cycle, .. }
+            | TraceEvent::Checkpoint { cycle, .. }
+            | TraceEvent::Watchdog { cycle, .. } => *cycle,
+        }
+    }
+
+    /// Stable kind label, used as the counter name in [`crate::CounterSink`]
+    /// and as the event name stem in the Chrome exporter.
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            TraceEvent::TileStart { .. } => "tile_start",
+            TraceEvent::TileEnd { .. } => "tile_end",
+            TraceEvent::Refill { channel, .. } => match channel {
+                Channel::W => "refill_w",
+                Channel::X => "refill_x",
+                Channel::ZPre => "refill_zpre",
+                Channel::ZStore => "refill_zstore",
+            },
+            TraceEvent::StoreDrain { .. } => "store_drain",
+            TraceEvent::HciStall { .. } => "hci_stall",
+            TraceEvent::Stall { .. } => "stall",
+            TraceEvent::Fault { phase, .. } => match phase {
+                FaultPhase::Injected => "fault_injected",
+                FaultPhase::Detected => "fault_detected",
+                FaultPhase::Corrected => "fault_corrected",
+            },
+            TraceEvent::Checkpoint { .. } => "checkpoint",
+            TraceEvent::Watchdog { .. } => "watchdog",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_accessor_covers_every_variant() {
+        let evs = [
+            TraceEvent::TileStart {
+                cycle: 1,
+                tile: 0,
+                row0: 0,
+                rows: 4,
+                cols: 16,
+            },
+            TraceEvent::TileEnd { cycle: 2, tile: 0 },
+            TraceEvent::Refill {
+                cycle: 3,
+                channel: Channel::W,
+                seq: 1,
+            },
+            TraceEvent::StoreDrain {
+                cycle: 4,
+                pending: 0,
+            },
+            TraceEvent::HciStall { cycle: 5 },
+            TraceEvent::Stall {
+                cycle: 6,
+                phase: Phase::Refill,
+            },
+            TraceEvent::Fault {
+                cycle: 7,
+                class: FaultClass::TransientFlip,
+                phase: FaultPhase::Injected,
+            },
+            TraceEvent::Checkpoint { cycle: 8, tile: 1 },
+            TraceEvent::Watchdog {
+                cycle: 9,
+                stalled_for: 64,
+            },
+        ];
+        for (i, ev) in evs.iter().enumerate() {
+            assert_eq!(ev.cycle(), i as u64 + 1);
+            assert!(!ev.kind_label().is_empty());
+        }
+    }
+
+    #[test]
+    fn channel_labels_are_distinct() {
+        let labels = [
+            Channel::W.label(),
+            Channel::X.label(),
+            Channel::ZPre.label(),
+            Channel::ZStore.label(),
+        ];
+        for (i, a) in labels.iter().enumerate() {
+            for b in &labels[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! Trace sinks: where the engine's event stream goes.
+
+use crate::event::TraceEvent;
+use redmule_hwsim::Stats;
+use std::any::Any;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Receiver for the engine's typed trace events.
+///
+/// The engine holds at most one boxed sink per session; when no sink is
+/// attached the event-assembly path is skipped entirely, so tracing is
+/// zero-cost when disabled. Implementations must be `Send` (sessions run
+/// on batch worker threads) and `Debug` (sessions derive `Debug`).
+///
+/// `into_any` lets callers recover the concrete sink after a run — see
+/// [`EventLog::from_sink`].
+pub trait TraceSink: fmt::Debug + Send {
+    /// Receives one event. Events arrive in nondecreasing cycle order.
+    fn emit(&mut self, ev: &TraceEvent);
+
+    /// Upcasts for post-run recovery of the concrete type.
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+/// Unbounded in-order event recorder — the default sink.
+///
+/// Comparable with `==` so determinism tests can assert two runs produced
+/// the *identical* stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventLog {
+    events: Vec<TraceEvent>,
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    pub fn new() -> EventLog {
+        EventLog::default()
+    }
+
+    /// All recorded events in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Appends one event (used when synthesising logs outside the engine).
+    pub fn push(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+
+    /// Appends all of `other`'s events, shifting their cycle stamps by
+    /// `cycle_offset` — used when a sub-run's log folds into a parent run.
+    pub fn absorb(&mut self, other: &EventLog, cycle_offset: u64) {
+        self.events.extend(
+            other
+                .events
+                .iter()
+                .cloned()
+                .map(|ev| shift(ev, cycle_offset)),
+        );
+    }
+
+    /// Re-emits every recorded event into another sink.
+    pub fn replay_into(&self, sink: &mut dyn TraceSink) {
+        for ev in &self.events {
+            sink.emit(ev);
+        }
+    }
+
+    /// Recovers a concrete `EventLog` from a boxed sink, if that is what
+    /// it is. Returns `None` for other sink types.
+    pub fn from_sink(sink: Box<dyn TraceSink>) -> Option<EventLog> {
+        sink.into_any().downcast::<EventLog>().ok().map(|b| *b)
+    }
+}
+
+fn shift(ev: TraceEvent, offset: u64) -> TraceEvent {
+    use TraceEvent::*;
+    match ev {
+        TileStart {
+            cycle,
+            tile,
+            row0,
+            rows,
+            cols,
+        } => TileStart {
+            cycle: cycle + offset,
+            tile,
+            row0,
+            rows,
+            cols,
+        },
+        TileEnd { cycle, tile } => TileEnd {
+            cycle: cycle + offset,
+            tile,
+        },
+        Refill {
+            cycle,
+            channel,
+            seq,
+        } => Refill {
+            cycle: cycle + offset,
+            channel,
+            seq,
+        },
+        StoreDrain { cycle, pending } => StoreDrain {
+            cycle: cycle + offset,
+            pending,
+        },
+        HciStall { cycle } => HciStall {
+            cycle: cycle + offset,
+        },
+        Stall { cycle, phase } => Stall {
+            cycle: cycle + offset,
+            phase,
+        },
+        Fault {
+            cycle,
+            class,
+            phase,
+        } => Fault {
+            cycle: cycle + offset,
+            class,
+            phase,
+        },
+        Checkpoint { cycle, tile } => Checkpoint {
+            cycle: cycle + offset,
+            tile,
+        },
+        Watchdog { cycle, stalled_for } => Watchdog {
+            cycle: cycle + offset,
+            stalled_for,
+        },
+    }
+}
+
+impl TraceSink for EventLog {
+    fn emit(&mut self, ev: &TraceEvent) {
+        self.events.push(ev.clone());
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// Bounded ring buffer keeping only the most recent events.
+///
+/// Models the "last N waveform samples" debug buffer an RTL testbench
+/// would keep: long runs stay bounded, and `dropped()` records how many
+/// early events were evicted.
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    buf: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// Creates a ring keeping at most `capacity` events (capacity 0 drops
+    /// everything).
+    pub fn new(capacity: usize) -> RingSink {
+        RingSink {
+            capacity,
+            buf: VecDeque::with_capacity(capacity.min(1024)),
+            dropped: 0,
+        }
+    }
+
+    /// The retained (most recent) events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// How many events were evicted (or rejected, for capacity 0).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the ring and returns the retained events, oldest first.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.buf.into_iter().collect()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn emit(&mut self, ev: &TraceEvent) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev.clone());
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// Counter-registry sink: counts events per kind label instead of storing
+/// them.
+///
+/// The cheap always-affordable sink — a run's event histogram in a
+/// [`Stats`] registry (`tile_start`, `refill_w`, `hci_stall`, …).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterSink {
+    counts: Stats,
+}
+
+impl CounterSink {
+    /// Creates an empty counter registry.
+    pub fn new() -> CounterSink {
+        CounterSink::default()
+    }
+
+    /// The per-kind event counts.
+    pub fn counts(&self) -> &Stats {
+        &self.counts
+    }
+
+    /// Consumes the sink and returns the counts.
+    pub fn into_counts(self) -> Stats {
+        self.counts
+    }
+}
+
+impl TraceSink for CounterSink {
+    fn emit(&mut self, ev: &TraceEvent) {
+        self.counts.incr(ev.kind_label());
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Channel;
+
+    fn ev(cycle: u64) -> TraceEvent {
+        TraceEvent::Refill {
+            cycle,
+            channel: Channel::X,
+            seq: cycle,
+        }
+    }
+
+    #[test]
+    fn event_log_records_and_roundtrips_through_box() {
+        let mut log = EventLog::new();
+        log.emit(&ev(1));
+        log.emit(&ev(2));
+        let boxed: Box<dyn TraceSink> = Box::new(log.clone());
+        let back = EventLog::from_sink(boxed).expect("downcast");
+        assert_eq!(back, log);
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn from_sink_rejects_other_sink_types() {
+        let boxed: Box<dyn TraceSink> = Box::new(CounterSink::new());
+        assert!(EventLog::from_sink(boxed).is_none());
+    }
+
+    #[test]
+    fn absorb_shifts_cycles() {
+        let mut a = EventLog::new();
+        a.push(ev(5));
+        let mut b = EventLog::new();
+        b.push(ev(1));
+        a.absorb(&b, 100);
+        assert_eq!(a.events()[1].cycle(), 101);
+    }
+
+    #[test]
+    fn ring_sink_keeps_most_recent_and_counts_drops() {
+        let mut ring = RingSink::new(3);
+        for c in 0..10 {
+            ring.emit(&ev(c));
+        }
+        assert_eq!(ring.dropped(), 7);
+        let kept: Vec<u64> = ring.events().map(TraceEvent::cycle).collect();
+        assert_eq!(kept, vec![7, 8, 9]);
+        assert_eq!(ring.into_events().len(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_ring_drops_everything() {
+        let mut ring = RingSink::new(0);
+        ring.emit(&ev(0));
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn counter_sink_histograms_by_kind() {
+        let mut c = CounterSink::new();
+        c.emit(&ev(0));
+        c.emit(&ev(1));
+        c.emit(&TraceEvent::HciStall { cycle: 2 });
+        assert_eq!(c.counts().get("refill_x"), 2);
+        assert_eq!(c.counts().get("hci_stall"), 1);
+        assert_eq!(c.into_counts().get("refill_w"), 0);
+    }
+
+    #[test]
+    fn replay_into_reproduces_the_stream() {
+        let mut log = EventLog::new();
+        log.push(ev(1));
+        log.push(ev(2));
+        let mut counts = CounterSink::new();
+        log.replay_into(&mut counts);
+        assert_eq!(counts.counts().get("refill_x"), 2);
+    }
+}

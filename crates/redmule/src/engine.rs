@@ -29,6 +29,8 @@ use redmule_fp16::F16;
 use redmule_hwsim::snapshot::{fnv1a64, Snapshot, SnapshotError, StateReader, StateWriter};
 use redmule_hwsim::stream::{Handshake, StreamMonitor};
 use redmule_hwsim::{Cycle, FaultLog, FaultPhase, Stats};
+use redmule_obs::{Channel, EventLog, Phase, PhaseCycles, TraceEvent, TraceSink};
+use std::cell::Cell;
 use std::fmt;
 
 /// Error produced by [`Engine::run`].
@@ -158,6 +160,11 @@ pub struct RunReport {
     pub macs: u64,
     /// Cycles the datapath spent clock-gated waiting for a buffer.
     pub stall_cycles: u64,
+    /// Per-phase cycle attribution (compute / refill / stall / fill /
+    /// drain). Exactly one category is charged per executed cycle, so
+    /// `phases.total()` equals `cycles.count()` — a schedule invariant the
+    /// test-suite pins. Also mirrored into `stats` as `phase_*` keys.
+    pub phases: PhaseCycles,
     /// Event counters (`w_loads`, `x_loads`, `z_stores`, `port_idle`, ...).
     pub stats: Stats,
     /// Per-cycle port traces when the engine was built with
@@ -321,6 +328,31 @@ impl Engine {
         Ok(session.finish())
     }
 
+    /// Like [`Engine::run`], but records the typed trace-event stream
+    /// (see [`TraceEvent`]) alongside the report. For custom sinks (ring
+    /// buffers, counters) use [`EngineSession::attach_sink`] directly.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::run`].
+    pub fn run_logged(
+        &self,
+        job: Job,
+        mem: &mut Tcdm,
+        hci: &mut Hci,
+    ) -> Result<(RunReport, EventLog), EngineError> {
+        let mut session = self.start(job)?;
+        session.attach_sink(Box::new(EventLog::new()));
+        while !session.is_finished() {
+            session.tick(mem, hci, &[])?;
+        }
+        let events = session
+            .detach_sink()
+            .and_then(EventLog::from_sink)
+            .unwrap_or_default();
+        Ok((session.finish(), events))
+    }
+
     /// Starts a job as a steppable [`EngineSession`] for co-simulation with
     /// concurrent core traffic on the interconnect.
     ///
@@ -469,6 +501,7 @@ impl Engine {
         sim.stats.restore_state(&mut r)?;
         sim.useful_macs = r.get()?;
         sim.stall_cycles = r.get()?;
+        sim.phases.restore_state(&mut r)?;
         let dp_macs: u64 = r.get()?;
         sim.dp.restore_macs(dp_macs);
         match r.get::<u8>()? {
@@ -496,7 +529,7 @@ const SESSION_MAGIC: [u8; 4] = *b"RMSS";
 /// Version of the session snapshot payload format. Bumped whenever the
 /// serialised state layout changes; old snapshots are rejected rather than
 /// misread.
-pub const SESSION_STATE_VERSION: u32 = 1;
+pub const SESSION_STATE_VERSION: u32 = 2;
 
 /// A versioned, checksummed snapshot of an in-flight [`EngineSession`],
 /// taken at a tile boundary by [`EngineSession::checkpoint`] and turned
@@ -658,6 +691,14 @@ pub struct EngineSession {
     // restored scheduler cursors (progress_sig) at the end of resume().
     last_sig: Option<ProgressSig>,
     stalled_for: u64,
+    // modelcheck-allow: RM-SNAP-001 -- telemetry: trace sinks are attached
+    // per session by the caller and intentionally not serialised; a resumed
+    // session starts unsinked (see DESIGN.md §12).
+    sink: Option<Box<dyn TraceSink>>,
+    // modelcheck-allow: RM-SNAP-001 -- telemetry cache: monotonicity clamp
+    // for estimated_remaining_cycles; resets to the no-estimate-yet state
+    // on resume, which only relaxes the clamp.
+    est_clamp: Cell<u64>,
 }
 
 /// Snapshot of every scheduler cursor; two equal consecutive snapshots mean
@@ -672,6 +713,33 @@ struct ProgressSig {
     x: (usize, usize, usize),
     zp: (usize, usize),
     zready: usize,
+}
+
+/// What one datapath tick did, for per-cycle attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CycleKind {
+    /// The datapath advanced: an FMA phase issued or a tile flushed.
+    Advance,
+    /// All tiles are computed; only the store queue still drains.
+    DrainOnly,
+    /// The datapath was clock-gated; the payload is the schedule-level
+    /// cause (`Fill`, `Refill` or `Drain`). The tick loop upgrades it to
+    /// `Stall` when the streamer's request was denied this same cycle.
+    Stalled(Phase),
+}
+
+/// Pre-tick counter snapshot used to reconstruct trace events from deltas
+/// (only taken when a sink is attached).
+#[derive(Debug, Clone, Copy)]
+struct TickObs {
+    tile: usize,
+    started: bool,
+    w_loads: u64,
+    x_loads: u64,
+    z_preloads: u64,
+    z_stores: u64,
+    port_conflicts: u64,
+    faults: usize,
 }
 
 /// Outcome of one [`EngineSession::tick`].
@@ -696,7 +764,34 @@ impl EngineSession {
             watchdog,
             last_sig: None,
             stalled_for: 0,
+            sink: None,
+            est_clamp: Cell::new(u64::MAX),
         }
+    }
+
+    /// Attaches a trace sink; subsequent ticks emit typed
+    /// [`TraceEvent`]s into it. At most one sink is held — attaching
+    /// replaces (and drops) any previous sink. With no sink attached the
+    /// event-assembly path is skipped entirely (tracing is zero-cost when
+    /// disabled); the [`PhaseCycles`] ledger is always on either way.
+    pub fn attach_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detaches and returns the current sink, if any. Use
+    /// [`EventLog::from_sink`] to recover a concrete event log.
+    pub fn detach_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.sink.take()
+    }
+
+    /// `true` while a trace sink is attached.
+    pub fn has_sink(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// The per-phase cycle attribution accumulated so far.
+    pub fn phase_cycles(&self) -> PhaseCycles {
+        self.sim.phases
     }
 
     /// `true` once the job has fully drained (further ticks are no-ops).
@@ -729,6 +824,7 @@ impl EngineSession {
         // Contention can legitimately stretch execution by up to the
         // rotation period; scale the structural bound accordingly.
         if self.cycle >= self.bound * 8 {
+            self.emit_watchdog();
             return Err(EngineError::Watchdog {
                 cycle: self.cycle,
                 stalled_for: self.stalled_for,
@@ -737,14 +833,31 @@ impl EngineSession {
         self.sim.inject_cycle_faults(self.cycle, mem);
         self.sim.stage_pads();
         let stalls_before = self.sim.stall_cycles;
-        if self.sim.n_phases == 0 {
-            self.sim.flush_empty_reduction_tile(mem)?;
+        let conflicts_before = self.sim.stats.get("port_conflicts");
+        let pre = self.sink.is_some().then(|| self.observe_pre_tick());
+        let kind = if self.sim.n_phases == 0 {
+            self.sim.flush_empty_reduction_tile(mem)?
         } else {
-            self.sim.compute_cycle();
-        }
+            self.sim.compute_cycle()
+        };
         let log_granted = self
             .sim
             .streamer_cycle(mem, hci, self.cycle, log_requests)?;
+        // Attribute this cycle to exactly one category. A datapath stall
+        // whose memory request was denied this same cycle is charged to
+        // interconnect contention (`Stall`) rather than the schedule-level
+        // cause it would otherwise carry.
+        let phase = match kind {
+            CycleKind::Advance => Phase::Compute,
+            CycleKind::DrainOnly => Phase::Drain,
+            CycleKind::Stalled(cause) => {
+                if self.sim.stats.get("port_conflicts") > conflicts_before {
+                    Phase::Stall
+                } else {
+                    cause
+                }
+            }
+        };
         if let Some(trace) = &mut self.sim.trace {
             let w_staged = (0..self.sim.cfg.h)
                 .filter(|&h| !self.sim.wb.staging_free(h))
@@ -763,6 +876,7 @@ impl EngineSession {
         if self.last_sig == Some(sig) {
             self.stalled_for += 1;
             if self.stalled_for >= self.watchdog {
+                self.emit_watchdog();
                 return Err(EngineError::Watchdog {
                     cycle: self.cycle,
                     stalled_for: self.stalled_for,
@@ -772,11 +886,121 @@ impl EngineSession {
             self.last_sig = Some(sig);
             self.stalled_for = 0;
         }
+        self.sim.phases.add(phase);
+        if let Some(pre) = pre {
+            self.emit_tick_events(&pre, kind, phase);
+        }
         self.cycle += 1;
         Ok(TickResult {
             log_granted,
             finished: self.is_finished(),
         })
+    }
+
+    /// Counter snapshot taken before a tick so events can be
+    /// reconstructed from deltas afterwards. Only assembled when a sink is
+    /// attached.
+    fn observe_pre_tick(&self) -> TickObs {
+        let s = &self.sim;
+        TickObs {
+            tile: s.compute_tile,
+            started: s.started,
+            w_loads: s.stats.get("w_loads"),
+            x_loads: s.stats.get("x_loads"),
+            z_preloads: s.stats.get("z_preloads"),
+            z_stores: s.stats.get("z_stores"),
+            port_conflicts: s.stats.get("port_conflicts"),
+            faults: s
+                .injector
+                .as_ref()
+                .map_or(0, |inj| inj.log().events().len()),
+        }
+    }
+
+    /// Emits the typed trace events for the cycle that just executed,
+    /// derived from the pre/post counter deltas.
+    fn emit_tick_events(&mut self, pre: &TickObs, kind: CycleKind, phase: Phase) {
+        let Some(sink) = self.sink.as_mut() else {
+            return;
+        };
+        let s = &self.sim;
+        let cycle = self.cycle;
+        if s.n_phases > 0 {
+            if !pre.started && s.started {
+                let tile = s.tiles[pre.tile];
+                sink.emit(&TraceEvent::TileStart {
+                    cycle,
+                    tile: pre.tile as u32,
+                    row0: tile.row0 as u32,
+                    rows: tile.rows_live as u32,
+                    cols: tile.cols_live as u32,
+                });
+            }
+            if s.compute_tile > pre.tile {
+                sink.emit(&TraceEvent::TileEnd {
+                    cycle,
+                    tile: pre.tile as u32,
+                });
+            }
+        } else if s.compute_tile > pre.tile {
+            // Empty-reduction tiles flush in a single cycle.
+            let tile = s.tiles[pre.tile];
+            sink.emit(&TraceEvent::TileStart {
+                cycle,
+                tile: pre.tile as u32,
+                row0: tile.row0 as u32,
+                rows: tile.rows_live as u32,
+                cols: tile.cols_live as u32,
+            });
+            sink.emit(&TraceEvent::TileEnd {
+                cycle,
+                tile: pre.tile as u32,
+            });
+        }
+        for (channel, before, after) in [
+            (Channel::W, pre.w_loads, s.stats.get("w_loads")),
+            (Channel::ZPre, pre.z_preloads, s.stats.get("z_preloads")),
+            (Channel::X, pre.x_loads, s.stats.get("x_loads")),
+        ] {
+            if after > before {
+                sink.emit(&TraceEvent::Refill {
+                    cycle,
+                    channel,
+                    seq: after,
+                });
+            }
+        }
+        if s.stats.get("z_stores") > pre.z_stores {
+            sink.emit(&TraceEvent::StoreDrain {
+                cycle,
+                pending: s.store_queue.len() as u32,
+            });
+        }
+        if s.stats.get("port_conflicts") > pre.port_conflicts {
+            sink.emit(&TraceEvent::HciStall { cycle });
+        }
+        if matches!(kind, CycleKind::Stalled(_)) {
+            sink.emit(&TraceEvent::Stall { cycle, phase });
+        }
+        if let Some(inj) = &s.injector {
+            for fe in &inj.log().events()[pre.faults..] {
+                sink.emit(&TraceEvent::Fault {
+                    cycle: fe.cycle,
+                    class: fe.class,
+                    phase: fe.phase,
+                });
+            }
+        }
+    }
+
+    /// Emits a watchdog trip event (just before the session aborts with
+    /// [`EngineError::Watchdog`]).
+    fn emit_watchdog(&mut self) {
+        let cycle = self.cycle;
+        let stalled_for = self.stalled_for;
+        if let Some(sink) = self.sink.as_mut() {
+            sink.emit(&TraceEvent::Watchdog { cycle, stalled_for });
+        }
     }
 
     /// Consumes the session, producing the final report.
@@ -790,6 +1014,14 @@ impl EngineSession {
         self.sim.stats.add("stall_cycles", self.sim.stall_cycles);
         self.sim.stats.add("macs", self.sim.useful_macs);
         self.sim.stats.add("lane_macs", self.sim.dp.macs());
+        for (label, cycles) in self.sim.phases.iter() {
+            self.sim.stats.add(&format!("phase_{label}"), cycles);
+        }
+        debug_assert_eq!(
+            self.sim.phases.total(),
+            self.cycle,
+            "phase attribution must cover every executed cycle exactly once"
+        );
         debug_assert_eq!(
             self.sim.useful_macs,
             self.sim.job.shape().macs(),
@@ -810,6 +1042,7 @@ impl EngineSession {
             cycles: Cycle::new(self.cycle),
             macs: self.sim.useful_macs,
             stall_cycles: self.sim.stall_cycles,
+            phases: self.sim.phases,
             stats: self.sim.stats,
             trace: self.sim.trace,
             faults,
@@ -841,22 +1074,62 @@ impl EngineSession {
     }
 
     /// Analytical estimate of the cycles still needed to finish the job,
-    /// from the paper's performance model: each remaining tile costs its
-    /// compute length (`H*(P+1) + n_phases*H*(P+1)` pipeline cycles) plus
-    /// the `L`-row store drain, and queued stores retire one per cycle.
-    /// Used for graceful degradation when a supervisor cuts a run short.
+    /// from the calibrated schedule model (exact on uncontended fault-free
+    /// runs): each remaining tile costs its compute length `tile_len =
+    /// H*(P+1) + n_phases*H*(P+1)`, prefetch hides every boundary stall,
+    /// the initial pipeline fill costs `min(N,H) + min(M,L)` operand
+    /// loads, and the final drain retires the last tile's remaining rows
+    /// at one store per cycle (the first overlapping the last compute
+    /// tick). Empty-reduction jobs (`N == 0`) flush one tile per cycle in
+    /// parallel with the store drain.
+    ///
+    /// The returned value is monotonically non-increasing across a run
+    /// (contention can only delay completion, never un-finish work; a
+    /// clamp enforces this across re-ordering edge cases) and never
+    /// exceeds the actual remaining cycles by more than one tile. Used for
+    /// graceful degradation when a supervisor cuts a run short.
     pub fn estimated_remaining_cycles(&self) -> u64 {
+        let clamped = self.estimate_remaining_raw().min(self.est_clamp.get());
+        self.est_clamp.set(clamped);
+        clamped
+    }
+
+    fn estimate_remaining_raw(&self) -> u64 {
         if self.is_finished() {
             return 0;
         }
         let s = &self.sim;
-        let remaining_tiles = s.tiles.len().saturating_sub(s.compute_tile) as u64;
-        let per_tile = if s.n_phases == 0 {
-            1 + s.cfg.l as u64
+        if s.compute_tile >= s.tiles.len() {
+            // Only queued stores remain; they retire one per cycle.
+            return s.store_queue.len() as u64;
+        }
+        if s.n_phases == 0 {
+            // One tile flushes per cycle while stores drain in parallel.
+            let tiles_left = (s.tiles.len() - s.compute_tile) as u64;
+            let store_rows: u64 = s.tiles[s.compute_tile..]
+                .iter()
+                .map(|t| t.rows_live as u64)
+                .sum();
+            return tiles_left.max(store_rows + s.store_queue.len() as u64);
+        }
+        let tile_len = s.tile_len() as u64;
+        let tiles_after = (s.tiles.len() - s.compute_tile - 1) as u64;
+        // Mid-tile `t_local` is always < tile_len (it wraps on completion).
+        let current = tile_len - (s.t_local as u64).min(tile_len);
+        let drain = s
+            .tiles
+            .last()
+            .map_or(0, |t| t.rows_live.saturating_sub(1) as u64);
+        // Initial pipeline fill: only before the very first tile starts.
+        let fill = if s.compute_tile == 0 && !s.started {
+            (s.job.n.min(s.cfg.h) + s.job.m.min(s.cfg.l)) as u64
         } else {
-            s.tile_len() as u64 + s.cfg.l as u64 + 4
+            0
         };
-        (remaining_tiles * per_tile + s.store_queue.len() as u64).saturating_sub(s.t_local as u64)
+        let compute_path = tiles_after * tile_len + current + drain + fill;
+        // The store queue drains at most one row per cycle, so it lower-
+        // bounds the remaining time under heavy contention backlog.
+        compute_path.max(s.store_queue.len() as u64)
     }
 
     /// Serialises the session into a [`SessionState`] snapshot.
@@ -872,7 +1145,10 @@ impl EngineSession {
     ///
     /// [`EngineError::Snapshot`] when called mid-tile or on a session with
     /// per-cycle tracing enabled (traces are not serialised).
-    pub fn checkpoint(&self) -> Result<SessionState, EngineError> {
+    ///
+    /// Takes `&mut self` only to emit a [`TraceEvent::Checkpoint`] into an
+    /// attached sink; the simulation state itself is not modified.
+    pub fn checkpoint(&mut self) -> Result<SessionState, EngineError> {
         let s = &self.sim;
         if s.trace.is_some() {
             return Err(EngineError::Snapshot(
@@ -930,6 +1206,7 @@ impl EngineSession {
         s.stats.save_state(&mut w);
         w.put(&s.useful_macs);
         w.put(&s.stall_cycles);
+        s.phases.save_state(&mut w);
         w.put(&s.dp.macs());
         match &s.injector {
             None => w.put(&0u8),
@@ -937,6 +1214,11 @@ impl EngineSession {
                 w.put(&1u8);
                 injector.save_state(&mut w);
             }
+        }
+        let tile = self.sim.compute_tile as u32;
+        let cycle = self.cycle;
+        if let Some(sink) = self.sink.as_mut() {
+            sink.emit(&TraceEvent::Checkpoint { cycle, tile });
         }
         Ok(SessionState {
             payload: w.finish(),
@@ -952,6 +1234,9 @@ impl EngineSession {
         stats.add("stall_cycles", self.sim.stall_cycles);
         stats.add("macs", self.sim.useful_macs);
         stats.add("lane_macs", self.sim.dp.macs());
+        for (label, cycles) in self.sim.phases.iter() {
+            stats.add(&format!("phase_{label}"), cycles);
+        }
         let faults = self
             .sim
             .injector
@@ -965,6 +1250,7 @@ impl EngineSession {
             cycles: Cycle::new(self.cycle),
             macs: self.sim.useful_macs,
             stall_cycles: self.sim.stall_cycles,
+            phases: self.sim.phases,
             stats,
             trace: None,
             faults,
@@ -1024,6 +1310,9 @@ struct Sim {
     stats: Stats,
     useful_macs: u64,
     stall_cycles: u64,
+    /// Always-on per-cycle attribution ledger: exactly one [`Phase`] is
+    /// charged per executed cycle.
+    phases: PhaseCycles,
     trace: Option<EngineTrace>,
     policy: StreamerPolicy,
     /// Single-buffered-W ablation: a loaded group spends one cycle in
@@ -1071,6 +1360,7 @@ impl Sim {
             stats: Stats::new(),
             useful_macs: 0,
             stall_cycles: 0,
+            phases: PhaseCycles::new(),
             trace: trace.then(|| EngineTrace {
                 w: StreamMonitor::new("w_load"),
                 x: StreamMonitor::new("x_load"),
@@ -1121,12 +1411,16 @@ impl Sim {
 
     /// N == 0: every output tile is all zeros (or the preloaded Z in
     /// accumulate mode). One tile is flushed per cycle.
-    fn flush_empty_reduction_tile(&mut self, _mem: &mut Tcdm) -> Result<(), EngineError> {
-        if self.compute_tile >= self.tiles.len() || self.zb.is_occupied() {
-            return Ok(());
+    fn flush_empty_reduction_tile(&mut self, _mem: &mut Tcdm) -> Result<CycleKind, EngineError> {
+        if self.compute_tile >= self.tiles.len() {
+            return Ok(CycleKind::DrainOnly);
+        }
+        if self.zb.is_occupied() {
+            return Ok(CycleKind::Stalled(Phase::Drain));
         }
         if self.job.accumulate && self.zpre_ready_tile != self.compute_tile {
-            return Ok(()); // wait for the preload
+            // Wait for the Z preload of this tile to finish streaming in.
+            return Ok(CycleKind::Stalled(Phase::Refill));
         }
         let tile = self.tiles[self.compute_tile];
         for r in 0..tile.rows_live {
@@ -1145,13 +1439,13 @@ impl Sim {
         self.compute_tile += 1;
         self.zpre_ready_tile = usize::MAX;
         self.zpre_cursor = (self.compute_tile, 0);
-        Ok(())
+        Ok(CycleKind::Advance)
     }
 
     /// One datapath cycle (or a stall).
-    fn compute_cycle(&mut self) {
+    fn compute_cycle(&mut self) -> CycleKind {
         if self.compute_tile >= self.tiles.len() {
-            return;
+            return CycleKind::DrainOnly;
         }
         let tile = self.tiles[self.compute_tile];
         let t = self.t_local;
@@ -1164,13 +1458,18 @@ impl Sim {
         if !self.started {
             // Tile start: chunk 0 staged, W group for column 0 staged,
             // Z buffer free, and (accumulate) the Z preload completed.
+            if self.zb.is_occupied() {
+                // Previous tile's outputs still hold the Z buffer.
+                self.stall_cycles += 1;
+                return CycleKind::Stalled(Phase::Drain);
+            }
             if !self.xb.staging_complete()
                 || self.wb.staging_free(0)
-                || self.zb.is_occupied()
                 || (self.job.accumulate && self.zpre_ready_tile != self.compute_tile)
             {
+                // Pipeline fill: waiting for the tile's first operands.
                 self.stall_cycles += 1;
-                return;
+                return CycleKind::Stalled(Phase::Fill);
             }
             self.xb.swap();
             self.started = true;
@@ -1184,7 +1483,7 @@ impl Sim {
                     && self.wb.staging_free(h)
                 {
                     self.stall_cycles += 1;
-                    return;
+                    return CycleKind::Stalled(Phase::Refill);
                 }
             }
             // Chunk boundary: column 0 entering phase c*lat needs the next
@@ -1194,7 +1493,7 @@ impl Sim {
                 if phase > 0 && phase.is_multiple_of(lat) {
                     if !self.xb.staging_complete() {
                         self.stall_cycles += 1;
-                        return;
+                        return CycleKind::Stalled(Phase::Refill);
                     }
                     self.xb.swap();
                 }
@@ -1203,7 +1502,7 @@ impl Sim {
             // draining the previous tile.
             if t == final_start && self.zb.is_occupied() {
                 self.stall_cycles += 1;
-                return;
+                return CycleKind::Stalled(Phase::Drain);
             }
         }
 
@@ -1284,6 +1583,7 @@ impl Sim {
                 self.zpre_cursor = (self.compute_tile, 0);
             }
         }
+        CycleKind::Advance
     }
 
     fn enqueue_stores(&mut self, tile: Tile) {

@@ -36,6 +36,7 @@ use redmule_hwsim::snapshot::{Snapshot, SnapshotError, StateReader, StateWriter}
 use redmule_hwsim::{
     Cycle, FaultClass, FaultLog, FaultPhase, SplitMix64, Stats, StuckBit, Xoshiro256,
 };
+use redmule_obs::{Phase, PhaseCycles};
 
 /// Storage classes a random transient can strike.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -709,6 +710,7 @@ impl Engine {
         let mut stats = Stats::new();
         let mut total_cycles = 0u64;
         let mut stall_cycles = 0u64;
+        let mut phases = PhaseCycles::new();
         let mut persistent_injected = 0u64;
 
         for &(addr, stuck) in &plan.tcdm_stuck {
@@ -804,6 +806,7 @@ impl Engine {
                 stall_cycles += report.stall_cycles;
                 stats.merge(&report.stats);
                 stats.incr("ft_runs");
+                phases += report.phases;
                 log.absorb(&report.faults, run_base);
 
                 let clean = match ft.mode {
@@ -813,6 +816,9 @@ impl Engine {
                         // check pipeline costs rows + cols + lat cycles.
                         total_cycles += (tile.rows + tile.cols + lat) as u64;
                         stats.add("abft_cycles", (tile.rows + tile.cols + lat) as u64);
+                        // The checksum pipeline is doing arithmetic, so its
+                        // cycles are attributed to compute.
+                        phases.add_many(Phase::Compute, (tile.rows + tile.cols + lat) as u64);
                         let shape = GemmShape::new(tile.rows, job.n, tile.cols);
                         let mut x_sub = Vec::with_capacity(shape.x_len());
                         for r in 0..tile.rows {
@@ -852,6 +858,7 @@ impl Engine {
                         stall_cycles += clean_run.stall_cycles;
                         stats.merge(&clean_run.stats);
                         stats.incr("ft_runs");
+                        phases += clean_run.phases;
                         let mut second = Vec::with_capacity(tile.rows);
                         for r in 0..tile.rows {
                             let addr = sub_job.z_addr + 2 * (r * job.z_ld()) as u32;
@@ -902,6 +909,7 @@ impl Engine {
             cycles: Cycle::new(total_cycles),
             macs: job.shape().macs(),
             stall_cycles,
+            phases,
             stats,
             trace: None,
             faults: log,

@@ -25,6 +25,7 @@ use crate::engine::EngineError;
 use redmule_fp16::vector::GemmShape;
 use redmule_fp16::F16;
 use redmule_hwsim::Cycle;
+use redmule_obs::{EventLog, TraceEvent};
 
 /// Which execution model a GEMM runs on.
 ///
@@ -139,23 +140,78 @@ impl FunctionalGemm {
         self.run_inner(shape, x, w, Some(y))
     }
 
-    /// Analytical cycle estimate for `shape` on this instance: per tile
-    /// the compute length (`H*(P+1)` fill plus `n_phases * phase_width`
-    /// reduction cycles) plus the `L`-row store drain — the same model
-    /// [`EngineSession::estimated_remaining_cycles`]
-    /// (crate::EngineSession::estimated_remaining_cycles) applies to a
-    /// fresh session.
+    /// Analytical cycle estimate for `shape` on this instance, exact
+    /// against [`crate::Engine::run`] for uncontended fault-free runs
+    /// (pinned by the `cycle_model` regression tests):
+    ///
+    /// * each tile computes for `tile_len = H*(P+1) + n_phases*pw` cycles
+    ///   and W-group prefetch hides every tile-boundary stall, so the
+    ///   `n_tiles` compute blocks are back to back;
+    /// * the initial pipeline fill costs `min(N,H)` W loads plus
+    ///   `min(M,L)` X loads before the first FMA issues;
+    /// * the final drain stores the last tile's `rows_last` live rows at
+    ///   one per cycle, the first overlapping the last compute tick
+    ///   (`rows_last - 1` extra cycles);
+    /// * empty-reduction jobs (`N == 0`) flush one tile per cycle while
+    ///   stores drain in parallel: `max(n_tiles, M * ceil(K/pw))`.
+    ///
+    /// The same model backs
+    /// [`crate::EngineSession::estimated_remaining_cycles`].
     pub fn estimated_cycles(&self, shape: GemmShape) -> Cycle {
         let cfg = &self.cfg;
         let pw = cfg.phase_width();
         let n_phases = shape.n.div_ceil(cfg.h);
-        let n_tiles = (shape.m.div_ceil(cfg.l) * shape.k.div_ceil(pw)) as u64;
-        let per_tile = if n_phases == 0 {
-            1 + cfg.l as u64
-        } else {
-            (cfg.h * cfg.latency() + n_phases * pw) as u64 + cfg.l as u64 + 4
-        };
-        Cycle::new(n_tiles * per_tile)
+        let tiles_m = shape.m.div_ceil(cfg.l);
+        let tiles_k = shape.k.div_ceil(pw);
+        let n_tiles = (tiles_m * tiles_k) as u64;
+        if n_tiles == 0 {
+            return Cycle::new(0); // degenerate M == 0 or K == 0: no output
+        }
+        if n_phases == 0 {
+            let store_rows = (shape.m * tiles_k) as u64;
+            return Cycle::new(n_tiles.max(store_rows));
+        }
+        let tile_len = (cfg.h * cfg.latency() + n_phases * pw) as u64;
+        let fill = (shape.n.min(cfg.h) + shape.m.min(cfg.l)) as u64;
+        let rows_last = (shape.m - (tiles_m - 1) * cfg.l) as u64;
+        Cycle::new(n_tiles * tile_len + fill + rows_last.saturating_sub(1))
+    }
+
+    /// Synthesises a tile-granular trace from the analytical model: one
+    /// `TileStart`/`TileEnd` pair per output tile in the engine's
+    /// enumeration order (L-row bands, phase-width panels, row-major),
+    /// each spanning the model's back-to-back `tile_len` compute block.
+    /// A pure function of shape and configuration, so batch traces of
+    /// functional jobs stay worker-count invariant.
+    pub fn synthetic_events(&self, shape: GemmShape) -> EventLog {
+        let cfg = &self.cfg;
+        let pw = cfg.phase_width().max(1);
+        let n_phases = shape.n.div_ceil(cfg.h.max(1));
+        let tile_len = (cfg.h * cfg.latency() + n_phases * pw) as u64;
+        let mut log = EventLog::new();
+        let mut tile = 0u32;
+        for row0 in (0..shape.m).step_by(cfg.l.max(1)) {
+            for k0 in (0..shape.k).step_by(pw) {
+                // Empty-reduction tiles flush one per cycle; compute
+                // tiles run back to back for tile_len cycles each.
+                let (start, end) = if n_phases == 0 {
+                    (u64::from(tile), u64::from(tile))
+                } else {
+                    let t = u64::from(tile);
+                    (t * tile_len, (t + 1) * tile_len - 1)
+                };
+                log.push(TraceEvent::TileStart {
+                    cycle: start,
+                    tile,
+                    row0: row0 as u32,
+                    rows: (shape.m - row0).min(cfg.l) as u32,
+                    cols: (shape.k - k0).min(pw) as u32,
+                });
+                log.push(TraceEvent::TileEnd { cycle: end, tile });
+                tile += 1;
+            }
+        }
+        log
     }
 
     fn run_inner(
@@ -353,17 +409,22 @@ mod tests {
 
     #[test]
     fn estimate_tracks_the_supervisor_model() {
-        // One paper-instance tile: H*latency + n_phases*phase_width
-        // compute plus the L-row drain and the 4-cycle epilogue.
+        // One paper-instance tile: tile_len = H*latency + n_phases*pw = 80
+        // compute cycles, plus min(N,H) + min(M,L) = 12 fill cycles and
+        // rows_last - 1 = 7 drain cycles.
         let f = FunctionalGemm::paper_instance();
         let shape = GemmShape::new(8, 16, 16);
-        assert_eq!(f.estimated_cycles(shape).count(), (16 + 4 * 16 + 8 + 4));
-        // Tile count scales the estimate linearly.
+        assert_eq!(f.estimated_cycles(shape).count(), 80 + 4 + 8 + 7);
+        // Four tiles: the compute blocks scale linearly but fill and drain
+        // are paid once per run, not once per tile.
         let quad = GemmShape::new(16, 16, 32);
-        assert_eq!(
-            f.estimated_cycles(quad).count(),
-            4 * f.estimated_cycles(shape).count()
-        );
+        assert_eq!(f.estimated_cycles(quad).count(), 4 * 80 + 4 + 8 + 7);
+        // Empty reduction: tiles flush one per cycle against the M-row
+        // store drain, whichever dominates.
+        let empty = GemmShape::new(16, 0, 32);
+        assert_eq!(f.estimated_cycles(empty).count(), 32);
+        // Degenerate empty output.
+        assert_eq!(f.estimated_cycles(GemmShape::new(0, 4, 8)).count(), 0);
     }
 
     #[test]

@@ -67,3 +67,13 @@ pub use faults::{
 pub use functional::{BackendKind, FunctionalGemm, FunctionalRun};
 pub use l2::{L2TiledGemm, TileShape, TiledReport};
 pub use regfile::{Job, RegFile};
+
+/// Observability vocabulary re-exported from [`redmule_obs`] so engine
+/// callers can attach sinks and consume [`RunReport::phases`] without a
+/// direct dependency on the obs crate.
+pub mod obs {
+    pub use redmule_obs::{
+        chrome_trace, validate_chrome_trace, Channel, ChromeTraceSummary, CounterSink, EventLog,
+        Phase, PhaseCycles, RingSink, TraceEvent, TraceLane, TraceSink,
+    };
+}

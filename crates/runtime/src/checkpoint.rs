@@ -34,14 +34,16 @@ pub struct Checkpoint {
 impl Checkpoint {
     /// Captures a checkpoint of `session` and the cluster state it runs
     /// against. Only legal at a tile boundary (see
-    /// [`EngineSession::checkpoint`]).
+    /// [`EngineSession::checkpoint`]). The session is borrowed mutably
+    /// only so the capture shows up as a `Checkpoint` trace event in any
+    /// attached sink; its simulation state is untouched.
     ///
     /// # Errors
     ///
     /// [`EngineError::Snapshot`] when the session cannot be serialised
     /// (mid-tile, or per-cycle tracing enabled).
     pub fn capture(
-        session: &EngineSession,
+        session: &mut EngineSession,
         mem: &Tcdm,
         hci: &Hci,
     ) -> Result<Checkpoint, EngineError> {

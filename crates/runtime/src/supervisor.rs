@@ -5,6 +5,7 @@ use redmule::{stage_gemm_workspace, Engine, EngineError, EngineSession, Job, Run
 use redmule_cluster::{Hci, Tcdm};
 use redmule_fp16::vector::GemmShape;
 use redmule_fp16::F16;
+use redmule_obs::EventLog;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -139,6 +140,13 @@ pub struct SupervisedRun {
     pub checkpoint: Option<Checkpoint>,
     /// Recovery attempts consumed (watchdog trips and panics).
     pub retries: u32,
+    /// Trace events captured during the run when the driven session had
+    /// an [`EventLog`] sink attached; empty for untraced runs. After a
+    /// rollback the stream covers the committed timeline only (from the
+    /// restored checkpoint onwards) — events from the rolled-back attempt
+    /// are discarded, so the log always matches the state that produced
+    /// the report.
+    pub events: EventLog,
 }
 
 /// Drives [`EngineSession`]s to completion under supervision: budgets and
@@ -307,7 +315,7 @@ impl Supervisor {
         // The entry point (cycle 0 or a resume point) is always a tile
         // boundary; failing to checkpoint here means the configuration
         // cannot be supervised at all, which *is* an error.
-        let mut last_ckpt = Checkpoint::capture(&session, mem, hci)?;
+        let mut last_ckpt = Checkpoint::capture(&mut session, mem, hci)?;
         let mut ckpt_tiles = session.tiles_completed();
         let mut retries = 0u32;
         let mut stopping: Option<StopReason> = None;
@@ -318,6 +326,10 @@ impl Supervisor {
                 let cycles_executed = session.cycle().saturating_sub(start_cycle);
                 let tiles_done = session.tiles_completed();
                 let tiles_total = session.tiles_total();
+                let events = session
+                    .detach_sink()
+                    .and_then(EventLog::from_sink)
+                    .unwrap_or_default();
                 return Ok(SupervisedRun {
                     report: session.finish(),
                     degraded: false,
@@ -328,6 +340,7 @@ impl Supervisor {
                     estimated_remaining_cycles: 0,
                     checkpoint: None,
                     retries,
+                    events,
                 });
             }
 
@@ -349,7 +362,7 @@ impl Supervisor {
                 if session.at_tile_boundary() {
                     // Fresh checkpoint right at the stop point; fall back
                     // to the rolling one if this session cannot snapshot.
-                    if let Ok(ckpt) = Checkpoint::capture(&session, mem, hci) {
+                    if let Ok(ckpt) = Checkpoint::capture(&mut session, mem, hci) {
                         last_ckpt = ckpt;
                     }
                     return Ok(self.degraded(
@@ -379,7 +392,7 @@ impl Supervisor {
             } else if session.at_tile_boundary()
                 && session.tiles_completed() >= ckpt_tiles + self.checkpoint_every
             {
-                last_ckpt = Checkpoint::capture(&session, mem, hci)?;
+                last_ckpt = Checkpoint::capture(&mut session, mem, hci)?;
                 ckpt_tiles = session.tiles_completed();
             }
 
@@ -393,9 +406,9 @@ impl Supervisor {
                     if recoverable(&e) && retries < self.retry.max_retries {
                         retries += 1;
                         self.backoff(retries);
-                        session = self.rollback(&last_ckpt, mem, hci)?;
+                        session = self.rollback(&last_ckpt, mem, hci, session.has_sink())?;
                     } else {
-                        session = self.rollback(&last_ckpt, mem, hci)?;
+                        session = self.rollback(&last_ckpt, mem, hci, session.has_sink())?;
                         return Ok(self.degraded(
                             session,
                             StopReason::Failed(e),
@@ -410,9 +423,9 @@ impl Supervisor {
                     if retries < self.retry.max_retries {
                         retries += 1;
                         self.backoff(retries);
-                        session = self.rollback(&last_ckpt, mem, hci)?;
+                        session = self.rollback(&last_ckpt, mem, hci, session.has_sink())?;
                     } else {
-                        session = self.rollback(&last_ckpt, mem, hci)?;
+                        session = self.rollback(&last_ckpt, mem, hci, session.has_sink())?;
                         return Ok(self.degraded(
                             session,
                             StopReason::Panicked(msg),
@@ -428,14 +441,20 @@ impl Supervisor {
 
     /// Restores the whole job (session + cluster) from `ckpt` and clears
     /// any armed interconnect-drop fault state — the recovery action for
-    /// a hung schedule.
+    /// a hung schedule. When `traced`, a fresh [`EventLog`] sink is
+    /// attached so events after the rollback point are captured; the
+    /// rolled-back attempt's events are discarded with the old session.
     fn rollback(
         &self,
         ckpt: &Checkpoint,
         mem: &mut Tcdm,
         hci: &mut Hci,
+        traced: bool,
     ) -> Result<EngineSession, EngineError> {
-        let session = ckpt.restore(&self.engine, mem, hci)?;
+        let mut session = ckpt.restore(&self.engine, mem, hci)?;
+        if traced {
+            session.attach_sink(Box::new(EventLog::new()));
+        }
         hci.inject_shallow_drop(0);
         Ok(session)
     }
@@ -449,12 +468,16 @@ impl Supervisor {
 
     fn degraded(
         &self,
-        session: EngineSession,
+        mut session: EngineSession,
         stop: StopReason,
         checkpoint: Checkpoint,
         start_cycle: u64,
         retries: u32,
     ) -> SupervisedRun {
+        let events = session
+            .detach_sink()
+            .and_then(EventLog::from_sink)
+            .unwrap_or_default();
         SupervisedRun {
             report: session.partial_report(),
             degraded: true,
@@ -465,6 +488,7 @@ impl Supervisor {
             estimated_remaining_cycles: session.estimated_remaining_cycles(),
             checkpoint: Some(checkpoint),
             retries,
+            events,
         }
     }
 }

@@ -71,7 +71,7 @@ fn run_resumed(
         let tiles = session.tiles_completed();
         if session.at_tile_boundary() && resumed_at != tiles {
             resumed_at = tiles;
-            let bytes = Checkpoint::capture(&session, mem, hci)
+            let bytes = Checkpoint::capture(&mut session, mem, hci)
                 .expect("boundary checkpoint")
                 .to_bytes();
             let checkpoint = Checkpoint::from_bytes(&bytes).expect("container round-trip");
