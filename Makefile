@@ -15,12 +15,16 @@
 #   make trace-smoke — traced-batch smoke run; fails unless the Chrome
 #                      trace export validates, is byte-identical across
 #                      worker counts, and BENCH_trace.json exists
+#   make service-smoke — service-saturation smoke run; fails unless the
+#                      report is byte-identical across 1/2/8 workers,
+#                      degradation is graceful, and BENCH_service.json
+#                      exists
 
 CARGO ?= cargo
 
-.PHONY: verify build test test-full clippy fmt modelcheck figures batch-smoke trace-smoke
+.PHONY: verify build test test-full clippy fmt modelcheck figures batch-smoke trace-smoke service-smoke
 
-verify: build test clippy fmt modelcheck batch-smoke trace-smoke
+verify: build test clippy fmt modelcheck batch-smoke trace-smoke service-smoke
 
 build:
 	$(CARGO) build --release
@@ -50,3 +54,7 @@ batch-smoke:
 trace-smoke:
 	$(CARGO) run --release -q -p redmule-bench --bin figures -- trace --smoke
 	test -f BENCH_trace.json
+
+service-smoke:
+	$(CARGO) run --release -q -p redmule-bench --bin figures -- service --smoke
+	test -f BENCH_service.json

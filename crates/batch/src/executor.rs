@@ -58,10 +58,16 @@ impl std::error::Error for BatchError {}
 pub struct ScheduleStats {
     /// Number of workers the batch ran with.
     pub workers: usize,
-    /// Simulated cycles each worker spends executing jobs.
+    /// Simulated cycles each worker spends executing jobs, including the
+    /// deterministic retry-backoff charge of each job it ran.
     pub per_worker_busy_cycles: Vec<u64>,
     /// Jobs each worker executes (own deque plus steals).
     pub per_worker_jobs: Vec<usize>,
+    /// Total simulated cycles charged for deterministic retry backoff
+    /// ([`redmule_runtime::RetryPolicy::backoff_cycles`]) across the
+    /// batch. Already included in `per_worker_busy_cycles`; broken out so
+    /// recovery cost stays visible in the schedule.
+    pub backoff_cycles: u64,
 }
 
 impl ScheduleStats {
@@ -227,7 +233,14 @@ impl BatchExecutor {
             }
         }
 
-        let cycles: Vec<u64> = collected.iter().map(|r| r.cycles).collect();
+        // The schedule charges each job its executed cycles plus the
+        // deterministic retry-backoff cycles its recovery consumed: a
+        // worker that spent recovery delay on a job is busy for it.
+        let cycles: Vec<u64> = collected
+            .iter()
+            .map(|r| r.cycles + r.backoff_cycles)
+            .collect();
+        let backoff_total: u64 = collected.iter().map(|r| r.backoff_cycles).sum();
         let (busy, jobs_run) = virtual_schedule(self.workers, &cycles);
         Ok(BatchOutcome {
             report: BatchReport::new(collected),
@@ -235,6 +248,7 @@ impl BatchExecutor {
                 workers: self.workers,
                 per_worker_busy_cycles: busy,
                 per_worker_jobs: jobs_run,
+                backoff_cycles: backoff_total,
             },
         })
     }
@@ -345,6 +359,7 @@ fn exec_functional(cfg: &AccelConfig, job: &GemmJob, tiles_total: usize, trace: 
             status: JobStatus::Completed,
             degraded: false,
             retries: 0,
+            backoff_cycles: 0,
             fault_events: 0,
             tiles_done: tiles_total,
             tiles_total,
@@ -399,6 +414,7 @@ fn exec_protected(
                 status: JobStatus::Completed,
                 degraded: false,
                 retries: 0,
+                backoff_cycles: 0,
                 fault_events: report.faults.events().len() as u64,
                 tiles_done: tiles_total,
                 tiles_total,
@@ -424,6 +440,7 @@ fn exec_supervised(engine: &Engine, job: &GemmJob, tiles_total: usize, trace: bo
     };
     let supervisor = Supervisor::new(engine.clone())
         .with_limits(job.limits)
+        .with_retry_policy(job.retry)
         .with_checkpoint_interval(job.checkpoint_interval);
     let run = session.and_then(|mut s| {
         if trace {
@@ -445,6 +462,7 @@ fn exec_supervised(engine: &Engine, job: &GemmJob, tiles_total: usize, trace: bo
             status: JobStatus::from_stop(run.stop),
             degraded: run.degraded,
             retries: run.retries,
+            backoff_cycles: run.backoff_cycles,
             fault_events: run.report.faults.events().len() as u64,
             tiles_done: run.tiles_done,
             tiles_total: run.tiles_total,
@@ -466,6 +484,7 @@ fn failed(job: &GemmJob, backend: BackendKind, tiles_total: usize, msg: String) 
         status: JobStatus::Failed(msg),
         degraded: false,
         retries: 0,
+        backoff_cycles: 0,
         fault_events: 0,
         tiles_done: 0,
         tiles_total,

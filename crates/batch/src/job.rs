@@ -4,7 +4,7 @@ use redmule::obs::EventLog;
 use redmule::{BackendKind, FaultPlan, FaultSite, FtConfig};
 use redmule_fp16::vector::GemmShape;
 use redmule_fp16::F16;
-use redmule_runtime::{Limits, StopReason};
+use redmule_runtime::{Limits, RetryPolicy, StopReason};
 
 /// Fault activity requested for one job.
 #[derive(Debug, Clone)]
@@ -58,6 +58,10 @@ pub struct GemmJob {
     /// Supervisor checkpoint cadence in tiles (`usize::MAX` = entry
     /// checkpoint only, the cheapest safe setting).
     pub checkpoint_interval: usize,
+    /// Supervisor retry policy for the cycle-accurate path. Use
+    /// [`RetryPolicy::deterministic`] so recovery delay is charged in
+    /// simulated cycles and stays visible in the batch schedule.
+    pub retry: RetryPolicy,
 }
 
 impl GemmJob {
@@ -73,6 +77,7 @@ impl GemmJob {
             limits: Limits::none(),
             faults: None,
             checkpoint_interval: usize::MAX,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -111,6 +116,13 @@ impl GemmJob {
         self
     }
 
+    /// Sets the supervisor retry policy for the cycle-accurate path.
+    #[must_use]
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> GemmJob {
+        self.retry = retry;
+        self
+    }
+
     /// Checks operand lengths against the shape.
     ///
     /// # Errors
@@ -146,6 +158,9 @@ pub enum JobStatus {
     CycleBudget,
     /// Stopped at the wall-clock deadline; `z` is partial.
     Deadline,
+    /// Stopped at the simulated-cycle deadline; `z` is partial. Unlike
+    /// [`JobStatus::Deadline`] this stop point is deterministic.
+    DeadlineCycles,
     /// Cancelled via the supervisor's token; `z` is partial.
     Cancelled,
     /// The simulation panicked persistently (a model bug).
@@ -161,6 +176,7 @@ impl JobStatus {
             JobStatus::Completed => "completed",
             JobStatus::CycleBudget => "cycle-budget",
             JobStatus::Deadline => "deadline",
+            JobStatus::DeadlineCycles => "deadline-cycles",
             JobStatus::Cancelled => "cancelled",
             JobStatus::Panicked(_) => "panicked",
             JobStatus::Failed(_) => "failed",
@@ -172,6 +188,7 @@ impl JobStatus {
             StopReason::Completed => JobStatus::Completed,
             StopReason::CycleBudget => JobStatus::CycleBudget,
             StopReason::Deadline => JobStatus::Deadline,
+            StopReason::DeadlineCycles => JobStatus::DeadlineCycles,
             StopReason::Cancelled => JobStatus::Cancelled,
             StopReason::Panicked(msg) => JobStatus::Panicked(msg),
             StopReason::Failed(e) => JobStatus::Failed(e.to_string()),
@@ -206,6 +223,10 @@ pub struct JobResult {
     pub degraded: bool,
     /// Supervisor retries consumed by panic/watchdog recovery.
     pub retries: u32,
+    /// Simulated cycles charged for deterministic retry backoff
+    /// ([`redmule_runtime::RetryPolicy::backoff_cycles`]); the virtual
+    /// schedule accounts them on top of the executed cycles.
+    pub backoff_cycles: u64,
     /// Fault events recorded (injections, detections, corrections).
     pub fault_events: u64,
     /// Output tiles finished.
@@ -262,6 +283,7 @@ mod tests {
     fn status_labels_are_stable() {
         assert_eq!(JobStatus::Completed.label(), "completed");
         assert_eq!(JobStatus::CycleBudget.label(), "cycle-budget");
+        assert_eq!(JobStatus::DeadlineCycles.label(), "deadline-cycles");
         assert_eq!(JobStatus::Panicked("x".into()).label(), "panicked");
         assert_eq!(JobStatus::Failed("y".into()).label(), "failed");
     }
@@ -279,6 +301,7 @@ mod tests {
             status: JobStatus::Completed,
             degraded: false,
             retries: 0,
+            backoff_cycles: 0,
             fault_events: 0,
             tiles_done: 1,
             tiles_total: 1,

@@ -51,6 +51,11 @@ impl BatchReport {
         self.jobs.iter().map(|j| j.fault_events).sum()
     }
 
+    /// Total simulated cycles charged for deterministic retry backoff.
+    pub fn total_backoff_cycles(&self) -> u64 {
+        self.jobs.iter().map(|j| j.backoff_cycles).sum()
+    }
+
     /// Jobs that ran to completion.
     pub fn completed(&self) -> usize {
         self.count(|s| matches!(s, JobStatus::Completed))
@@ -99,7 +104,7 @@ impl BatchReport {
                 out,
                 "{{\"id\":{},\"backend\":\"{}\",\"m\":{},\"n\":{},\"k\":{},\
                  \"status\":\"{}\",\"cycles\":{},\"macs\":{},\"stall_cycles\":{},\
-                 \"degraded\":{},\"retries\":{},\"fault_events\":{},\
+                 \"degraded\":{},\"retries\":{},\"backoff_cycles\":{},\"fault_events\":{},\
                  \"tiles_done\":{},\"tiles_total\":{},\
                  \"z_len\":{},\"z_fnv64\":\"{:#018x}\"}}",
                 j.id,
@@ -113,6 +118,7 @@ impl BatchReport {
                 j.stall_cycles,
                 j.degraded,
                 j.retries,
+                j.backoff_cycles,
                 j.fault_events,
                 j.tiles_done,
                 j.tiles_total,
@@ -123,7 +129,8 @@ impl BatchReport {
         let _ = write!(
             out,
             "],\"totals\":{{\"jobs\":{},\"completed\":{},\"degraded\":{},\"failed\":{},\
-             \"cycles\":{},\"macs\":{},\"stall_cycles\":{},\"fault_events\":{}}}}}",
+             \"cycles\":{},\"macs\":{},\"stall_cycles\":{},\"backoff_cycles\":{},\
+             \"fault_events\":{}}}}}",
             self.jobs.len(),
             self.completed(),
             self.degraded(),
@@ -131,6 +138,7 @@ impl BatchReport {
             self.total_cycles(),
             self.total_macs(),
             self.total_stall_cycles(),
+            self.total_backoff_cycles(),
             self.total_fault_events(),
         );
         out
@@ -180,6 +188,7 @@ mod tests {
             status,
             degraded: false,
             retries: 0,
+            backoff_cycles: 0,
             fault_events: 0,
             tiles_done: 1,
             tiles_total: 1,
@@ -245,7 +254,8 @@ mod tests {
         assert_eq!(
             empty.to_canonical_json(),
             "{\"jobs\":[],\"totals\":{\"jobs\":0,\"completed\":0,\"degraded\":0,\
-             \"failed\":0,\"cycles\":0,\"macs\":0,\"stall_cycles\":0,\"fault_events\":0}}"
+             \"failed\":0,\"cycles\":0,\"macs\":0,\"stall_cycles\":0,\"backoff_cycles\":0,\
+             \"fault_events\":0}}"
         );
     }
 

@@ -74,6 +74,7 @@ fn main() {
             "degradation",
             "batch",
             "trace",
+            "service",
         ];
     }
     let sizes = workloads::sweep_sizes(full);
@@ -164,9 +165,24 @@ fn main() {
                     Ok(format!("{te}wrote BENCH_trace.json\n"))
                 }),
             ),
+            "service" => record(
+                item,
+                run_isolated(item, || {
+                    let ss = experiments::service_saturation(smoke || !full)?;
+                    std::fs::write("BENCH_service.json", ss.to_json()).map_err(|e| {
+                        EngineError::InvalidJob(format!("cannot write BENCH_service.json: {e}"))
+                    })?;
+                    if let Some(violation) = ss.degradation_violation() {
+                        return Err(EngineError::InvalidJob(format!(
+                            "service degradation guard failed: {violation}"
+                        )));
+                    }
+                    Ok(format!("{ss}wrote BENCH_service.json\n"))
+                }),
+            ),
             other => eprintln!(
                 "unknown item `{other}` (try: all, table1, fig3a..fig4d, ablations, faults, \
-                 degradation, batch, trace)"
+                 degradation, batch, trace, service)"
             ),
         }
     }

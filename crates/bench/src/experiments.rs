@@ -7,13 +7,14 @@
 
 use crate::workloads;
 use redmule::faults::{FaultPlan, FtConfig, FtMode, TransientTarget};
-use redmule::{AccelConfig, Accelerator, EngineError};
+use redmule::{AccelConfig, Accelerator, EngineError, FunctionalGemm};
 use redmule_batch::{BatchExecutor, GemmJob};
 use redmule_cluster::{baseline::SwGemm, ClusterConfig};
 use redmule_energy::{table1, AreaModel, OperatingPoint, PowerModel, Technology};
 use redmule_fp16::vector::GemmShape;
 use redmule_nn::autoencoder;
 use redmule_nn::backend::{Backend, CycleLedger, OpKind};
+use redmule_service::{ServiceConfig, ServiceRetry, ServiceSim, Submission, TenantConfig};
 use std::fmt;
 
 /// One size point of the HW-vs-SW sweep (Figs. 3c, 3d, 4a).
@@ -1279,6 +1280,263 @@ pub fn trace_export(smoke: bool) -> Result<TraceExport, EngineError> {
     })
 }
 
+/// One offered-load point of the service saturation sweep.
+#[derive(Debug, Clone)]
+pub struct ServicePoint {
+    /// Offered load as a per-mille fraction of the service's aggregate
+    /// server capacity (1000 = arrivals exactly match what the virtual
+    /// servers can drain).
+    pub offered_per_mille: u64,
+    /// Submissions offered at this load.
+    pub submitted: usize,
+    /// Submissions admitted.
+    pub admitted: usize,
+    /// Completed-job latency percentiles, in simulated cycles.
+    pub p50: u64,
+    /// 95th percentile latency.
+    pub p95: u64,
+    /// 99th percentile latency.
+    pub p99: u64,
+    /// Rejected submissions per 1000 offered.
+    pub rejection_per_mille: u64,
+    /// Preemptions across all jobs.
+    pub preemptions: u64,
+    /// Jobs evicted (degraded to a resumable checkpoint).
+    pub evicted: usize,
+}
+
+/// Service saturation artefact (`BENCH_service.json`): latency
+/// percentiles and rejection rate versus offered load for the
+/// multi-tenant GEMM service, with the report byte-compared across
+/// several host worker counts at every point (the divergence guard).
+#[derive(Debug, Clone)]
+pub struct ServiceSaturation {
+    /// Virtual servers the front end schedules onto.
+    pub servers: usize,
+    /// Worker counts whose canonical reports were byte-compared.
+    pub worker_counts: Vec<usize>,
+    /// One point per offered load, ascending.
+    pub points: Vec<ServicePoint>,
+}
+
+impl ServiceSaturation {
+    /// Renders the artefact as the JSON written to `BENCH_service.json`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"experiment\": \"service_saturation\",\n");
+        out.push_str(&format!("  \"servers\": {},\n", self.servers));
+        let workers: Vec<String> = self.worker_counts.iter().map(usize::to_string).collect();
+        out.push_str(&format!(
+            "  \"workers_compared\": [{}],\n",
+            workers.join(", ")
+        ));
+        out.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            let sep = if i + 1 == self.points.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"offered_per_mille\": {}, \"submitted\": {}, \"admitted\": {}, \
+                 \"latency_p50\": {}, \"latency_p95\": {}, \"latency_p99\": {}, \
+                 \"rejection_per_mille\": {}, \"preemptions\": {}, \"evicted\": {}}}{}\n",
+                p.offered_per_mille,
+                p.submitted,
+                p.admitted,
+                p.p50,
+                p.p95,
+                p.p99,
+                p.rejection_per_mille,
+                p.preemptions,
+                p.evicted,
+                sep,
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Sanity guard used by CI: under deepening overload the service must
+    /// degrade *gracefully* — the rejection rate must be monotonically
+    /// non-decreasing in offered load, and the heaviest point must
+    /// actually shed or reject something. Returns the violation, if any.
+    pub fn degradation_violation(&self) -> Option<String> {
+        for pair in self.points.windows(2) {
+            if pair[1].rejection_per_mille < pair[0].rejection_per_mille {
+                return Some(format!(
+                    "rejection rate fell from {}‰ to {}‰ as offered load rose {}‰ -> {}‰",
+                    pair[0].rejection_per_mille,
+                    pair[1].rejection_per_mille,
+                    pair[0].offered_per_mille,
+                    pair[1].offered_per_mille,
+                ));
+            }
+        }
+        match self.points.last() {
+            Some(last) if last.rejection_per_mille == 0 && last.evicted == 0 => Some(
+                "heaviest offered load neither rejected nor evicted anything — \
+                 the sweep never saturated"
+                    .to_owned(),
+            ),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ServiceSaturation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Service saturation ({} virtual servers; reports byte-identical across {:?} workers)",
+            self.servers, self.worker_counts
+        )?;
+        writeln!(
+            f,
+            "{:>9} {:>7} {:>8} {:>9} {:>9} {:>9} {:>8} {:>8} {:>8}",
+            "load (‰)",
+            "offered",
+            "admitted",
+            "p50 (cyc)",
+            "p95 (cyc)",
+            "p99 (cyc)",
+            "rej (‰)",
+            "preempt",
+            "evicted"
+        )?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "{:>9} {:>7} {:>8} {:>9} {:>9} {:>9} {:>8} {:>8} {:>8}",
+                p.offered_per_mille,
+                p.submitted,
+                p.admitted,
+                p.p50,
+                p.p95,
+                p.p99,
+                p.rejection_per_mille,
+                p.preemptions,
+                p.evicted,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Sweeps the multi-tenant GEMM service across offered loads from light
+/// to heavily saturating, measuring latency percentiles and the typed
+/// rejection rate, and byte-comparing the canonical report across host
+/// worker counts 1, 2 and 8 at every point.
+///
+/// `smoke` selects the CI workload (24 submissions per point, small
+/// shapes); without it each point offers 60 submissions of heavier
+/// shapes.
+///
+/// # Errors
+///
+/// Returns an [`EngineError`] if the service rejects a script outright,
+/// a replay fails, or the canonical report diverges between worker
+/// counts.
+pub fn service_saturation(smoke: bool) -> Result<ServiceSaturation, EngineError> {
+    let n_subs: usize = if smoke { 24 } else { 60 };
+    let shapes: &[(usize, usize, usize)] = if smoke {
+        &[(8, 8, 8), (4, 12, 8), (8, 4, 16), (6, 6, 6)]
+    } else {
+        &[(16, 16, 16), (8, 24, 16), (16, 8, 32), (12, 12, 12)]
+    };
+    let servers = 2usize;
+    let worker_counts = vec![1usize, 2, 8];
+    let loads_per_mille: &[u64] = if smoke {
+        &[500, 1000, 2000, 4000]
+    } else {
+        &[250, 500, 1000, 2000, 4000]
+    };
+
+    let functional = FunctionalGemm::new(AccelConfig::paper());
+    let mean_est: u64 = {
+        let total: u64 = shapes
+            .iter()
+            .map(|&(m, n, k)| functional.estimated_cycles(GemmShape::new(m, n, k)).count())
+            .sum();
+        total / shapes.len() as u64
+    };
+
+    let mut points = Vec::new();
+    for &load in loads_per_mille {
+        // Arrival spacing that offers `load`/1000 of the aggregate
+        // capacity: at 1000‰ the `servers` virtual servers exactly keep
+        // up with the mean service demand.
+        let spacing = (mean_est * 1000 / (servers as u64 * load)).max(1);
+        let config = ServiceConfig::new(servers)
+            .with_queue_capacity(4)
+            .with_preempt_margin(mean_est / 8)
+            .with_retry(ServiceRetry {
+                max_retries: 1,
+                backoff_cycles: 64,
+            })
+            .with_tenant(TenantConfig::new(0).with_priority(1).with_max_in_flight(6))
+            .with_tenant(TenantConfig::new(1).with_priority(2).with_max_in_flight(6))
+            .with_tenant(
+                TenantConfig::new(2)
+                    .with_priority(3)
+                    .with_bucket(mean_est * 8, mean_est / 2),
+            );
+        let script: Vec<Submission> = (0..n_subs)
+            .map(|i| {
+                let (m, n, k) = shapes[i % shapes.len()];
+                let shape = GemmShape::new(m, n, k);
+                let mut sub = Submission::new(i as u64, (i % 3) as u32, i as u64 * spacing, shape);
+                if i % 4 == 1 {
+                    // A quarter of the traffic is deadline-constrained,
+                    // feasible when lightly loaded.
+                    let est = functional.estimated_cycles(shape).count();
+                    sub = sub.clone().with_deadline_cycle(sub.arrival_cycle + est * 3);
+                }
+                sub
+            })
+            .collect();
+
+        let mut reference: Option<String> = None;
+        let mut metrics: Option<ServicePoint> = None;
+        for &workers in &worker_counts {
+            let sim = ServiceSim::new(config.clone())
+                .map_err(|e| EngineError::InvalidJob(format!("service config: {e}")))?
+                .with_workers(workers);
+            let report = sim
+                .run(&script)
+                .map_err(|e| EngineError::InvalidJob(format!("service run: {e}")))?;
+            let json = report.to_canonical_json();
+            match &reference {
+                None => {
+                    reference = Some(json);
+                    metrics = Some(ServicePoint {
+                        offered_per_mille: load,
+                        submitted: script.len(),
+                        admitted: report.jobs.len(),
+                        p50: report.latency_percentile(50),
+                        p95: report.latency_percentile(95),
+                        p99: report.latency_percentile(99),
+                        rejection_per_mille: report.rejection_per_mille(),
+                        preemptions: report.total_preemptions(),
+                        evicted: report.evicted(),
+                    });
+                }
+                Some(r) if *r != json => {
+                    return Err(EngineError::InvalidJob(format!(
+                        "service report bytes diverged at {workers} workers (load {load}‰)"
+                    )))
+                }
+                Some(_) => {}
+            }
+        }
+        if let Some(p) = metrics {
+            points.push(p);
+        }
+    }
+    Ok(ServiceSaturation {
+        servers,
+        worker_counts,
+        points,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1404,6 +1662,25 @@ mod tests {
         assert!(json.contains("\"experiment\": \"batch_throughput\""));
         assert!(json.contains("\"workers\": 8"));
         assert!(bt.to_string().contains("jobs/sec"));
+    }
+
+    #[test]
+    fn service_saturation_degrades_gracefully_and_stays_deterministic() {
+        let ss = service_saturation(true).expect("service saturation");
+        assert_eq!(ss.points.len(), 4);
+        assert_eq!(ss.degradation_violation(), None);
+        // Light load admits everything; heavy load must not.
+        let first = &ss.points[0];
+        let last = ss.points.last().expect("points");
+        assert!(last.rejection_per_mille >= first.rejection_per_mille);
+        assert!(
+            last.rejection_per_mille > 0 || last.evicted > 0,
+            "heaviest load must visibly degrade"
+        );
+        let json = ss.to_json();
+        assert!(json.contains("\"experiment\": \"service_saturation\""));
+        assert!(json.contains("\"latency_p99\""));
+        assert!(ss.to_string().contains("p95 (cyc)"));
     }
 
     #[test]

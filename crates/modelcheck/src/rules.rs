@@ -42,7 +42,7 @@ pub const FP_STRICT_CRATES: [&str; 2] = ["fp16", "redmule"];
 /// threads, so wall-clock types are legitimate (RM-DET-002 and
 /// RM-SNAP-001 do not apply), but results must still be deterministic
 /// and panic-free — RM-DET-001 and RM-PANIC-001 do apply.
-pub const HOST_CRATES: [&str; 1] = ["batch"];
+pub const HOST_CRATES: [&str; 2] = ["batch", "service"];
 
 /// One finding, formatted as `RULE file:line: message`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -347,6 +347,8 @@ mod tests {
     fn host_crates_are_checked() {
         assert!(crate_is_checked("batch"));
         assert!(HOST_CRATES.contains(&"batch"));
+        assert!(crate_is_checked("service"));
+        assert!(HOST_CRATES.contains(&"service"));
     }
 
     #[test]

@@ -166,6 +166,51 @@ fn render_event(out: &mut String, ev: &TraceEvent, tid: u64) {
                 ",\"s\":\"t\",\"args\":{{\"stalled_for\":{stalled_for}}}}}"
             );
         }
+        TraceEvent::Admitted { cycle, tenant, job } => {
+            push_event_header(out, "admitted", "service", 'i', *cycle, tid);
+            let _ = write!(
+                out,
+                ",\"s\":\"t\",\"args\":{{\"tenant\":{tenant},\"job\":{job}}}}}"
+            );
+        }
+        TraceEvent::AdmissionRejected {
+            cycle,
+            tenant,
+            job,
+            reason,
+        } => {
+            push_event_header(
+                out,
+                &format!("rejected {}", reason.label()),
+                "service",
+                'i',
+                *cycle,
+                tid,
+            );
+            let _ = write!(
+                out,
+                ",\"s\":\"t\",\"args\":{{\"tenant\":{tenant},\"job\":{job}}}}}"
+            );
+        }
+        TraceEvent::Preempted {
+            cycle,
+            tenant,
+            job,
+            by,
+        } => {
+            push_event_header(out, "preempted", "service", 'i', *cycle, tid);
+            let _ = write!(
+                out,
+                ",\"s\":\"t\",\"args\":{{\"tenant\":{tenant},\"job\":{job},\"by\":{by}}}}}"
+            );
+        }
+        TraceEvent::Shed { cycle, tenant, job } => {
+            push_event_header(out, "shed", "service", 'i', *cycle, tid);
+            let _ = write!(
+                out,
+                ",\"s\":\"t\",\"args\":{{\"tenant\":{tenant},\"job\":{job}}}}}"
+            );
+        }
     }
 }
 
@@ -519,6 +564,28 @@ mod tests {
                 class: redmule_hwsim::FaultClass::TransientFlip,
                 phase: redmule_hwsim::FaultPhase::Detected,
             },
+            TraceEvent::Admitted {
+                cycle: 95,
+                tenant: 0,
+                job: 3,
+            },
+            TraceEvent::AdmissionRejected {
+                cycle: 96,
+                tenant: 1,
+                job: 4,
+                reason: crate::event::RejectReason::QueueFull,
+            },
+            TraceEvent::Preempted {
+                cycle: 97,
+                tenant: 0,
+                job: 3,
+                by: 5,
+            },
+            TraceEvent::Shed {
+                cycle: 98,
+                tenant: 2,
+                job: 6,
+            },
         ]
     }
 
@@ -541,7 +608,7 @@ mod tests {
         let summary = validate_chrome_trace(&json).expect("valid");
         assert_eq!(summary.lanes, 2);
         assert_eq!(summary.events, events.len() + 2);
-        assert_eq!(summary.max_ts, 94);
+        assert_eq!(summary.max_ts, 98);
     }
 
     #[test]

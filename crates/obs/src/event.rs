@@ -123,6 +123,78 @@ pub enum TraceEvent {
         /// Consecutive cycles without forward progress.
         stalled_for: u64,
     },
+    /// A service front end admitted a job into its queue.
+    Admitted {
+        /// Virtual-clock cycle of the admission decision.
+        cycle: u64,
+        /// Tenant the job belongs to.
+        tenant: u32,
+        /// Service-level job id.
+        job: u64,
+    },
+    /// A service front end rejected a submission at admission.
+    AdmissionRejected {
+        /// Virtual-clock cycle of the admission decision.
+        cycle: u64,
+        /// Tenant the submission belonged to.
+        tenant: u32,
+        /// Service-level job id.
+        job: u64,
+        /// Why the submission was turned away.
+        reason: RejectReason,
+    },
+    /// A running job was preempted at a (virtual) tile boundary and
+    /// returned to the queue so a tighter-slack job could take its
+    /// server.
+    Preempted {
+        /// Virtual-clock cycle of the preemption.
+        cycle: u64,
+        /// Tenant of the preempted job.
+        tenant: u32,
+        /// Service-level id of the preempted job.
+        job: u64,
+        /// Service-level id of the job that took the server.
+        by: u64,
+    },
+    /// An accepted job was evicted by load shedding or a passed deadline;
+    /// the service returns it as degraded-with-checkpoint, never drops
+    /// it silently.
+    Shed {
+        /// Virtual-clock cycle of the eviction.
+        cycle: u64,
+        /// Tenant of the evicted job.
+        tenant: u32,
+        /// Service-level id of the evicted job.
+        job: u64,
+    },
+}
+
+/// Why a service front end turned a submission away at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RejectReason {
+    /// The tenant's token bucket lacked the estimated cycles.
+    Quota,
+    /// The bounded queue was full and nothing cheaper could be shed.
+    QueueFull,
+    /// The job could not meet its deadline even on an idle server.
+    DeadlineInfeasible,
+}
+
+impl RejectReason {
+    /// Stable lowercase label, used for counter names and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            RejectReason::Quota => "quota",
+            RejectReason::QueueFull => "queue-full",
+            RejectReason::DeadlineInfeasible => "deadline-infeasible",
+        }
+    }
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
 }
 
 impl TraceEvent {
@@ -137,7 +209,11 @@ impl TraceEvent {
             | TraceEvent::Stall { cycle, .. }
             | TraceEvent::Fault { cycle, .. }
             | TraceEvent::Checkpoint { cycle, .. }
-            | TraceEvent::Watchdog { cycle, .. } => *cycle,
+            | TraceEvent::Watchdog { cycle, .. }
+            | TraceEvent::Admitted { cycle, .. }
+            | TraceEvent::AdmissionRejected { cycle, .. }
+            | TraceEvent::Preempted { cycle, .. }
+            | TraceEvent::Shed { cycle, .. } => *cycle,
         }
     }
 
@@ -163,6 +239,14 @@ impl TraceEvent {
             },
             TraceEvent::Checkpoint { .. } => "checkpoint",
             TraceEvent::Watchdog { .. } => "watchdog",
+            TraceEvent::Admitted { .. } => "admitted",
+            TraceEvent::AdmissionRejected { reason, .. } => match reason {
+                RejectReason::Quota => "rejected_quota",
+                RejectReason::QueueFull => "rejected_queue_full",
+                RejectReason::DeadlineInfeasible => "rejected_deadline",
+            },
+            TraceEvent::Preempted { .. } => "preempted",
+            TraceEvent::Shed { .. } => "shed",
         }
     }
 }
@@ -206,10 +290,46 @@ mod tests {
                 cycle: 9,
                 stalled_for: 64,
             },
+            TraceEvent::Admitted {
+                cycle: 10,
+                tenant: 0,
+                job: 7,
+            },
+            TraceEvent::AdmissionRejected {
+                cycle: 11,
+                tenant: 1,
+                job: 8,
+                reason: RejectReason::Quota,
+            },
+            TraceEvent::Preempted {
+                cycle: 12,
+                tenant: 0,
+                job: 7,
+                by: 9,
+            },
+            TraceEvent::Shed {
+                cycle: 13,
+                tenant: 2,
+                job: 10,
+            },
         ];
         for (i, ev) in evs.iter().enumerate() {
             assert_eq!(ev.cycle(), i as u64 + 1);
             assert!(!ev.kind_label().is_empty());
+        }
+    }
+
+    #[test]
+    fn reject_reason_labels_are_distinct() {
+        let labels = [
+            RejectReason::Quota.label(),
+            RejectReason::QueueFull.label(),
+            RejectReason::DeadlineInfeasible.label(),
+        ];
+        for (i, a) in labels.iter().enumerate() {
+            for b in &labels[i + 1..] {
+                assert_ne!(a, b);
+            }
         }
     }
 

@@ -30,6 +30,6 @@ pub mod phase;
 pub mod sink;
 
 pub use chrome::{chrome_trace, validate_chrome_trace, ChromeTraceSummary, TraceLane};
-pub use event::{Channel, TraceEvent};
+pub use event::{Channel, RejectReason, TraceEvent};
 pub use phase::{Phase, PhaseCycles};
 pub use sink::{CounterSink, EventLog, RingSink, TraceSink};

@@ -141,6 +141,38 @@ fn shift(ev: TraceEvent, offset: u64) -> TraceEvent {
             cycle: cycle + offset,
             stalled_for,
         },
+        Admitted { cycle, tenant, job } => Admitted {
+            cycle: cycle + offset,
+            tenant,
+            job,
+        },
+        AdmissionRejected {
+            cycle,
+            tenant,
+            job,
+            reason,
+        } => AdmissionRejected {
+            cycle: cycle + offset,
+            tenant,
+            job,
+            reason,
+        },
+        Preempted {
+            cycle,
+            tenant,
+            job,
+            by,
+        } => Preempted {
+            cycle: cycle + offset,
+            tenant,
+            job,
+            by,
+        },
+        Shed { cycle, tenant, job } => Shed {
+            cycle: cycle + offset,
+            tenant,
+            job,
+        },
     }
 }
 

@@ -74,6 +74,6 @@ pub use regfile::{Job, RegFile};
 pub mod obs {
     pub use redmule_obs::{
         chrome_trace, validate_chrome_trace, Channel, ChromeTraceSummary, CounterSink, EventLog,
-        Phase, PhaseCycles, RingSink, TraceEvent, TraceLane, TraceSink,
+        Phase, PhaseCycles, RejectReason, RingSink, TraceEvent, TraceLane, TraceSink,
     };
 }

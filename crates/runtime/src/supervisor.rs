@@ -45,8 +45,17 @@ pub struct Limits {
     /// Maximum simulated cycles this call may execute (`None` = no
     /// budget). Counted per call, so a resumed run gets a fresh budget.
     pub max_cycles: Option<u64>,
-    /// Wall-clock deadline for this call (`None` = no deadline).
+    /// Wall-clock deadline for this call (`None` = no deadline). Where a
+    /// run stops under this limit depends on host timing by definition;
+    /// prefer [`Limits::deadline_cycles`] when determinism matters.
     pub deadline: Option<Duration>,
+    /// Simulated-cycle deadline (`None` = no deadline), checked against
+    /// the session's *absolute* cycle counter. Unlike
+    /// [`Limits::max_cycles`] it survives resumption: a job resumed from
+    /// a checkpoint at cycle `c` with `deadline_cycles = d` may only run
+    /// `d - c` further cycles. Fully deterministic — the stop point is a
+    /// pure function of the job.
+    pub deadline_cycles: Option<u64>,
 }
 
 impl Limits {
@@ -68,18 +77,44 @@ impl Limits {
         self.deadline = Some(deadline);
         self
     }
+
+    /// Simulated-cycle deadline on the session's absolute cycle counter.
+    #[must_use]
+    pub fn with_deadline_cycles(mut self, cycle: u64) -> Limits {
+        self.deadline_cycles = Some(cycle);
+        self
+    }
 }
 
 /// Bounded retry-with-backoff for recoverable failures (engine watchdog
 /// trips and panics inside the simulation). Each retry restores the job
 /// from its last checkpoint and clears any armed interconnect-drop fault
 /// state — the model-level equivalent of resetting a hung interconnect.
+///
+/// Backoff comes in two denominations:
+///
+/// * [`RetryPolicy::backoff_cycles`] — **deterministic**: retry `k` is
+///   *charged* `k * backoff_cycles` simulated cycles. Nothing sleeps; the
+///   charge accumulates in [`SupervisedRun::backoff_cycles`] so schedulers
+///   (the batch executor's virtual replay, the service front end) can
+///   account the recovery delay on the simulated clock. This is the
+///   default mode and the only one visible in reports.
+/// * [`RetryPolicy::backoff`] — an **opt-in host-side** wall-clock sleep
+///   before each retry (scaled linearly, `k * backoff`). It exists for
+///   interactive host deployments that want to pace real resource resets;
+///   it is nondeterministic by nature, untestable in CI, and never
+///   affects simulated state or reports. Defaults to zero (no sleep).
 #[derive(Debug, Clone, Copy)]
 pub struct RetryPolicy {
     /// Maximum recovery attempts before the run is reported as failed.
     pub max_retries: u32,
-    /// Base backoff slept before retry `k` (scaled linearly: `k * backoff`).
+    /// Host-side wall-clock sleep before retry `k` (scaled linearly:
+    /// `k * backoff`). Opt-in and nondeterministic; see the type docs.
     pub backoff: Duration,
+    /// Simulated cycles charged for retry `k` (scaled linearly:
+    /// `k * backoff_cycles`). Deterministic; accumulated in
+    /// [`SupervisedRun::backoff_cycles`].
+    pub backoff_cycles: u64,
 }
 
 impl Default for RetryPolicy {
@@ -87,6 +122,20 @@ impl Default for RetryPolicy {
         RetryPolicy {
             max_retries: 2,
             backoff: Duration::ZERO,
+            backoff_cycles: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A fully deterministic policy: `max_retries` attempts, each retry
+    /// `k` charged `k * backoff_cycles` simulated cycles, no wall-clock
+    /// sleeping.
+    pub fn deterministic(max_retries: u32, backoff_cycles: u64) -> RetryPolicy {
+        RetryPolicy {
+            max_retries,
+            backoff: Duration::ZERO,
+            backoff_cycles,
         }
     }
 }
@@ -100,6 +149,8 @@ pub enum StopReason {
     CycleBudget,
     /// The [`Limits::deadline`] wall-clock deadline passed.
     Deadline,
+    /// The [`Limits::deadline_cycles`] simulated-cycle deadline passed.
+    DeadlineCycles,
     /// The [`CancelToken`] was triggered.
     Cancelled,
     /// The simulation panicked and the retry budget could not recover it.
@@ -140,6 +191,12 @@ pub struct SupervisedRun {
     pub checkpoint: Option<Checkpoint>,
     /// Recovery attempts consumed (watchdog trips and panics).
     pub retries: u32,
+    /// Simulated cycles charged for retry backoff
+    /// ([`RetryPolicy::backoff_cycles`], summed over the attempts
+    /// consumed). Accounting only: the session's own cycle counter is
+    /// untouched, but deterministic schedulers add this to the job's
+    /// cost.
+    pub backoff_cycles: u64,
     /// Trace events captured during the run when the driven session had
     /// an [`EventLog`] sink attached; empty for untraced runs. After a
     /// rollback the stream covers the committed timeline only (from the
@@ -309,8 +366,10 @@ impl Supervisor {
         observe: &mut dyn FnMut(&EngineSession),
     ) -> Result<SupervisedRun, EngineError> {
         // modelcheck-allow: RM-DET-002 -- host-side supervision: wall-clock
-        // deadline enforcement; model time remains session.cycle().
-        let start = Instant::now();
+        // deadline enforcement, armed only when the caller opted into a
+        // wall-clock deadline; model time remains session.cycle(), and
+        // deterministic deadlines use Limits::deadline_cycles instead.
+        let wall_start = self.limits.deadline.map(|_| Instant::now());
         let start_cycle = session.cycle();
         // The entry point (cycle 0 or a resume point) is always a tile
         // boundary; failing to checkpoint here means the configuration
@@ -318,6 +377,7 @@ impl Supervisor {
         let mut last_ckpt = Checkpoint::capture(&mut session, mem, hci)?;
         let mut ckpt_tiles = session.tiles_completed();
         let mut retries = 0u32;
+        let mut backoff_charged = 0u64;
         let mut stopping: Option<StopReason> = None;
         let mut overrun: u64 = 0;
 
@@ -340,6 +400,7 @@ impl Supervisor {
                     estimated_remaining_cycles: 0,
                     checkpoint: None,
                     retries,
+                    backoff_cycles: backoff_charged,
                     events,
                 });
             }
@@ -353,7 +414,18 @@ impl Supervisor {
                     .is_some_and(|max| session.cycle().saturating_sub(start_cycle) >= max)
                 {
                     stopping = Some(StopReason::CycleBudget);
-                } else if self.limits.deadline.is_some_and(|d| start.elapsed() >= d) {
+                } else if self
+                    .limits
+                    .deadline_cycles
+                    .is_some_and(|d| session.cycle() >= d)
+                {
+                    stopping = Some(StopReason::DeadlineCycles);
+                } else if self
+                    .limits
+                    .deadline
+                    .zip(wall_start)
+                    .is_some_and(|(d, s)| s.elapsed() >= d)
+                {
                     stopping = Some(StopReason::Deadline);
                 }
             }
@@ -371,6 +443,7 @@ impl Supervisor {
                         last_ckpt,
                         start_cycle,
                         retries,
+                        backoff_charged,
                     ));
                 }
                 // Search for the next boundary, but never overrun by more
@@ -387,6 +460,7 @@ impl Supervisor {
                         last_ckpt,
                         start_cycle,
                         retries,
+                        backoff_charged,
                     ));
                 }
             } else if session.at_tile_boundary()
@@ -405,6 +479,7 @@ impl Supervisor {
                 Ok(Err(e)) => {
                     if recoverable(&e) && retries < self.retry.max_retries {
                         retries += 1;
+                        backoff_charged += self.retry.backoff_cycles * u64::from(retries);
                         self.backoff(retries);
                         session = self.rollback(&last_ckpt, mem, hci, session.has_sink())?;
                     } else {
@@ -415,6 +490,7 @@ impl Supervisor {
                             last_ckpt,
                             start_cycle,
                             retries,
+                            backoff_charged,
                         ));
                     }
                 }
@@ -422,6 +498,7 @@ impl Supervisor {
                     let msg = panic_message(payload.as_ref());
                     if retries < self.retry.max_retries {
                         retries += 1;
+                        backoff_charged += self.retry.backoff_cycles * u64::from(retries);
                         self.backoff(retries);
                         session = self.rollback(&last_ckpt, mem, hci, session.has_sink())?;
                     } else {
@@ -432,6 +509,7 @@ impl Supervisor {
                             last_ckpt,
                             start_cycle,
                             retries,
+                            backoff_charged,
                         ));
                     }
                 }
@@ -473,6 +551,7 @@ impl Supervisor {
         checkpoint: Checkpoint,
         start_cycle: u64,
         retries: u32,
+        backoff_cycles: u64,
     ) -> SupervisedRun {
         let events = session
             .detach_sink()
@@ -488,6 +567,7 @@ impl Supervisor {
             estimated_remaining_cycles: session.estimated_remaining_cycles(),
             checkpoint: Some(checkpoint),
             retries,
+            backoff_cycles,
             events,
         }
     }

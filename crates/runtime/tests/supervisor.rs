@@ -153,6 +153,86 @@ fn expired_deadline_degrades_gracefully() {
 }
 
 #[test]
+fn cycle_deadline_is_deterministic_and_survives_resume() {
+    let shape = GemmShape::new(10, 12, 24);
+    let (x, w) = data(shape, 21);
+    let engine = Engine::new(small_cfg());
+
+    let (job, mut mem, mut hci) = stage_gemm_workspace(shape, &x, &w, None).expect("stage");
+    let baseline = engine.run(job, &mut mem, &mut hci).expect("baseline run");
+    let total = baseline.cycles.count();
+
+    // An absolute simulated-cycle deadline at half the run: both the stop
+    // reason and the stop cycle are pure functions of the job.
+    let deadline = total / 2;
+    let supervisor =
+        Supervisor::new(engine.clone()).with_limits(Limits::none().with_deadline_cycles(deadline));
+    let (job, mut mem, mut hci) = stage_gemm_workspace(shape, &x, &w, None).expect("stage");
+    let first = supervisor
+        .run(job, &mut mem, &mut hci)
+        .expect("supervised run");
+    assert_eq!(first.stop, StopReason::DeadlineCycles);
+    assert!(first.degraded);
+    let stop_cycle = first.report.cycles.count();
+    assert!(stop_cycle >= deadline, "stops at the boundary after d");
+
+    // Re-running is bit-identical: same stop cycle, same partial state.
+    let (job2, mut mem2, mut hci2) = stage_gemm_workspace(shape, &x, &w, None).expect("stage");
+    let second = supervisor
+        .run(job2, &mut mem2, &mut hci2)
+        .expect("supervised run");
+    assert_eq!(second.stop, StopReason::DeadlineCycles);
+    assert_eq!(second.report.cycles.count(), stop_cycle);
+
+    // The deadline is absolute: resuming under the *same* deadline stops
+    // immediately (the session is already past it), while resuming with
+    // a later deadline finishes the job.
+    let ckpt = first.checkpoint.expect("degraded run carries a checkpoint");
+    let stalled = supervisor
+        .resume(&ckpt, &mut mem, &mut hci)
+        .expect("resume under expired deadline");
+    assert_eq!(stalled.stop, StopReason::DeadlineCycles);
+    assert_eq!(stalled.tiles_done, first.tiles_done);
+
+    let finisher =
+        Supervisor::new(engine).with_limits(Limits::none().with_deadline_cycles(total * 2));
+    let finished = finisher.resume(&ckpt, &mut mem, &mut hci).expect("resume");
+    assert!(matches!(finished.stop, StopReason::Completed));
+    assert_eq!(finished.report.cycles.count(), total);
+}
+
+#[test]
+fn deterministic_backoff_is_charged_per_retry() {
+    // Same watchdog-recovery scenario as below, with a cycle-denominated
+    // backoff: one retry charges 1 * backoff_cycles, and nothing sleeps.
+    let shape = GemmShape::new(6, 8, 12);
+    let (x, w) = data(shape, 17);
+    let engine = Engine::new(small_cfg()).with_watchdog(64);
+    let supervisor =
+        Supervisor::new(engine.clone()).with_retry_policy(RetryPolicy::deterministic(2, 500));
+
+    let (job, mut mem, mut hci) = stage_gemm_workspace(shape, &x, &w, None).expect("stage");
+    hci.inject_shallow_drop(u32::MAX);
+    let run = supervisor
+        .run(job, &mut mem, &mut hci)
+        .expect("supervised run");
+    assert!(matches!(run.stop, StopReason::Completed));
+    assert_eq!(run.retries, 1);
+    assert_eq!(run.backoff_cycles, 500, "retry 1 charges 1 * backoff");
+    // The charge is accounting only: the simulated run itself is not
+    // perturbed by the backoff.
+    let golden = gemm_golden(shape, &x, &w);
+    let z = mem.load_f16_slice(job.z_addr, shape.z_len()).expect("Z");
+    assert_eq!(bits(&z), bits(&golden));
+
+    // A clean run charges nothing.
+    let (job, mut mem, mut hci) = stage_gemm_workspace(shape, &x, &w, None).expect("stage");
+    let clean = supervisor.run(job, &mut mem, &mut hci).expect("run");
+    assert_eq!(clean.retries, 0);
+    assert_eq!(clean.backoff_cycles, 0);
+}
+
+#[test]
 fn panic_in_simulation_is_isolated_and_retried() {
     let shape = GemmShape::new(6, 8, 10);
     let (x, w) = data(shape, 5);
@@ -187,6 +267,7 @@ fn persistent_panic_exhausts_retries_and_reports() {
     let retry = RetryPolicy {
         max_retries: 2,
         backoff: Duration::ZERO,
+        backoff_cycles: 0,
     };
     let supervisor = Supervisor::new(engine.clone()).with_retry_policy(retry);
 
@@ -239,6 +320,7 @@ fn unrecoverable_watchdog_reports_failed_not_panic() {
     let retry = RetryPolicy {
         max_retries: 0,
         backoff: Duration::ZERO,
+        backoff_cycles: 0,
     };
     let supervisor = Supervisor::new(engine).with_retry_policy(retry);
 

@@ -1,0 +1,51 @@
+//! GEMM-as-a-service: an admission-controlled, deadline-aware,
+//! overload-safe multi-tenant front end over the RedMulE model.
+//!
+//! The service accepts an *offered-load script* — timestamped GEMM
+//! submissions from multiple tenants, each with a priority, a
+//! cycle-denominated token bucket and an in-flight quota — and replays it
+//! on a deterministic virtual clock:
+//!
+//! * **Admission control** ([`ServiceConfig`], [`TenantConfig`]):
+//!   submissions are charged their exact analytical cycle estimate
+//!   against the tenant's token bucket; over-quota, queue-full and
+//!   infeasible-deadline submissions are turned away with a typed
+//!   [`Rejected`] reason.
+//! * **Deadline-aware scheduling**: admitted jobs are dispatched in
+//!   least-slack order onto a pool of virtual servers, preempting
+//!   higher-slack work (with hysteresis) and evicting jobs whose
+//!   deadlines become hopeless. Preemption uses the runtime's bit-exact
+//!   checkpoints, so a preempted-and-migrated job completes with the
+//!   same bytes as an uninterrupted one.
+//! * **Overload safety**: the queue is bounded; under pressure the
+//!   service sheds strictly-lower-priority work first, and every shed or
+//!   evicted job terminates as [`ServiceStatus::Evicted`] *with a
+//!   resumable checkpoint* — no admitted job is ever silently dropped.
+//! * **Determinism**: the [`ServiceReport`] (latency percentiles,
+//!   rejection/preemption/retry counts, per-tenant fairness) serializes
+//!   to byte-identical canonical JSON at any host worker count.
+//!
+//! ```
+//! use redmule_fp16::vector::GemmShape;
+//! use redmule_service::{ServiceConfig, ServiceSim, Submission, TenantConfig};
+//!
+//! let config = ServiceConfig::new(2).with_tenant(TenantConfig::new(0));
+//! let sim = ServiceSim::new(config).expect("valid config");
+//! let script = vec![Submission::new(1, 0, 0, GemmShape::new(8, 8, 8))];
+//! let report = sim.run(&script).expect("well-formed script");
+//! assert_eq!(report.completed(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+mod config;
+mod report;
+mod request;
+mod sim;
+
+pub use config::{ConfigError, ServiceConfig, ServiceRetry, TenantConfig};
+pub use report::{ServiceJobRecord, ServiceReport, TenantStats};
+pub use request::{Rejected, RejectedRecord, ServiceStatus, Submission};
+pub use sim::{ServiceError, ServiceSim};

@@ -11,6 +11,8 @@
 //! * [`nn`] — FP16 network layers and the MLPerf-Tiny autoencoder use case.
 //! * [`runtime`] — supervised execution: limits, checkpoints, degradation.
 //! * [`batch`] — host-side work-stealing batch executor over many jobs.
+//! * [`service`] — multi-tenant GEMM-as-a-service front end (admission
+//!   control, deadlines, overload shedding).
 //!
 //! # Example
 //!
@@ -29,3 +31,4 @@ pub use redmule_fp16 as fp16;
 pub use redmule_hwsim as hwsim;
 pub use redmule_nn as nn;
 pub use redmule_runtime as runtime;
+pub use redmule_service as service;
