@@ -19,12 +19,17 @@
 #                      report is byte-identical across 1/2/8 workers,
 #                      degradation is graceful, and BENCH_service.json
 #                      exists
+#   make recover-smoke — crash-recovery smoke run; kills a durable
+#                      service run at a sweep of storage writes, fails
+#                      unless every recovery is bit-exact, byte-identical
+#                      across 1/2/8 workers, the no-work-lost guard
+#                      holds, and BENCH_recovery.json exists
 
 CARGO ?= cargo
 
-.PHONY: verify build test test-full clippy fmt modelcheck figures batch-smoke trace-smoke service-smoke
+.PHONY: verify build test test-full clippy fmt modelcheck figures batch-smoke trace-smoke service-smoke recover-smoke
 
-verify: build test clippy fmt modelcheck batch-smoke trace-smoke service-smoke
+verify: build test clippy fmt modelcheck batch-smoke trace-smoke service-smoke recover-smoke
 
 build:
 	$(CARGO) build --release
@@ -58,3 +63,8 @@ trace-smoke:
 service-smoke:
 	$(CARGO) run --release -q -p redmule-bench --bin figures -- service --smoke
 	test -f BENCH_service.json
+
+recover-smoke:
+	$(CARGO) test -q -p redmule-service --test recovery
+	$(CARGO) run --release -q -p redmule-bench --bin figures -- recover --smoke
+	test -f BENCH_recovery.json

@@ -49,6 +49,16 @@ fn run_isolated(name: &str, exp: impl FnOnce() -> Result<String, EngineError>) -
     }
 }
 
+/// Writes a benchmark artefact atomically: the bytes land in a temp
+/// file first and are renamed over the target, so an interrupted run
+/// never leaves a half-written `BENCH_*.json` behind.
+fn write_artifact(name: &str, contents: &str) -> Result<(), EngineError> {
+    let tmp = format!("{name}.tmp");
+    std::fs::write(&tmp, contents)
+        .and_then(|()| std::fs::rename(&tmp, name))
+        .map_err(|e| EngineError::InvalidJob(format!("cannot write {name}: {e}")))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
@@ -75,6 +85,7 @@ fn main() {
             "batch",
             "trace",
             "service",
+            "recover",
         ];
     }
     let sizes = workloads::sweep_sizes(full);
@@ -144,9 +155,7 @@ fn main() {
                 item,
                 run_isolated(item, || {
                     let bt = experiments::batch_throughput(smoke || !full)?;
-                    std::fs::write("BENCH_batch.json", bt.to_json()).map_err(|e| {
-                        EngineError::InvalidJob(format!("cannot write BENCH_batch.json: {e}"))
-                    })?;
+                    write_artifact("BENCH_batch.json", &bt.to_json())?;
                     if let Some(violation) = bt.scaling_violation() {
                         return Err(EngineError::InvalidJob(format!(
                             "batch scaling guard failed: {violation}"
@@ -159,9 +168,7 @@ fn main() {
                 item,
                 run_isolated(item, || {
                     let te = experiments::trace_export(smoke || !full)?;
-                    std::fs::write("BENCH_trace.json", &te.json).map_err(|e| {
-                        EngineError::InvalidJob(format!("cannot write BENCH_trace.json: {e}"))
-                    })?;
+                    write_artifact("BENCH_trace.json", &te.json)?;
                     Ok(format!("{te}wrote BENCH_trace.json\n"))
                 }),
             ),
@@ -169,9 +176,7 @@ fn main() {
                 item,
                 run_isolated(item, || {
                     let ss = experiments::service_saturation(smoke || !full)?;
-                    std::fs::write("BENCH_service.json", ss.to_json()).map_err(|e| {
-                        EngineError::InvalidJob(format!("cannot write BENCH_service.json: {e}"))
-                    })?;
+                    write_artifact("BENCH_service.json", &ss.to_json())?;
                     if let Some(violation) = ss.degradation_violation() {
                         return Err(EngineError::InvalidJob(format!(
                             "service degradation guard failed: {violation}"
@@ -180,9 +185,22 @@ fn main() {
                     Ok(format!("{ss}wrote BENCH_service.json\n"))
                 }),
             ),
+            "recover" => record(
+                item,
+                run_isolated(item, || {
+                    let rs = experiments::crash_recovery(smoke || !full)?;
+                    write_artifact("BENCH_recovery.json", &rs.to_json())?;
+                    if let Some(violation) = rs.no_work_lost_violation() {
+                        return Err(EngineError::InvalidJob(format!(
+                            "recovery no-work-lost guard failed: {violation}"
+                        )));
+                    }
+                    Ok(format!("{rs}wrote BENCH_recovery.json\n"))
+                }),
+            ),
             other => eprintln!(
                 "unknown item `{other}` (try: all, table1, fig3a..fig4d, ablations, faults, \
-                 degradation, batch, trace, service)"
+                 degradation, batch, trace, service, recover)"
             ),
         }
     }

@@ -15,6 +15,7 @@ use redmule_fp16::vector::GemmShape;
 use redmule_nn::autoencoder;
 use redmule_nn::backend::{Backend, CycleLedger, OpKind};
 use redmule_service::{ServiceConfig, ServiceRetry, ServiceSim, Submission, TenantConfig};
+use redmule_store::{MemBackend, StorageFault, StorageFaultPlan};
 use std::fmt;
 
 /// One size point of the HW-vs-SW sweep (Figs. 3c, 3d, 4a).
@@ -1692,4 +1693,298 @@ mod tests {
         );
         assert!(text.lines().count() >= 5);
     }
+}
+
+/// One crash point of the recovery sweep.
+#[derive(Debug, Clone)]
+pub struct RecoveryPoint {
+    /// 0-based write operation at which the durable run was killed.
+    pub crash_write: u64,
+    /// Torn-tail bytes the recovery truncated from the journal.
+    pub torn_bytes: u64,
+    /// Intact journal records the recovery found.
+    pub journal_records: u64,
+    /// Submissions recovered (the causally closed script prefix).
+    pub submissions_recovered: u64,
+    /// Jobs whose journaled execution record made re-running unnecessary.
+    pub jobs_reused: u64,
+    /// Jobs resumed from a durable checkpoint generation.
+    pub checkpoints_restored: u64,
+    /// Executed cycles that did not have to be re-run.
+    pub cycles_saved: u64,
+    /// Typed repairs the recovery applied.
+    pub repairs: usize,
+    /// Whether the recovered report was byte-identical to a fresh,
+    /// uninterrupted run over the recovered prefix.
+    pub bit_exact: bool,
+}
+
+/// Crash-recovery artefact (`BENCH_recovery.json`): kill a durable
+/// service run at a sweep of storage-write crash points and recover,
+/// byte-comparing every recovered report against an uninterrupted run
+/// over the recovered prefix and across host worker counts.
+#[derive(Debug, Clone)]
+pub struct RecoverySweep {
+    /// Worker counts whose recovered reports were byte-compared.
+    pub worker_counts: Vec<usize>,
+    /// Total storage writes of the uninterrupted durable run.
+    pub total_writes: u64,
+    /// One point per crash write, ascending.
+    pub points: Vec<RecoveryPoint>,
+}
+
+impl RecoverySweep {
+    /// Renders the artefact as the JSON written to `BENCH_recovery.json`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"experiment\": \"crash_recovery\",\n");
+        let workers: Vec<String> = self.worker_counts.iter().map(usize::to_string).collect();
+        out.push_str(&format!(
+            "  \"workers_compared\": [{}],\n",
+            workers.join(", ")
+        ));
+        out.push_str(&format!("  \"total_writes\": {},\n", self.total_writes));
+        out.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            let sep = if i + 1 == self.points.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"crash_write\": {}, \"torn_bytes\": {}, \"journal_records\": {}, \
+                 \"submissions_recovered\": {}, \"jobs_reused\": {}, \
+                 \"checkpoints_restored\": {}, \"cycles_saved\": {}, \"repairs\": {}, \
+                 \"bit_exact\": {}}}{}\n",
+                p.crash_write,
+                p.torn_bytes,
+                p.journal_records,
+                p.submissions_recovered,
+                p.jobs_reused,
+                p.checkpoints_restored,
+                p.cycles_saved,
+                p.repairs,
+                p.bit_exact,
+                sep,
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// The no-work-lost guard used by CI: every crash point must recover
+    /// bit-exactly, and across the sweep the journal and the checkpoint
+    /// store must each demonstrably save work (reused execution records
+    /// at some point, a restored checkpoint at some other). Returns the
+    /// violation, if any.
+    pub fn no_work_lost_violation(&self) -> Option<String> {
+        if let Some(p) = self.points.iter().find(|p| !p.bit_exact) {
+            return Some(format!(
+                "crash at write {} recovered to a report that differs from an \
+                 uninterrupted run over its prefix",
+                p.crash_write
+            ));
+        }
+        if self.points.iter().all(|p| p.jobs_reused == 0) {
+            return Some(
+                "no crash point reused a journaled execution record — completed \
+                 work was always re-run"
+                    .to_owned(),
+            );
+        }
+        if self.points.iter().all(|p| p.checkpoints_restored == 0) {
+            return Some(
+                "no crash point restored a durable checkpoint — in-flight work \
+                 was always re-run from scratch"
+                    .to_owned(),
+            );
+        }
+        None
+    }
+}
+
+impl fmt::Display for RecoverySweep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Crash recovery ({} crash points over {} writes; recovered reports \
+             byte-identical across {:?} workers)",
+            self.points.len(),
+            self.total_writes,
+            self.worker_counts
+        )?;
+        writeln!(
+            f,
+            "{:>6} {:>5} {:>8} {:>5} {:>7} {:>9} {:>12} {:>8} {:>6}",
+            "crash",
+            "torn",
+            "records",
+            "subs",
+            "reused",
+            "restored",
+            "cycles saved",
+            "repairs",
+            "exact"
+        )?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "{:>6} {:>5} {:>8} {:>5} {:>7} {:>9} {:>12} {:>8} {:>6}",
+                p.crash_write,
+                p.torn_bytes,
+                p.journal_records,
+                p.submissions_recovered,
+                p.jobs_reused,
+                p.checkpoints_restored,
+                p.cycles_saved,
+                p.repairs,
+                p.bit_exact,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The quota-pressured, fault-striked script the recovery sweep kills
+/// and recovers: a long preemptible victim (checkpoint generations), a
+/// transiently faulted job (retries), tight-deadline interrupts and a
+/// quota-bounced submission.
+fn recovery_script(functional: &FunctionalGemm) -> (ServiceConfig, Vec<Submission>) {
+    let config = ServiceConfig::new(1)
+        .with_retry(ServiceRetry {
+            max_retries: 1,
+            backoff_cycles: 64,
+        })
+        .with_tenant(TenantConfig::new(0).with_priority(1).with_max_in_flight(1))
+        .with_tenant(TenantConfig::new(7).with_priority(5));
+    let long = GemmShape::new(12, 8, 12);
+    let short = GemmShape::new(2, 2, 2);
+    let est = functional.estimated_cycles(long).count();
+    let short_est = functional.estimated_cycles(short).count();
+    let strikes = vec![
+        (
+            est / 5,
+            redmule::FaultSite::Pipe {
+                col: 1,
+                row: 0,
+                stage: 0,
+                bit: 3,
+            },
+        ),
+        (
+            est / 2,
+            redmule::FaultSite::Pipe {
+                col: 2,
+                row: 1,
+                stage: 0,
+                bit: 9,
+            },
+        ),
+    ];
+    let mut script = vec![Submission::new(1, 0, 0, long)
+        .with_seed(17)
+        .with_faults(strikes)];
+    for i in 0..2u64 {
+        let at = (i + 1) * est / 3;
+        script.push(Submission::new(100 + i, 7, at, short).with_deadline_cycle(at + short_est * 4));
+        script.push(Submission::new(200 + i, 0, at + 1, short));
+    }
+    script.push(Submission::new(2, 0, est * 2, GemmShape::new(4, 4, 6)).with_seed(3));
+    (config, script)
+}
+
+/// Kills a durable run of the quota-pressured recovery script at a sweep
+/// of storage-write crash points (every write with `--full`, a stride of
+/// them in smoke mode) and recovers each crash with host worker counts
+/// 1, 2 and 8, byte-comparing the recovered reports against each other
+/// and against an uninterrupted run over the recovered prefix.
+///
+/// # Errors
+///
+/// Returns an [`EngineError`] if a durable run fails for a non-crash
+/// reason, a recovery errors out, or recovered reports diverge between
+/// worker counts.
+pub fn crash_recovery(smoke: bool) -> Result<RecoverySweep, EngineError> {
+    let accel = AccelConfig::new(4, 2, 1);
+    let functional = FunctionalGemm::new(accel);
+    let (config, script) = recovery_script(&functional);
+    let worker_counts = vec![1usize, 2, 8];
+    let svc = |workers: usize| -> Result<ServiceSim, EngineError> {
+        Ok(ServiceSim::new(config.clone())
+            .map_err(|e| EngineError::InvalidJob(format!("service config: {e}")))?
+            .with_engine(redmule::Engine::new(accel))
+            .with_workers(workers))
+    };
+    let store_err =
+        |e: redmule_service::ServiceError| EngineError::InvalidJob(format!("durable service: {e}"));
+
+    let mut in_order = script.clone();
+    in_order.sort_by_key(|s| (s.arrival_cycle, s.id));
+
+    // Uninterrupted pass: the full write schedule of this exact script.
+    let mut clean = MemBackend::new();
+    svc(1)?
+        .run_durable(&script, &mut clean)
+        .map_err(store_err)?;
+    let total_writes = clean.writes_done();
+    let stride = if smoke { (total_writes / 8).max(1) } else { 1 };
+
+    let mut points = Vec::new();
+    let mut crash_write = 0;
+    while crash_write < total_writes {
+        let mut backend = MemBackend::new();
+        StorageFaultPlan::new(crash_write)
+            .with_fault(StorageFault::TornAppend {
+                write_op: crash_write,
+                keep_bytes: (crash_write as usize * 11) % 27,
+            })
+            .apply(&mut backend);
+        if svc(1)?.run_durable(&script, &mut backend).is_ok() {
+            return Err(EngineError::InvalidJob(format!(
+                "crash plan at write {crash_write} did not abort the durable run"
+            )));
+        }
+        backend.clear_crash();
+
+        let mut reference: Option<String> = None;
+        let mut point: Option<RecoveryPoint> = None;
+        for &workers in &worker_counts {
+            let recovery = svc(workers)?.recover(&mut backend).map_err(store_err)?;
+            let json = recovery.report.to_canonical_json();
+            match &reference {
+                None => {
+                    let k = recovery.recovery.submissions_recovered as usize;
+                    let fresh = svc(1)?
+                        .run(&in_order[..k])
+                        .map_err(store_err)?
+                        .to_canonical_json();
+                    point = Some(RecoveryPoint {
+                        crash_write,
+                        torn_bytes: recovery.recovery.torn_bytes,
+                        journal_records: recovery.recovery.journal_records,
+                        submissions_recovered: recovery.recovery.submissions_recovered,
+                        jobs_reused: recovery.recovery.jobs_reused,
+                        checkpoints_restored: recovery.recovery.checkpoints_restored,
+                        cycles_saved: recovery.recovery.cycles_saved,
+                        repairs: recovery.recovery.repairs.len(),
+                        bit_exact: json == fresh,
+                    });
+                    reference = Some(json);
+                }
+                Some(r) if *r != json => {
+                    return Err(EngineError::InvalidJob(format!(
+                        "recovered report bytes diverged at {workers} workers \
+                         (crash write {crash_write})"
+                    )))
+                }
+                Some(_) => {}
+            }
+        }
+        if let Some(p) = point {
+            points.push(p);
+        }
+        crash_write += stride;
+    }
+    Ok(RecoverySweep {
+        worker_counts,
+        total_writes,
+        points,
+    })
 }

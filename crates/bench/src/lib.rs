@@ -19,6 +19,7 @@
 //! | Fig. 4d batching effect | [`experiments::fig4d`] |
 //! | batch throughput scaling (`BENCH_batch.json`) | [`experiments::batch_throughput`] |
 //! | service saturation (`BENCH_service.json`) | [`experiments::service_saturation`] |
+//! | crash recovery (`BENCH_recovery.json`) | [`experiments::crash_recovery`] |
 //!
 //! The `figures` binary prints any subset (`cargo run --release -p
 //! redmule-bench --bin figures -- all --full`); the Criterion benches in

@@ -42,7 +42,7 @@ pub const FP_STRICT_CRATES: [&str; 2] = ["fp16", "redmule"];
 /// threads, so wall-clock types are legitimate (RM-DET-002 and
 /// RM-SNAP-001 do not apply), but results must still be deterministic
 /// and panic-free — RM-DET-001 and RM-PANIC-001 do apply.
-pub const HOST_CRATES: [&str; 2] = ["batch", "service"];
+pub const HOST_CRATES: [&str; 3] = ["batch", "service", "store"];
 
 /// One finding, formatted as `RULE file:line: message`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -349,6 +349,8 @@ mod tests {
         assert!(HOST_CRATES.contains(&"batch"));
         assert!(crate_is_checked("service"));
         assert!(HOST_CRATES.contains(&"service"));
+        assert!(crate_is_checked("store"));
+        assert!(HOST_CRATES.contains(&"store"));
     }
 
     #[test]

@@ -93,6 +93,38 @@ fn panic_001_fires_once_on_unwrap_outside_tests() {
 }
 
 #[test]
+fn store_is_a_host_crate_where_panic_001_fires() {
+    // The durability layer must never panic on corrupt storage, so the
+    // store crate is held to the host-crate panic ban.
+    let diags = scan(
+        "store",
+        "panic_001_unwrap.rs",
+        include_str!("fixtures/panic_001_unwrap.rs"),
+    );
+    assert_fires_once(&diags, "RM-PANIC-001", 4);
+}
+
+#[test]
+fn store_is_a_host_crate_where_det_001_fires() {
+    // Recovery replays journals into reports that must be byte-stable,
+    // so hash-order iteration is banned in the store crate too.
+    let diags = scan(
+        "store",
+        "det_001_hashmap.rs",
+        include_str!("fixtures/det_001_hashmap.rs"),
+    );
+    assert_fires_once(&diags, "RM-DET-001", 2);
+}
+
+#[test]
+fn store_tolerates_wall_clock_like_other_host_crates() {
+    // RM-DET-002 is a model-crate rule: the file backend may fsync and
+    // stat real files, so wall-clock types alone raise nothing here.
+    let diags = scan("store", "clock.rs", "fn f() { let t = Instant::now(); }\n");
+    assert!(diags.is_empty(), "unexpected findings: {diags:#?}");
+}
+
+#[test]
 fn allow_001_fires_once_on_reasonless_allow() {
     let diags = scan(
         "redmule",

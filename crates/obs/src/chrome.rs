@@ -211,6 +211,56 @@ fn render_event(out: &mut String, ev: &TraceEvent, tid: u64) {
                 ",\"s\":\"t\",\"args\":{{\"tenant\":{tenant},\"job\":{job}}}}}"
             );
         }
+        TraceEvent::RecoveryStart {
+            cycle,
+            records,
+            torn_bytes,
+        } => {
+            push_event_header(out, "recovery start", "recovery", 'i', *cycle, tid);
+            let _ = write!(
+                out,
+                ",\"s\":\"t\",\"args\":{{\"records\":{records},\"torn_bytes\":{torn_bytes}}}}}"
+            );
+        }
+        TraceEvent::JournalReplay {
+            cycle,
+            submissions,
+            decisions,
+        } => {
+            push_event_header(out, "journal replay", "recovery", 'i', *cycle, tid);
+            let _ = write!(
+                out,
+                ",\"s\":\"t\",\"args\":{{\"submissions\":{submissions},\"decisions\":{decisions}}}}}"
+            );
+        }
+        TraceEvent::CheckpointRestore {
+            cycle,
+            job,
+            generation,
+        } => {
+            push_event_header(out, "checkpoint restore", "recovery", 'i', *cycle, tid);
+            let _ = write!(
+                out,
+                ",\"s\":\"t\",\"args\":{{\"job\":{job},\"generation\":{generation}}}}}"
+            );
+        }
+        TraceEvent::CorruptionDetected {
+            cycle,
+            artefact,
+            damage,
+        } => {
+            push_event_header(
+                out,
+                &format!("corruption {artefact}"),
+                "recovery",
+                'i',
+                *cycle,
+                tid,
+            );
+            out.push_str(",\"s\":\"t\",\"args\":{\"damage\":\"");
+            escape_into(out, damage);
+            out.push_str("\"}}");
+        }
     }
 }
 
@@ -586,6 +636,26 @@ mod tests {
                 tenant: 2,
                 job: 6,
             },
+            TraceEvent::RecoveryStart {
+                cycle: 99,
+                records: 12,
+                torn_bytes: 5,
+            },
+            TraceEvent::JournalReplay {
+                cycle: 100,
+                submissions: 4,
+                decisions: 8,
+            },
+            TraceEvent::CheckpointRestore {
+                cycle: 101,
+                job: 3,
+                generation: 2,
+            },
+            TraceEvent::CorruptionDetected {
+                cycle: 102,
+                artefact: "journal",
+                damage: "checksum-mismatch",
+            },
         ]
     }
 
@@ -608,7 +678,7 @@ mod tests {
         let summary = validate_chrome_trace(&json).expect("valid");
         assert_eq!(summary.lanes, 2);
         assert_eq!(summary.events, events.len() + 2);
-        assert_eq!(summary.max_ts, 98);
+        assert_eq!(summary.max_ts, 102);
     }
 
     #[test]

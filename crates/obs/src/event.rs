@@ -167,6 +167,51 @@ pub enum TraceEvent {
         /// Service-level id of the evicted job.
         job: u64,
     },
+    /// A crash-recovery pass opened the durable journal and started
+    /// rebuilding service state from it.
+    RecoveryStart {
+        /// Virtual-clock cycle the interrupted run had reached according
+        /// to the journal (0 when the crash predates any decision).
+        cycle: u64,
+        /// Intact journal records found ahead of any damaged tail.
+        records: u64,
+        /// Bytes of torn tail truncated during journal repair (0 when
+        /// the journal was clean).
+        torn_bytes: u64,
+    },
+    /// Journal replay reconstructed the pre-crash admission and
+    /// scheduling decisions.
+    JournalReplay {
+        /// Virtual clock reached by the replayed decisions.
+        cycle: u64,
+        /// Submissions reconstructed from the journal.
+        submissions: u64,
+        /// Scheduling decisions reconstructed from the journal.
+        decisions: u64,
+    },
+    /// A job resumed execution from a durable checkpoint generation
+    /// instead of re-running from cycle zero.
+    CheckpointRestore {
+        /// Virtual-clock cycle the restored checkpoint corresponds to.
+        cycle: u64,
+        /// Service-level id of the restored job.
+        job: u64,
+        /// Checkpoint generation the job resumed from.
+        generation: u32,
+    },
+    /// Storage damage was detected during recovery and repaired by
+    /// truncation or generation fallback — never by accepting corrupt
+    /// bytes.
+    CorruptionDetected {
+        /// Virtual-clock cycle recovery had reached when the damage
+        /// surfaced.
+        cycle: u64,
+        /// Stable label of the damaged artefact (`"journal"` or
+        /// `"checkpoint"`).
+        artefact: &'static str,
+        /// Stable damage-kind label (e.g. `"checksum-mismatch"`).
+        damage: &'static str,
+    },
 }
 
 /// Why a service front end turned a submission away at admission.
@@ -213,7 +258,11 @@ impl TraceEvent {
             | TraceEvent::Admitted { cycle, .. }
             | TraceEvent::AdmissionRejected { cycle, .. }
             | TraceEvent::Preempted { cycle, .. }
-            | TraceEvent::Shed { cycle, .. } => *cycle,
+            | TraceEvent::Shed { cycle, .. }
+            | TraceEvent::RecoveryStart { cycle, .. }
+            | TraceEvent::JournalReplay { cycle, .. }
+            | TraceEvent::CheckpointRestore { cycle, .. }
+            | TraceEvent::CorruptionDetected { cycle, .. } => *cycle,
         }
     }
 
@@ -247,6 +296,10 @@ impl TraceEvent {
             },
             TraceEvent::Preempted { .. } => "preempted",
             TraceEvent::Shed { .. } => "shed",
+            TraceEvent::RecoveryStart { .. } => "recovery_start",
+            TraceEvent::JournalReplay { .. } => "journal_replay",
+            TraceEvent::CheckpointRestore { .. } => "checkpoint_restore",
+            TraceEvent::CorruptionDetected { .. } => "corruption_detected",
         }
     }
 }
@@ -311,6 +364,26 @@ mod tests {
                 cycle: 13,
                 tenant: 2,
                 job: 10,
+            },
+            TraceEvent::RecoveryStart {
+                cycle: 14,
+                records: 5,
+                torn_bytes: 3,
+            },
+            TraceEvent::JournalReplay {
+                cycle: 15,
+                submissions: 4,
+                decisions: 6,
+            },
+            TraceEvent::CheckpointRestore {
+                cycle: 16,
+                job: 7,
+                generation: 2,
+            },
+            TraceEvent::CorruptionDetected {
+                cycle: 17,
+                artefact: "checkpoint",
+                damage: "checksum-mismatch",
             },
         ];
         for (i, ev) in evs.iter().enumerate() {

@@ -173,6 +173,42 @@ fn shift(ev: TraceEvent, offset: u64) -> TraceEvent {
             tenant,
             job,
         },
+        RecoveryStart {
+            cycle,
+            records,
+            torn_bytes,
+        } => RecoveryStart {
+            cycle: cycle + offset,
+            records,
+            torn_bytes,
+        },
+        JournalReplay {
+            cycle,
+            submissions,
+            decisions,
+        } => JournalReplay {
+            cycle: cycle + offset,
+            submissions,
+            decisions,
+        },
+        CheckpointRestore {
+            cycle,
+            job,
+            generation,
+        } => CheckpointRestore {
+            cycle: cycle + offset,
+            job,
+            generation,
+        },
+        CorruptionDetected {
+            cycle,
+            artefact,
+            damage,
+        } => CorruptionDetected {
+            cycle: cycle + offset,
+            artefact,
+            damage,
+        },
     }
 }
 

@@ -22,6 +22,7 @@
 use crate::buffers::{WBuffer, XBuffer, ZBuffer};
 use crate::config::AccelConfig;
 use crate::datapath::{Acc0, ColumnCtrl, Datapath};
+use crate::decode::{decode_container, ContainerSpec, DecodeError};
 use crate::faults::FaultInjector;
 use crate::regfile::Job;
 use redmule_cluster::{Hci, MemError, Tcdm};
@@ -117,6 +118,12 @@ impl From<MemError> for EngineError {
 
 impl From<SnapshotError> for EngineError {
     fn from(e: SnapshotError) -> EngineError {
+        EngineError::Snapshot(e.to_string())
+    }
+}
+
+impl From<DecodeError> for EngineError {
+    fn from(e: DecodeError) -> EngineError {
         EngineError::Snapshot(e.to_string())
     }
 }
@@ -531,6 +538,14 @@ const SESSION_MAGIC: [u8; 4] = *b"RMSS";
 /// misread.
 pub const SESSION_STATE_VERSION: u32 = 2;
 
+/// Envelope description of the `RMSS` session container, for the typed
+/// decoder.
+const SESSION_CONTAINER: ContainerSpec = ContainerSpec {
+    name: "session",
+    magic: SESSION_MAGIC,
+    version: SESSION_STATE_VERSION,
+};
+
 /// A versioned, checksummed snapshot of an in-flight [`EngineSession`],
 /// taken at a tile boundary by [`EngineSession::checkpoint`] and turned
 /// back into a running session by [`Engine::resume`].
@@ -566,39 +581,11 @@ impl SessionState {
     ///
     /// # Errors
     ///
-    /// [`EngineError::Snapshot`] on any structural damage: wrong magic,
+    /// A typed [`DecodeError`] on any structural damage: wrong magic,
     /// unsupported version, truncation, trailing bytes or checksum
-    /// mismatch.
-    pub fn from_bytes(bytes: &[u8]) -> Result<SessionState, EngineError> {
-        let mut r = StateReader::new(bytes);
-        let magic = r.take_bytes(4)?;
-        if magic != SESSION_MAGIC {
-            return Err(EngineError::Snapshot(
-                "not a session snapshot (bad magic)".to_string(),
-            ));
-        }
-        let version: u32 = r.get()?;
-        if version != SESSION_STATE_VERSION {
-            return Err(EngineError::Snapshot(format!(
-                "unsupported snapshot version {version} (expected {SESSION_STATE_VERSION})"
-            )));
-        }
-        let len: u64 = r.get()?;
-        let len = usize::try_from(len)
-            .map_err(|_| EngineError::Snapshot("payload length overflows usize".to_string()))?;
-        if len > r.remaining() {
-            return Err(EngineError::Snapshot(
-                "payload length exceeds container".to_string(),
-            ));
-        }
-        let payload = r.take_bytes(len)?.to_vec();
-        let checksum: u64 = r.get()?;
-        r.expect_end()?;
-        if fnv1a64(&payload) != checksum {
-            return Err(EngineError::Snapshot(
-                "payload checksum mismatch".to_string(),
-            ));
-        }
+    /// mismatch. Never panics, whatever the input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<SessionState, DecodeError> {
+        let payload = decode_container(SESSION_CONTAINER, bytes)?;
         Ok(SessionState { payload })
     }
 

@@ -375,94 +375,111 @@ impl FaultInjector {
     }
 
     fn save_site(site: FaultSite, w: &mut StateWriter) {
-        match site {
-            FaultSite::Pipe {
-                col,
-                row,
-                stage,
-                bit,
-            } => {
-                w.put(&0u8);
-                w.put(&col);
-                w.put(&row);
-                w.put(&stage);
-                w.put(&bit);
-            }
-            FaultSite::WLoad {
-                phase,
-                col,
-                elem,
-                bit,
-            } => {
-                w.put(&1u8);
-                w.put(&phase);
-                w.put(&col);
-                w.put(&elem);
-                w.put(&bit);
-            }
-            FaultSite::XLoad {
-                chunk,
-                row,
-                elem,
-                bit,
-            } => {
-                w.put(&2u8);
-                w.put(&chunk);
-                w.put(&row);
-                w.put(&elem);
-                w.put(&bit);
-            }
-            FaultSite::ZStore { store, elem, bit } => {
-                w.put(&3u8);
-                w.put(&store);
-                w.put(&elem);
-                w.put(&bit);
-            }
-            FaultSite::TcdmWord { addr, bit } => {
-                w.put(&4u8);
-                w.put(&addr);
-                w.put(&bit);
-            }
-        }
+        save_fault_site(site, w)
     }
 
     fn load_site(r: &mut StateReader<'_>) -> Result<FaultSite, SnapshotError> {
-        Ok(match r.get::<u8>()? {
-            0 => FaultSite::Pipe {
-                col: r.get()?,
-                row: r.get()?,
-                stage: r.get()?,
-                bit: r.get()?,
-            },
-            1 => FaultSite::WLoad {
-                phase: r.get()?,
-                col: r.get()?,
-                elem: r.get()?,
-                bit: r.get()?,
-            },
-            2 => FaultSite::XLoad {
-                chunk: r.get()?,
-                row: r.get()?,
-                elem: r.get()?,
-                bit: r.get()?,
-            },
-            3 => FaultSite::ZStore {
-                store: r.get()?,
-                elem: r.get()?,
-                bit: r.get()?,
-            },
-            4 => FaultSite::TcdmWord {
-                addr: r.get()?,
-                bit: r.get()?,
-            },
-            t => {
-                return Err(SnapshotError::Corrupt(format!(
-                    "unknown fault-site tag {t}"
-                )))
-            }
-        })
+        load_fault_site(r)
     }
+}
 
+/// Serialises one [`FaultSite`] with the snapshot codec — the wire
+/// helper host-side journals use to persist `Submission` fault strikes.
+pub fn save_fault_site(site: FaultSite, w: &mut StateWriter) {
+    match site {
+        FaultSite::Pipe {
+            col,
+            row,
+            stage,
+            bit,
+        } => {
+            w.put(&0u8);
+            w.put(&col);
+            w.put(&row);
+            w.put(&stage);
+            w.put(&bit);
+        }
+        FaultSite::WLoad {
+            phase,
+            col,
+            elem,
+            bit,
+        } => {
+            w.put(&1u8);
+            w.put(&phase);
+            w.put(&col);
+            w.put(&elem);
+            w.put(&bit);
+        }
+        FaultSite::XLoad {
+            chunk,
+            row,
+            elem,
+            bit,
+        } => {
+            w.put(&2u8);
+            w.put(&chunk);
+            w.put(&row);
+            w.put(&elem);
+            w.put(&bit);
+        }
+        FaultSite::ZStore { store, elem, bit } => {
+            w.put(&3u8);
+            w.put(&store);
+            w.put(&elem);
+            w.put(&bit);
+        }
+        FaultSite::TcdmWord { addr, bit } => {
+            w.put(&4u8);
+            w.put(&addr);
+            w.put(&bit);
+        }
+    }
+}
+
+/// Decodes one [`FaultSite`] written by [`save_fault_site`].
+///
+/// # Errors
+///
+/// [`SnapshotError`] on truncation or an unknown site tag.
+pub fn load_fault_site(r: &mut StateReader<'_>) -> Result<FaultSite, SnapshotError> {
+    Ok(match r.get::<u8>()? {
+        0 => FaultSite::Pipe {
+            col: r.get()?,
+            row: r.get()?,
+            stage: r.get()?,
+            bit: r.get()?,
+        },
+        1 => FaultSite::WLoad {
+            phase: r.get()?,
+            col: r.get()?,
+            elem: r.get()?,
+            bit: r.get()?,
+        },
+        2 => FaultSite::XLoad {
+            chunk: r.get()?,
+            row: r.get()?,
+            elem: r.get()?,
+            bit: r.get()?,
+        },
+        3 => FaultSite::ZStore {
+            store: r.get()?,
+            elem: r.get()?,
+            bit: r.get()?,
+        },
+        4 => FaultSite::TcdmWord {
+            addr: r.get()?,
+            bit: r.get()?,
+        },
+        t => {
+            return Err(SnapshotError::Corrupt(format!(
+                "unknown fault-site tag {t}"
+            )))
+        }
+    })
+}
+
+impl FaultInjector {
     /// Cycle-addressed strikes: FMA pipeline registers and TCDM words.
     pub(crate) fn on_cycle(&mut self, cycle: u64, dp: &mut Datapath, mem: &mut Tcdm) {
         let mut i = 0;

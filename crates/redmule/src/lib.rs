@@ -49,6 +49,7 @@ mod accelerator;
 pub mod buffers;
 mod config;
 pub mod datapath;
+pub mod decode;
 mod engine;
 pub mod faults;
 mod functional;
@@ -57,6 +58,7 @@ pub mod regfile;
 
 pub use accelerator::{stage_gemm_workspace, Accelerator, GemmRun};
 pub use config::AccelConfig;
+pub use decode::DecodeError;
 pub use engine::{
     Engine, EngineError, EngineSession, EngineTrace, OccupancySample, RunReport, SessionState,
     StreamerPolicy, TickResult, DEFAULT_WATCHDOG, SESSION_STATE_VERSION,

@@ -7,6 +7,7 @@
 //! a run restored on a fresh cluster is bit-identical to one that never
 //! stopped.
 
+use redmule::decode::{decode_container, take_byte_section, ContainerSpec, DecodeError};
 use redmule::{Engine, EngineError, EngineSession, SessionState};
 use redmule_cluster::{Hci, Tcdm};
 use redmule_hwsim::snapshot::{fnv1a64, Snapshot, StateReader, StateWriter};
@@ -16,6 +17,14 @@ const CHECKPOINT_MAGIC: [u8; 4] = *b"RMCK";
 
 /// Version of the checkpoint container format.
 pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Envelope description of the `RMCK` checkpoint container, for the
+/// typed decoder.
+const CHECKPOINT_CONTAINER: ContainerSpec = ContainerSpec {
+    name: "checkpoint",
+    magic: CHECKPOINT_MAGIC,
+    version: CHECKPOINT_VERSION,
+};
 
 /// A resumable snapshot of one supervised job: the engine session at a
 /// tile boundary plus the TCDM and HCI state it was running against.
@@ -110,45 +119,29 @@ impl Checkpoint {
     ///
     /// # Errors
     ///
-    /// [`EngineError::Snapshot`] on structural damage: wrong magic,
+    /// A typed [`DecodeError`] on structural damage: wrong magic,
     /// unsupported version, truncation, trailing bytes or checksum
-    /// mismatch.
-    pub fn from_bytes(bytes: &[u8]) -> Result<Checkpoint, EngineError> {
-        let mut r = StateReader::new(bytes);
-        let magic = r.take_bytes(4)?;
-        if magic != CHECKPOINT_MAGIC {
-            return Err(EngineError::Snapshot(
-                "not a checkpoint (bad magic)".to_string(),
-            ));
+    /// mismatch, with nested session damage reported as a
+    /// [`DecodeError::Section`]. Never panics, whatever the input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Checkpoint, DecodeError> {
+        const NAME: &str = "checkpoint";
+        let payload = decode_container(CHECKPOINT_CONTAINER, bytes)?;
+        let mut pos = 0;
+        let session_bytes = take_byte_section(NAME, &payload, &mut pos)?;
+        let session =
+            SessionState::from_bytes(&session_bytes).map_err(|e| DecodeError::Section {
+                container: NAME,
+                section: "session",
+                cause: Box::new(e),
+            })?;
+        let tcdm = take_byte_section(NAME, &payload, &mut pos)?;
+        let hci = take_byte_section(NAME, &payload, &mut pos)?;
+        if pos != payload.len() {
+            return Err(DecodeError::TrailingBytes {
+                container: NAME,
+                extra: payload.len() - pos,
+            });
         }
-        let version: u32 = r.get()?;
-        if version != CHECKPOINT_VERSION {
-            return Err(EngineError::Snapshot(format!(
-                "unsupported checkpoint version {version} (expected {CHECKPOINT_VERSION})"
-            )));
-        }
-        let len: u64 = r.get()?;
-        let len = usize::try_from(len)
-            .map_err(|_| EngineError::Snapshot("payload length overflows usize".to_string()))?;
-        if len > r.remaining() {
-            return Err(EngineError::Snapshot(
-                "payload length exceeds container".to_string(),
-            ));
-        }
-        let payload = r.take_bytes(len)?.to_vec();
-        let checksum: u64 = r.get()?;
-        r.expect_end()?;
-        if fnv1a64(&payload) != checksum {
-            return Err(EngineError::Snapshot(
-                "payload checksum mismatch".to_string(),
-            ));
-        }
-        let mut r = StateReader::new(&payload);
-        let session_bytes: Vec<u8> = r.get()?;
-        let session = SessionState::from_bytes(&session_bytes)?;
-        let tcdm: Vec<u8> = r.get()?;
-        let hci: Vec<u8> = r.get()?;
-        r.expect_end()?;
         Ok(Checkpoint { session, tcdm, hci })
     }
 }

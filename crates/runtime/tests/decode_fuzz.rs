@@ -1,0 +1,201 @@
+//! Corruption fuzz for the serialised state containers: any byte
+//! mutation of a valid `RMCK` checkpoint or `RMSS` session container —
+//! bit flips, truncations, insertions, or arbitrary garbage — must
+//! yield a typed [`redmule::DecodeError`], never a panic and never a
+//! silently accepted wrong value.
+
+use proptest::prelude::*;
+use redmule::decode::DecodeError;
+use redmule::{stage_gemm_workspace, AccelConfig, Engine, SessionState};
+use redmule_fp16::vector::GemmShape;
+use redmule_fp16::F16;
+use redmule_runtime::{Checkpoint, Limits, Supervisor};
+
+fn data(shape: GemmShape, seed: u32) -> (Vec<F16>, Vec<F16>) {
+    let gen = |len: usize, s: u32| -> Vec<F16> {
+        (0..len)
+            .map(|i| {
+                let v = ((i as u32).wrapping_mul(2654435761).wrapping_add(s) >> 16) % 64;
+                F16::from_f32(v as f32 / 16.0 - 2.0)
+            })
+            .collect()
+    };
+    (gen(shape.x_len(), seed), gen(shape.w_len(), seed ^ 0xABCD))
+}
+
+/// A valid checkpoint container, produced by interrupting a real run at
+/// a tile boundary.
+fn valid_checkpoint_bytes() -> Vec<u8> {
+    let shape = GemmShape::new(8, 10, 16);
+    let (x, w) = data(shape, 41);
+    let supervisor = Supervisor::new(Engine::new(AccelConfig::new(4, 2, 1)))
+        .with_limits(Limits::none().with_max_cycles(60));
+    let (job, mut mem, mut hci) = stage_gemm_workspace(shape, &x, &w, None).expect("stage");
+    let run = supervisor.run(job, &mut mem, &mut hci).expect("run");
+    run.checkpoint
+        .expect("budget-bounded run yields a checkpoint")
+        .to_bytes()
+}
+
+fn valid_session_bytes(checkpoint: &[u8]) -> Vec<u8> {
+    Checkpoint::from_bytes(checkpoint)
+        .expect("valid container")
+        .session()
+        .to_bytes()
+}
+
+/// Exercises one decoder against a mutation of `valid`, checking the
+/// malformed-input contract.
+fn assert_rejects<T, F>(valid: &[u8], mutated: Vec<u8>, decode: F)
+where
+    F: Fn(&[u8]) -> Result<T, DecodeError>,
+{
+    if mutated == valid {
+        assert!(decode(&mutated).is_ok(), "identity mutation must decode");
+    } else {
+        // Any real mutation must surface typed damage: the container is
+        // fully covered by magic, version, length and checksum.
+        assert!(decode(&mutated).is_err(), "mutation accepted silently");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn checkpoint_decoder_survives_byte_mutations(
+        byte in 0usize..4096,
+        mask in any::<u8>(),
+    ) {
+        let valid = valid_checkpoint_bytes();
+        let mut m = valid.clone();
+        let at = byte % m.len();
+        m[at] ^= mask;
+        assert_rejects(&valid, m, Checkpoint::from_bytes);
+    }
+
+    #[test]
+    fn checkpoint_decoder_survives_truncation_and_extension(
+        cut in 0usize..4096,
+        extra in proptest::collection::vec(any::<u8>(), 0..9),
+    ) {
+        let valid = valid_checkpoint_bytes();
+        let cut = cut % valid.len();
+        prop_assert!(Checkpoint::from_bytes(&valid[..cut]).is_err());
+        if !extra.is_empty() {
+            let mut extended = valid.clone();
+            extended.extend_from_slice(&extra);
+            let trailing = matches!(
+                Checkpoint::from_bytes(&extended),
+                Err(DecodeError::TrailingBytes { .. })
+            );
+            prop_assert!(trailing);
+        }
+    }
+
+    #[test]
+    fn session_decoder_survives_byte_mutations(
+        byte in 0usize..4096,
+        mask in any::<u8>(),
+    ) {
+        let ckpt = valid_checkpoint_bytes();
+        let valid = valid_session_bytes(&ckpt);
+        let mut m = valid.clone();
+        let at = byte % m.len();
+        m[at] ^= mask;
+        assert_rejects(&valid, m, SessionState::from_bytes);
+    }
+
+    #[test]
+    fn decoders_never_panic_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Arbitrary byte soup: both decoders must return, not abort. A
+        // random accept is practically impossible (64-bit checksum), so
+        // any Ok here is itself a bug.
+        prop_assert!(Checkpoint::from_bytes(&bytes).is_err());
+        prop_assert!(SessionState::from_bytes(&bytes).is_err());
+    }
+}
+
+#[test]
+fn damage_kinds_are_the_documented_ones() {
+    let valid = valid_checkpoint_bytes();
+
+    let mut wrong_magic = valid.clone();
+    wrong_magic[0] = b'X';
+    assert_eq!(
+        Checkpoint::from_bytes(&wrong_magic),
+        Err(DecodeError::NotAContainer {
+            container: "checkpoint"
+        })
+    );
+
+    let mut wrong_version = valid.clone();
+    wrong_version[4] ^= 0x55;
+    assert!(matches!(
+        Checkpoint::from_bytes(&wrong_version),
+        Err(DecodeError::UnsupportedVersion {
+            container: "checkpoint",
+            expected: redmule_runtime::CHECKPOINT_VERSION,
+            ..
+        })
+    ));
+
+    let mut flipped_payload = valid.clone();
+    let mid = flipped_payload.len() / 2;
+    flipped_payload[mid] ^= 0x40;
+    assert_eq!(
+        Checkpoint::from_bytes(&flipped_payload),
+        Err(DecodeError::ChecksumMismatch {
+            container: "checkpoint"
+        })
+    );
+
+    assert!(matches!(
+        Checkpoint::from_bytes(&valid[..valid.len() - 3]),
+        Err(DecodeError::Truncated { .. })
+    ));
+
+    let session = valid_session_bytes(&valid);
+    let mut wrong_session_magic = session.clone();
+    wrong_session_magic[3] = b'Q';
+    assert_eq!(
+        SessionState::from_bytes(&wrong_session_magic),
+        Err(DecodeError::NotAContainer {
+            container: "session"
+        })
+    );
+
+    // Labels are stable and distinct — recovery keys repair events on
+    // them.
+    let labels: Vec<&str> = [
+        DecodeError::NotAContainer { container: "x" },
+        DecodeError::UnsupportedVersion {
+            container: "x",
+            expected: 1,
+            got: 2,
+        },
+        DecodeError::Truncated { container: "x" },
+        DecodeError::LengthOverflow {
+            container: "x",
+            declared: u64::MAX,
+        },
+        DecodeError::TrailingBytes {
+            container: "x",
+            extra: 1,
+        },
+        DecodeError::ChecksumMismatch { container: "x" },
+        DecodeError::Section {
+            container: "x",
+            section: "session",
+            cause: Box::new(DecodeError::Truncated { container: "x" }),
+        },
+    ]
+    .iter()
+    .map(DecodeError::label)
+    .collect();
+    for (i, a) in labels.iter().enumerate() {
+        for b in &labels[i + 1..] {
+            assert_ne!(a, b);
+        }
+    }
+}

@@ -24,6 +24,12 @@
 //! * **Determinism**: the [`ServiceReport`] (latency percentiles,
 //!   rejection/preemption/retry counts, per-tenant fairness) serializes
 //!   to byte-identical canonical JSON at any host worker count.
+//! * **Crash-consistent durability** ([`ServiceSim::run_durable`],
+//!   [`ServiceSim::recover`]): decisions are journaled write-ahead and
+//!   checkpoints published durably, so after a crash at *any* storage
+//!   write the service recovers — repairing damage with typed
+//!   [`RepairEvent`]s — to a report byte-identical to an uninterrupted
+//!   run over the recovered prefix.
 //!
 //! ```
 //! use redmule_fp16::vector::GemmShape;
@@ -41,11 +47,13 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod config;
+mod durable;
 mod report;
 mod request;
 mod sim;
 
 pub use config::{ConfigError, ServiceConfig, ServiceRetry, TenantConfig};
+pub use durable::{Recovery, RecoveryReport, RepairEvent, CHECKPOINT_PREFIX, JOURNAL_OBJECT};
 pub use report::{ServiceJobRecord, ServiceReport, TenantStats};
 pub use request::{Rejected, RejectedRecord, ServiceStatus, Submission};
 pub use sim::{ServiceError, ServiceSim};

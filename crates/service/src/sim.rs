@@ -17,6 +17,7 @@
 //!    byte-identically at any worker count.
 
 use crate::config::{bucket_credit, ConfigError, ServiceConfig, TenantConfig};
+use crate::durable::Durability;
 use crate::report::{fnv1a64_f16, ServiceJobRecord, ServiceReport, TenantStats};
 use crate::request::{Rejected, RejectedRecord, ServiceStatus, Submission};
 use redmule::obs::{EventLog, TraceEvent};
@@ -41,6 +42,15 @@ pub enum ServiceError {
     Batch(BatchError),
     /// Staging or checkpoint plumbing failed during the replay.
     Engine(EngineError),
+    /// A serialised state container failed to decode during replay or
+    /// recovery.
+    Decode(redmule::DecodeError),
+    /// Durable storage failed during a durable run or a recovery.
+    Store(redmule_store::StoreError),
+    /// The durable journal or checkpoint set cannot support the
+    /// requested operation (stale state, mismatched configuration,
+    /// unparseable record).
+    Recover(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -50,6 +60,9 @@ impl fmt::Display for ServiceError {
             ServiceError::Script(msg) => write!(f, "service script: {msg}"),
             ServiceError::Batch(e) => write!(f, "service batch replay: {e}"),
             ServiceError::Engine(e) => write!(f, "service engine replay: {e}"),
+            ServiceError::Decode(e) => write!(f, "service container decode: {e}"),
+            ServiceError::Store(e) => write!(f, "service durable storage: {e}"),
+            ServiceError::Recover(msg) => write!(f, "service recovery: {msg}"),
         }
     }
 }
@@ -74,6 +87,18 @@ impl From<EngineError> for ServiceError {
     }
 }
 
+impl From<redmule::DecodeError> for ServiceError {
+    fn from(e: redmule::DecodeError) -> ServiceError {
+        ServiceError::Decode(e)
+    }
+}
+
+impl From<redmule_store::StoreError> for ServiceError {
+    fn from(e: redmule_store::StoreError) -> ServiceError {
+        ServiceError::Store(e)
+    }
+}
+
 /// The multi-tenant GEMM service front end.
 ///
 /// Construct with a validated [`ServiceConfig`], then [`ServiceSim::run`]
@@ -82,9 +107,9 @@ impl From<EngineError> for ServiceError {
 /// replay of independent per-job executions.
 #[derive(Debug)]
 pub struct ServiceSim {
-    config: ServiceConfig,
-    engine: Engine,
-    workers: usize,
+    pub(crate) config: ServiceConfig,
+    pub(crate) engine: Engine,
+    pub(crate) workers: usize,
 }
 
 impl ServiceSim {
@@ -130,6 +155,19 @@ impl ServiceSim {
     /// Per-job execution failures are reported in the corresponding
     /// [`ServiceJobRecord`], never as errors.
     pub fn run(&self, script: &[Submission]) -> Result<ServiceReport, ServiceError> {
+        let order = self.validate_script(script)?;
+        let probe = self.probe(script, None)?;
+        let fails = Self::failure_set(&probe);
+        let tl = Timeline::new(&self.config, script, &fails, *self.engine.config()).run(&order);
+        self.replay(script, tl, probe, None)
+    }
+
+    /// Checks the script (unique ids, known tenants) and returns the
+    /// deterministic arrival order `(arrival_cycle, id)`.
+    pub(crate) fn validate_script(
+        &self,
+        script: &[Submission],
+    ) -> Result<Vec<usize>, ServiceError> {
         let tenant_ids: BTreeSet<u32> = self.config.tenants.iter().map(|t| t.id).collect();
         let mut ids = BTreeSet::new();
         for s in script {
@@ -148,16 +186,16 @@ impl ServiceSim {
         }
         let mut order: Vec<usize> = (0..script.len()).collect();
         order.sort_by_key(|&i| (script[i].arrival_cycle, script[i].id));
+        Ok(order)
+    }
 
-        let probe = self.probe(script)?;
-        let fails: BTreeSet<u64> = probe
+    /// The ids of probed jobs that end in a typed failure.
+    pub(crate) fn failure_set(probe: &BTreeMap<u64, JobResult>) -> BTreeSet<u64> {
+        probe
             .iter()
             .filter(|(_, r)| r.status != JobStatus::Completed)
             .map(|(id, _)| *id)
-            .collect();
-
-        let tl = Timeline::new(&self.config, script, &fails, *self.engine.config()).run(&order);
-        self.replay(script, tl, probe)
+            .collect()
     }
 
     /// The supervisor-level retry policy derived from the service's
@@ -184,11 +222,16 @@ impl ServiceSim {
     /// Pre-executes every faulted submission once so the timeline knows
     /// which jobs end in typed failures (failure is a pure function of
     /// the job, so this probe is deterministic). Fault-free jobs cannot
-    /// fail and are not probed.
-    fn probe(&self, script: &[Submission]) -> Result<BTreeMap<u64, JobResult>, ServiceError> {
+    /// fail and are not probed. During recovery, jobs whose journaled
+    /// execution record will be reused are skipped via `skip`.
+    pub(crate) fn probe(
+        &self,
+        script: &[Submission],
+        skip: Option<&BTreeSet<u64>>,
+    ) -> Result<BTreeMap<u64, JobResult>, ServiceError> {
         let jobs: Vec<GemmJob> = script
             .iter()
-            .filter(|s| !s.faults.is_empty())
+            .filter(|s| !s.faults.is_empty() && !skip.is_some_and(|k| k.contains(&s.id)))
             .map(|s| self.make_job(s))
             .collect();
         if jobs.is_empty() {
@@ -201,20 +244,36 @@ impl ServiceSim {
     }
 
     /// Phase 2: execute the timeline's decisions and merge the report.
-    fn replay(
+    /// With a [`Durability`] context, execution results are journaled
+    /// (durable run) or reused from the journal and resumed from durable
+    /// checkpoints (recovery).
+    pub(crate) fn replay(
         &self,
         script: &[Submission],
         tl: TimelineResult,
         probe: BTreeMap<u64, JobResult>,
+        mut durable: Option<&mut Durability<'_>>,
     ) -> Result<ServiceReport, ServiceError> {
         let mut exec: BTreeMap<u64, ExecOut> = BTreeMap::new();
         let mut bulk: Vec<GemmJob> = Vec::new();
         for a in &tl.acc {
             let sub = &script[a.sub];
+            // Recovery short-circuit: a journaled execution record makes
+            // re-running the job unnecessary.
+            if let Some(d) = durable.as_deref_mut() {
+                if let Some(e) = d.take_reused(sub.id) {
+                    exec.insert(sub.id, e);
+                    continue;
+                }
+            }
             match &a.outcome {
                 Some(Outcome::Completed { .. }) if a.segments.len() <= 1 => {
                     if let Some(r) = probe.get(&sub.id) {
-                        exec.insert(sub.id, ExecOut::from_job_result(r));
+                        let e = ExecOut::from_job_result(r);
+                        if let Some(d) = durable.as_deref_mut() {
+                            d.record_exec(sub.id, &e)?;
+                        }
+                        exec.insert(sub.id, e);
                     } else {
                         bulk.push(self.make_job(sub));
                     }
@@ -228,16 +287,28 @@ impl ServiceSim {
                         .map(|&v| Some(v))
                         .collect();
                     plan.push(None);
-                    exec.insert(sub.id, self.exec_plan(sub, &plan)?);
+                    let e = self.exec_plan(sub, &plan, durable.as_deref_mut())?;
+                    if let Some(d) = durable.as_deref_mut() {
+                        d.record_exec(sub.id, &e)?;
+                    }
+                    exec.insert(sub.id, e);
                 }
                 Some(Outcome::Evicted { executed, .. }) => {
-                    exec.insert(sub.id, self.exec_plan(sub, &[Some(*executed)])?);
+                    let e = self.exec_plan(sub, &[Some(*executed)], durable.as_deref_mut())?;
+                    if let Some(d) = durable.as_deref_mut() {
+                        d.record_exec(sub.id, &e)?;
+                    }
+                    exec.insert(sub.id, e);
                 }
                 Some(Outcome::Failed { .. }) => {
                     let r = probe.get(&sub.id).ok_or_else(|| {
                         ServiceError::Script(format!("job {} failed without a probe", sub.id))
                     })?;
-                    exec.insert(sub.id, ExecOut::from_job_result(r));
+                    let e = ExecOut::from_job_result(r);
+                    if let Some(d) = durable.as_deref_mut() {
+                        d.record_exec(sub.id, &e)?;
+                    }
+                    exec.insert(sub.id, e);
                 }
                 None => {
                     return Err(ServiceError::Script(format!(
@@ -251,8 +322,15 @@ impl ServiceSim {
             let outcome = BatchExecutor::new(self.workers)
                 .with_engine(self.engine.clone())
                 .run(bulk)?;
-            for r in &outcome.report.jobs {
-                exec.insert(r.id, ExecOut::from_job_result(r));
+            let mut results: Vec<&JobResult> = outcome.report.jobs.iter().collect();
+            // Journal records must not depend on executor scheduling.
+            results.sort_by_key(|r| r.id);
+            for r in results {
+                let e = ExecOut::from_job_result(r);
+                if let Some(d) = durable.as_deref_mut() {
+                    d.record_exec(r.id, &e)?;
+                }
+                exec.insert(r.id, e);
             }
         }
 
@@ -332,28 +410,68 @@ impl ServiceSim {
     /// engine/cluster pair and resumed (a migration); a trailing `None`
     /// runs to completion. A plan ending on a budget leaves the job
     /// evicted-with-checkpoint.
-    fn exec_plan(&self, sub: &Submission, plan: &[Option<u64>]) -> Result<ExecOut, ServiceError> {
+    ///
+    /// With a [`Durability`] context, every migration boundary publishes
+    /// a generation-numbered durable checkpoint (durable run), and a
+    /// recovery resumes from the newest intact generation instead of
+    /// re-executing the earlier segments. Restored runs are bit-exact
+    /// with uninterrupted ones, so the returned [`ExecOut`] is identical
+    /// either way.
+    pub(crate) fn exec_plan(
+        &self,
+        sub: &Submission,
+        plan: &[Option<u64>],
+        mut durable: Option<&mut Durability<'_>>,
+    ) -> Result<ExecOut, ServiceError> {
         let (x, w) = sub.operands();
-        let (hw_job, mut mem, mut hci) = stage_gemm_workspace(sub.shape, &x, &w, None)?;
-        let session = if sub.faults.is_empty() {
-            self.engine.start(hw_job)?
-        } else {
-            self.engine
-                .start_with_faults(hw_job, FaultInjector::new(sub.faults.clone()))?
-        };
         let supervisor = |limits: Limits| {
             Supervisor::new(self.engine.clone())
                 .with_retry_policy(self.sup_retry())
                 .with_checkpoint_interval(1)
                 .with_limits(limits)
         };
-        let first = plan.first().copied().flatten();
-        let mut run = supervisor(limits_for(first)).run_session(session, &mut mem, &mut hci)?;
-        let mut migrations = 0u32;
-        let mut sup_retries = run.retries;
-        let mut backoff = run.backoff_cycles;
-        let mut executed = run.cycles_executed;
-        for lim in &plan[1..] {
+        let seed = match durable.as_deref_mut() {
+            Some(d) => d.resume_seed(sub.id, plan.len())?,
+            None => None,
+        };
+        let (hw_job, mut mem, mut run, mut migrations, mut sup_retries, mut backoff, mut executed);
+        let start_idx;
+        match seed {
+            Some(s) => {
+                // Resume at boundary `generation`: the first `generation`
+                // segments already ran before the crash; their counter
+                // sums travel in the checkpoint record's meta header.
+                let (job2, mut mem2, mut hci2) = stage_gemm_workspace(sub.shape, &x, &w, None)?;
+                let budget = plan.get(s.generation as usize).copied().flatten();
+                run = supervisor(limits_for(budget)).resume(&s.checkpoint, &mut mem2, &mut hci2)?;
+                hw_job = job2;
+                mem = mem2;
+                migrations = s.generation;
+                sup_retries = s.sup_retries + run.retries;
+                backoff = s.backoff + run.backoff_cycles;
+                executed = s.executed + run.cycles_executed;
+                start_idx = s.generation as usize + 1;
+            }
+            None => {
+                let (job0, mut mem0, mut hci0) = stage_gemm_workspace(sub.shape, &x, &w, None)?;
+                let session = if sub.faults.is_empty() {
+                    self.engine.start(job0)?
+                } else {
+                    self.engine
+                        .start_with_faults(job0, FaultInjector::new(sub.faults.clone()))?
+                };
+                let first = plan.first().copied().flatten();
+                run = supervisor(limits_for(first)).run_session(session, &mut mem0, &mut hci0)?;
+                hw_job = job0;
+                mem = mem0;
+                migrations = 0;
+                sup_retries = run.retries;
+                backoff = run.backoff_cycles;
+                executed = run.cycles_executed;
+                start_idx = 1;
+            }
+        }
+        for (idx, lim) in plan.iter().enumerate().skip(start_idx) {
             // Only a clean budget stop continues the plan; completion and
             // typed failures are terminal.
             if !matches!(run.stop, StopReason::CycleBudget) {
@@ -369,6 +487,11 @@ impl ServiceSim {
             };
             // Migration: serialize, re-stage a fresh cluster, restore.
             let bytes = ckpt.to_bytes();
+            if let Some(d) = durable.as_deref_mut() {
+                // Boundary `idx` has `idx` completed segments behind it —
+                // that count is its generation number.
+                d.publish_boundary(sub.id, idx as u32, executed, sup_retries, backoff, &bytes)?;
+            }
             let ckpt = Checkpoint::from_bytes(&bytes)?;
             let (_, mut mem2, mut hci2) = stage_gemm_workspace(sub.shape, &x, &w, None)?;
             run = supervisor(limits_for(*lim)).resume(&ckpt, &mut mem2, &mut hci2)?;
@@ -389,6 +512,18 @@ impl ServiceSim {
         } else {
             run.checkpoint.as_ref().map(Checkpoint::to_bytes)
         };
+        if let (Some(d), Some(cb)) = (durable.as_mut(), checkpoint.as_ref()) {
+            // The terminal state of an evicted (or failed-with-progress)
+            // job is durable too, one generation past the last boundary.
+            d.publish_boundary(
+                sub.id,
+                plan.len() as u32,
+                executed,
+                sup_retries,
+                backoff,
+                cb,
+            )?;
+        }
         let z = mem
             .load_f16_slice(hw_job.z_addr, sub.shape.z_len())
             .map_err(EngineError::from)?;
@@ -416,23 +551,23 @@ fn limits_for(budget: Option<u64>) -> Limits {
 }
 
 /// Result of one per-job execution in the replay phase.
-#[derive(Debug)]
-struct ExecOut {
-    status: ServiceStatus,
-    executed_cycles: u64,
-    sup_retries: u32,
-    backoff: u64,
-    fault_events: u64,
-    tiles_done: usize,
-    tiles_total: usize,
-    migrations: u32,
-    z_len: usize,
-    z_fnv: u64,
-    checkpoint: Option<Vec<u8>>,
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ExecOut {
+    pub(crate) status: ServiceStatus,
+    pub(crate) executed_cycles: u64,
+    pub(crate) sup_retries: u32,
+    pub(crate) backoff: u64,
+    pub(crate) fault_events: u64,
+    pub(crate) tiles_done: usize,
+    pub(crate) tiles_total: usize,
+    pub(crate) migrations: u32,
+    pub(crate) z_len: usize,
+    pub(crate) z_fnv: u64,
+    pub(crate) checkpoint: Option<Vec<u8>>,
 }
 
 impl ExecOut {
-    fn from_job_result(r: &JobResult) -> ExecOut {
+    pub(crate) fn from_job_result(r: &JobResult) -> ExecOut {
         let status = match &r.status {
             JobStatus::Completed => ServiceStatus::Completed,
             JobStatus::Failed(m) | JobStatus::Panicked(m) => ServiceStatus::Failed(m.clone()),
@@ -462,7 +597,7 @@ impl ExecOut {
 
 /// Terminal state of an accepted job on the virtual timeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Outcome {
+pub(crate) enum Outcome {
     Completed { at: u64 },
     Evicted { at: u64, executed: u64 },
     Failed { at: u64 },
@@ -470,9 +605,9 @@ enum Outcome {
 
 /// Timeline bookkeeping for one accepted job.
 #[derive(Debug)]
-struct Acc {
+pub(crate) struct Acc {
     sub: usize,
-    id: u64,
+    pub(crate) id: u64,
     tenant_idx: usize,
     tenant_id: u32,
     priority: u8,
@@ -484,7 +619,7 @@ struct Acc {
     preemptions: u32,
     service_retries: u32,
     backoff_charged: u64,
-    outcome: Option<Outcome>,
+    pub(crate) outcome: Option<Outcome>,
 }
 
 impl Acc {
@@ -532,15 +667,15 @@ impl TenantState {
 
 /// What the timeline hands to the replay phase.
 #[derive(Debug)]
-struct TimelineResult {
-    acc: Vec<Acc>,
+pub(crate) struct TimelineResult {
+    pub(crate) acc: Vec<Acc>,
     rejected: Vec<RejectedRecord>,
     tenant_stats: Vec<TenantStats>,
     events: EventLog,
-    makespan: u64,
+    pub(crate) makespan: u64,
 }
 
-struct Timeline<'a> {
+pub(crate) struct Timeline<'a> {
     cfg: &'a ServiceConfig,
     script: &'a [Submission],
     fails: &'a BTreeSet<u64>,
@@ -558,7 +693,7 @@ struct Timeline<'a> {
 }
 
 impl<'a> Timeline<'a> {
-    fn new(
+    pub(crate) fn new(
         cfg: &'a ServiceConfig,
         script: &'a [Submission],
         fails: &'a BTreeSet<u64>,
@@ -603,7 +738,7 @@ impl<'a> Timeline<'a> {
         }
     }
 
-    fn run(mut self, order: &[usize]) -> TimelineResult {
+    pub(crate) fn run(mut self, order: &[usize]) -> TimelineResult {
         let mut next_arrival = 0usize;
         loop {
             let completion = self.next_completion();

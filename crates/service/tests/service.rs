@@ -285,7 +285,10 @@ fn saturation_soak_never_loses_accepted_work() {
         script.len(),
         "every submission is accounted for"
     );
-    assert!(report.rejected.len() > 0, "the soak must actually overload");
+    assert!(
+        !report.rejected.is_empty(),
+        "the soak must actually overload"
+    );
     let mut evicted = 0usize;
     for job in &report.jobs {
         match &job.status {

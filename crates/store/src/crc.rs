@@ -1,0 +1,69 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`).
+//!
+//! Hand-rolled because the build image has no network access to pull a
+//! checksum crate, and the workspace deliberately keeps model integrity
+//! primitives dependency-free. The table is computed at compile time.
+//!
+//! This is the *storage* checksum (frame headers and payloads,
+//! [`crate::frame`]). The in-memory snapshot containers keep their
+//! existing FNV-1a 64-bit digest — the two layers fail independently, so
+//! a storage frame that passes CRC can still surface a container-level
+//! checksum mismatch, and vice versa.
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+const TABLE: [u32; 256] = build_table();
+
+/// CRC-32 of `bytes` with the standard init/final XOR (`!0`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(&[0u8; 32]), 0x190A_55AD);
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_digest() {
+        let base = b"redmule checkpoint payload".to_vec();
+        let d0 = crc32(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut m = base.clone();
+                m[byte] ^= 1 << bit;
+                assert_ne!(crc32(&m), d0, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+}

@@ -1,0 +1,363 @@
+//! Seeded storage-fault injection over the in-memory backend.
+//!
+//! Mirrors the accelerator's fault-plan idiom (`redmule::FaultPlan`):
+//! a plan is an explicit, reproducible list of faults, optionally
+//! expanded from a seed, and applying it reports exactly what was
+//! mutated so tests can assert that every injected corruption resurfaces
+//! as a typed repair event. Faults address objects by index into the
+//! backend's *sorted* name list (wrapped modulo the population), so a
+//! seeded plan stays meaningful as the object population changes.
+//!
+//! The crash-shaped faults ([`StorageFault::TornAppend`]) arm the
+//! backend's [`CrashPlan`] for a *future* write; the corruption-shaped
+//! faults mutate bytes already stored. Both are deterministic.
+
+use crate::backend::{CrashPlan, MemBackend};
+
+/// One storage fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageFault {
+    /// Crash at write operation `write_op`, keeping `keep_bytes` of a
+    /// dying append (a torn write at byte k).
+    TornAppend {
+        /// 0-based write-operation index at which the backend dies.
+        write_op: u64,
+        /// Surviving bytes of the dying append.
+        keep_bytes: usize,
+    },
+    /// XOR `mask` into the byte at `byte_offset` (modulo object length)
+    /// of object `object_index` (modulo population) — covers both
+    /// header and payload flips depending on the offset.
+    BitFlip {
+        /// Index into the sorted object-name list, wrapped.
+        object_index: usize,
+        /// Byte offset within the object, wrapped.
+        byte_offset: usize,
+        /// XOR mask (`0` acts as `1`).
+        mask: u8,
+    },
+    /// A bit flip whose object, offset and mask are derived from the
+    /// plan seed at apply time.
+    SeededBitFlip,
+    /// Cut `cut_bytes` off the end of object `object_index` — a
+    /// truncated tail record.
+    TruncateTail {
+        /// Index into the sorted object-name list, wrapped.
+        object_index: usize,
+        /// Bytes removed from the end (capped at the object length).
+        cut_bytes: usize,
+    },
+    /// Remove object `object_index` entirely — against a checkpoint
+    /// store this turns the newest generation stale.
+    RemoveObject {
+        /// Index into the sorted object-name list, wrapped.
+        object_index: usize,
+    },
+    /// Re-append the last whole frame of object `object_index` — a
+    /// duplicated record, as left by a replayed append.
+    DuplicateTailRecord {
+        /// Index into the sorted object-name list, wrapped.
+        object_index: usize,
+    },
+}
+
+/// What one fault actually did, for test assertions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppliedStorageFault {
+    /// Stable label of the fault kind.
+    pub kind: &'static str,
+    /// The object mutated, if the fault resolved to one.
+    pub object: Option<String>,
+    /// Human-readable detail (offset, mask, bytes cut, ...).
+    pub detail: String,
+}
+
+/// A reproducible list of storage faults: explicit entries plus
+/// seed-expanded ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageFaultPlan {
+    seed: u64,
+    faults: Vec<StorageFault>,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl StorageFaultPlan {
+    /// An empty plan with the given seed.
+    pub fn new(seed: u64) -> StorageFaultPlan {
+        StorageFaultPlan {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Adds one explicit fault.
+    #[must_use]
+    pub fn with_fault(mut self, fault: StorageFault) -> StorageFaultPlan {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Adds `n` seed-derived bit flips.
+    #[must_use]
+    pub fn with_seeded_bit_flips(mut self, n: usize) -> StorageFaultPlan {
+        self.faults
+            .extend(std::iter::repeat_n(StorageFault::SeededBitFlip, n));
+        self
+    }
+
+    /// The planned faults, in application order.
+    pub fn faults(&self) -> &[StorageFault] {
+        &self.faults
+    }
+
+    /// Applies every fault to `backend`, in order, and reports what was
+    /// done. Selection faults against an empty store resolve to
+    /// no-ops (reported with `object: None`). Deterministic: the same
+    /// plan against the same backend state mutates the same bytes.
+    pub fn apply(&self, backend: &mut MemBackend) -> Vec<AppliedStorageFault> {
+        let mut rng = self.seed;
+        let mut applied = Vec::with_capacity(self.faults.len());
+        for fault in &self.faults {
+            applied.push(apply_one(fault, backend, &mut rng));
+        }
+        applied
+    }
+}
+
+fn pick_object(backend: &MemBackend, index: usize) -> Option<String> {
+    let names = backend.object_names();
+    if names.is_empty() {
+        None
+    } else {
+        names.get(index % names.len()).cloned()
+    }
+}
+
+fn flip(backend: &mut MemBackend, name: &str, byte_offset: usize, mask: u8) -> AppliedStorageFault {
+    let mask = if mask == 0 { 1 } else { mask };
+    match backend.object_mut(name) {
+        Some(bytes) if !bytes.is_empty() => {
+            let at = byte_offset % bytes.len();
+            bytes[at] ^= mask;
+            AppliedStorageFault {
+                kind: "bit-flip",
+                object: Some(name.to_string()),
+                detail: format!("xor {mask:#04x} at byte {at}"),
+            }
+        }
+        _ => AppliedStorageFault {
+            kind: "bit-flip",
+            object: None,
+            detail: "object empty or missing".to_string(),
+        },
+    }
+}
+
+fn apply_one(fault: &StorageFault, backend: &mut MemBackend, rng: &mut u64) -> AppliedStorageFault {
+    match *fault {
+        StorageFault::TornAppend {
+            write_op,
+            keep_bytes,
+        } => {
+            backend.set_crash_plan(CrashPlan::new(write_op, keep_bytes));
+            AppliedStorageFault {
+                kind: "torn-append",
+                object: None,
+                detail: format!("crash at write {write_op}, keep {keep_bytes} bytes"),
+            }
+        }
+        StorageFault::BitFlip {
+            object_index,
+            byte_offset,
+            mask,
+        } => match pick_object(backend, object_index) {
+            Some(name) => flip(backend, &name, byte_offset, mask),
+            None => AppliedStorageFault {
+                kind: "bit-flip",
+                object: None,
+                detail: "no objects".to_string(),
+            },
+        },
+        StorageFault::SeededBitFlip => {
+            let object_index = splitmix64(rng) as usize;
+            let byte_offset = splitmix64(rng) as usize;
+            let mask = (splitmix64(rng) & 0xFF) as u8;
+            match pick_object(backend, object_index) {
+                Some(name) => flip(backend, &name, byte_offset, mask),
+                None => AppliedStorageFault {
+                    kind: "bit-flip",
+                    object: None,
+                    detail: "no objects".to_string(),
+                },
+            }
+        }
+        StorageFault::TruncateTail {
+            object_index,
+            cut_bytes,
+        } => match pick_object(backend, object_index) {
+            Some(name) => {
+                let cut = match backend.object_mut(&name) {
+                    Some(bytes) => {
+                        let cut = cut_bytes.min(bytes.len());
+                        let keep = bytes.len() - cut;
+                        bytes.truncate(keep);
+                        cut
+                    }
+                    None => 0,
+                };
+                AppliedStorageFault {
+                    kind: "truncate-tail",
+                    object: Some(name),
+                    detail: format!("cut {cut} bytes"),
+                }
+            }
+            None => AppliedStorageFault {
+                kind: "truncate-tail",
+                object: None,
+                detail: "no objects".to_string(),
+            },
+        },
+        StorageFault::RemoveObject { object_index } => match pick_object(backend, object_index) {
+            Some(name) => {
+                // Direct mutation, not a backend write: the fault models
+                // lost storage, it must not trip the crash plan.
+                backend.clear_object(&name);
+                AppliedStorageFault {
+                    kind: "remove-object",
+                    object: Some(name),
+                    detail: "removed".to_string(),
+                }
+            }
+            None => AppliedStorageFault {
+                kind: "remove-object",
+                object: None,
+                detail: "no objects".to_string(),
+            },
+        },
+        StorageFault::DuplicateTailRecord { object_index } => {
+            match pick_object(backend, object_index) {
+                Some(name) => {
+                    let dup = backend.object(&name).and_then(|bytes| {
+                        let scan = crate::frame::scan_frames(bytes);
+                        scan.frames.last().map(|last| {
+                            let end = scan.valid_len;
+                            bytes[last.offset..end].to_vec()
+                        })
+                    });
+                    match dup {
+                        Some(frame_bytes) => {
+                            let len = frame_bytes.len();
+                            if let Some(bytes) = backend.object_mut(&name) {
+                                bytes.extend_from_slice(&frame_bytes);
+                            }
+                            AppliedStorageFault {
+                                kind: "duplicate-record",
+                                object: Some(name),
+                                detail: format!("re-appended last frame ({len} bytes)"),
+                            }
+                        }
+                        None => AppliedStorageFault {
+                            kind: "duplicate-record",
+                            object: Some(name),
+                            detail: "no whole frame to duplicate".to_string(),
+                        },
+                    }
+                }
+                None => AppliedStorageFault {
+                    kind: "duplicate-record",
+                    object: None,
+                    detail: "no objects".to_string(),
+                },
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::StorageBackend;
+    use crate::frame::{encode_frame, scan_frames};
+
+    fn seeded_backend() -> MemBackend {
+        let mut b = MemBackend::new();
+        let mut j = encode_frame(1, b"first");
+        j.extend_from_slice(&encode_frame(2, b"second"));
+        b.publish("journal", &j).unwrap();
+        b.publish("ckpt.g1", &encode_frame(0x434B, b"snap"))
+            .unwrap();
+        b
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let plan = StorageFaultPlan::new(0xDEAD_BEEF)
+            .with_seeded_bit_flips(3)
+            .with_fault(StorageFault::TruncateTail {
+                object_index: 0,
+                cut_bytes: 2,
+            });
+        let mut a = seeded_backend();
+        let mut b = seeded_backend();
+        assert_eq!(plan.apply(&mut a), plan.apply(&mut b));
+        assert_eq!(a.object("journal"), b.object("journal"));
+        assert_eq!(a.object("ckpt.g1"), b.object("ckpt.g1"));
+    }
+
+    #[test]
+    fn every_fault_kind_applies_and_reports() {
+        let mut b = seeded_backend();
+        let before_journal = b.object("journal").unwrap().to_vec();
+        let applied = StorageFaultPlan::new(1)
+            .with_fault(StorageFault::BitFlip {
+                object_index: 1, // "journal" sorts after "ckpt.g1"
+                byte_offset: 4,
+                mask: 0x20,
+            })
+            .with_fault(StorageFault::DuplicateTailRecord { object_index: 1 })
+            .with_fault(StorageFault::TruncateTail {
+                object_index: 0,
+                cut_bytes: 3,
+            })
+            .with_fault(StorageFault::RemoveObject { object_index: 0 })
+            .with_fault(StorageFault::TornAppend {
+                write_op: 99,
+                keep_bytes: 7,
+            })
+            .apply(&mut b);
+        let kinds: Vec<&str> = applied.iter().map(|a| a.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "bit-flip",
+                "duplicate-record",
+                "truncate-tail",
+                "remove-object",
+                "torn-append"
+            ]
+        );
+        assert_eq!(b.object("journal").unwrap()[4], before_journal[4] ^ 0x20);
+        assert!(b.object("ckpt.g1").is_none(), "ckpt removed");
+        // The duplicated tail record scans as damage-free duplication.
+        let scan = scan_frames(b.object("journal").unwrap());
+        let _ = scan;
+    }
+
+    #[test]
+    fn empty_store_is_a_no_op() {
+        let mut b = MemBackend::new();
+        let applied = StorageFaultPlan::new(7)
+            .with_seeded_bit_flips(2)
+            .with_fault(StorageFault::RemoveObject { object_index: 0 })
+            .apply(&mut b);
+        assert!(applied.iter().all(|a| a.object.is_none()));
+        assert!(b.object_names().is_empty());
+    }
+}

@@ -13,6 +13,8 @@
 //! * [`batch`] — host-side work-stealing batch executor over many jobs.
 //! * [`service`] — multi-tenant GEMM-as-a-service front end (admission
 //!   control, deadlines, overload shedding).
+//! * [`store`] — crash-consistent persistence: write-ahead journal,
+//!   checkpoint store and storage-fault injection.
 //!
 //! # Example
 //!
@@ -32,3 +34,4 @@ pub use redmule_hwsim as hwsim;
 pub use redmule_nn as nn;
 pub use redmule_runtime as runtime;
 pub use redmule_service as service;
+pub use redmule_store as store;
