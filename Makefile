@@ -9,6 +9,10 @@
 #   make test-full   — workspace tests including the #[ignore]d deep
 #                      sweeps (what nightly CI runs)
 #   make modelcheck  — model-hygiene static analysis (DESIGN.md §10)
+#   make modelcheck-json — same scan, machine-readable report written to
+#                      modelcheck-report.json (the CI artifact)
+#   make lint        — static gates only: modelcheck + warning-free
+#                      clippy (the fast pre-push check)
 #   make figures     — regenerate every table/figure (quick sweep sizes)
 #   make batch-smoke — batch-throughput smoke run; fails unless
 #                      BENCH_batch.json exists and scaling holds
@@ -27,9 +31,9 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test test-full clippy fmt modelcheck figures batch-smoke trace-smoke service-smoke recover-smoke
+.PHONY: verify build test test-full clippy fmt lint modelcheck modelcheck-json figures batch-smoke trace-smoke service-smoke recover-smoke
 
-verify: build test clippy fmt modelcheck batch-smoke trace-smoke service-smoke recover-smoke
+verify: build test lint fmt batch-smoke trace-smoke service-smoke recover-smoke
 
 build:
 	$(CARGO) build --release
@@ -46,8 +50,13 @@ clippy:
 fmt:
 	$(CARGO) fmt --all -- --check
 
+lint: modelcheck clippy
+
 modelcheck:
 	$(CARGO) run -q -p modelcheck
+
+modelcheck-json:
+	$(CARGO) run -q -p modelcheck -- --json > modelcheck-report.json
 
 figures:
 	$(CARGO) run --release -q -p redmule-bench --bin figures -- all

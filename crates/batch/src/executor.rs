@@ -196,6 +196,9 @@ impl BatchExecutor {
         let engine = &self.engine;
 
         let panicked: Mutex<Option<String>> = Mutex::new(None);
+        // modelcheck-allow: RM-ERR-001 -- name collision: this is
+        // std::thread::scope returning the closure's unit value, not the
+        // workspace's Result-returning `scope`.
         thread::scope(|scope| {
             let handles: Vec<_> = (0..self.workers)
                 .map(|w| {

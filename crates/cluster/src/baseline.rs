@@ -253,7 +253,9 @@ impl SwGemm {
             for c in 0..n_cores_cfg {
                 mem.store_f16_slice(priv_base + c as u32 * priv_stride, w)?;
             }
-            priv_cycles = PRIVATIZE_CYCLES_PER_ELEM * shape.w_len() as u64 + BARRIER_CYCLES;
+            priv_cycles = PRIVATIZE_CYCLES_PER_ELEM
+                .saturating_mul(shape.w_len() as u64)
+                .saturating_add(BARRIER_CYCLES);
             stats.add("w_privatize_cycles", priv_cycles);
         }
 
@@ -448,7 +450,7 @@ impl SwGemm {
                             if simd {
                                 core.acc1 = core.rx1.mul_add(core.rw1, core.acc1);
                             }
-                            core.acc_ready_at = cycle + fma_latency;
+                            core.acc_ready_at = cycle.saturating_add(fma_latency);
                             core.stage = if shape.n == 1 {
                                 Stage::StoreZ // unrolled: no inner branch
                             } else {
@@ -481,7 +483,7 @@ impl SwGemm {
                             core.fma_stalls += 1;
                         } else {
                             core.acc += core.acc1;
-                            core.acc_ready_at = cycle + fma_latency;
+                            core.acc_ready_at = cycle.saturating_add(fma_latency);
                             core.stage = if shape.n % 2 == 1 {
                                 core.l = shape.n - 1;
                                 Stage::TailLoadX
@@ -520,7 +522,7 @@ impl SwGemm {
                             core.fma_stalls += 1;
                         } else {
                             core.acc = core.rx.mul_add(core.rw, core.acc);
-                            core.acc_ready_at = cycle + fma_latency;
+                            core.acc_ready_at = cycle.saturating_add(fma_latency);
                             core.stage = Stage::StoreZ;
                         }
                     }
@@ -558,13 +560,17 @@ impl SwGemm {
                     }
                 }
             }
-            cycle += 1;
+            cycle = cycle.saturating_add(1);
         }
 
         let total = if shape.m == 0 || shape.k == 0 {
             Cycle::ZERO
         } else {
-            Cycle::new(cycle + BARRIER_CYCLES + priv_cycles)
+            Cycle::new(
+                cycle
+                    .saturating_add(BARRIER_CYCLES)
+                    .saturating_add(priv_cycles),
+            )
         };
 
         for (idx, core) in cores.iter().enumerate() {

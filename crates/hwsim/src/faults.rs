@@ -160,7 +160,7 @@ impl FaultLog {
     /// parent run.
     pub fn absorb(&mut self, other: &FaultLog, cycle_offset: u64) {
         self.events.extend(other.events.iter().map(|e| FaultEvent {
-            cycle: e.cycle + cycle_offset,
+            cycle: e.cycle.saturating_add(cycle_offset),
             ..e.clone()
         }));
     }

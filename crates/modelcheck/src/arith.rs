@@ -1,0 +1,210 @@
+//! RM-ARITH-001 — unchecked arithmetic on cycle-denominated counters.
+//!
+//! Cycle totals, token-bucket credits, latency sums and deadline math
+//! are all denominated in `u64` simulated cycles. A long-running service
+//! or an adversarial submission script can push any of them toward the
+//! type's edge, and in release builds a bare `+` / `*` / `+=` wraps
+//! silently — a wrapped credit counter admits unbounded work, a wrapped
+//! cycle total corrupts every downstream report. The paper's fault-
+//! tolerance story (RedMulE-FT) treats silent state corruption as the
+//! failure class to engineer away; arithmetic wraparound is the host-
+//! side version of it.
+//!
+//! The rule flags binary `+` / `*` and compound `+=` / `*=` where either
+//! operand (for compound: the target) is a path whose final segment
+//! names a cycle-denominated quantity — it contains `cycle`, `credit`,
+//! `latency`, `deadline` or `budget`. The fix is `saturating_add` /
+//! `saturating_mul` (cycle totals: a pinned ceiling beats a wrap) or
+//! `checked_*` where the overflow must become a typed error; genuinely
+//! bounded arithmetic (`phase` counters below a modulus, paper-constant
+//! expressions) carries an audited allow instead.
+//!
+//! Subtraction is deliberately out of scope: the workspace already
+//! writes `saturating_sub` where underflow is possible, and `-` on
+//! unsigned types panics in debug rather than wrapping silently in the
+//! tests that gate every merge.
+
+use crate::flow::path_before;
+use crate::lexer::{Tok, TokKind};
+use crate::rules::Diagnostic;
+
+/// Name fragments marking a cycle-denominated integer.
+const CYCLE_WORDS: [&str; 5] = ["cycle", "credit", "latency", "deadline", "budget"];
+
+fn is_cycle_name(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    CYCLE_WORDS.iter().any(|w| lower.contains(w))
+}
+
+/// Runs RM-ARITH-001 over one file (non-test tokens).
+pub fn rule_arith_001(file: &str, toks: &[Tok], out: &mut Vec<Diagnostic>) {
+    for (i, t) in toks.iter().enumerate() {
+        let op = match &t.kind {
+            TokKind::Punct(c @ ('+' | '*')) => *c,
+            _ => continue,
+        };
+        let compound = toks.get(i + 1).map(|n| n.kind.is_punct('=')) == Some(true);
+        if compound {
+            // `target += expr` / `target *= expr`: the wrapping hazard is
+            // the accumulator itself.
+            let target = final_segment(&path_before(toks, i));
+            if let Some(name) = target.filter(|n| is_cycle_name(n)) {
+                out.push(diag(file, t.line, op, &name, true));
+            }
+            continue;
+        }
+        // Binary operator: the previous token must end an expression
+        // (identifier, number, close bracket) — this excludes unary `*`
+        // derefs, `&*`, raw-pointer types and leading operators.
+        let prev_ends_expr = i > 0
+            && matches!(
+                &toks[i - 1].kind,
+                TokKind::Ident(_) | TokKind::Number(_) | TokKind::Punct(')') | TokKind::Punct(']')
+            );
+        if !prev_ends_expr {
+            continue;
+        }
+        let left = final_segment(&path_before(toks, i));
+        let right = final_segment(&forward_path(toks, i + 1));
+        let name = match (left, right) {
+            (Some(l), _) if is_cycle_name(&l) => Some(l),
+            (_, Some(r)) if is_cycle_name(&r) => Some(r),
+            _ => None,
+        };
+        if let Some(name) = name {
+            out.push(diag(file, t.line, op, &name, false));
+        }
+    }
+}
+
+fn diag(file: &str, line: u32, op: char, name: &str, compound: bool) -> Diagnostic {
+    let (bare, safe) = match op {
+        '+' => ("+", "saturating_add"),
+        _ => ("*", "saturating_mul"),
+    };
+    let shown = if compound {
+        format!("{bare}=")
+    } else {
+        bare.to_string()
+    };
+    Diagnostic {
+        rule: "RM-ARITH-001",
+        file: file.to_string(),
+        line,
+        message: format!(
+            "bare `{shown}` on cycle-denominated counter `{name}`: wraps silently \
+             in release builds; use {safe} (ceiling) or checked_{} (typed \
+             overflow error), or justify boundedness with an allow comment",
+            if op == '+' { "add" } else { "mul" },
+        ),
+    }
+}
+
+/// Final segment of a backward path, if any.
+fn final_segment(path: &[String]) -> Option<String> {
+    path.last().cloned()
+}
+
+/// The forward path starting at token `i`: `ident((.|::)ident)*`,
+/// stopping at the first non-path token. Returns the segments.
+fn forward_path(toks: &[Tok], mut i: usize) -> Vec<String> {
+    let mut segs = Vec::new();
+    // Leading `&` / `*` on the right operand still reaches a path.
+    while toks
+        .get(i)
+        .map(|t| t.kind.is_punct('&') || t.kind.is_punct('*'))
+        == Some(true)
+    {
+        i += 1;
+    }
+    while let Some(TokKind::Ident(s)) = toks.get(i).map(|t| &t.kind) {
+        segs.push(s.clone());
+        i += 1;
+        match toks.get(i).map(|t| &t.kind) {
+            Some(TokKind::Punct('.')) => i += 1,
+            Some(TokKind::Punct(':'))
+                if toks.get(i + 1).map(|t| t.kind.is_punct(':')) == Some(true) =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    // A call result is not a named counter: `f(x) + y` names nothing on
+    // the left; symmetrically `x + f(y)` names nothing on the right.
+    if toks.get(i).map(|t| t.kind.is_punct('(')) == Some(true) {
+        return Vec::new();
+    }
+    segs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::scope::non_test_tokens;
+
+    fn fired(src: &str) -> Vec<u32> {
+        let lexed = lex(src);
+        let code = non_test_tokens(&lexed.toks);
+        let mut out = Vec::new();
+        rule_arith_001("x.rs", &code, &mut out);
+        out.iter().map(|d| d.line).collect()
+    }
+
+    #[test]
+    fn compound_add_on_cycles_fires() {
+        assert_eq!(
+            fired("fn f(&mut self) { self.stall_cycles += 1; }"),
+            vec![1]
+        );
+    }
+
+    #[test]
+    fn bare_add_on_cycle_operands_fires_either_side() {
+        assert_eq!(
+            fired("fn f(c: u64, o: u64) -> u64 { c + deadline_cycles }"),
+            vec![1]
+        );
+        assert_eq!(
+            fired("fn f(cycle: u64, o: u64) -> u64 { cycle + o }"),
+            vec![1]
+        );
+        assert_eq!(
+            fired("fn f(a: u64, b: u64) -> u64 { a + b }"),
+            Vec::<u32>::new()
+        );
+    }
+
+    #[test]
+    fn saturating_and_checked_are_clean() {
+        let src = "fn f(c: u64) -> u64 { c.saturating_add(total_cycles).checked_mul(2).unwrap_or(u64::MAX) }";
+        assert_eq!(fired(src), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn mul_fires_but_deref_does_not() {
+        assert_eq!(fired("fn f(c: u64) -> u64 { c * latency }"), vec![1]);
+        assert_eq!(fired("fn f(p: &u64) -> u64 { *p }"), Vec::<u32>::new());
+        // `a * *b`: the deref `*` has a `*` before it, the binary `*`
+        // has no cycle-named operand (deref hides the name).
+        assert_eq!(
+            fired("fn f(a: u64, b: &u64) -> u64 { a * *b }"),
+            Vec::<u32>::new()
+        );
+    }
+
+    #[test]
+    fn call_results_are_not_named_counters() {
+        assert_eq!(
+            fired("fn f(x: u64) -> u64 { x + estimate(x) }"),
+            Vec::<u32>::new()
+        );
+    }
+
+    #[test]
+    fn tests_and_strings_are_exempt() {
+        let src = "#[cfg(test)]\nmod t { fn g(c: u64) -> u64 { c + total_cycles } }\nfn h() -> &'static str { \"cycles + 1\" }";
+        assert_eq!(fired(src), Vec::<u32>::new());
+    }
+}

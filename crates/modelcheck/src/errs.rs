@@ -1,0 +1,245 @@
+//! RM-ERR-001 — discarded `Result`s.
+//!
+//! Every fallible path in the model and host crates returns a typed
+//! error (`EngineError`, `StoreError`, ...): PR 1 and PR 2 converted the
+//! panics, PR 7 made storage corruption a value. That discipline is
+//! void if call sites drop the `Result` on the floor — `let _ = s.run();`
+//! or a bare `backend.publish(name, bytes);` silently converts a typed
+//! failure into wrong downstream state.
+//!
+//! `rustc`'s `#[must_use]` only warns, and only when the type is
+//! annotated; this rule *fails the build*. It knows which calls are
+//! fallible from a workspace-wide pre-pass: every `fn` in a scanned
+//! crate whose declared return type names a `Result` (including
+//! `io::Result`, `fmt::Result` and `*Result` aliases) contributes its
+//! name to the callee set. A statement discards a `Result` when
+//!
+//! * it is `let _ = <call>;` of such a callee, or
+//! * it is a bare `<call>;` expression statement of one,
+//!
+//! and the call chain is not already handled (`?`, a binding, an
+//! assignment, `match`, or a non-`Result` adapter at the chain tail).
+//! Name matching is lexical, so an infallible local `fn run()` shares
+//! the fate of `Engine::run` — suppress the rare collision with an
+//! audited allow.
+
+use crate::flow::{self, statements};
+use crate::lexer::{Tok, TokKind};
+use crate::rules::Diagnostic;
+use std::collections::BTreeSet;
+
+/// Runs RM-ERR-001 over one file (non-test tokens), with `result_fns`
+/// the workspace-wide set of `Result`-returning function names.
+pub fn rule_err_001(
+    file: &str,
+    toks: &[Tok],
+    result_fns: &BTreeSet<String>,
+    out: &mut Vec<Diagnostic>,
+) {
+    for f in flow::functions(toks) {
+        if !f.body.is_empty() {
+            check_block(file, toks, f.body.clone(), result_fns, out);
+        }
+    }
+}
+
+fn check_block(
+    file: &str,
+    toks: &[Tok],
+    range: std::ops::Range<usize>,
+    result_fns: &BTreeSet<String>,
+    out: &mut Vec<Diagnostic>,
+) {
+    for stmt in statements(toks, range) {
+        if stmt.semi {
+            check_stmt(file, toks, stmt.range.clone(), result_fns, out);
+        }
+        for inner in flow::inner_blocks(toks, stmt.range.clone()) {
+            check_block(file, toks, inner, result_fns, out);
+        }
+    }
+}
+
+fn check_stmt(
+    file: &str,
+    toks: &[Tok],
+    range: std::ops::Range<usize>,
+    result_fns: &BTreeSet<String>,
+    out: &mut Vec<Diagnostic>,
+) {
+    if range.is_empty() {
+        return;
+    }
+    let first = toks[range.start].kind.ident();
+    let (expr, wildcard) = match first {
+        Some("let") => {
+            // Only `let _ = <expr>` discards; named bindings consume.
+            if toks.get(range.start + 1).and_then(|t| t.kind.ident()) == Some("_")
+                && toks.get(range.start + 2).map(|t| t.kind.is_punct('=')) == Some(true)
+            {
+                (range.start + 3..range.end, true)
+            } else {
+                return;
+            }
+        }
+        Some(
+            "return" | "break" | "continue" | "use" | "const" | "static" | "type" | "fn" | "struct"
+            | "enum" | "impl" | "mod" | "trait",
+        ) => return,
+        _ => {
+            // A bare expression statement — but assignments and compound
+            // assignments consume their right-hand side.
+            if has_top_level_assign(toks, range.clone()) {
+                return;
+            }
+            (range.clone(), false)
+        }
+    };
+    if expr.is_empty() {
+        return;
+    }
+    // `?` at the chain tail propagates the error: handled.
+    if toks[expr.end - 1].kind.is_punct('?') {
+        return;
+    }
+    let Some(callee) = last_top_level_callee(toks, expr.clone()) else {
+        return;
+    };
+    if !result_fns.contains(callee) {
+        return;
+    }
+    let line = toks[range.start].line;
+    let how = if wildcard {
+        "binds the Result to `_`"
+    } else {
+        "drops the Result of an expression statement"
+    };
+    out.push(Diagnostic {
+        rule: "RM-ERR-001",
+        file: file.to_string(),
+        line,
+        message: format!(
+            "call of `{callee}` (a Result-returning workspace function) {how}: \
+             handle the error, propagate it with `?`, or justify with an \
+             allow comment"
+        ),
+    });
+}
+
+/// Whether the statement has a top-level `=` (assignment / compound
+/// assignment / comparison — all of which consume the value).
+fn has_top_level_assign(toks: &[Tok], range: std::ops::Range<usize>) -> bool {
+    let mut depth = 0i64;
+    for i in range {
+        match &toks[i].kind {
+            TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => depth += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => depth -= 1,
+            TokKind::Punct('=') if depth == 0 => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// The callee of the *last* call at the top level of `range` — the tail
+/// of the method chain, whose return value is the statement's value.
+/// Macro invocations (`write!(..)`) are not calls.
+fn last_top_level_callee(toks: &[Tok], range: std::ops::Range<usize>) -> Option<&str> {
+    let mut depth = 0i64;
+    let mut last: Option<&str> = None;
+    let mut i = range.start;
+    while i < range.end {
+        match &toks[i].kind {
+            TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => depth += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => depth -= 1,
+            TokKind::Ident(_) if depth == 0 => {
+                if let Some(next) = toks.get(i + 1) {
+                    if next.kind.is_punct('!') {
+                        // Macro: skip the bang so its delimiter group is
+                        // consumed by the depth counter without recording
+                        // a callee.
+                        i += 1;
+                    } else if next.kind.is_punct('(') && i + 1 < range.end {
+                        last = flow::callee_at(toks, i);
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::scope::non_test_tokens;
+
+    fn fired(src: &str, fns: &[&str]) -> Vec<u32> {
+        let lexed = lex(src);
+        let code = non_test_tokens(&lexed.toks);
+        let set: BTreeSet<String> = fns.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        rule_err_001("x.rs", &code, &set, &mut out);
+        out.iter().map(|d| d.line).collect()
+    }
+
+    #[test]
+    fn bare_call_of_result_fn_fires() {
+        let src = "fn f(j: &mut J) {\n    j.flush();\n}\n";
+        assert_eq!(fired(src, &["flush"]), vec![2]);
+    }
+
+    #[test]
+    fn wildcard_let_fires() {
+        let src = "fn f(j: &mut J) {\n    let _ = j.flush();\n}\n";
+        assert_eq!(fired(src, &["flush"]), vec![2]);
+    }
+
+    #[test]
+    fn handled_results_are_clean() {
+        let src = "fn f(j: &mut J) -> Result<(), E> {\n\
+                   j.flush()?;\n\
+                   let r = j.flush();\n\
+                   if j.flush().is_err() { log(); }\n\
+                   match j.flush() { _ => {} }\n\
+                   Ok(())\n\
+                   }\n";
+        assert_eq!(fired(src, &["flush"]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn chain_tail_decides() {
+        // The chain ends in `unwrap_or_default`, not the Result call.
+        let src = "fn f(j: &J) {\n    j.flush().unwrap_or_default();\n}\n";
+        assert_eq!(fired(src, &["flush"]), Vec::<u32>::new());
+        // ...but a tail that *is* the Result call fires.
+        let src2 = "fn f(j: &J) {\n    j.prepare().flush();\n}\n";
+        assert_eq!(fired(src2, &["flush"]), vec![2]);
+    }
+
+    #[test]
+    fn non_result_callees_and_macros_are_clean() {
+        let src = "fn f(out: &mut String) {\n\
+                   let _ = write!(out, \"x\");\n\
+                   tick();\n\
+                   }\n";
+        assert_eq!(fired(src, &["flush"]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn nested_blocks_are_checked() {
+        let src = "fn f(j: &mut J, c: bool) {\n    if c {\n        j.flush();\n    }\n}\n";
+        assert_eq!(fired(src, &["flush"]), vec![3]);
+    }
+
+    #[test]
+    fn closure_interiors_are_checked_but_not_confused() {
+        // The closure body's discard fires; the outer `map` call does not
+        // (its callee `map` is not in the set).
+        let src = "fn f(v: &[J]) {\n    v.iter().for_each(|j| {\n        j.flush();\n    });\n}\n";
+        assert_eq!(fired(src, &["flush"]), vec![3]);
+    }
+}

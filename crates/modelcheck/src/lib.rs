@@ -14,18 +14,34 @@
 //!   serialized state struct is covered by its save/load pair;
 //! * **RM-PANIC-001** — no panicking calls in model code (extends the
 //!   clippy `unwrap_used` deny with the panic macros);
+//! * **RM-LOCK-001** — no lock acquisition-order cycles: the per-crate
+//!   "acquired while holding" graph must be acyclic (deadlock freedom);
+//! * **RM-RACE-001** — no interleaving-ordered data (appends under a
+//!   lock, channel drains) reaching canonical outputs without a
+//!   deterministic reorder;
+//! * **RM-ERR-001** — no discarded `Result`s from workspace functions
+//!   (`let _ = ...;`, bare-semicolon calls);
+//! * **RM-ARITH-001** — no bare `+` / `*` / `+=` on cycle-denominated
+//!   counters (cycle totals, credits, latencies, deadlines, budgets);
 //! * **RM-ALLOW-001 / RM-ALLOW-002** — allowlist hygiene: every
 //!   suppression is justified and still needed.
 //!
 //! Run it as `cargo run -p modelcheck` from the workspace root (wired
-//! into `make verify` and CI). The analyzer is dependency-free — the
-//! build image has no crates.io access, so instead of `syn` it uses its
-//! own minimal Rust lexer ([`lexer`]); rules match real tokens, never
+//! into `make verify` and CI); pass `--json` for machine-readable
+//! output. The analyzer is dependency-free — the build image has no
+//! crates.io access, so instead of `syn` it uses its own minimal Rust
+//! lexer ([`lexer`]) plus a lightweight flow structurizer ([`flow`]);
+//! rules match real tokens and recovered block/statement shape, never
 //! text inside strings or comments.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod arith;
+pub mod errs;
+pub mod flow;
 pub mod lexer;
+pub mod locks;
+pub mod race;
 pub mod rules;
 pub mod scope;
 pub mod snapshot;
@@ -33,7 +49,8 @@ pub mod snapshot;
 use std::path::{Path, PathBuf};
 
 pub use rules::{
-    check_file, crate_is_checked, Diagnostic, FP_STRICT_CRATES, HOST_CRATES, MODEL_CRATES,
+    check_crate, check_file, crate_is_checked, Diagnostic, WorkspaceContext, FP_STRICT_CRATES,
+    HOST_CRATES, MODEL_CRATES,
 };
 
 /// Result of a workspace scan.
@@ -50,11 +67,64 @@ impl Report {
     pub fn is_clean(&self) -> bool {
         self.diagnostics.is_empty()
     }
+
+    /// Machine-readable rendering of the report (the `--json` CLI mode,
+    /// uploaded as a CI artifact). Hand-rolled — the analyzer is
+    /// dependency-free — with diagnostics in the same deterministic
+    /// `(file, line, rule)` order as the text output.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"tool\": \"modelcheck\",\n  \"version\": 2,\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"clean\": {},\n", self.is_clean()));
+        out.push_str("  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                json_string(d.rule),
+                json_string(&d.file),
+                d.line,
+                json_string(&d.message),
+            ));
+        }
+        if !self.diagnostics.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Scans every checked crate under `<root>/crates`, skipping test-only
 /// trees (`tests/`, `benches/`, `examples/`) — in-file `#[cfg(test)]`
 /// items are stripped by the rules themselves.
+///
+/// The scan is two-pass: pass one reads every file and builds the
+/// [`WorkspaceContext`] (the `Result`-returning callee set RM-ERR-001
+/// resolves against); pass two runs the rules crate by crate, so
+/// crate-wide rules (RM-LOCK-001's acquisition-order graph) see every
+/// file of a crate at once.
 ///
 /// # Errors
 ///
@@ -70,12 +140,15 @@ pub fn check_workspace(root: &Path) -> Result<Report, String> {
         .collect();
     crate_names.sort();
 
-    let mut report = Report::default();
+    // Pass 1: load sources, build the workspace context.
+    let mut ctx = WorkspaceContext::default();
+    let mut loaded: Vec<(String, Vec<rules::SourceFile>)> = Vec::new();
     for name in crate_names {
         if !crate_is_checked(&name) {
             continue;
         }
         let src_dir = crates_dir.join(&name).join("src");
+        let mut files: Vec<rules::SourceFile> = Vec::new();
         for file in rust_files(&src_dir)? {
             let src = std::fs::read_to_string(&file)
                 .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
@@ -84,11 +157,19 @@ pub fn check_workspace(root: &Path) -> Result<Report, String> {
                 .unwrap_or(&file)
                 .display()
                 .to_string();
-            report
-                .diagnostics
-                .extend(rules::check_file(&name, &label, &src));
-            report.files_scanned += 1;
+            ctx.add_source(&src);
+            files.push((label, src));
         }
+        loaded.push((name, files));
+    }
+
+    // Pass 2: run the rules crate by crate.
+    let mut report = Report::default();
+    for (name, files) in &loaded {
+        report
+            .diagnostics
+            .extend(rules::check_crate(name, files, &ctx));
+        report.files_scanned += files.len();
     }
     report
         .diagnostics

@@ -1,0 +1,438 @@
+//! RM-LOCK-001 — lock acquisition-order cycles.
+//!
+//! The host crates promise "reports byte-identical at any worker count",
+//! which only holds if every run *terminates*: a lock-order inversion
+//! (`a` then `b` on one path, `b` then `a` on another) is a latent
+//! deadlock that no byte-compare test over exercised schedules can
+//! surface. This rule builds, per crate, the directed graph of "lock B
+//! acquired while a guard of lock A is live" from nested guard scopes
+//! and reports every strongly-connected cluster (including self-edges —
+//! re-locking a `Mutex` you already hold deadlocks immediately).
+//!
+//! Lock identities are lexical: the final path segment of the receiver
+//! (`self.state.lock()` → `state`, `deques[w].lock()` → `deques`). Two
+//! different structs with a same-named lock field are conflated — that is
+//! the safe direction for a hygiene lint (over-approximate, allowlist
+//! the false positive with a justification).
+//!
+//! Scanning is gated on the file naming `Mutex` / `RwLock` (directly or
+//! through a `use` rename), so `.read()` / `.write()` on registers or IO
+//! objects in lock-free files never register as acquisitions; inside a
+//! lock-using file, only *empty-argument* `.lock()` / `.read()` /
+//! `.write()` calls count (the `RwLock` API), which excludes
+//! `io::Write::write(buf)`.
+
+use crate::flow::{self, path_before, statements, UseMap};
+use crate::lexer::{matching_close, Tok, TokKind};
+use crate::rules::Diagnostic;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One observed "acquired `to` while holding `from`" event.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LockEdge {
+    /// Identity of the lock already held.
+    pub from: String,
+    /// Identity of the lock being acquired.
+    pub to: String,
+    /// File of the inner acquisition.
+    pub file: String,
+    /// Line of the inner acquisition.
+    pub line: u32,
+}
+
+/// A lock guard live in the current scope.
+#[derive(Debug, Clone)]
+pub struct Guard {
+    /// Binding name (`let g = ...`); `None` for statement temporaries.
+    pub name: Option<String>,
+    /// Lock identity (final receiver path segment).
+    pub id: String,
+}
+
+/// One lock acquisition found in a statement's top-level tokens.
+#[derive(Debug)]
+pub struct Acquisition {
+    /// Lock identity.
+    pub id: String,
+    /// Token index of the method name (`lock` / `read` / `write`).
+    pub tok: usize,
+    /// Source line.
+    pub line: u32,
+}
+
+/// Whether this file's code plausibly handles `std::sync` locks at all.
+pub fn file_uses_locks(toks: &[Tok], uses: &UseMap) -> bool {
+    toks.iter().any(|t| {
+        t.kind
+            .ident()
+            .is_some_and(|id| matches!(uses.canonical(id), "Mutex" | "RwLock"))
+    })
+}
+
+/// Finds every lock acquisition in `range`, *skipping* nested `{...}`
+/// groups (those are walked recursively as their own scopes).
+///
+/// An acquisition is `.lock()`, `.read()` or `.write()` with empty
+/// argument parentheses and a simple-path receiver.
+pub fn acquisitions_top_level(toks: &[Tok], range: std::ops::Range<usize>) -> Vec<Acquisition> {
+    let mut out = Vec::new();
+    let mut i = range.start;
+    while i < range.end {
+        if toks[i].kind.is_punct('{') {
+            match matching_close(toks, i) {
+                Some(close) if close < range.end => {
+                    i = close + 1;
+                    continue;
+                }
+                _ => break,
+            }
+        }
+        if let Some(acq) = acquisition_at(toks, i) {
+            out.push(acq);
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Matches `. lock ( )` (or `read`/`write`) ending at token `i` being the
+/// method name; returns the acquisition with its receiver identity.
+fn acquisition_at(toks: &[Tok], i: usize) -> Option<Acquisition> {
+    let name = toks[i].kind.ident()?;
+    if !matches!(name, "lock" | "read" | "write") {
+        return None;
+    }
+    if i == 0 || !toks[i - 1].kind.is_punct('.') {
+        return None;
+    }
+    if toks.get(i + 1).map(|t| t.kind.is_punct('(')) != Some(true)
+        || toks.get(i + 2).map(|t| t.kind.is_punct(')')) != Some(true)
+    {
+        return None;
+    }
+    let path = path_before(toks, i - 1);
+    let id = path.last()?.clone();
+    Some(Acquisition {
+        id,
+        tok: i,
+        line: toks[i].line,
+    })
+}
+
+/// Collects the lock-order edges of one file (non-test tokens). Empty
+/// when the file never names `Mutex` / `RwLock`.
+pub fn lock_edges(file: &str, toks: &[Tok], uses: &UseMap) -> Vec<LockEdge> {
+    if !file_uses_locks(toks, uses) {
+        return Vec::new();
+    }
+    let mut edges = Vec::new();
+    for f in flow::functions(toks) {
+        if !f.body.is_empty() {
+            let mut live: Vec<Guard> = Vec::new();
+            walk_block(toks, f.body.clone(), &mut live, &mut edges, file);
+        }
+    }
+    edges
+}
+
+/// Walks one block's statements, threading the live-guard stack.
+fn walk_block(
+    toks: &[Tok],
+    range: std::ops::Range<usize>,
+    live: &mut Vec<Guard>,
+    edges: &mut Vec<LockEdge>,
+    file: &str,
+) {
+    let depth_at_entry = live.len();
+    for stmt in statements(toks, range) {
+        let acqs = acquisitions_top_level(toks, stmt.range.clone());
+        // Edges: each acquisition vs. every live guard plus the earlier
+        // temporaries of this same statement (left-to-right evaluation).
+        let mut temps: Vec<Guard> = Vec::new();
+        for acq in &acqs {
+            for g in live.iter().chain(temps.iter()) {
+                edges.push(LockEdge {
+                    from: g.id.clone(),
+                    to: acq.id.clone(),
+                    file: file.to_string(),
+                    line: acq.line,
+                });
+            }
+            temps.push(Guard {
+                name: None,
+                id: acq.id.clone(),
+            });
+        }
+        // `let [mut] NAME = <expr with an acquisition>;` binds a guard
+        // that outlives the statement.
+        if let Some(name) = let_binding_name(toks, stmt.range.clone()) {
+            if name == "_" {
+                // `let _ = x.lock();` drops the guard immediately.
+            } else if let Some(first) = acqs.first() {
+                live.push(Guard {
+                    name: Some(name.to_string()),
+                    id: first.id.clone(),
+                });
+            }
+        }
+        // `drop(name);` releases a named guard early.
+        if let Some(dropped) = drop_target(toks, stmt.range.clone()) {
+            live.retain(|g| g.name.as_deref() != Some(dropped));
+        }
+        // Nested scopes (if/match/loop bodies, plain blocks, closure
+        // bodies) see the guards live at this point; guards they bind die
+        // with them.
+        for inner in flow::inner_blocks(toks, stmt.range.clone()) {
+            walk_block(toks, inner, live, edges, file);
+        }
+    }
+    live.truncate(depth_at_entry);
+}
+
+/// `let [mut] NAME = ...` → `NAME`, for simple (non-pattern) bindings.
+pub fn let_binding_name(toks: &[Tok], range: std::ops::Range<usize>) -> Option<&str> {
+    let mut i = range.start;
+    if toks.get(i)?.kind.ident()? != "let" {
+        return None;
+    }
+    i += 1;
+    if toks.get(i)?.kind.ident() == Some("mut") {
+        i += 1;
+    }
+    let name = toks.get(i)?.kind.ident()?;
+    // Only simple `name =` / `name: Ty =` bindings; destructuring
+    // patterns never bind a guard we can track.
+    match toks.get(i + 1).map(|t| &t.kind) {
+        Some(TokKind::Punct('=')) | Some(TokKind::Punct(':')) => Some(name),
+        _ => None,
+    }
+}
+
+/// `drop ( NAME )` → `NAME`.
+fn drop_target(toks: &[Tok], range: std::ops::Range<usize>) -> Option<&str> {
+    let i = range.start;
+    if toks.get(i)?.kind.ident()? != "drop" {
+        return None;
+    }
+    if !toks.get(i + 1)?.kind.is_punct('(') {
+        return None;
+    }
+    let name = toks.get(i + 2)?.kind.ident()?;
+    if !toks.get(i + 3)?.kind.is_punct(')') {
+        return None;
+    }
+    Some(name)
+}
+
+/// Runs cycle detection over a crate's accumulated edges, emitting one
+/// diagnostic per strongly-connected lock cluster, anchored at the
+/// cluster's first edge site in `(file, line)` order — deterministic
+/// regardless of discovery order.
+pub fn rule_lock_001(crate_name: &str, edges: &[LockEdge], out: &mut Vec<Diagnostic>) {
+    // Transitive closure over the (tiny) lock graph.
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(e.from.as_str())
+            .or_default()
+            .insert(e.to.as_str());
+    }
+    let mut reach = adj.clone();
+    loop {
+        let mut grew = false;
+        let keys: Vec<&str> = reach.keys().copied().collect();
+        for u in &keys {
+            let step: BTreeSet<&str> = reach[u]
+                .iter()
+                .filter_map(|v| reach.get(v))
+                .flatten()
+                .copied()
+                .collect();
+            let set = reach.entry(u).or_default();
+            for v in step {
+                grew |= set.insert(v);
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    // Cyclic nodes, grouped into mutual-reachability clusters.
+    let cyclic: BTreeSet<&str> = reach
+        .iter()
+        .filter(|(u, r)| r.contains(**u))
+        .map(|(u, _)| *u)
+        .collect();
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    for &u in &cyclic {
+        if seen.contains(u) {
+            continue;
+        }
+        let cluster: BTreeSet<&str> = cyclic
+            .iter()
+            .filter(|&&v| v == u || (reach[u].contains(v) && reach[v].contains(u)))
+            .copied()
+            .collect();
+        seen.extend(cluster.iter().copied());
+        // Edges internal to the cluster, in deterministic order; the
+        // first is the anchor, the rest are cited in the message.
+        let mut internal: Vec<&LockEdge> = edges
+            .iter()
+            .filter(|e| cluster.contains(e.from.as_str()) && cluster.contains(e.to.as_str()))
+            .collect();
+        internal.sort_by(|a, b| {
+            (&a.file, a.line, &a.from, &a.to).cmp(&(&b.file, b.line, &b.from, &b.to))
+        });
+        internal.dedup();
+        let Some(anchor) = internal.first() else {
+            continue;
+        };
+        let names: Vec<&str> = cluster.iter().copied().collect();
+        let other_sites: Vec<String> = internal
+            .iter()
+            .skip(1)
+            .map(|e| format!("{}:{} ({} -> {})", e.file, e.line, e.from, e.to))
+            .collect();
+        let message = if cluster.len() == 1 {
+            format!(
+                "lock `{}` acquired while a guard for it is already live in crate \
+                 `{crate_name}`: an immediate self-deadlock for Mutex (and writer \
+                 starvation for RwLock); restructure so the guard is dropped first, \
+                 or justify with an allow comment",
+                names[0],
+            )
+        } else {
+            format!(
+                "lock-order cycle between {{{}}} in crate `{crate_name}`: \
+                 acquired here as {} -> {} but in the opposite order at {}; \
+                 pick one global order (a potential deadlock otherwise) or \
+                 justify with an allow comment",
+                names.join(", "),
+                anchor.from,
+                anchor.to,
+                if other_sites.is_empty() {
+                    "another site".to_string()
+                } else {
+                    other_sites.join(", ")
+                },
+            )
+        };
+        out.push(Diagnostic {
+            rule: "RM-LOCK-001",
+            file: anchor.file.clone(),
+            line: anchor.line,
+            message,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::use_map;
+    use crate::lexer::lex;
+    use crate::scope::non_test_tokens;
+
+    fn edges_of(src: &str) -> Vec<(String, String, u32)> {
+        let lexed = lex(src);
+        let code = non_test_tokens(&lexed.toks);
+        let uses = use_map(&code);
+        lock_edges("x.rs", &code, &uses)
+            .into_iter()
+            .map(|e| (e.from, e.to, e.line))
+            .collect()
+    }
+
+    #[test]
+    fn nested_guards_produce_an_edge() {
+        let src = "use std::sync::Mutex;\n\
+                   fn f(s: &S) {\n\
+                       let ga = s.a.lock();\n\
+                       let gb = s.b.lock();\n\
+                   }\n";
+        assert_eq!(edges_of(src), vec![("a".into(), "b".into(), 4)]);
+    }
+
+    #[test]
+    fn guard_scope_ends_at_block_close_and_drop() {
+        let src = "use std::sync::Mutex;\n\
+                   fn f(s: &S) {\n\
+                       { let ga = s.a.lock(); }\n\
+                       let gb = s.b.lock();\n\
+                   }\n\
+                   fn g(s: &S) {\n\
+                       let ga = s.a.lock();\n\
+                       drop(ga);\n\
+                       let gb = s.b.lock();\n\
+                   }\n";
+        assert_eq!(edges_of(src), vec![]);
+    }
+
+    #[test]
+    fn files_without_lock_types_are_skipped() {
+        // Register-file style `.read()` in a lock-free file: no edges.
+        let src = "fn f(r: &Reg) { let a = r.bank.read(); let b = r.ctrl.read(); }\n";
+        assert_eq!(edges_of(src), vec![]);
+    }
+
+    #[test]
+    fn write_with_arguments_is_not_an_acquisition() {
+        let src = "use std::sync::RwLock;\n\
+                   fn f(s: &S, buf: &[u8]) {\n\
+                       let g = s.state.write();\n\
+                       s.file.write(buf);\n\
+                   }\n";
+        assert_eq!(edges_of(src), vec![]);
+    }
+
+    #[test]
+    fn inversion_yields_one_diagnostic() {
+        let src = "use std::sync::Mutex;\n\
+                   fn fwd(s: &S) { let ga = s.a.lock(); let gb = s.b.lock(); }\n\
+                   fn rev(s: &S) { let gb = s.b.lock(); let ga = s.a.lock(); }\n";
+        let lexed = lex(src);
+        let code = non_test_tokens(&lexed.toks);
+        let uses = use_map(&code);
+        let edges = lock_edges("x.rs", &code, &uses);
+        let mut out = Vec::new();
+        rule_lock_001("batch", &edges, &mut out);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert_eq!(out[0].rule, "RM-LOCK-001");
+        assert_eq!(out[0].line, 2, "anchor at the first edge site");
+        assert!(out[0].message.contains("a, b"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn self_relock_yields_one_diagnostic() {
+        let src = "use std::sync::Mutex;\n\
+                   fn f(s: &S) {\n\
+                       let g1 = s.q.lock();\n\
+                       let g2 = s.q.lock();\n\
+                   }\n";
+        let lexed = lex(src);
+        let code = non_test_tokens(&lexed.toks);
+        let uses = use_map(&code);
+        let edges = lock_edges("x.rs", &code, &uses);
+        let mut out = Vec::new();
+        rule_lock_001("batch", &edges, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(
+            out[0].message.contains("self-deadlock"),
+            "{}",
+            out[0].message
+        );
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = "use std::sync::Mutex;\n\
+                   fn f(s: &S) { let ga = s.a.lock(); let gb = s.b.lock(); }\n\
+                   fn g(s: &S) { let ga = s.a.lock(); let gb = s.b.lock(); }\n";
+        let lexed = lex(src);
+        let code = non_test_tokens(&lexed.toks);
+        let uses = use_map(&code);
+        let edges = lock_edges("x.rs", &code, &uses);
+        let mut out = Vec::new();
+        rule_lock_001("batch", &edges, &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+}

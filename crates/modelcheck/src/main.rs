@@ -1,8 +1,10 @@
-//! CLI entry point: `cargo run -p modelcheck [-- --root <path>]`.
+//! CLI entry point: `cargo run -p modelcheck [-- --root <path>] [--json]`.
 //!
 //! Prints one `RULE file:line: message` diagnostic per violation and
 //! exits nonzero when any are found, so `make verify` and CI fail on the
-//! first hygiene regression.
+//! first hygiene regression. With `--json` the report is emitted as a
+//! single machine-readable JSON object instead (same exit codes) — CI
+//! uploads it as a build artifact.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
@@ -11,6 +13,7 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
+    let mut json = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -21,17 +24,23 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--json" => json = true,
             "--help" | "-h" => {
                 println!(
                     "modelcheck — RedMulE workspace hygiene analyzer\n\
                      \n\
-                     USAGE: cargo run -p modelcheck [-- --root <workspace root>]\n\
+                     USAGE: cargo run -p modelcheck [-- --root <workspace root>] [--json]\n\
                      \n\
                      Rules: RM-DET-001/002 (determinism), RM-FP-001 (softfloat\n\
                      only), RM-SNAP-001 (snapshot completeness), RM-PANIC-001\n\
-                     (no panics), RM-ALLOW-001/002 (allowlist hygiene).\n\
-                     See DESIGN.md §10 for the rule catalogue and how to\n\
-                     allowlist a justified exception."
+                     (no panics), RM-LOCK-001 (lock-order cycles), RM-RACE-001\n\
+                     (interleaving-ordered output), RM-ERR-001 (discarded\n\
+                     Results), RM-ARITH-001 (unchecked cycle arithmetic),\n\
+                     RM-ALLOW-001/002 (allowlist hygiene).\n\
+                     \n\
+                     --json emits the report as one JSON object (exit codes\n\
+                     unchanged). See DESIGN.md §10 for the rule catalogue and\n\
+                     how to allowlist a justified exception."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -55,6 +64,14 @@ fn main() -> ExitCode {
 
     match modelcheck::check_workspace(&root) {
         Ok(report) => {
+            if json {
+                print!("{}", report.to_json());
+                return if report.is_clean() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                };
+            }
             for d in &report.diagnostics {
                 println!("{d}");
             }

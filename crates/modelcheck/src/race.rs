@@ -1,0 +1,413 @@
+//! RM-RACE-001 — interleaving-ordered data reaching canonical outputs.
+//!
+//! The canonical-report contract of the host crates ("byte-identical at
+//! any worker count") dies quietly when completion-ordered data is
+//! serialized as-is: results pushed into a shared collection under a
+//! lock, or drained from a channel, arrive in whatever order the OS
+//! scheduler produced. This rule flags, function-locally, an
+//! *interleaving-ordered fill* — an append (`push` / `extend` /
+//! `append`) through a lock guard, or an append fed by a channel
+//! receive — whose collection later flows into an output-shaped call
+//! (`*json*`, `*report*`, `*serialize*`, `*canonical*`, `*chrome*`,
+//! `*render*`, `*emit*`) without an intervening deterministic reorder
+//! (a `sort*` call on the same collection).
+//!
+//! The analysis is deliberately function-local and lexical: it cannot
+//! follow a collection across function boundaries, and indexed writes
+//! (`slot[i] = x`) are never flagged — placement by precomputed index is
+//! the deterministic pattern the batch executor already uses. Cross-
+//! function flows that a reviewer knows to be ordered belong behind an
+//! audited `modelcheck-allow` comment.
+
+use crate::flow::{self, path_before, statements, UseMap};
+use crate::lexer::{matching_close, Tok};
+use crate::locks::{acquisitions_top_level, Guard};
+use crate::rules::Diagnostic;
+
+/// Method names that append in arrival order.
+const APPEND_METHODS: [&str; 3] = ["push", "extend", "append"];
+/// Channel-receive method names.
+const RECV_METHODS: [&str; 3] = ["recv", "try_recv", "recv_timeout"];
+/// Substrings marking an output-shaped callee or binding.
+const SINK_WORDS: [&str; 7] = [
+    "json",
+    "report",
+    "serialize",
+    "canonical",
+    "chrome",
+    "render",
+    "emit",
+];
+
+/// One interleaving-ordered fill site.
+#[derive(Debug)]
+struct Fill {
+    /// Root name of the filled collection (guard variable or receiver).
+    root: String,
+    /// Token index of the append method name.
+    tok: usize,
+    /// Source line.
+    line: u32,
+}
+
+/// Runs RM-RACE-001 over one file (non-test tokens). Host crates only —
+/// the caller gates on crate membership.
+pub fn rule_race_001(file: &str, toks: &[Tok], uses: &UseMap, out: &mut Vec<Diagnostic>) {
+    for f in flow::functions(toks) {
+        if f.body.is_empty() {
+            continue;
+        }
+        let mut guards: Vec<Guard> = Vec::new();
+        let mut fills: Vec<Fill> = Vec::new();
+        collect_fills(toks, f.body.clone(), uses, &mut guards, &mut fills, false);
+        for fill in fills {
+            if let Some(sink_line) = unsorted_sink_after(toks, &fill, f.body.end) {
+                out.push(Diagnostic {
+                    rule: "RM-RACE-001",
+                    file: file.to_string(),
+                    line: fill.line,
+                    message: format!(
+                        "`{root}` is filled in interleaving order (append under a lock \
+                         guard or from a channel) and reaches an output path at line \
+                         {sink_line} without a deterministic reorder; sort `{root}` by \
+                         a stable key before emitting, key the merge, or justify with \
+                         an allow comment",
+                        root = fill.root,
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Walks a block collecting guard bindings and interleaving fills.
+/// `inherited_recv` is `true` when an enclosing statement (e.g. a
+/// `while let Ok(v) = rx.recv()` loop header) already received from a
+/// channel — appends in its body are channel-ordered too.
+fn collect_fills(
+    toks: &[Tok],
+    range: std::ops::Range<usize>,
+    uses: &UseMap,
+    guards: &mut Vec<Guard>,
+    fills: &mut Vec<Fill>,
+    inherited_recv: bool,
+) {
+    let depth_at_entry = guards.len();
+    let lockful = crate::locks::file_uses_locks(toks, uses);
+    for stmt in statements(toks, range) {
+        // Guard bindings, same discipline as RM-LOCK-001.
+        if lockful {
+            let acqs = acquisitions_top_level(toks, stmt.range.clone());
+            if let Some(name) = crate::locks::let_binding_name(toks, stmt.range.clone()) {
+                if name != "_" {
+                    if let Some(first) = acqs.first() {
+                        let name = name.to_string();
+                        guards.push(Guard {
+                            name: Some(name),
+                            id: first.id.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        let has_recv = inherited_recv || stmt_has_recv(toks, stmt.range.clone());
+        // Appends at the statement's top level (nested blocks recurse).
+        let mut i = stmt.range.start;
+        while i < stmt.range.end {
+            if toks[i].kind.is_punct('{') {
+                match matching_close(toks, i) {
+                    Some(close) if close < stmt.range.end => {
+                        i = close + 1;
+                        continue;
+                    }
+                    _ => break,
+                }
+            }
+            if let Some(fill) = append_at(toks, i, guards, lockful, has_recv) {
+                fills.push(fill);
+            }
+            i += 1;
+        }
+        for inner in flow::inner_blocks(toks, stmt.range.clone()) {
+            collect_fills(toks, inner, uses, guards, fills, has_recv);
+        }
+    }
+    guards.truncate(depth_at_entry);
+}
+
+/// Whether the statement contains a channel receive call.
+fn stmt_has_recv(toks: &[Tok], range: std::ops::Range<usize>) -> bool {
+    range.clone().any(|i| {
+        toks[i]
+            .kind
+            .ident()
+            .is_some_and(|id| RECV_METHODS.contains(&id))
+            && i > range.start
+            && toks[i - 1].kind.is_punct('.')
+            && toks.get(i + 1).map(|t| t.kind.is_punct('(')) == Some(true)
+    })
+}
+
+/// Matches an interleaving-ordered append whose method name is at `i`.
+fn append_at(
+    toks: &[Tok],
+    i: usize,
+    guards: &[Guard],
+    lockful: bool,
+    stmt_has_recv: bool,
+) -> Option<Fill> {
+    let name = toks[i].kind.ident()?;
+    if !APPEND_METHODS.contains(&name) {
+        return None;
+    }
+    if i == 0 || !toks[i - 1].kind.is_punct('.') {
+        return None;
+    }
+    if toks.get(i + 1).map(|t| t.kind.is_punct('(')) != Some(true) {
+        return None;
+    }
+    let path = path_before(toks, i - 1);
+    let (root, through_guard) = match path.first() {
+        // (a1) append through a live lock guard binding: `g.push(..)`.
+        Some(root) => (
+            root.clone(),
+            lockful
+                && guards
+                    .iter()
+                    .any(|g| g.name.as_deref() == Some(root.as_str())),
+        ),
+        // (a2) direct `shared.lock().push(..)` chain: the root is the
+        // lock's own receiver.
+        None => match chain_lock_root(toks, i).filter(|_| lockful) {
+            Some(root) => (root, true),
+            // Chained receiver that is not a lock temporary: only a
+            // channel receive can make this fill interleaving-ordered,
+            // and then the root is unknown — skip (conservative).
+            None => return None,
+        },
+    };
+    // (b) append of channel data: the statement (or loop header) receives.
+    if through_guard || stmt_has_recv {
+        Some(Fill {
+            root,
+            tok: i,
+            line: toks[i].line,
+        })
+    } else {
+        None
+    }
+}
+
+/// When the method chain ending at token `i` (an append method name)
+/// passed through `.lock()` / `.read()` / `.write()` — i.e. the append
+/// target is a lock temporary (`shared.lock().push(x)`) — returns the
+/// lock's receiver root (`shared`).
+///
+/// `path_before` stops at a `)`, so a chained receiver yields an empty
+/// path; detect the chain by scanning back over `).method(` links for a
+/// lock acquisition.
+fn chain_lock_root(toks: &[Tok], i: usize) -> Option<String> {
+    // Walk back from the `.` before the append over `...)` groups.
+    let mut j = i - 1; // the `.`
+    loop {
+        if j == 0 {
+            return None;
+        }
+        j -= 1;
+        if !toks[j].kind.is_punct(')') {
+            return None;
+        }
+        // Find the matching `(` backwards.
+        let mut depth = 1i64;
+        while j > 0 && depth > 0 {
+            j -= 1;
+            if toks[j].kind.is_punct(')') {
+                depth += 1;
+            } else if toks[j].kind.is_punct('(') {
+                depth -= 1;
+            }
+        }
+        if j == 0 {
+            return None;
+        }
+        // Token before `(` is the callee; the `.` before that continues
+        // the chain toward the base receiver.
+        let callee = toks[j - 1].kind.ident();
+        if j < 2 || !toks[j - 2].kind.is_punct('.') {
+            return None;
+        }
+        if callee.is_some_and(|c| matches!(c, "lock" | "read" | "write")) {
+            let path = path_before(toks, j - 2);
+            return path.first().cloned();
+        }
+        // Keep walking the chain: `x.lock().entry().push(..)`.
+        j -= 1;
+    }
+}
+
+/// Scans tokens after the fill for the first output-shaped use of the
+/// fill's root without an earlier `sort*` on that root. Returns the sink
+/// line, or `None` when the fill is sorted first or never emitted.
+fn unsorted_sink_after(toks: &[Tok], fill: &Fill, fn_end: usize) -> Option<u32> {
+    let root = fill.root.as_str();
+    let mut i = fill.tok;
+    let mut sorted = false;
+    while i < fn_end {
+        i += 1;
+        if i >= fn_end {
+            break;
+        }
+        let Some(id) = toks[i].kind.ident() else {
+            continue;
+        };
+        // `root.sort…()` — a deterministic reorder of the collection.
+        if id == root && !(i > 0 && toks[i - 1].kind.is_punct('.')) {
+            if let Some(m) = chained_method(toks, i, fn_end) {
+                if m.starts_with("sort") {
+                    sorted = true;
+                }
+            }
+        }
+        // Output-shaped ident: look for the root in its vicinity (the
+        // surrounding statement, approximated by the enclosing `;`/brace
+        // window).
+        if !sorted && is_sinky(id) && root_near(toks, i, root, fn_end) {
+            return Some(toks[i].line);
+        }
+    }
+    None
+}
+
+/// First method name chained directly onto the path starting at `i`
+/// (`root[.field]*.method(`).
+fn chained_method(toks: &[Tok], mut i: usize, end: usize) -> Option<&str> {
+    loop {
+        if toks.get(i + 1).filter(|_| i + 1 < end)?.kind.is_punct('.') {
+            let name = toks.get(i + 2)?.kind.ident()?;
+            if toks.get(i + 3).map(|t| t.kind.is_punct('(')) == Some(true) {
+                return Some(name);
+            }
+            i += 2;
+        } else {
+            return None;
+        }
+    }
+}
+
+fn is_sinky(id: &str) -> bool {
+    let lower = id.to_ascii_lowercase();
+    SINK_WORDS.iter().any(|w| lower.contains(w))
+}
+
+/// Whether `root` appears within the statement window around token `i`
+/// (nearest `;` / `{` / `}` on either side).
+fn root_near(toks: &[Tok], i: usize, root: &str, end: usize) -> bool {
+    let before = (0..i)
+        .rev()
+        .find(|&j| {
+            matches!(&toks[j].kind, k if k.is_punct(';') || k.is_punct('{') || k.is_punct('}'))
+        })
+        .map_or(0, |j| j + 1);
+    let after = (i..end)
+        .find(|&j| {
+            matches!(&toks[j].kind, k if k.is_punct(';') || k.is_punct('{') || k.is_punct('}'))
+        })
+        .unwrap_or(end);
+    toks[before..after]
+        .iter()
+        .any(|t| t.kind.ident() == Some(root))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::use_map;
+    use crate::lexer::lex;
+    use crate::scope::non_test_tokens;
+
+    fn fired(src: &str) -> Vec<u32> {
+        let lexed = lex(src);
+        let code = non_test_tokens(&lexed.toks);
+        let uses = use_map(&code);
+        let mut out = Vec::new();
+        rule_race_001("x.rs", &code, &uses, &mut out);
+        out.iter().map(|d| d.line).collect()
+    }
+
+    #[test]
+    fn guarded_push_reaching_json_fires() {
+        let src = "use std::sync::Mutex;\n\
+                   fn f(shared: &Mutex<Vec<u64>>) -> String {\n\
+                       let mut rows = shared.lock();\n\
+                       rows.push(7);\n\
+                       render_json(&rows)\n\
+                   }\n";
+        assert_eq!(fired(src), vec![4]);
+    }
+
+    #[test]
+    fn sort_between_fill_and_sink_is_clean() {
+        let src = "use std::sync::Mutex;\n\
+                   fn f(shared: &Mutex<Vec<u64>>) -> String {\n\
+                       let mut rows = shared.lock();\n\
+                       rows.push(7);\n\
+                       rows.sort_unstable();\n\
+                       render_json(&rows)\n\
+                   }\n";
+        assert_eq!(fired(src), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn recv_fed_push_fires() {
+        let src = "fn f(rx: &Receiver<u64>) -> String {\n\
+                   let mut rows = Vec::new();\n\
+                   while let Ok(v) = rx.recv() { rows.push(v); }\n\
+                   to_report(&rows)\n\
+                   }\n";
+        // The recv in the `while let` loop header taints the appends in
+        // the loop body (inherited_recv).
+        assert_eq!(fired(src), vec![3]);
+    }
+
+    #[test]
+    fn recv_push_same_statement_fires() {
+        let src = "fn f(rx: &Receiver<u64>) -> String {\n\
+                   let mut rows = Vec::new();\n\
+                   loop { rows.push(rx.recv()); }\n\
+                   to_report(&rows)\n\
+                   }\n";
+        assert_eq!(fired(src), vec![3]);
+    }
+
+    #[test]
+    fn unguarded_local_push_is_clean() {
+        let src = "use std::sync::Mutex;\n\
+                   fn f(items: &[u64]) -> String {\n\
+                       let mut rows = Vec::new();\n\
+                       for v in items { rows.push(v); }\n\
+                       render_json(&rows)\n\
+                   }\n";
+        assert_eq!(fired(src), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn fill_without_sink_is_clean() {
+        let src = "use std::sync::Mutex;\n\
+                   fn f(shared: &Mutex<Vec<u64>>) -> usize {\n\
+                       let mut rows = shared.lock();\n\
+                       rows.push(7);\n\
+                       rows.len()\n\
+                   }\n";
+        assert_eq!(fired(src), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn direct_lock_chain_push_fires() {
+        let src = "use std::sync::Mutex;\n\
+                   fn f(shared: &Mutex<Vec<u64>>, v: u64) {\n\
+                       shared.lock().push(v);\n\
+                       emit_rows(shared);\n\
+                   }\n";
+        assert_eq!(fired(src), vec![3]);
+    }
+}

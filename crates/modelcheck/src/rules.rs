@@ -1,14 +1,18 @@
-//! The named hygiene rules and the per-file checking engine.
+//! The named hygiene rules and the per-file / per-crate checking engine.
 //!
 //! Rule catalogue (see DESIGN.md §10 for rationale):
 //!
 //! | code         | scope                       | forbids                                  |
 //! |--------------|-----------------------------|------------------------------------------|
-//! | RM-DET-001   | model-state + host crates   | `HashMap` / `HashSet`                    |
+//! | RM-DET-001   | model-state + host crates   | `HashMap` / `HashSet` (aliases resolved) |
 //! | RM-DET-002   | model-state crates          | `Instant` / `SystemTime` / `thread_rng`  |
 //! | RM-FP-001    | `fp16`, `redmule`           | native `f32` / `f64` usage               |
 //! | RM-PANIC-001 | model-state + host crates   | `panic!`-family, `.unwrap()`, `.expect()`|
 //! | RM-SNAP-001  | model-state crates          | snapshot structs with uncovered fields   |
+//! | RM-LOCK-001  | model-state + host crates   | lock acquisition-order cycles            |
+//! | RM-RACE-001  | host crates                 | interleaving-ordered data in outputs     |
+//! | RM-ERR-001   | model-state + host crates   | discarded `Result`s                      |
+//! | RM-ARITH-001 | model crates + `service`    | bare `+`/`*`/`+=` on cycle counters      |
 //! | RM-ALLOW-001 | everywhere modelcheck scans | allow entries without a justification    |
 //! | RM-ALLOW-002 | everywhere modelcheck scans | allow entries that suppress nothing      |
 //!
@@ -23,9 +27,12 @@
 //! are stripped first) and never match inside string literals or
 //! comments — the scanner works on real tokens, not text.
 
+use crate::flow::{self, UseMap};
 use crate::lexer::{lex, Tok, TokKind};
-use crate::scope::{allowances, non_test_tokens, snapshot_markers};
+use crate::scope::{allowances, non_test_tokens, snapshot_markers, Allowance};
 use crate::snapshot;
+use crate::{arith, errs, locks, race};
+use std::collections::BTreeSet;
 
 /// Crates whose sources hold simulated hardware / session state. Keyed by
 /// directory name under `crates/`. `obs` qualifies because trace events
@@ -73,33 +80,141 @@ pub fn crate_is_checked(crate_name: &str) -> bool {
     MODEL_CRATES.contains(&crate_name) || HOST_CRATES.contains(&crate_name)
 }
 
-/// Runs every applicable rule over one source file.
-///
-/// `file` is the diagnostic label (workspace-relative path),
-/// `crate_name` the directory name under `crates/` the file belongs to.
+/// Whether RM-ARITH-001 applies: every model crate (cycle accounting is
+/// the model's spine) plus the service's admission books (credits,
+/// deadlines, budgets).
+fn arith_applies(crate_name: &str) -> bool {
+    MODEL_CRATES.contains(&crate_name) || crate_name == "service"
+}
+
+/// Workspace-wide facts the flow-aware rules need before any file can be
+/// judged: today that is the callee set for RM-ERR-001 — the name of
+/// every `Result`-returning `fn` in a scanned crate.
+#[derive(Debug, Default)]
+pub struct WorkspaceContext {
+    /// Names of `Result`-returning workspace functions (non-test code).
+    pub result_fns: BTreeSet<String>,
+}
+
+impl WorkspaceContext {
+    /// Folds one source file into the context (pre-pass).
+    pub fn add_source(&mut self, src: &str) {
+        let lexed = lex(src);
+        let code = non_test_tokens(&lexed.toks);
+        self.result_fns.extend(flow::result_fn_names(&code));
+    }
+
+    /// Context seeded from a single file — what [`check_file`] uses.
+    pub fn single_file(src: &str) -> Self {
+        let mut ctx = Self::default();
+        ctx.add_source(src);
+        ctx
+    }
+}
+
+/// One source file queued for checking: `(diagnostic label, contents)`.
+pub type SourceFile = (String, String);
+
+/// Runs every applicable rule over one source file, with the file itself
+/// as the whole workspace context (lock graph and Result-callee set are
+/// single-file). Kept for tests and fixtures; the workspace walker uses
+/// [`check_crate`] so crate-wide rules see every file.
 pub fn check_file(crate_name: &str, file: &str, src: &str) -> Vec<Diagnostic> {
-    let lexed = lex(src);
-    let code = non_test_tokens(&lexed.toks);
-    let mut allows = allowances(&lexed.comments, &lexed.toks);
-    let markers = snapshot_markers(&lexed.comments);
+    let ctx = WorkspaceContext::single_file(src);
+    let files = vec![(file.to_string(), src.to_string())];
+    check_crate(crate_name, &files, &ctx)
+}
 
-    let mut raw: Vec<Diagnostic> = Vec::new();
-    if MODEL_CRATES.contains(&crate_name) {
-        rule_det_001(file, &code, &mut raw);
-        rule_det_002(file, &code, &mut raw);
-        rule_panic_001(file, &code, &mut raw);
-        snapshot::rule_snap_001(file, &code, &markers, &mut raw);
-    } else if HOST_CRATES.contains(&crate_name) {
-        rule_det_001(file, &code, &mut raw);
-        rule_panic_001(file, &code, &mut raw);
-    }
-    if FP_STRICT_CRATES.contains(&crate_name) {
-        rule_fp_001(file, &code, &mut raw);
+/// Per-file scan state staged until the crate-wide rules have run.
+struct StagedFile {
+    label: String,
+    raw: Vec<Diagnostic>,
+    allows: Vec<Allowance>,
+}
+
+/// Runs every applicable rule over one crate's source files.
+///
+/// Per-file rules fire as before; RM-LOCK-001 sees the union of all lock
+/// acquisitions in the crate, so an inversion split across two files is
+/// still a cycle. The allowlist is applied per file after every rule has
+/// run, so crate-level findings can be suppressed at their anchor site.
+pub fn check_crate(
+    crate_name: &str,
+    files: &[SourceFile],
+    ctx: &WorkspaceContext,
+) -> Vec<Diagnostic> {
+    let model = MODEL_CRATES.contains(&crate_name);
+    let host = HOST_CRATES.contains(&crate_name);
+
+    let mut staged: Vec<StagedFile> = Vec::new();
+    let mut edges: Vec<locks::LockEdge> = Vec::new();
+    for (label, src) in files {
+        let lexed = lex(src);
+        let code = non_test_tokens(&lexed.toks);
+        let allows = allowances(&lexed.comments, &lexed.toks);
+        let markers = snapshot_markers(&lexed.comments);
+        let uses = flow::use_map(&code);
+
+        let mut raw: Vec<Diagnostic> = Vec::new();
+        if model {
+            rule_det_001(label, &code, &uses, &mut raw);
+            rule_det_002(label, &code, &uses, &mut raw);
+            rule_panic_001(label, &code, &mut raw);
+            snapshot::rule_snap_001(label, &code, &markers, &mut raw);
+        } else if host {
+            rule_det_001(label, &code, &uses, &mut raw);
+            rule_panic_001(label, &code, &mut raw);
+            race::rule_race_001(label, &code, &uses, &mut raw);
+        }
+        if FP_STRICT_CRATES.contains(&crate_name) {
+            rule_fp_001(label, &code, &mut raw);
+        }
+        if model || host {
+            errs::rule_err_001(label, &code, &ctx.result_fns, &mut raw);
+            edges.extend(locks::lock_edges(label, &code, &uses));
+        }
+        if arith_applies(crate_name) {
+            arith::rule_arith_001(label, &code, &mut raw);
+        }
+        staged.push(StagedFile {
+            label: label.clone(),
+            raw,
+            allows,
+        });
     }
 
-    // Apply the allowlist: a finding covered by an allow entry is
-    // suppressed and marks the entry as used.
+    // Crate-wide rules over the aggregated per-file facts; each finding
+    // is routed back to its anchor file so that file's allowlist governs.
+    let mut lock_diags: Vec<Diagnostic> = Vec::new();
+    locks::rule_lock_001(crate_name, &edges, &mut lock_diags);
+    for d in lock_diags {
+        if let Some(stage) = staged.iter_mut().find(|s| s.label == d.file) {
+            stage.raw.push(d);
+        }
+    }
+
     let mut out: Vec<Diagnostic> = Vec::new();
+    for stage in &mut staged {
+        apply_allowlist(
+            &stage.label,
+            std::mem::take(&mut stage.raw),
+            &mut stage.allows,
+            &mut out,
+        );
+    }
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    out
+}
+
+/// Applies one file's allowlist: covered findings are suppressed and mark
+/// their entry used; entries without a justification (RM-ALLOW-001) or
+/// with nothing left to suppress (RM-ALLOW-002) are violations themselves.
+fn apply_allowlist(
+    file: &str,
+    raw: Vec<Diagnostic>,
+    allows: &mut [Allowance],
+    out: &mut Vec<Diagnostic>,
+) {
     'finding: for d in raw {
         for a in allows.iter_mut() {
             if a.covers(d.rule, d.line) {
@@ -110,9 +225,7 @@ pub fn check_file(crate_name: &str, file: &str, src: &str) -> Vec<Diagnostic> {
         out.push(d);
     }
 
-    // Allow-entry hygiene: justification is mandatory, stale entries are
-    // an error (they claim a violation that no longer exists).
-    for a in &allows {
+    for a in allows {
         if !a.has_reason {
             out.push(Diagnostic {
                 rule: "RM-ALLOW-001",
@@ -143,17 +256,17 @@ pub fn check_file(crate_name: &str, file: &str, src: &str) -> Vec<Diagnostic> {
             });
         }
     }
-
-    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
-    out
 }
 
 /// RM-DET-001: hash containers iterate in randomized order, which leaks
 /// into schedules, logs and serialized state. Model crates must use
-/// `BTreeMap` / `BTreeSet` / `Vec` / `VecDeque`.
-fn rule_det_001(file: &str, toks: &[Tok], out: &mut Vec<Diagnostic>) {
+/// `BTreeMap` / `BTreeSet` / `Vec` / `VecDeque`. Aliases are resolved
+/// through the file's `use` map, so `use ... HashMap as Map;` does not
+/// hide the container.
+fn rule_det_001(file: &str, toks: &[Tok], uses: &UseMap, out: &mut Vec<Diagnostic>) {
     for t in toks {
-        if let Some(name @ ("HashMap" | "HashSet")) = t.kind.ident() {
+        let resolved = t.kind.ident().map(|id| uses.canonical(id));
+        if let Some(name @ ("HashMap" | "HashSet")) = resolved {
             out.push(Diagnostic {
                 rule: "RM-DET-001",
                 file: file.to_string(),
@@ -175,10 +288,10 @@ fn rule_det_001(file: &str, toks: &[Tok], out: &mut Vec<Diagnostic>) {
 /// RM-DET-002: simulated time comes from `hwsim::cycle`, randomness from
 /// the seeded `hwsim::rng`. Wall clocks and OS entropy make runs
 /// unreproducible.
-fn rule_det_002(file: &str, toks: &[Tok], out: &mut Vec<Diagnostic>) {
+fn rule_det_002(file: &str, toks: &[Tok], uses: &UseMap, out: &mut Vec<Diagnostic>) {
     for t in toks {
-        if let Some(name @ ("Instant" | "SystemTime" | "thread_rng" | "ThreadRng")) = t.kind.ident()
-        {
+        let resolved = t.kind.ident().map(|id| uses.canonical(id));
+        if let Some(name @ ("Instant" | "SystemTime" | "thread_rng" | "ThreadRng")) = resolved {
             let hint = match name {
                 "Instant" | "SystemTime" => "model time is hwsim::cycle::Cycle",
                 _ => "randomness must come from the seeded hwsim::rng generators",

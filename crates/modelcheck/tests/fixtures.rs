@@ -155,6 +155,101 @@ fn fully_allowlisted_fixture_scans_clean() {
 }
 
 #[test]
+fn lock_001_fires_once_on_inversion_anchored_at_first_edge() {
+    let diags = scan(
+        "batch",
+        "lock_001_inversion.rs",
+        include_str!("fixtures/lock_001_inversion.rs"),
+    );
+    assert_fires_once(&diags, "RM-LOCK-001", 14);
+    assert!(diags[0].message.contains("lock-order cycle"), "{diags:#?}");
+}
+
+#[test]
+fn race_001_fires_once_on_unsorted_guarded_fill() {
+    let diags = scan(
+        "batch",
+        "race_001_unsorted.rs",
+        include_str!("fixtures/race_001_unsorted.rs"),
+    );
+    assert_fires_once(&diags, "RM-RACE-001", 9);
+    assert!(diags[0].message.contains("sort `rows`"), "{diags:#?}");
+}
+
+#[test]
+fn race_001_is_scoped_to_host_crates() {
+    // The model crates are single-threaded by construction; the race rule
+    // only patrols the host-side orchestration layer.
+    let diags = scan(
+        "redmule",
+        "race_001_unsorted.rs",
+        include_str!("fixtures/race_001_unsorted.rs"),
+    );
+    assert!(
+        !diags.iter().any(|d| d.rule == "RM-RACE-001"),
+        "unexpected race finding outside host crates: {diags:#?}"
+    );
+}
+
+#[test]
+fn err_001_fires_once_on_discarded_result() {
+    let diags = scan(
+        "redmule",
+        "err_001_discard.rs",
+        include_str!("fixtures/err_001_discard.rs"),
+    );
+    assert_fires_once(&diags, "RM-ERR-001", 14);
+    assert!(diags[0].message.contains("`step`"), "{diags:#?}");
+}
+
+#[test]
+fn arith_001_fires_once_on_bare_cycle_add() {
+    let diags = scan(
+        "hwsim",
+        "arith_001_bare_add.rs",
+        include_str!("fixtures/arith_001_bare_add.rs"),
+    );
+    assert_fires_once(&diags, "RM-ARITH-001", 6);
+    assert!(diags[0].message.contains("saturating_add"), "{diags:#?}");
+}
+
+#[test]
+fn arith_001_covers_service_but_not_other_host_crates() {
+    // The service's admission books count credits and deadlines in
+    // cycles, so it is in scope; batch/store host code is not.
+    let src = include_str!("fixtures/arith_001_bare_add.rs");
+    let service = scan("service", "arith_001_bare_add.rs", src);
+    assert_fires_once(&service, "RM-ARITH-001", 6);
+    let batch = scan("batch", "arith_001_bare_add.rs", src);
+    assert!(
+        !batch.iter().any(|d| d.rule == "RM-ARITH-001"),
+        "unexpected arith finding in batch: {batch:#?}"
+    );
+}
+
+#[test]
+fn fully_allowlisted_v2_fixture_scans_clean() {
+    let diags = scan(
+        "service",
+        "allowlisted_clean_v2.rs",
+        include_str!("fixtures/allowlisted_clean_v2.rs"),
+    );
+    assert!(diags.is_empty(), "expected a clean scan: {diags:#?}");
+}
+
+#[test]
+fn stale_allows_for_v2_codes_fire_allow_002() {
+    // RM-ALLOW-002 staleness applies to the new rule codes exactly as to
+    // the original set: an allow that suppresses nothing is a violation.
+    for rule in ["RM-LOCK-001", "RM-RACE-001", "RM-ERR-001", "RM-ARITH-001"] {
+        let src = format!("// modelcheck-allow: {rule} -- the violation was fixed\nfn f() {{}}\n");
+        let diags = scan("service", "stale.rs", &src);
+        assert_fires_once(&diags, "RM-ALLOW-002", 1);
+        assert!(diags[0].message.contains(rule), "{diags:#?}");
+    }
+}
+
+#[test]
 fn diagnostics_render_with_rule_and_location() {
     let diags = scan(
         "redmule",

@@ -1,0 +1,48 @@
+//! Fixture: one justified allow per v2 rule family (lock order, race,
+//! discarded Result, cycle arithmetic). Scanned as the `service` crate —
+//! the only crate in scope for all four — this must come back clean.
+
+use std::sync::Mutex;
+
+pub struct Books {
+    pub credits: Mutex<Vec<u64>>,
+    pub ledger: Mutex<Vec<u64>>,
+}
+
+pub fn forward(b: &Books) {
+    let gc = b.credits.lock();
+    // modelcheck-allow: RM-LOCK-001 -- fixture: the reverse path below is
+    // reached only during single-threaded recovery, never concurrently
+    let gl = b.ledger.lock();
+    drop((gc, gl));
+}
+
+pub fn reverse(b: &Books) {
+    let gl = b.ledger.lock();
+    let gc = b.credits.lock();
+    drop((gl, gc));
+}
+
+pub fn emit(shared: &Mutex<Vec<u64>>, v: u64) -> String {
+    let mut rows = shared.lock();
+    // modelcheck-allow: RM-RACE-001 -- fixture: single producer thread,
+    // arrival order is already the canonical order
+    rows.push(v);
+    render_json(&rows)
+}
+
+pub fn try_persist() -> StoreResult<()> {
+    Ok(())
+}
+
+pub fn fire_and_forget() {
+    // modelcheck-allow: RM-ERR-001 -- fixture: best-effort persistence,
+    // failure is recovered by the next checkpoint
+    try_persist();
+}
+
+pub fn bump(credit_cycles: u64) -> u64 {
+    // modelcheck-allow: RM-ARITH-001 -- fixture: bounded by the admission
+    // cap, provably below u64::MAX
+    credit_cycles + 1
+}

@@ -1,0 +1,26 @@
+//! Fixture: bare `+` on a cycle-denominated counter — RM-ARITH-001 must
+//! fire exactly once, at the addition (line 6). The saturating sibling
+//! and the non-cycle arithmetic below are clean.
+
+pub fn advance(total_cycles: u64, delta: u64) -> u64 {
+    total_cycles + delta
+}
+
+/// Decoy: the saturating form is the required spelling.
+pub fn advance_sat(total_cycles: u64, delta: u64) -> u64 {
+    total_cycles.saturating_add(delta)
+}
+
+/// Decoy: arithmetic on non-cycle quantities is out of scope.
+pub fn area(rows: u64, cols: u64) -> u64 {
+    rows * cols + rows
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_add_bare() {
+        let total_cycles = 1u64;
+        assert_eq!(total_cycles + 1, 2);
+    }
+}

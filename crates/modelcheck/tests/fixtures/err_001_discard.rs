@@ -1,0 +1,39 @@
+//! Fixture: a bare-semicolon call of a Result-returning function drops
+//! the error on the floor — RM-ERR-001 must fire exactly once, at the
+//! discarded call (line 14). Every other call site handles its Result.
+
+pub struct Engine;
+
+impl Engine {
+    pub fn step(&mut self) -> Result<(), EngineError> {
+        Ok(())
+    }
+}
+
+pub fn drive(e: &mut Engine) {
+    e.step();
+}
+
+/// Decoy: `?`, bindings and match arms all consume the Result.
+pub fn drive_checked(e: &mut Engine) -> Result<(), EngineError> {
+    e.step()?;
+    let outcome = e.step();
+    match e.step() {
+        Ok(()) => outcome,
+        Err(err) => Err(err),
+    }
+}
+
+/// Decoy: a chain whose tail is not the fallible call is not a discard.
+pub fn drive_defaulted(e: &mut Engine) {
+    e.step().unwrap_or_default();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_discard(e: &mut super::Engine) {
+        e.step();
+        let _ = e.step();
+    }
+}

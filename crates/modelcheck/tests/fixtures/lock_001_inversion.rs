@@ -1,0 +1,43 @@
+//! Fixture: `forward` takes `a` then `b`, `reverse` takes `b` then `a` —
+//! a lock-order inversion. RM-LOCK-001 must fire exactly once for the
+//! {a, b} cluster, anchored at the first edge site (line 14).
+
+use std::sync::Mutex;
+
+pub struct Shared {
+    pub a: Mutex<Vec<u64>>,
+    pub b: Mutex<Vec<u64>>,
+}
+
+pub fn forward(s: &Shared) -> usize {
+    let ga = s.a.lock();
+    let gb = s.b.lock();
+    ga.len() + gb.len()
+}
+
+pub fn reverse(s: &Shared) -> usize {
+    let gb = s.b.lock();
+    let ga = s.a.lock();
+    gb.len() - ga.len()
+}
+
+/// Decoy: scoped guards never overlap, so this contributes no edge.
+pub fn sequential(s: &Shared) -> usize {
+    let n = {
+        let ga = s.a.lock();
+        ga.len()
+    };
+    let gb = s.b.lock();
+    n + gb.len()
+}
+
+#[cfg(test)]
+mod tests {
+    // Decoy: test code may lock in any order it likes.
+    #[test]
+    fn inverted_in_tests_is_fine(s: &super::Shared) {
+        let gb = s.b.lock();
+        let ga = s.a.lock();
+        drop((ga, gb));
+    }
+}

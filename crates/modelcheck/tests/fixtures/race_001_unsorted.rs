@@ -1,0 +1,38 @@
+//! Fixture: rows appended under a lock guard flow into a JSON render
+//! without a deterministic reorder — RM-RACE-001 must fire exactly once,
+//! at the append (line 9). The sorted sibling below is clean.
+
+use std::sync::Mutex;
+
+pub fn unsorted(shared: &Mutex<Vec<u64>>, v: u64) -> String {
+    let mut rows = shared.lock();
+    rows.push(v);
+    render_json(&rows)
+}
+
+/// Decoy: the same fill is fine once a stable-key sort intervenes.
+pub fn sorted(shared: &Mutex<Vec<u64>>, v: u64) -> String {
+    let mut rows = shared.lock();
+    rows.push(v);
+    rows.sort_unstable();
+    render_json(&rows)
+}
+
+/// Decoy: a purely local, loop-ordered fill is deterministic.
+pub fn local(items: &[u64]) -> String {
+    let mut rows = Vec::new();
+    for v in items {
+        rows.push(v);
+    }
+    render_json(&rows)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_emit_unsorted(shared: &super::Mutex<Vec<u64>>) {
+        let mut rows = shared.lock();
+        rows.push(1);
+        super::render_json(&rows);
+    }
+}

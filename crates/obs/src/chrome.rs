@@ -110,7 +110,14 @@ fn render_event(out: &mut String, ev: &TraceEvent, tid: u64) {
             );
         }
         TraceEvent::TileEnd { cycle, tile } => {
-            push_event_header(out, &format!("tile {tile}"), "tile", 'E', cycle + 1, tid);
+            push_event_header(
+                out,
+                &format!("tile {tile}"),
+                "tile",
+                'E',
+                cycle.saturating_add(1),
+                tid,
+            );
             out.push('}');
         }
         TraceEvent::Refill {

@@ -94,14 +94,14 @@ fn shift(ev: TraceEvent, offset: u64) -> TraceEvent {
             rows,
             cols,
         } => TileStart {
-            cycle: cycle + offset,
+            cycle: cycle.saturating_add(offset),
             tile,
             row0,
             rows,
             cols,
         },
         TileEnd { cycle, tile } => TileEnd {
-            cycle: cycle + offset,
+            cycle: cycle.saturating_add(offset),
             tile,
         },
         Refill {
@@ -109,19 +109,19 @@ fn shift(ev: TraceEvent, offset: u64) -> TraceEvent {
             channel,
             seq,
         } => Refill {
-            cycle: cycle + offset,
+            cycle: cycle.saturating_add(offset),
             channel,
             seq,
         },
         StoreDrain { cycle, pending } => StoreDrain {
-            cycle: cycle + offset,
+            cycle: cycle.saturating_add(offset),
             pending,
         },
         HciStall { cycle } => HciStall {
-            cycle: cycle + offset,
+            cycle: cycle.saturating_add(offset),
         },
         Stall { cycle, phase } => Stall {
-            cycle: cycle + offset,
+            cycle: cycle.saturating_add(offset),
             phase,
         },
         Fault {
@@ -129,20 +129,20 @@ fn shift(ev: TraceEvent, offset: u64) -> TraceEvent {
             class,
             phase,
         } => Fault {
-            cycle: cycle + offset,
+            cycle: cycle.saturating_add(offset),
             class,
             phase,
         },
         Checkpoint { cycle, tile } => Checkpoint {
-            cycle: cycle + offset,
+            cycle: cycle.saturating_add(offset),
             tile,
         },
         Watchdog { cycle, stalled_for } => Watchdog {
-            cycle: cycle + offset,
+            cycle: cycle.saturating_add(offset),
             stalled_for,
         },
         Admitted { cycle, tenant, job } => Admitted {
-            cycle: cycle + offset,
+            cycle: cycle.saturating_add(offset),
             tenant,
             job,
         },
@@ -152,7 +152,7 @@ fn shift(ev: TraceEvent, offset: u64) -> TraceEvent {
             job,
             reason,
         } => AdmissionRejected {
-            cycle: cycle + offset,
+            cycle: cycle.saturating_add(offset),
             tenant,
             job,
             reason,
@@ -163,13 +163,13 @@ fn shift(ev: TraceEvent, offset: u64) -> TraceEvent {
             job,
             by,
         } => Preempted {
-            cycle: cycle + offset,
+            cycle: cycle.saturating_add(offset),
             tenant,
             job,
             by,
         },
         Shed { cycle, tenant, job } => Shed {
-            cycle: cycle + offset,
+            cycle: cycle.saturating_add(offset),
             tenant,
             job,
         },
@@ -178,7 +178,7 @@ fn shift(ev: TraceEvent, offset: u64) -> TraceEvent {
             records,
             torn_bytes,
         } => RecoveryStart {
-            cycle: cycle + offset,
+            cycle: cycle.saturating_add(offset),
             records,
             torn_bytes,
         },
@@ -187,7 +187,7 @@ fn shift(ev: TraceEvent, offset: u64) -> TraceEvent {
             submissions,
             decisions,
         } => JournalReplay {
-            cycle: cycle + offset,
+            cycle: cycle.saturating_add(offset),
             submissions,
             decisions,
         },
@@ -196,7 +196,7 @@ fn shift(ev: TraceEvent, offset: u64) -> TraceEvent {
             job,
             generation,
         } => CheckpointRestore {
-            cycle: cycle + offset,
+            cycle: cycle.saturating_add(offset),
             job,
             generation,
         },
@@ -205,7 +205,7 @@ fn shift(ev: TraceEvent, offset: u64) -> TraceEvent {
             artefact,
             damage,
         } => CorruptionDetected {
-            cycle: cycle + offset,
+            cycle: cycle.saturating_add(offset),
             artefact,
             damage,
         },

@@ -264,6 +264,8 @@ impl WBuffer {
     /// Clears registers and staging (soft reset).
     pub fn reset(&mut self) {
         for r in &mut self.current {
+            // modelcheck-allow: RM-ERR-001 -- name collision: the register
+            // row's `reset` returns unit, not the engine's Result.
             r.reset();
         }
         self.staging.iter_mut().for_each(|s| *s = None);

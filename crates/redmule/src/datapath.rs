@@ -141,6 +141,8 @@ impl Datapath {
                         }
                     }
                 };
+                // modelcheck-allow: RM-ERR-001 -- name collision: the FMA
+                // pipeline's `tick` returns unit, not the engine's Result.
                 self.pipes[h][r].tick(input);
             }
         }
@@ -173,6 +175,8 @@ impl Datapath {
     pub fn reset(&mut self) {
         for col in &mut self.pipes {
             for p in col {
+                // modelcheck-allow: RM-ERR-001 -- name collision: the FMA
+                // pipeline's `reset` returns unit, not the engine's Result.
                 p.reset();
             }
         }

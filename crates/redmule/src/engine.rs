@@ -877,7 +877,7 @@ impl EngineSession {
         if let Some(pre) = pre {
             self.emit_tick_events(&pre, kind, phase);
         }
-        self.cycle += 1;
+        self.cycle = self.cycle.saturating_add(1);
         Ok(TickResult {
             log_granted,
             finished: self.is_finished(),
@@ -1447,7 +1447,7 @@ impl Sim {
             // Z buffer free, and (accumulate) the Z preload completed.
             if self.zb.is_occupied() {
                 // Previous tile's outputs still hold the Z buffer.
-                self.stall_cycles += 1;
+                self.stall_cycles = self.stall_cycles.saturating_add(1);
                 return CycleKind::Stalled(Phase::Drain);
             }
             if !self.xb.staging_complete()
@@ -1455,7 +1455,7 @@ impl Sim {
                 || (self.job.accumulate && self.zpre_ready_tile != self.compute_tile)
             {
                 // Pipeline fill: waiting for the tile's first operands.
-                self.stall_cycles += 1;
+                self.stall_cycles = self.stall_cycles.saturating_add(1);
                 return CycleKind::Stalled(Phase::Fill);
             }
             self.xb.swap();
@@ -1469,7 +1469,7 @@ impl Sim {
                     && (t_col as usize).is_multiple_of(pw)
                     && self.wb.staging_free(h)
                 {
-                    self.stall_cycles += 1;
+                    self.stall_cycles = self.stall_cycles.saturating_add(1);
                     return CycleKind::Stalled(Phase::Refill);
                 }
             }
@@ -1479,7 +1479,7 @@ impl Sim {
                 let phase = t / pw;
                 if phase > 0 && phase.is_multiple_of(lat) {
                     if !self.xb.staging_complete() {
-                        self.stall_cycles += 1;
+                        self.stall_cycles = self.stall_cycles.saturating_add(1);
                         return CycleKind::Stalled(Phase::Refill);
                     }
                     self.xb.swap();
@@ -1488,7 +1488,7 @@ impl Sim {
             // Entering the final output window with the Z buffer still
             // draining the previous tile.
             if t == final_start && self.zb.is_occupied() {
-                self.stall_cycles += 1;
+                self.stall_cycles = self.stall_cycles.saturating_add(1);
                 return CycleKind::Stalled(Phase::Drain);
             }
         }

@@ -819,8 +819,8 @@ impl Engine {
                 let injector = FaultInjector::new(std::mem::take(&mut specs));
                 let report = self.run_with_faults(sub_job, mem, hci, injector)?;
                 let run_base = total_cycles;
-                total_cycles += report.cycles.count();
-                stall_cycles += report.stall_cycles;
+                total_cycles = total_cycles.saturating_add(report.cycles.count());
+                stall_cycles = stall_cycles.saturating_add(report.stall_cycles);
                 stats.merge(&report.stats);
                 stats.incr("ft_runs");
                 phases += report.phases;
@@ -831,7 +831,8 @@ impl Engine {
                         // ABFT: recompute the tile from the operands the
                         // engine saw and compare exact f64 checksums. The
                         // check pipeline costs rows + cols + lat cycles.
-                        total_cycles += (tile.rows + tile.cols + lat) as u64;
+                        total_cycles =
+                            total_cycles.saturating_add((tile.rows + tile.cols + lat) as u64);
                         stats.add("abft_cycles", (tile.rows + tile.cols + lat) as u64);
                         // The checksum pipeline is doing arithmetic, so its
                         // cycles are attributed to compute.
@@ -871,8 +872,8 @@ impl Engine {
                         }
                         restore(mem, &z_pre)?;
                         let clean_run = self.run(sub_job, mem, hci)?;
-                        total_cycles += clean_run.cycles.count();
-                        stall_cycles += clean_run.stall_cycles;
+                        total_cycles = total_cycles.saturating_add(clean_run.cycles.count());
+                        stall_cycles = stall_cycles.saturating_add(clean_run.stall_cycles);
                         stats.merge(&clean_run.stats);
                         stats.incr("ft_runs");
                         phases += clean_run.phases;

@@ -479,7 +479,9 @@ impl Supervisor {
                 Ok(Err(e)) => {
                     if recoverable(&e) && retries < self.retry.max_retries {
                         retries += 1;
-                        backoff_charged += self.retry.backoff_cycles * u64::from(retries);
+                        backoff_charged = backoff_charged.saturating_add(
+                            self.retry.backoff_cycles.saturating_mul(u64::from(retries)),
+                        );
                         self.backoff(retries);
                         session = self.rollback(&last_ckpt, mem, hci, session.has_sink())?;
                     } else {
@@ -498,7 +500,9 @@ impl Supervisor {
                     let msg = panic_message(payload.as_ref());
                     if retries < self.retry.max_retries {
                         retries += 1;
-                        backoff_charged += self.retry.backoff_cycles * u64::from(retries);
+                        backoff_charged = backoff_charged.saturating_add(
+                            self.retry.backoff_cycles.saturating_mul(u64::from(retries)),
+                        );
                         self.backoff(retries);
                         session = self.rollback(&last_ckpt, mem, hci, session.has_sink())?;
                     } else {

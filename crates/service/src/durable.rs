@@ -171,7 +171,7 @@ impl<'a> Durability<'a> {
         }
         let e = self.reuse.remove(&job)?;
         self.report.jobs_reused += 1;
-        self.report.cycles_saved += e.executed_cycles;
+        self.report.cycles_saved = self.report.cycles_saved.saturating_add(e.executed_cycles);
         Some(e)
     }
 
@@ -244,7 +244,7 @@ impl<'a> Durability<'a> {
             }
         };
         self.report.checkpoints_restored += 1;
-        self.report.cycles_saved += executed;
+        self.report.cycles_saved = self.report.cycles_saved.saturating_add(executed);
         self.report.events.push(TraceEvent::CheckpointRestore {
             cycle: executed,
             job,

@@ -448,8 +448,8 @@ impl ServiceSim {
                 mem = mem2;
                 migrations = s.generation;
                 sup_retries = s.sup_retries + run.retries;
-                backoff = s.backoff + run.backoff_cycles;
-                executed = s.executed + run.cycles_executed;
+                backoff = s.backoff.saturating_add(run.backoff_cycles);
+                executed = s.executed.saturating_add(run.cycles_executed);
                 start_idx = s.generation as usize + 1;
             }
             None => {
@@ -833,7 +833,8 @@ impl<'a> Timeline<'a> {
         let t = self.acc[a].tenant_idx;
         self.tenants[t].in_flight = self.tenants[t].in_flight.saturating_sub(1);
         if matches!(out, Outcome::Completed { .. }) {
-            self.tenants[t].stats.served_cycles += self.acc[a].estimate;
+            let served = &mut self.tenants[t].stats.served_cycles;
+            *served = served.saturating_add(self.acc[a].estimate);
         }
         self.acc[a].outcome = Some(out);
     }
@@ -883,7 +884,9 @@ impl<'a> Timeline<'a> {
             match reason {
                 Rejected::QuotaExceeded { .. } => stats.rejected_quota += 1,
                 Rejected::QueueFull => stats.rejected_queue_full += 1,
-                Rejected::DeadlineInfeasible { .. } => stats.rejected_deadline += 1,
+                Rejected::DeadlineInfeasible { .. } => {
+                    stats.rejected_deadline = stats.rejected_deadline.saturating_add(1);
+                }
             }
             self.rejected.push(RejectedRecord {
                 id: sub.id,
@@ -1026,6 +1029,9 @@ impl<'a> Timeline<'a> {
                     .deadline
                     .is_some_and(|d| self.now.saturating_add(self.acc[a].remaining) > d);
                 if hopeless {
+                    // modelcheck-allow: RM-ERR-001 -- name collision:
+                    // Vec::remove returns the element (already held in `a`),
+                    // not the store backend's Result-returning `remove`.
                     self.queue.remove(i);
                     self.shed_acc(a);
                 } else {
@@ -1043,6 +1049,9 @@ impl<'a> Timeline<'a> {
                 return;
             };
             if let Some(s) = self.servers.iter().position(Option::is_none) {
+                // modelcheck-allow: RM-ERR-001 -- name collision: Vec::remove
+                // returns the element (already held in `b`), not the store
+                // backend's Result-returning `remove`.
                 self.queue.remove(pos);
                 self.servers[s] = Some(Running {
                     acc: b,
@@ -1078,6 +1087,9 @@ impl<'a> Timeline<'a> {
                     job: self.acc[w_acc].id,
                     by: self.acc[b].id,
                 });
+                // modelcheck-allow: RM-ERR-001 -- name collision: Vec::remove
+                // returns the element (already held in `b`), not the store
+                // backend's Result-returning `remove`.
                 self.queue.remove(pos);
                 self.queue.push(w_acc);
                 self.servers[ws] = Some(Running {
