@@ -28,12 +28,16 @@
 #                      unless every recovery is bit-exact, byte-identical
 #                      across 1/2/8 workers, the no-work-lost guard
 #                      holds, and BENCH_recovery.json exists
+#   make fp8-smoke   — FP8 storage-format smoke run; fails unless the
+#                      cycle model stays exact per format, FP8 never
+#                      costs more cycles than FP16, and BENCH_fp8.json
+#                      exists
 
 CARGO ?= cargo
 
-.PHONY: verify build test test-full clippy fmt lint modelcheck modelcheck-json figures batch-smoke trace-smoke service-smoke recover-smoke
+.PHONY: verify build test test-full clippy fmt lint modelcheck modelcheck-json figures batch-smoke trace-smoke service-smoke recover-smoke fp8-smoke
 
-verify: build test lint fmt batch-smoke trace-smoke service-smoke recover-smoke
+verify: build test lint fmt batch-smoke trace-smoke service-smoke recover-smoke fp8-smoke
 
 build:
 	$(CARGO) build --release
@@ -77,3 +81,7 @@ recover-smoke:
 	$(CARGO) test -q -p redmule-service --test recovery
 	$(CARGO) run --release -q -p redmule-bench --bin figures -- recover --smoke
 	test -f BENCH_recovery.json
+
+fp8-smoke:
+	$(CARGO) run --release -q -p redmule-bench --bin figures -- fp8 --smoke
+	test -f BENCH_fp8.json

@@ -4,7 +4,7 @@ use crate::job::{GemmJob, JobFaults, JobResult, JobStatus};
 use crate::report::BatchReport;
 use redmule::obs::{EventLog, TraceEvent};
 use redmule::{
-    stage_gemm_workspace, AccelConfig, BackendKind, Engine, FaultInjector, FunctionalGemm,
+    cast, stage_gemm_workspace_in, AccelConfig, BackendKind, Engine, FaultInjector, FunctionalGemm,
 };
 use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
@@ -347,13 +347,14 @@ fn exec_job(engine: &Engine, job: &GemmJob, trace: bool) -> JobResult {
 fn exec_functional(cfg: &AccelConfig, job: &GemmJob, tiles_total: usize, trace: bool) -> JobResult {
     let model = FunctionalGemm::new(*cfg);
     let run = match &job.y {
-        Some(y) => model.run_accumulate(job.shape, &job.x, &job.w, y),
-        None => model.run(job.shape, &job.x, &job.w),
+        Some(y) => model.run_accumulate_format(job.shape, job.format, &job.x, &job.w, y),
+        None => model.run_format(job.shape, job.format, &job.x, &job.w),
     };
     match run {
         Ok(run) => JobResult {
             id: job.id,
             backend: BackendKind::Functional,
+            format: job.format,
             shape: job.shape,
             z: run.z,
             cycles: run.estimated_cycles.count(),
@@ -384,7 +385,7 @@ fn exec_protected(
     ft: redmule::FtConfig,
     trace: bool,
 ) -> JobResult {
-    let staged = stage_gemm_workspace(job.shape, &job.x, &job.w, job.y.as_deref());
+    let staged = stage_gemm_workspace_in(job.shape, job.format, &job.x, &job.w, job.y.as_deref());
     let (hw_job, mut mem, mut hci) = match staged {
         Ok(t) => t,
         Err(e) => return failed(job, BackendKind::CycleAccurate, tiles_total, e.to_string()),
@@ -407,9 +408,9 @@ fn exec_protected(
             JobResult {
                 id: job.id,
                 backend: BackendKind::CycleAccurate,
+                format: job.format,
                 shape: job.shape,
-                z: mem
-                    .load_f16_slice(hw_job.z_addr, job.shape.z_len())
+                z: cast::castin_slice(&mem, job.format, hw_job.z_addr, job.shape.z_len())
                     .unwrap_or_default(),
                 cycles: report.cycles.count(),
                 macs: report.macs,
@@ -430,7 +431,7 @@ fn exec_protected(
 
 fn exec_supervised(engine: &Engine, job: &GemmJob, tiles_total: usize, trace: bool) -> JobResult {
     use redmule_runtime::Supervisor;
-    let staged = stage_gemm_workspace(job.shape, &job.x, &job.w, job.y.as_deref());
+    let staged = stage_gemm_workspace_in(job.shape, job.format, &job.x, &job.w, job.y.as_deref());
     let (hw_job, mut mem, mut hci) = match staged {
         Ok(t) => t,
         Err(e) => return failed(job, BackendKind::CycleAccurate, tiles_total, e.to_string()),
@@ -455,9 +456,9 @@ fn exec_supervised(engine: &Engine, job: &GemmJob, tiles_total: usize, trace: bo
         Ok(run) => JobResult {
             id: job.id,
             backend: BackendKind::CycleAccurate,
+            format: job.format,
             shape: job.shape,
-            z: mem
-                .load_f16_slice(hw_job.z_addr, job.shape.z_len())
+            z: cast::castin_slice(&mem, job.format, hw_job.z_addr, job.shape.z_len())
                 .unwrap_or_default(),
             cycles: run.report.cycles.count(),
             macs: run.report.macs,
@@ -479,6 +480,7 @@ fn failed(job: &GemmJob, backend: BackendKind, tiles_total: usize, msg: String) 
     JobResult {
         id: job.id,
         backend,
+        format: job.format,
         shape: job.shape,
         z: Vec::new(),
         cycles: 0,

@@ -1,7 +1,7 @@
 //! Batch work items and their per-job outcomes.
 
 use redmule::obs::EventLog;
-use redmule::{BackendKind, FaultPlan, FaultSite, FtConfig};
+use redmule::{BackendKind, FaultPlan, FaultSite, Format, FtConfig};
 use redmule_fp16::vector::GemmShape;
 use redmule_fp16::F16;
 use redmule_runtime::{Limits, RetryPolicy, StopReason};
@@ -46,6 +46,11 @@ pub struct GemmJob {
     pub w: Vec<F16>,
     /// Optional accumulate input `Y` (`m x k`, row-major).
     pub y: Option<Vec<F16>>,
+    /// TCDM storage format for the operands: FP16, or one of the FP8
+    /// formats cast at the engine's castin/castout stages. Operands are
+    /// always supplied as FP16 and quantised on staging, so results are
+    /// backend-independent for any format.
+    pub format: Format,
     /// Execution model. A job with [`JobFaults`] always uses the
     /// cycle-accurate engine — fault injection needs real cycles.
     pub backend: BackendKind,
@@ -73,6 +78,7 @@ impl GemmJob {
             x,
             w,
             y: None,
+            format: Format::Fp16,
             backend: BackendKind::CycleAccurate,
             limits: Limits::none(),
             faults: None,
@@ -85,6 +91,13 @@ impl GemmJob {
     #[must_use]
     pub fn with_backend(mut self, backend: BackendKind) -> GemmJob {
         self.backend = backend;
+        self
+    }
+
+    /// Selects the TCDM storage format for the operands.
+    #[must_use]
+    pub fn with_format(mut self, format: Format) -> GemmJob {
+        self.format = format;
         self
     }
 
@@ -204,6 +217,8 @@ pub struct JobResult {
     /// Execution model that actually ran (faulted jobs report
     /// [`BackendKind::CycleAccurate`] even if functional was requested).
     pub backend: BackendKind,
+    /// TCDM storage format the job ran with.
+    pub format: Format,
     /// The job's shape.
     pub shape: GemmShape,
     /// Output matrix — complete on [`JobStatus::Completed`], the partial
@@ -293,6 +308,7 @@ mod tests {
         let mk = |bits: &[u16]| JobResult {
             id: 0,
             backend: BackendKind::Functional,
+            format: Format::Fp16,
             shape: GemmShape::new(1, 1, 2),
             z: bits.iter().map(|b| F16::from_bits(*b)).collect(),
             cycles: 0,

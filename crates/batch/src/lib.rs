@@ -64,5 +64,5 @@ mod report;
 
 pub use executor::{BatchError, BatchExecutor, BatchOutcome, ScheduleStats};
 pub use job::{GemmJob, JobFaults, JobResult, JobStatus};
-pub use redmule::BackendKind;
+pub use redmule::{BackendKind, Format};
 pub use report::BatchReport;

@@ -102,13 +102,15 @@ impl BatchReport {
             }
             let _ = write!(
                 out,
-                "{{\"id\":{},\"backend\":\"{}\",\"m\":{},\"n\":{},\"k\":{},\
+                "{{\"id\":{},\"backend\":\"{}\",\"format\":\"{}\",\
+                 \"m\":{},\"n\":{},\"k\":{},\
                  \"status\":\"{}\",\"cycles\":{},\"macs\":{},\"stall_cycles\":{},\
                  \"degraded\":{},\"retries\":{},\"backoff_cycles\":{},\"fault_events\":{},\
                  \"tiles_done\":{},\"tiles_total\":{},\
                  \"z_len\":{},\"z_fnv64\":\"{:#018x}\"}}",
                 j.id,
                 j.backend.label(),
+                j.format.label(),
                 j.shape.m,
                 j.shape.n,
                 j.shape.k,
@@ -180,6 +182,7 @@ mod tests {
         JobResult {
             id,
             backend: BackendKind::CycleAccurate,
+            format: redmule::Format::Fp16,
             shape: GemmShape::new(2, 2, 2),
             z: vec![F16::ONE; 4],
             cycles,

@@ -1,10 +1,11 @@
 //! Shared fixture for the batch determinism canaries: a job set that
 //! deliberately mixes everything that could tempt an implementation into
 //! order-dependence — both backends, accumulate mode, a degraded
-//! (cycle-budget) job, a raw fault injection and an FT-protected fault
-//! plan, submitted in shuffled id order.
+//! (cycle-budget) job, a raw fault injection, an FT-protected fault
+//! plan and all three storage formats (FP16 plus both FP8 formats),
+//! submitted in shuffled id order.
 
-use redmule::{BackendKind, FaultPlan, FaultSite, FtConfig, TransientTarget};
+use redmule::{BackendKind, FaultPlan, FaultSite, Format, FtConfig, TransientTarget};
 use redmule_batch::{GemmJob, JobFaults};
 use redmule_fp16::vector::GemmShape;
 use redmule_fp16::F16;
@@ -92,8 +93,44 @@ pub fn adversarial_job_set() -> Vec<GemmJob> {
         }),
     );
 
+    // FP8 storage on the cycle-accurate engine: the castin/castout
+    // stages and the paired-beat streamer schedule must be just as
+    // worker-count-invariant as the FP16 paths.
+    let shape = GemmShape::new(5, 9, 14);
+    let (x, w) = data(shape, 77);
+    jobs.push(GemmJob::new(8, shape, x, w).with_format(Format::Fp8E4M3));
+
+    // FP8 on the functional backend, with accumulate: exercises the
+    // quantise-in/quantise-out path that mirrors the engine bitwise.
+    let shape = GemmShape::new(6, 12, 10);
+    let (x, w) = data(shape, 88);
+    let y: Vec<F16> = (0..shape.z_len())
+        .map(|i| F16::from_f32((i % 7) as f32 / 2.0 - 1.5))
+        .collect();
+    jobs.push(
+        GemmJob::new(9, shape, x, w)
+            .with_format(Format::Fp8E5M2)
+            .with_backend(BackendKind::Functional)
+            .with_accumulate(y),
+    );
+
+    // FP8 under FT protection: ABFT comparison happens on quantised
+    // values and the fault windows are byte-addressed.
+    let shape = GemmShape::new(8, 8, 16);
+    let (x, w) = data(shape, 99);
+    jobs.push(
+        GemmJob::new(10, shape, x, w)
+            .with_format(Format::Fp8E5M2)
+            .with_faults(JobFaults::Protected {
+                plan: FaultPlan::new(0xF8F8_5EED)
+                    .with_random_transients(1, &[TransientTarget::Pipe]),
+                ft: FtConfig::redundancy(),
+            }),
+    );
+
     // Submit in shuffled order; the report must still come out id-sorted.
     jobs.swap(0, 7);
     jobs.swap(2, 5);
+    jobs.swap(1, 10);
     jobs
 }

@@ -55,10 +55,10 @@ fn the_job_set_actually_covers_the_interesting_paths() {
         .run(adversarial_job_set())
         .expect("batch")
         .report;
-    assert_eq!(report.jobs.len(), 8);
+    assert_eq!(report.jobs.len(), 11);
     assert_eq!(
         report.jobs.iter().map(|j| j.id).collect::<Vec<_>>(),
-        (0..8).collect::<Vec<_>>()
+        (0..11).collect::<Vec<_>>()
     );
     assert_eq!(report.degraded(), 1);
     assert_eq!(report.jobs[5].status, JobStatus::CycleBudget);
@@ -67,6 +67,14 @@ fn the_job_set_actually_covers_the_interesting_paths() {
         .jobs
         .iter()
         .any(|j| j.backend == BackendKind::Functional));
+    // All three storage formats must be represented, and the FP8 jobs
+    // must really run as FP8 (the canonical JSON records the label).
+    for format in redmule::Format::ALL {
+        assert!(
+            report.jobs.iter().any(|j| j.format == format),
+            "job set lost its {format} coverage"
+        );
+    }
     assert!(report.failed() == 0, "no job in this set may fail outright");
     assert!(report.utilization(&redmule::AccelConfig::paper()) > 0.0);
 }

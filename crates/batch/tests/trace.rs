@@ -46,10 +46,11 @@ fn traced_batch_exports_valid_and_populated_chrome_json() {
     assert_eq!(summary.lanes, report.jobs.len());
     assert!(summary.events > 0, "a traced batch must emit events");
 
-    // Every execution path contributes its signature events. Job 7 is
-    // FT-protected: that path only synthesizes Fault events from the
-    // merged fault log, so it is exempt from the tile-span requirement.
-    for job in report.jobs.iter().filter(|j| j.id != 7) {
+    // Every execution path contributes its signature events. Jobs 7 and
+    // 10 are FT-protected: that path only synthesizes Fault events from
+    // the merged fault log, so they are exempt from the tile-span
+    // requirement.
+    for job in report.jobs.iter().filter(|j| j.id != 7 && j.id != 10) {
         assert!(
             job.events
                 .events()

@@ -86,6 +86,7 @@ fn main() {
             "trace",
             "service",
             "recover",
+            "fp8",
         ];
     }
     let sizes = workloads::sweep_sizes(full);
@@ -198,9 +199,22 @@ fn main() {
                     Ok(format!("{rs}wrote BENCH_recovery.json\n"))
                 }),
             ),
+            "fp8" => record(
+                item,
+                run_isolated(item, || {
+                    let cmp = experiments::fp8_comparison(smoke || !full)?;
+                    write_artifact("BENCH_fp8.json", &cmp.to_json())?;
+                    if let Some(violation) = cmp.guard() {
+                        return Err(EngineError::InvalidJob(format!(
+                            "fp8 comparison guard failed: {violation}"
+                        )));
+                    }
+                    Ok(format!("{cmp}wrote BENCH_fp8.json\n"))
+                }),
+            ),
             other => eprintln!(
                 "unknown item `{other}` (try: all, table1, fig3a..fig4d, ablations, faults, \
-                 degradation, batch, trace, service, recover)"
+                 degradation, batch, trace, service, recover, fp8)"
             ),
         }
     }

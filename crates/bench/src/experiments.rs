@@ -7,7 +7,7 @@
 
 use crate::workloads;
 use redmule::faults::{FaultPlan, FtConfig, FtMode, TransientTarget};
-use redmule::{AccelConfig, Accelerator, EngineError, FunctionalGemm};
+use redmule::{AccelConfig, Accelerator, EngineError, Format, FunctionalGemm};
 use redmule_batch::{BatchExecutor, GemmJob};
 use redmule_cluster::{baseline::SwGemm, ClusterConfig};
 use redmule_energy::{table1, AreaModel, OperatingPoint, PowerModel, Technology};
@@ -1538,9 +1538,263 @@ pub fn service_saturation(smoke: bool) -> Result<ServiceSaturation, EngineError>
     })
 }
 
+/// One (shape, format) measurement of the FP8 storage-format comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct Fp8Point {
+    /// GEMM shape `(m, n, k)`.
+    pub shape: (usize, usize, usize),
+    /// TCDM storage format the job ran with.
+    pub format: Format,
+    /// Measured engine cycles (trigger to completion).
+    pub cycles: u64,
+    /// Analytical model cycles — pinned equal to `cycles`.
+    pub estimated: u64,
+    /// Cycles charged to pipeline fill (halved refill beats under FP8).
+    pub fill_cycles: u64,
+    /// Cycles charged to buffer refill.
+    pub refill_cycles: u64,
+}
+
+/// FP8 storage-format artefact (`BENCH_fp8.json`): modeled cycles and
+/// batch throughput for the same GEMM workload stored as FP16, E4M3 and
+/// E5M2.
+///
+/// Compute cycles are format-independent (the FMA core always runs
+/// FP16); only the memory-bound fill and drain terms shrink because the
+/// streamer serves two half-width elements per granted TCDM beat. The
+/// guard pins exactly that: FP8 never costs more cycles than FP16 on the
+/// same shape, the fill phase strictly shrinks on refill-bound shapes,
+/// and the analytical model stays cycle-exact for every format.
+#[derive(Debug, Clone)]
+pub struct Fp8Comparison {
+    /// Clock frequency assumed by the throughput model (MHz).
+    pub freq_mhz: f64,
+    /// Jobs per format in the batch-throughput measurement.
+    pub jobs: usize,
+    /// One point per (shape, format), formats grouped per shape with
+    /// FP16 first.
+    pub points: Vec<Fp8Point>,
+    /// Modeled batch throughput per format (4-worker pool).
+    pub throughput: Vec<(Format, f64)>,
+}
+
+impl Fp8Comparison {
+    fn fp16_point(&self, shape: (usize, usize, usize)) -> Option<&Fp8Point> {
+        self.points
+            .iter()
+            .find(|p| p.shape == shape && p.format == Format::Fp16)
+    }
+
+    /// Total cycles over all shapes for one format.
+    pub fn total_cycles(&self, format: Format) -> u64 {
+        self.points
+            .iter()
+            .filter(|p| p.format == format)
+            .map(|p| p.cycles)
+            .sum()
+    }
+
+    /// CI guard: the FP8 datapath must never be slower than FP16, the
+    /// halved-beat refill must actually show up in the fill phase, and
+    /// the analytical model must stay exact. Returns the violation.
+    pub fn guard(&self) -> Option<String> {
+        for p in &self.points {
+            if p.cycles != p.estimated {
+                return Some(format!(
+                    "cycle model drifted for {} {:?}: measured {} vs estimated {}",
+                    p.format, p.shape, p.cycles, p.estimated
+                ));
+            }
+            if p.format == Format::Fp16 {
+                continue;
+            }
+            let Some(base) = self.fp16_point(p.shape) else {
+                return Some(format!("missing FP16 baseline for shape {:?}", p.shape));
+            };
+            if p.cycles > base.cycles {
+                return Some(format!(
+                    "{} is slower than FP16 on {:?}: {} vs {} cycles",
+                    p.format, p.shape, p.cycles, base.cycles
+                ));
+            }
+            if p.fill_cycles > base.fill_cycles {
+                return Some(format!(
+                    "{} fill exceeds FP16 on {:?}: {} vs {} cycles",
+                    p.format, p.shape, p.fill_cycles, base.fill_cycles
+                ));
+            }
+        }
+        for &(format, jps) in &self.throughput {
+            if jps.is_nan() || jps <= 0.0 {
+                return Some(format!("non-positive throughput for {format}: {jps}"));
+            }
+        }
+        None
+    }
+
+    /// Renders the artefact as the JSON written to `BENCH_fp8.json`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"experiment\": \"fp8_comparison\",\n");
+        out.push_str(&format!("  \"freq_mhz\": {:.1},\n", self.freq_mhz));
+        out.push_str(&format!("  \"batch_jobs\": {},\n", self.jobs));
+        out.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            let sep = if i + 1 == self.points.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"shape\": [{}, {}, {}], \"format\": \"{}\", \"cycles\": {}, \
+                 \"estimated\": {}, \"fill_cycles\": {}, \"refill_cycles\": {}}}{}\n",
+                p.shape.0,
+                p.shape.1,
+                p.shape.2,
+                p.format.label(),
+                p.cycles,
+                p.estimated,
+                p.fill_cycles,
+                p.refill_cycles,
+                sep,
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"throughput\": [\n");
+        for (i, (format, jps)) in self.throughput.iter().enumerate() {
+            let sep = if i + 1 == self.throughput.len() {
+                ""
+            } else {
+                ","
+            };
+            out.push_str(&format!(
+                "    {{\"format\": \"{}\", \"jobs_per_sec\": {:.1}}}{}\n",
+                format.label(),
+                jps,
+                sep,
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+impl fmt::Display for Fp8Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "FP8 storage-format comparison (modeled at {:.0} MHz)",
+            self.freq_mhz
+        )?;
+        writeln!(
+            f,
+            "{:>14} {:>9} {:>9} {:>7} {:>8}",
+            "shape", "format", "cycles", "fill", "refill"
+        )?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "{:>14} {:>9} {:>9} {:>7} {:>8}",
+                format!("{}x{}x{}", p.shape.0, p.shape.1, p.shape.2),
+                p.format.label(),
+                p.cycles,
+                p.fill_cycles,
+                p.refill_cycles,
+            )?;
+        }
+        writeln!(f, "batch throughput ({} jobs, 4 workers):", self.jobs)?;
+        for (format, jps) in &self.throughput {
+            writeln!(f, "{:>14} {:>14.0} jobs/sec", format.label(), jps)?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the same GEMM workload in all three storage formats and reports
+/// measured engine cycles (checked against the analytical model), phase
+/// attribution and modeled batch throughput.
+///
+/// `smoke` selects the small CI workload; without it the shapes are
+/// larger and the batch 4x deeper.
+///
+/// # Errors
+///
+/// Returns an [`EngineError`] if an engine run or the batch executor
+/// fails.
+pub fn fp8_comparison(smoke: bool) -> Result<Fp8Comparison, EngineError> {
+    let shapes: &[(usize, usize, usize)] = if smoke {
+        &[(8, 16, 16), (16, 8, 32), (13, 7, 24), (16, 16, 16)]
+    } else {
+        &[(32, 32, 32), (16, 64, 32), (48, 16, 48), (64, 64, 64)]
+    };
+    let accel = Accelerator::paper_instance();
+    let func = FunctionalGemm::paper_instance();
+    let mut points = Vec::new();
+    for &(m, n, k) in shapes {
+        let shape = GemmShape::new(m, n, k);
+        let (x, w) = workloads::gemm_operands(shape, (m * 31 + n * 7 + k) as u32);
+        for format in Format::ALL {
+            let run = accel.gemm_with_format(shape, format, &x, &w)?;
+            points.push(Fp8Point {
+                shape: (m, n, k),
+                format,
+                cycles: run.report.cycles.count(),
+                estimated: func.estimated_cycles_format(shape, format).count(),
+                fill_cycles: run.report.phases.fill,
+                refill_cycles: run.report.phases.refill,
+            });
+        }
+    }
+
+    let n_jobs: usize = if smoke { 32 } else { 128 };
+    let freq_mhz = OperatingPoint::peak_performance().frequency().as_mhz();
+    let mut throughput = Vec::new();
+    for format in Format::ALL {
+        let jobs: Vec<GemmJob> = (0..n_jobs)
+            .map(|i| {
+                let (m, n, k) = shapes[i % shapes.len()];
+                let shape = GemmShape::new(m, n, k);
+                let (x, w) = workloads::gemm_operands(shape, i as u32);
+                GemmJob::new(i as u64, shape, x, w).with_format(format)
+            })
+            .collect();
+        let outcome = BatchExecutor::new(4)
+            .run(jobs)
+            .map_err(|e| EngineError::InvalidJob(format!("batch executor: {e}")))?;
+        if !outcome.report.all_completed() {
+            return Err(EngineError::InvalidJob(format!(
+                "{} of {} {} jobs did not complete",
+                outcome.report.jobs.len() - outcome.report.completed(),
+                outcome.report.jobs.len(),
+                format,
+            )));
+        }
+        let makespan = outcome.schedule.makespan_cycles();
+        throughput.push((format, n_jobs as f64 * freq_mhz * 1e6 / makespan as f64));
+    }
+
+    Ok(Fp8Comparison {
+        freq_mhz,
+        jobs: n_jobs,
+        points,
+        throughput,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fp8_comparison_guard_holds_on_smoke() {
+        let cmp = fp8_comparison(true).expect("fp8 comparison");
+        assert_eq!(cmp.points.len(), 4 * Format::ALL.len());
+        assert_eq!(cmp.guard(), None);
+        // The halved refill beats must be visible in the totals, not
+        // just non-regressing.
+        assert!(cmp.total_cycles(Format::Fp8E4M3) < cmp.total_cycles(Format::Fp16));
+        assert!(cmp.total_cycles(Format::Fp8E5M2) < cmp.total_cycles(Format::Fp16));
+        let json = cmp.to_json();
+        assert!(json.contains("\"fp8e4m3\"") && json.contains("\"fp8e5m2\""));
+        assert!(cmp.to_string().contains("jobs/sec"));
+    }
 
     #[test]
     fn sweep_points_match_paper_shape() {

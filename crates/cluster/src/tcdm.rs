@@ -210,6 +210,29 @@ impl Tcdm {
         Ok(())
     }
 
+    /// Reads a single byte (an FP8 element). Any address is aligned.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfBounds`].
+    pub fn read_u8(&self, addr: u32) -> Result<u8, MemError> {
+        let word = self.observe(self.word_index(addr & !3, 4)?);
+        Ok((word >> ((addr & 3) * 8)) as u8)
+    }
+
+    /// Writes a single byte (an FP8 element). Any address is aligned.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfBounds`].
+    pub fn write_u8(&mut self, addr: u32, value: u8) -> Result<(), MemError> {
+        let idx = self.word_index(addr & !3, 4)?;
+        let shift = (addr & 3) * 8;
+        let word = &mut self.words[idx];
+        *word = (*word & !(0xFF << shift)) | (u32::from(value) << shift);
+        Ok(())
+    }
+
     /// Reads an FP16 element.
     ///
     /// # Errors
@@ -340,6 +363,25 @@ mod tests {
         // Writing one half must not clobber the other.
         m.write_u16(8, 0x1111).unwrap();
         assert_eq!(m.read_u16(10).unwrap(), 0x5555);
+    }
+
+    #[test]
+    fn u8_bytes_pack_into_words_at_any_offset() {
+        let mut m = mem();
+        for (i, b) in [0x11u8, 0x22, 0x33, 0x44].into_iter().enumerate() {
+            m.write_u8(12 + i as u32, b).unwrap();
+        }
+        assert_eq!(m.read_u32(12).unwrap(), 0x4433_2211); // little-endian bytes
+        for (i, b) in [0x11u8, 0x22, 0x33, 0x44].into_iter().enumerate() {
+            assert_eq!(m.read_u8(12 + i as u32).unwrap(), b);
+        }
+        // Writing one byte must not clobber its neighbours.
+        m.write_u8(13, 0xEE).unwrap();
+        assert_eq!(m.read_u32(12).unwrap(), 0x4433_EE11);
+        assert!(matches!(
+            m.read_u8(m.size_bytes() as u32),
+            Err(MemError::OutOfBounds { .. })
+        ));
     }
 
     #[test]

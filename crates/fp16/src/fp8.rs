@@ -1,0 +1,550 @@
+//! Bit-accurate OFP8 (FP8) softfloat types and the storage [`Format`]
+//! selector for the cast-in/cast-out datapath.
+//!
+//! Two 8-bit formats from the Open Compute "OFP8" specification (the ones the
+//! RedMulE journal follow-up adds via `redmule_castin`/`redmule_castout`):
+//!
+//! * [`E4M3`] — 4 exponent bits (bias 7), 3 mantissa bits. No infinities;
+//!   the single NaN code per sign is `S.1111.111`, so the exponent field
+//!   `1111` encodes *normal* values for every other mantissa. Max finite is
+//!   448; finite overflow under nearest roundings produces NaN.
+//! * [`E5M2`] — 5 exponent bits (bias 15, identical to binary16), 2 mantissa
+//!   bits. A conventional IEEE-style format: it has infinities, max finite is
+//!   57344, and finite overflow under nearest roundings produces infinity.
+//!
+//! Both types are thin wrappers over their `u8` bit pattern, mirroring
+//! [`F16`]. Widening to binary16 (`to_f16`, the hardware `castin`) is exact
+//! for every bit pattern; narrowing (`from_f16`, the hardware `castout`)
+//! performs a single correctly-rounded step in any [`Round`] mode using the
+//! same integer round/sticky machinery as the binary16 operations, so the
+//! FP8↔FP16 round trip is lossless for all 256 patterns of either format.
+
+use crate::arith::{self, Class, Unpacked};
+use crate::round::Round;
+use crate::F16;
+
+const SIGN8: u8 = 0x80;
+
+/// Static description of an FP8 format, shared by the narrowing path.
+struct Spec {
+    /// Mantissa (fraction) field width in bits.
+    man_bits: u32,
+    /// Exponent bias.
+    bias: i32,
+    /// Maximum unbiased exponent of a finite value.
+    emax: i32,
+    /// Magnitude encoding of the largest finite value.
+    max_finite: u8,
+    /// Magnitude encoding produced on non-saturating overflow
+    /// (infinity for E5M2, NaN for E4M3 which has none).
+    overflow_code: u8,
+    /// Whether the all-ones code point is NaN rather than infinity, i.e.
+    /// the top mantissa pattern of the top binade is unavailable (E4M3).
+    top_code_is_nan: bool,
+}
+
+const E4M3_SPEC: Spec = Spec {
+    man_bits: 3,
+    bias: 7,
+    emax: 8,
+    max_finite: 0x7E,
+    overflow_code: 0x7F,
+    top_code_is_nan: true,
+};
+
+const E5M2_SPEC: Spec = Spec {
+    man_bits: 2,
+    bias: 15,
+    emax: 15,
+    max_finite: 0x7B,
+    overflow_code: 0x7C,
+    top_code_is_nan: false,
+};
+
+/// Narrows a finite, non-zero unpacked binary16 value to an FP8 magnitude
+/// encoding (sign excluded), in a single correctly-rounded step.
+fn narrow_finite(u: Unpacked, mode: Round, spec: &Spec) -> u8 {
+    let sign8 = if u.sign { SIGN8 } else { 0 };
+    // Value is sig * 2^q with sig normalised into [2^10, 2^11); the
+    // exponent of its leading bit is therefore:
+    let e = 10 + u.q;
+    let emin = 1 - spec.bias;
+
+    // Bits to discard from sig so the kept significand lands in the target
+    // field: a fixed 10 - man_bits for normals, growing with the deficit
+    // below emin for subnormals (gradual underflow).
+    let drop = if e >= emin {
+        10 - spec.man_bits as i32
+    } else {
+        (emin - spec.man_bits as i32) - u.q
+    };
+    debug_assert!(drop > 0);
+    let sig = u64::from(u.sig);
+    let (mut kept, round, sticky) = if drop >= 64 {
+        (0, false, sig != 0)
+    } else {
+        let d = drop as u32;
+        let kept = sig >> d;
+        let round = (sig >> (d - 1)) & 1 != 0;
+        let sticky = sig & ((1 << (d - 1)) - 1) != 0;
+        (kept, round, sticky)
+    };
+    if mode.increments(u.sign, kept & 1 != 0, round, sticky) {
+        kept += 1;
+    }
+
+    let hidden = 1u64 << spec.man_bits;
+    if e < emin {
+        // Subnormal result. A round-up carry to `hidden` encodes naturally
+        // as the smallest normal (exponent field 1, mantissa 0).
+        if kept == 0 {
+            return sign8; // underflow to signed zero
+        }
+        return sign8 | kept as u8;
+    }
+
+    let mut e = e;
+    if kept == hidden << 1 {
+        // Carry out of the mantissa: renormalise.
+        kept >>= 1;
+        e += 1;
+    }
+    let overflows =
+        e > spec.emax || (spec.top_code_is_nan && e == spec.emax && kept == (hidden << 1) - 1);
+    if overflows {
+        return if mode.overflow_saturates(u.sign) {
+            sign8 | spec.max_finite
+        } else {
+            sign8 | spec.overflow_code
+        };
+    }
+    sign8 | (((e + spec.bias) as u8) << spec.man_bits) | (kept as u8 & (hidden as u8 - 1))
+}
+
+/// An OFP8 E4M3 value: 1 sign, 4 exponent (bias 7), 3 mantissa bits.
+///
+/// E4M3 trades the infinities away for an extra binade of range: the
+/// exponent field `1111` encodes normal values up to 448, and the single
+/// NaN per sign sits at `S.1111.111`. Finite overflow under the nearest
+/// rounding modes produces that NaN (OFP8 semantics); the directed modes
+/// saturate to ±448 exactly like binary16 saturates to ±65504.
+///
+/// # Example
+///
+/// ```
+/// use redmule_fp16::{E4M3, F16, Round};
+///
+/// let x = E4M3::from_f16(F16::from_f32(3.14), Round::NearestEven);
+/// assert_eq!(x.to_f16().to_f32(), 3.25); // nearest E4M3 value
+/// assert!(E4M3::from_f16(F16::from_f32(1.0e4), Round::NearestEven).is_nan());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct E4M3(u8);
+
+impl E4M3 {
+    /// Positive zero.
+    pub const ZERO: E4M3 = E4M3(0x00);
+    /// Negative zero.
+    pub const NEG_ZERO: E4M3 = E4M3(0x80);
+    /// One.
+    pub const ONE: E4M3 = E4M3(0x38);
+    /// Largest finite value, 448.
+    pub const MAX: E4M3 = E4M3(0x7E);
+    /// Smallest positive (subnormal) value, 2^-9.
+    pub const MIN_POSITIVE_SUBNORMAL: E4M3 = E4M3(0x01);
+    /// The (positive-signed) NaN. E4M3 has exactly one NaN code per sign.
+    pub const NAN: E4M3 = E4M3(0x7F);
+
+    /// Wraps a raw bit pattern.
+    pub const fn from_bits(bits: u8) -> E4M3 {
+        E4M3(bits)
+    }
+
+    /// Returns the raw bit pattern.
+    pub const fn to_bits(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is one of the two NaN codes (`0x7F` / `0xFF`).
+    pub const fn is_nan(self) -> bool {
+        self.0 & 0x7F == 0x7F
+    }
+
+    /// Widens to binary16 (the hardware `castin` stage). Exact for every
+    /// bit pattern: E4M3's entire value set embeds in binary16's normals.
+    pub fn to_f16(self) -> F16 {
+        let sign = u16::from(self.0 & SIGN8) << 8;
+        let exp = u16::from(self.0 >> 3) & 0xF;
+        let man = u16::from(self.0 & 0x7);
+        if self.is_nan() {
+            return F16::from_bits(sign | 0x7E00);
+        }
+        if exp == 0 {
+            if man == 0 {
+                return F16::from_bits(sign);
+            }
+            // Subnormal: value man * 2^-9. Normalise into binary16.
+            let p = 15 - man.leading_zeros() as u16; // leading-bit index, 0..=2
+            let frac = (man << (10 - p)) & 0x3FF;
+            return F16::from_bits(sign | ((p + 6) << 10) | frac);
+        }
+        // Normal: rebias 7 -> 15, widen the mantissa field 3 -> 10.
+        F16::from_bits(sign | ((exp + 8) << 10) | (man << 7))
+    }
+
+    /// Narrows a binary16 value in a single correctly-rounded step (the
+    /// hardware `castout` stage). Overflow follows OFP8: NaN under the
+    /// nearest modes, saturation to ±[`E4M3::MAX`] under the directed
+    /// modes that saturate. Infinities, which E4M3 cannot represent,
+    /// always become NaN.
+    pub fn from_f16(v: F16, mode: Round) -> E4M3 {
+        let bits = v.to_bits();
+        let sign8 = ((bits >> 8) as u8) & SIGN8;
+        match arith::classify(bits) {
+            Class::Nan => E4M3(sign8 | 0x7F),
+            Class::Inf { sign } => E4M3(if sign { 0xFF } else { 0x7F }),
+            Class::Zero { sign } => E4M3(if sign { SIGN8 } else { 0 }),
+            Class::Finite(u) => E4M3(narrow_finite(u, mode, &E4M3_SPEC)),
+        }
+    }
+}
+
+/// An OFP8 E5M2 value: 1 sign, 5 exponent (bias 15), 2 mantissa bits.
+///
+/// E5M2 shares binary16's exponent range exactly, so widening is a pure
+/// left shift of the bit pattern by 8 and every binary16 value's top byte
+/// is its nearest-even E5M2 neighbourhood. It keeps IEEE structure:
+/// infinities exist and finite overflow under the nearest modes produces
+/// them.
+///
+/// # Example
+///
+/// ```
+/// use redmule_fp16::{E5M2, F16, Round};
+///
+/// let x = E5M2::from_f16(F16::from_f32(3.14), Round::NearestEven);
+/// assert_eq!(x.to_f16().to_f32(), 3.0);
+/// assert!(E5M2::from_f16(F16::from_f32(61440.0), Round::NearestEven).is_infinite());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct E5M2(u8);
+
+impl E5M2 {
+    /// Positive zero.
+    pub const ZERO: E5M2 = E5M2(0x00);
+    /// Negative zero.
+    pub const NEG_ZERO: E5M2 = E5M2(0x80);
+    /// One.
+    pub const ONE: E5M2 = E5M2(0x3C);
+    /// Largest finite value, 57344.
+    pub const MAX: E5M2 = E5M2(0x7B);
+    /// Smallest positive (subnormal) value, 2^-16.
+    pub const MIN_POSITIVE_SUBNORMAL: E5M2 = E5M2(0x01);
+    /// Positive infinity.
+    pub const INFINITY: E5M2 = E5M2(0x7C);
+    /// Negative infinity.
+    pub const NEG_INFINITY: E5M2 = E5M2(0xFC);
+    /// The canonical quiet NaN (positive sign, quiet-bit payload).
+    pub const NAN: E5M2 = E5M2(0x7E);
+
+    /// Wraps a raw bit pattern.
+    pub const fn from_bits(bits: u8) -> E5M2 {
+        E5M2(bits)
+    }
+
+    /// Returns the raw bit pattern.
+    pub const fn to_bits(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is a NaN (all-ones exponent, non-zero mantissa).
+    pub const fn is_nan(self) -> bool {
+        self.0 & 0x7C == 0x7C && self.0 & 0x3 != 0
+    }
+
+    /// Whether this is ±infinity.
+    pub const fn is_infinite(self) -> bool {
+        self.0 & 0x7F == 0x7C
+    }
+
+    /// Widens to binary16 (the hardware `castin` stage). Because E5M2 is
+    /// binary16's top byte — same bias, same exponent width — this is
+    /// exactly `bits << 8` and is exact for every bit pattern, subnormals
+    /// and specials included.
+    pub fn to_f16(self) -> F16 {
+        F16::from_bits(u16::from(self.0) << 8)
+    }
+
+    /// Narrows a binary16 value in a single correctly-rounded step (the
+    /// hardware `castout` stage). Overflow produces ±infinity under the
+    /// nearest modes and saturates to ±[`E5M2::MAX`] under the directed
+    /// modes that saturate. NaNs keep their sign and top payload bits,
+    /// quietened so the result stays a NaN.
+    pub fn from_f16(v: F16, mode: Round) -> E5M2 {
+        let bits = v.to_bits();
+        let sign8 = ((bits >> 8) as u8) & SIGN8;
+        match arith::classify(bits) {
+            Class::Nan => {
+                // Keep the top two payload bits; force the quiet bit if
+                // truncation would otherwise produce the infinity code.
+                let mut payload = ((bits >> 8) as u8) & 0x3;
+                if payload == 0 {
+                    payload = 0x2;
+                }
+                E5M2(sign8 | 0x7C | payload)
+            }
+            Class::Inf { sign } => E5M2(if sign { 0xFC } else { 0x7C }),
+            Class::Zero { sign } => E5M2(if sign { SIGN8 } else { 0 }),
+            Class::Finite(u) => E5M2(narrow_finite(u, mode, &E5M2_SPEC)),
+        }
+    }
+}
+
+/// Storage format of a GEMM job's operands in TCDM.
+///
+/// Selects how X, W and Z elements are laid out in memory and cast at the
+/// datapath boundary: [`Format::Fp16`] streams 2-byte elements straight into
+/// the FMA core; the FP8 formats store 1-byte elements that are widened at
+/// buffer fill (`castin`) and narrowed with round-to-nearest-even at store
+/// drain (`castout`), while the accumulation core itself stays FP16.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Format {
+    /// IEEE binary16, the native datapath precision (2 bytes/element).
+    #[default]
+    Fp16,
+    /// OFP8 E4M3 storage, widened/narrowed at the cast stages (1 byte).
+    Fp8E4M3,
+    /// OFP8 E5M2 storage, widened/narrowed at the cast stages (1 byte).
+    Fp8E5M2,
+}
+
+impl Format {
+    /// Every format, in register-tag order.
+    pub const ALL: [Format; 3] = [Format::Fp16, Format::Fp8E4M3, Format::Fp8E5M2];
+
+    /// Bytes per stored element.
+    pub const fn elem_bytes(self) -> usize {
+        match self {
+            Format::Fp16 => 2,
+            Format::Fp8E4M3 | Format::Fp8E5M2 => 1,
+        }
+    }
+
+    /// Whether this is one of the 8-bit storage formats.
+    pub const fn is_fp8(self) -> bool {
+        !matches!(self, Format::Fp16)
+    }
+
+    /// Register-field / snapshot encoding of this format.
+    pub const fn tag(self) -> u8 {
+        match self {
+            Format::Fp16 => 0,
+            Format::Fp8E4M3 => 1,
+            Format::Fp8E5M2 => 2,
+        }
+    }
+
+    /// Decodes a register-field / snapshot tag; `None` for the reserved
+    /// encoding 3 and anything wider.
+    pub const fn from_tag(tag: u8) -> Option<Format> {
+        match tag {
+            0 => Some(Format::Fp16),
+            1 => Some(Format::Fp8E4M3),
+            2 => Some(Format::Fp8E5M2),
+            _ => None,
+        }
+    }
+
+    /// Short lowercase label used in reports and benchmark artefacts.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Format::Fp16 => "fp16",
+            Format::Fp8E4M3 => "fp8e4m3",
+            Format::Fp8E5M2 => "fp8e5m2",
+        }
+    }
+
+    /// The value `v` becomes after a castout/castin round trip through this
+    /// storage format with round-to-nearest-even (identity for `Fp16`).
+    ///
+    /// This is the quantisation a functional model must apply to match the
+    /// engine bit-for-bit: operands pass through storage on the way in, and
+    /// results pass through it on the way out.
+    pub fn quantize(self, v: F16) -> F16 {
+        match self {
+            Format::Fp16 => v,
+            Format::Fp8E4M3 => E4M3::from_f16(v, Round::NearestEven).to_f16(),
+            Format::Fp8E5M2 => E5M2::from_f16(v, Round::NearestEven).to_f16(),
+        }
+    }
+}
+
+impl std::fmt::Display for Format {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e4m3(bits: u16, mode: Round) -> u8 {
+        E4M3::from_f16(F16::from_bits(bits), mode).to_bits()
+    }
+
+    fn e5m2(bits: u16, mode: Round) -> u8 {
+        E5M2::from_f16(F16::from_bits(bits), mode).to_bits()
+    }
+
+    #[test]
+    fn e4m3_named_constants_have_the_documented_bits() {
+        assert_eq!(E4M3::ONE.to_f16().to_bits(), 0x3C00);
+        assert_eq!(E4M3::MAX.to_f16().to_bits(), 0x5F00); // 448
+        assert_eq!(E4M3::MIN_POSITIVE_SUBNORMAL.to_f16().to_bits(), 0x1800); // 2^-9
+        assert!(E4M3::NAN.is_nan());
+        assert!(E4M3::from_bits(0xFF).is_nan());
+        assert!(!E4M3::MAX.is_nan());
+    }
+
+    #[test]
+    fn e5m2_named_constants_have_the_documented_bits() {
+        assert_eq!(E5M2::ONE.to_f16().to_bits(), 0x3C00);
+        assert_eq!(E5M2::MAX.to_f16().to_bits(), 0x7B00); // 57344
+        assert_eq!(E5M2::MIN_POSITIVE_SUBNORMAL.to_f16().to_bits(), 0x0100); // 2^-16
+        assert!(E5M2::INFINITY.is_infinite());
+        assert!(E5M2::NAN.is_nan());
+        assert!(!E5M2::NAN.is_infinite());
+    }
+
+    #[test]
+    fn e4m3_overflow_boundary_follows_ofp8() {
+        // 464 = 0x5F40 is the midpoint between 448 (max finite) and the
+        // would-be 480; RNE ties to the even mantissa, which is 448.
+        assert_eq!(e4m3(0x5F40, Round::NearestEven), 0x7E);
+        // One ulp above the midpoint rounds up and overflows to NaN.
+        assert_eq!(e4m3(0x5F41, Round::NearestEven), 0x7F);
+        // RMM ties away from zero: overflow to NaN at the midpoint.
+        assert_eq!(e4m3(0x5F40, Round::NearestMaxMagnitude), 0x7F);
+        // Directed saturating modes clamp to max finite.
+        assert_eq!(e4m3(0x7BFF, Round::TowardZero), 0x7E);
+        assert_eq!(e4m3(0x7BFF, Round::Down), 0x7E);
+        assert_eq!(e4m3(0xFBFF, Round::Up), 0xFE);
+        // ...while the non-saturating direction overflows to NaN.
+        assert_eq!(e4m3(0x7BFF, Round::Up), 0x7F);
+        // Infinity cannot be represented: always NaN, sign preserved.
+        assert_eq!(e4m3(0x7C00, Round::TowardZero), 0x7F);
+        assert_eq!(e4m3(0xFC00, Round::NearestEven), 0xFF);
+    }
+
+    #[test]
+    fn e5m2_overflow_boundary_produces_infinity() {
+        // 61440 = 0x7B80 is the midpoint between 57344 (max finite) and the
+        // would-be 65536; the even side is 65536, so RNE overflows to Inf.
+        assert_eq!(e5m2(0x7B80, Round::NearestEven), 0x7C);
+        // Just below the midpoint stays at max finite.
+        assert_eq!(e5m2(0x7B7F, Round::NearestEven), 0x7B);
+        // Directed saturating modes clamp; the others produce Inf.
+        assert_eq!(e5m2(0x7BFF, Round::TowardZero), 0x7B);
+        assert_eq!(e5m2(0xFBFF, Round::Down), 0xFC);
+        assert_eq!(e5m2(0x7BFF, Round::Up), 0x7C);
+        // Real infinities pass through.
+        assert_eq!(e5m2(0x7C00, Round::TowardZero), 0x7C);
+        assert_eq!(e5m2(0xFC00, Round::TowardZero), 0xFC);
+    }
+
+    #[test]
+    fn rne_ties_resolve_to_even_mantissas() {
+        // 2.125 = 0x4040 is halfway between E4M3's 2.0 (man 000) and
+        // 2.25 (man 001): even is 2.0.
+        assert_eq!(e4m3(0x4040, Round::NearestEven), 0x40);
+        // 2.375 = 0x40C0 is halfway between 2.25 and 2.5: even is 2.5.
+        assert_eq!(e4m3(0x40C0, Round::NearestEven), 0x42);
+        // RMM breaks both ties away from zero.
+        assert_eq!(e4m3(0x4040, Round::NearestMaxMagnitude), 0x41);
+        assert_eq!(e4m3(0x40C0, Round::NearestMaxMagnitude), 0x42);
+    }
+
+    #[test]
+    fn subnormal_boundaries_underflow_gradually() {
+        // Half of E4M3's smallest subnormal (2^-10 = 0x1400): RNE ties to
+        // even (zero), RUP forces the smallest subnormal.
+        assert_eq!(e4m3(0x1400, Round::NearestEven), 0x00);
+        assert_eq!(e4m3(0x1400, Round::Up), 0x01);
+        assert_eq!(e4m3(0x9400, Round::NearestEven), 0x80); // signed zero
+        assert_eq!(e4m3(0x9400, Round::Down), 0x81);
+        // Smallest binary16 subnormal is far below either FP8 format.
+        assert_eq!(e4m3(0x0001, Round::NearestEven), 0x00);
+        assert_eq!(e4m3(0x0001, Round::Up), 0x01);
+        assert_eq!(e5m2(0x0001, Round::NearestEven), 0x00);
+        // E5M2's smallest subnormal is exactly binary16's 2^-16.
+        assert_eq!(e5m2(0x0100, Round::NearestEven), 0x01);
+    }
+
+    #[test]
+    fn signed_zeros_survive_the_cast_in_both_directions() {
+        for mode in Round::ALL {
+            assert_eq!(e4m3(0x0000, mode), 0x00);
+            assert_eq!(e4m3(0x8000, mode), 0x80);
+            assert_eq!(e5m2(0x0000, mode), 0x00);
+            assert_eq!(e5m2(0x8000, mode), 0x80);
+        }
+        assert_eq!(E4M3::NEG_ZERO.to_f16().to_bits(), 0x8000);
+        assert_eq!(E5M2::NEG_ZERO.to_f16().to_bits(), 0x8000);
+    }
+
+    #[test]
+    fn nan_narrowing_is_canonical_and_sign_preserving() {
+        // E4M3 has a single NaN code per sign.
+        assert_eq!(e4m3(0x7E01, Round::NearestEven), 0x7F);
+        assert_eq!(e4m3(0xFFFF, Round::NearestEven), 0xFF);
+        // E5M2 keeps the top payload bits; a payload that would truncate to
+        // zero (turning NaN into Inf) gets the quiet bit forced instead.
+        assert_eq!(e5m2(0x7E00, Round::NearestEven), 0x7E);
+        assert_eq!(e5m2(0x7D00, Round::NearestEven), 0x7D);
+        assert_eq!(e5m2(0x7C01, Round::NearestEven), 0x7E);
+        assert_eq!(e5m2(0xFC01, Round::NearestEven), 0xFE);
+        assert!(E5M2::from_bits(e5m2(0x7C01, Round::NearestEven)).is_nan());
+    }
+
+    #[test]
+    fn e5m2_widen_is_the_top_byte() {
+        for bits in 0u16..=0xFF {
+            let wide = E5M2::from_bits(bits as u8).to_f16().to_bits();
+            assert_eq!(wide, bits << 8);
+        }
+    }
+
+    #[test]
+    fn format_tags_round_trip_and_reserved_tag_is_rejected() {
+        for format in Format::ALL {
+            assert_eq!(Format::from_tag(format.tag()), Some(format));
+        }
+        assert_eq!(Format::from_tag(3), None);
+        assert_eq!(Format::from_tag(0xFF), None);
+    }
+
+    #[test]
+    fn format_reports_element_widths_and_labels() {
+        assert_eq!(Format::Fp16.elem_bytes(), 2);
+        assert_eq!(Format::Fp8E4M3.elem_bytes(), 1);
+        assert_eq!(Format::Fp8E5M2.elem_bytes(), 1);
+        assert!(!Format::Fp16.is_fp8());
+        assert!(Format::Fp8E4M3.is_fp8());
+        let labels: Vec<&str> = Format::ALL.iter().map(|f| f.label()).collect();
+        assert_eq!(labels, ["fp16", "fp8e4m3", "fp8e5m2"]);
+        assert_eq!(Format::default(), Format::Fp16);
+    }
+
+    #[test]
+    fn quantize_is_identity_for_fp16_and_a_projection_for_fp8() {
+        let v = F16::from_bits(0x3C01); // 1.0 + 1 ulp
+        assert_eq!(Format::Fp16.quantize(v), v);
+        let q = Format::Fp8E4M3.quantize(v);
+        assert_eq!(q.to_bits(), 0x3C00); // snaps to 1.0
+        assert_eq!(Format::Fp8E4M3.quantize(q), q); // idempotent
+        let q = Format::Fp8E5M2.quantize(v);
+        assert_eq!(q.to_bits(), 0x3C00);
+        assert_eq!(Format::Fp8E5M2.quantize(q), q);
+    }
+}

@@ -16,6 +16,9 @@
 //! * [`vector`] — slice-level helpers (dot products, AXPY) and the
 //!   **golden-model GEMM** ([`vector::gemm_golden`]) that the cycle-accurate
 //!   accelerator model is verified against.
+//! * [`E4M3`] / [`E5M2`] — bit-accurate OFP8 8-bit formats with exact
+//!   widening and correctly rounded narrowing casts, and the storage
+//!   [`Format`] selector for the accelerator's cast-in/cast-out datapath.
 //!
 //! # Fidelity notes
 //!
@@ -45,10 +48,12 @@
 
 pub mod arith;
 mod f16;
+mod fp8;
 mod round;
 pub mod vector;
 
 pub use f16::{FpCategory16, F16};
+pub use fp8::{Format, E4M3, E5M2};
 pub use round::Round;
 
 /// Canonical quiet NaN produced by all invalid operations (matches FPnew).

@@ -6,7 +6,7 @@
 //! theorem (53 >> 2*11+2) makes round(f64-op) the correctly rounded FP16
 //! result.
 
-use redmule_fp16::{arith, Round, CANONICAL_QNAN, F16};
+use redmule_fp16::{arith, Round, CANONICAL_QNAN, E4M3, E5M2, F16};
 
 fn all_patterns() -> impl Iterator<Item = u16> {
     0u16..=0xFFFF
@@ -178,4 +178,240 @@ fn all_rounding_modes_bracket_exhaustively() {
         assert!(tz.abs() <= exact.abs() || tz.is_infinite(), "{bits:#06x}");
         assert!(ne >= dn && ne <= up, "{bits:#06x}");
     }
+}
+
+// ---------------------------------------------------------------------------
+// FP8 casts: the E4M3/E5M2 spaces are tiny (256 patterns) and the binary16
+// space is small (65536 patterns), so both directions are verified over
+// their *entire* domains against first-principles f64 references. Every FP8
+// and FP16 value converts to f64 exactly, and the midpoint of two adjacent
+// FP8 values is exactly representable, so f64 comparison is a valid oracle.
+// ---------------------------------------------------------------------------
+
+/// Magnitude of the FP8 encoding `enc` (sign bit stripped), from the
+/// IEEE interchange formula — independent of the library's bit fiddling.
+fn fp8_mag(enc: u32, man_bits: i32, bias: i32) -> f64 {
+    let man = (enc & ((1u32 << man_bits) - 1)) as f64;
+    let exp = (enc >> man_bits) as i32;
+    if exp == 0 {
+        man * (2f64).powi(1 - bias - man_bits)
+    } else {
+        (1.0 + man * (2f64).powi(-man_bits)) * (2f64).powi(exp - bias)
+    }
+}
+
+/// The magnitude ladder `enc -> |value|` for encodings `0..=top`, where
+/// `top` is the first non-finite code (E4M3's NaN 0x7F, E5M2's Inf 0x7C)
+/// treated as the virtual next rung: 480 and 65536 respectively. Rounding
+/// *onto* the top rung is exactly the overflow condition.
+fn fp8_ladder(man_bits: i32, bias: i32, top: usize) -> Vec<f64> {
+    (0..=top)
+        .map(|e| fp8_mag(e as u32, man_bits, bias))
+        .collect()
+}
+
+/// Reference narrowing of a finite binary16 pattern: walk the magnitude
+/// ladder in f64, pick the rounded rung per IEEE semantics, then apply the
+/// OFP8 overflow policy when the rounding lands on the virtual top rung.
+fn fp8_narrow_ref(bits: u16, mode: Round, mags: &[f64], max_code: u8, overflow_code: u8) -> u8 {
+    let neg = bits & 0x8000 != 0;
+    let sign8 = if neg { 0x80u8 } else { 0 };
+    let a = arith::to_f64(bits).abs();
+    let top = mags.len() - 1;
+
+    let chosen = if a >= mags[top] {
+        top
+    } else {
+        let lo = mags.partition_point(|&m| m <= a) - 1;
+        if mags[lo] == a {
+            lo
+        } else {
+            let hi = lo + 1;
+            let mid = 0.5 * (mags[lo] + mags[hi]); // exact: few significand bits
+            match mode {
+                Round::NearestEven => {
+                    if a < mid {
+                        lo
+                    } else if a > mid {
+                        hi
+                    } else if lo % 2 == 0 {
+                        lo
+                    } else {
+                        hi
+                    }
+                }
+                Round::NearestMaxMagnitude => {
+                    if a < mid {
+                        lo
+                    } else {
+                        hi
+                    }
+                }
+                Round::TowardZero => lo,
+                Round::Down => {
+                    if neg {
+                        hi
+                    } else {
+                        lo
+                    }
+                }
+                Round::Up => {
+                    if neg {
+                        lo
+                    } else {
+                        hi
+                    }
+                }
+            }
+        }
+    };
+
+    if chosen == top {
+        // IEEE overflow: the directed modes that round towards zero on
+        // this sign saturate to the largest finite value; the rest take
+        // the format's overflow code (NaN for E4M3, Inf for E5M2).
+        let saturates = match mode {
+            Round::TowardZero => true,
+            Round::Down => !neg,
+            Round::Up => neg,
+            Round::NearestEven | Round::NearestMaxMagnitude => false,
+        };
+        if saturates {
+            sign8 | max_code
+        } else {
+            sign8 | overflow_code
+        }
+    } else {
+        sign8 | chosen as u8
+    }
+}
+
+#[test]
+fn fp8_widen_is_exact_for_all_256_patterns() {
+    let e4 = fp8_ladder(3, 7, 0x7F);
+    let e5 = fp8_ladder(2, 15, 0x7C);
+    for p in 0..=0xFFu8 {
+        let sign = if p & 0x80 != 0 { -1.0 } else { 1.0 };
+        let enc = (p & 0x7F) as usize;
+
+        // E4M3: one NaN per sign, everything else finite.
+        let w = E4M3::from_bits(p).to_f16();
+        if enc == 0x7F {
+            assert!(w.is_nan(), "E4M3 NaN widen at {p:#04x}");
+            assert_eq!(w.to_bits() & 0x8000 != 0, p & 0x80 != 0, "{p:#04x}");
+        } else {
+            assert_eq!(
+                arith::to_f64(w.to_bits()),
+                sign * e4[enc],
+                "E4M3 widen at {p:#04x}"
+            );
+        }
+
+        // E5M2: widening is the pure shift its docs promise, and the
+        // shifted value is numerically the ladder value.
+        let w = E5M2::from_bits(p).to_f16();
+        assert_eq!(w.to_bits(), u16::from(p) << 8, "E5M2 widen at {p:#04x}");
+        if enc < 0x7C {
+            assert_eq!(
+                arith::to_f64(w.to_bits()),
+                sign * e5[enc],
+                "E5M2 widen at {p:#04x}"
+            );
+        } else if enc == 0x7C {
+            assert!(w.is_infinite(), "E5M2 Inf widen at {p:#04x}");
+        } else {
+            assert!(w.is_nan(), "E5M2 NaN widen at {p:#04x}");
+        }
+    }
+}
+
+#[test]
+fn fp8_round_trips_all_256_patterns_in_every_mode() {
+    // Widen-then-narrow must be the identity on the full FP8 space, in
+    // every rounding mode: the widened value is exact, so no rounding may
+    // move it, and the NaN narrowing must reproduce the original payload.
+    for p in 0..=0xFFu8 {
+        for mode in Round::ALL {
+            assert_eq!(
+                E4M3::from_f16(E4M3::from_bits(p).to_f16(), mode).to_bits(),
+                p,
+                "E4M3 round trip at {p:#04x} under {mode:?}"
+            );
+            assert_eq!(
+                E5M2::from_f16(E5M2::from_bits(p).to_f16(), mode).to_bits(),
+                p,
+                "E5M2 round trip at {p:#04x} under {mode:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn e4m3_narrow_exhaustive_vs_f64_reference() {
+    let mags = fp8_ladder(3, 7, 0x7F);
+    for bits in all_patterns() {
+        let sign8 = ((bits >> 8) as u8) & 0x80;
+        for mode in Round::ALL {
+            let got = E4M3::from_f16(F16::from_bits(bits), mode).to_bits();
+            // E4M3 has no infinities: both NaN and Inf inputs collapse to
+            // the format's single signed NaN code.
+            let want = if is_nan_bits(bits) || (bits & 0x7FFF) == 0x7C00 {
+                sign8 | 0x7F
+            } else {
+                fp8_narrow_ref(bits, mode, &mags, 0x7E, 0x7F)
+            };
+            assert_eq!(got, want, "E4M3 narrow at {bits:#06x} under {mode:?}");
+        }
+    }
+}
+
+#[test]
+fn e5m2_narrow_exhaustive_vs_f64_reference() {
+    let mags = fp8_ladder(2, 15, 0x7C);
+    for bits in all_patterns() {
+        let sign8 = ((bits >> 8) as u8) & 0x80;
+        for mode in Round::ALL {
+            let got = E5M2::from_f16(F16::from_bits(bits), mode).to_bits();
+            let want = if is_nan_bits(bits) {
+                // Sign and top payload bits survive, quietened so the
+                // result never collides with the infinity code.
+                let payload = ((bits >> 8) as u8) & 0x3;
+                sign8 | 0x7C | if payload == 0 { 0x2 } else { payload }
+            } else if (bits & 0x7FFF) == 0x7C00 {
+                sign8 | 0x7C
+            } else {
+                fp8_narrow_ref(bits, mode, &mags, 0x7B, 0x7C)
+            };
+            assert_eq!(got, want, "E5M2 narrow at {bits:#06x} under {mode:?}");
+        }
+    }
+}
+
+#[test]
+fn fp8_narrow_landmark_values() {
+    // Pin the textbook OFP8 cases by hand, independent of the ladder.
+    let f = |v: f32| F16::from_f32(v);
+    // 464 is the exact midpoint of E4M3's 448 and the virtual 480 rung.
+    assert_eq!(E4M3::from_f16(f(464.0), Round::NearestEven).to_bits(), 0x7E);
+    assert!(E4M3::from_f16(f(464.0), Round::NearestMaxMagnitude).is_nan());
+    assert_eq!(E4M3::from_f16(f(464.0), Round::TowardZero).to_bits(), 0x7E);
+    assert!(E4M3::from_f16(f(500.0), Round::NearestEven).is_nan());
+    assert_eq!(E4M3::from_f16(f(-500.0), Round::Up).to_bits(), 0xFE);
+    // 61440 is the midpoint of E5M2's 57344 and the virtual 65536 rung;
+    // the even side is the infinity, so RNE overflows.
+    assert!(E5M2::from_f16(f(61440.0), Round::NearestEven).is_infinite());
+    assert_eq!(
+        E5M2::from_f16(f(61440.0), Round::TowardZero).to_bits(),
+        0x7B
+    );
+    assert_eq!(E5M2::from_f16(f(-61440.0), Round::Up).to_bits(), 0xFB);
+    // Smallest subnormals: E4M3 2^-9, E5M2 2^-16.
+    assert_eq!(
+        E4M3::MIN_POSITIVE_SUBNORMAL.to_f16().to_bits(),
+        arith::from_f64((2f64).powi(-9), Round::NearestEven)
+    );
+    assert_eq!(
+        E5M2::MIN_POSITIVE_SUBNORMAL.to_f16().to_bits(),
+        arith::from_f64((2f64).powi(-16), Round::NearestEven)
+    );
 }

@@ -10,6 +10,7 @@
 //! the cores; its cost model is shared by both backends.
 
 pub use redmule::BackendKind;
+pub use redmule::Format;
 use redmule::{AccelConfig, Accelerator, EngineError, FunctionalGemm, L2TiledGemm};
 use redmule_cluster::{baseline::SwGemm, ClusterConfig};
 use redmule_fp16::vector::GemmShape;
@@ -160,6 +161,7 @@ impl CycleLedger {
 pub struct Backend {
     inner: Inner,
     cluster: ClusterConfig,
+    format: Format,
 }
 
 #[derive(Debug)]
@@ -194,6 +196,7 @@ impl Backend {
         Backend {
             inner: Inner::HwFn(FunctionalGemm::paper_instance()),
             cluster: ClusterConfig::default(),
+            format: Format::Fp16,
         }
     }
 
@@ -202,6 +205,7 @@ impl Backend {
         Backend {
             inner: Inner::Hw(accel),
             cluster: ClusterConfig::default(),
+            format: Format::Fp16,
         }
     }
 
@@ -214,6 +218,7 @@ impl Backend {
         Backend {
             inner: Inner::HwL2(L2TiledGemm::new(AccelConfig::paper(), cluster.clone())),
             cluster,
+            format: Format::Fp16,
         }
     }
 
@@ -227,7 +232,26 @@ impl Backend {
         Backend {
             inner: Inner::Sw(SwGemm::new(&cfg)),
             cluster: cfg,
+            format: Format::Fp16,
         }
+    }
+
+    /// Selects the operand storage [`Format`] for every GEMM this
+    /// backend runs. With an FP8 format the cycle-accurate path stores
+    /// X/W/Z in TCDM at one byte per element (cast at the engine's
+    /// castin/castout stages); the software, functional and L2 paths
+    /// quantise operands in and results out through the same
+    /// round-to-nearest-even casts, so **all four backends stay
+    /// bit-identical for any format** — the property `tests` pin.
+    #[must_use]
+    pub fn with_format(mut self, format: Format) -> Backend {
+        self.format = format;
+        self
+    }
+
+    /// The operand storage format this backend runs with.
+    pub fn format(&self) -> Format {
+        self.format
     }
 
     /// `"hw"`, `"hw-fn"`, `"hw-l2"` or `"sw"`.
@@ -263,13 +287,26 @@ impl Backend {
         x: &[F16],
         w: &[F16],
     ) -> Result<(Vec<F16>, Cycle), EngineError> {
+        // FP8 formats quantise the operands up front — exactly the image
+        // the engine's staging castout would store, so feeding the
+        // already-quantised values through any path is idempotent and
+        // keeps all backends bit-identical.
+        let format = self.format;
+        let (xq, wq);
+        let (x, w) = if format.is_fp8() {
+            xq = quantize(format, x);
+            wq = quantize(format, w);
+            (&xq[..], &wq[..])
+        } else {
+            (x, w)
+        };
         match &mut self.inner {
             Inner::Hw(accel) => {
                 // One entry checkpoint per job (interval MAX): enough for
                 // panic/watchdog rollback without per-tile snapshot cost.
                 let supervisor =
                     Supervisor::new(accel.engine().clone()).with_checkpoint_interval(usize::MAX);
-                let (z, run) = supervisor.gemm(shape, x, w)?;
+                let (z, run) = supervisor.gemm_in(shape, format, x, w)?;
                 match run.stop {
                     StopReason::Completed => Ok((z, run.report.cycles)),
                     StopReason::Failed(e) => Err(e),
@@ -280,16 +317,26 @@ impl Backend {
                 }
             }
             Inner::HwFn(f) => {
-                let run = f.run(shape, x, w)?;
+                let run = f.run_format(shape, format, x, w)?;
                 Ok((run.z, run.estimated_cycles))
             }
             Inner::HwL2(driver) => {
-                let (z, report) = driver.run(shape, x, w)?;
+                // The L2 driver models FP8 at the L2/DMA boundary with
+                // FP16 accumulation in TCDM across reduction slices; the
+                // single output narrowing matches the one-job engine run.
+                let (mut z, report) = driver.run(shape, x, w)?;
+                if format.is_fp8() {
+                    z = quantize(format, &z);
+                }
                 Ok((z, report.overlapped_cycles))
             }
             Inner::Sw(sw) => {
                 let run = sw.run(shape, x, w)?;
-                Ok((run.z, run.cycles))
+                let mut z = run.z;
+                if format.is_fp8() {
+                    z = quantize(format, &z);
+                }
+                Ok((z, run.cycles))
             }
         }
     }
@@ -306,6 +353,11 @@ impl Backend {
         const FORK_JOIN: u64 = 30;
         Cycle::new((elems * CYCLES_PER_ELEM).div_ceil(self.cluster.n_cores) as u64 + FORK_JOIN)
     }
+}
+
+/// Quantises a slice through `format` (identity for FP16).
+fn quantize(format: Format, v: &[F16]) -> Vec<F16> {
+    v.iter().map(|e| format.quantize(*e)).collect()
 }
 
 #[cfg(test)]
@@ -366,6 +418,38 @@ mod tests {
         // of magnitude as the measured cycles, never zero.
         assert!(cf.count() > 0);
         assert!(cf.count() < 4 * cc.count());
+    }
+
+    #[test]
+    fn all_backends_agree_bitwise_in_fp8() {
+        let shape = GemmShape::new(6, 10, 14);
+        let (x, w) = shape_data(shape);
+        for format in [Format::Fp8E4M3, Format::Fp8E5M2] {
+            let run = |mut b: Backend| {
+                let (z, _) = b.gemm(shape, &x, &w).expect("gemm");
+                z.iter().map(|v| v.to_bits()).collect::<Vec<u16>>()
+            };
+            let zh = run(Backend::hw().with_format(format));
+            assert_eq!(
+                zh,
+                run(Backend::hw_functional().with_format(format)),
+                "{format}: hw-fn drifted"
+            );
+            assert_eq!(
+                zh,
+                run(Backend::sw().with_format(format)),
+                "{format}: sw drifted"
+            );
+            assert_eq!(
+                zh,
+                run(Backend::hw_l2().with_format(format)),
+                "{format}: hw-l2 drifted"
+            );
+        }
+        assert_eq!(
+            Backend::hw().with_format(Format::Fp8E4M3).format().label(),
+            "fp8e4m3"
+        );
     }
 
     #[test]

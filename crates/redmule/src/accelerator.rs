@@ -1,13 +1,14 @@
 //! Top-level accelerator facade: register-file programming plus
 //! one-call GEMM convenience.
 
+use crate::cast;
 use crate::config::AccelConfig;
 use crate::engine::{Engine, EngineError, RunReport};
 use crate::faults::{FaultPlan, FtConfig};
 use crate::regfile::{Job, RegFile};
 use redmule_cluster::{ClusterConfig, Hci, Tcdm};
 use redmule_fp16::vector::GemmShape;
-use redmule_fp16::F16;
+use redmule_fp16::{Format, F16};
 
 /// A complete RedMulE instance: the cycle-accurate [`Engine`] plus the
 /// HWPE [`RegFile`] the cores program it through.
@@ -121,7 +122,43 @@ impl Accelerator {
     /// [`EngineError::ShapeMismatch`] when a slice length does not match
     /// `shape`; otherwise propagates [`EngineError`].
     pub fn gemm(&self, shape: GemmShape, x: &[F16], w: &[F16]) -> Result<GemmRun, EngineError> {
-        self.gemm_inner(shape, x, w, None, None)
+        self.gemm_inner(shape, Format::Fp16, x, w, None, None)
+    }
+
+    /// Runs `Z = X * W` with operands stored in TCDM in `format`: FP8
+    /// storage is narrowed at staging (castout), widened at buffer fill
+    /// (castin), accumulated in FP16 and narrowed again at store drain.
+    /// The returned `z` is read back widened to FP16 — bit-identical to
+    /// [`crate::FunctionalGemm::run_format`] on the same operands.
+    ///
+    /// # Errors
+    ///
+    /// As [`Accelerator::gemm`].
+    pub fn gemm_with_format(
+        &self,
+        shape: GemmShape,
+        format: Format,
+        x: &[F16],
+        w: &[F16],
+    ) -> Result<GemmRun, EngineError> {
+        self.gemm_inner(shape, format, x, w, None, None)
+    }
+
+    /// Runs `Z = X * W + Y` with operands stored in `format`
+    /// (see [`Accelerator::gemm_with_format`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Accelerator::gemm`].
+    pub fn gemm_accumulate_with_format(
+        &self,
+        shape: GemmShape,
+        format: Format,
+        x: &[F16],
+        w: &[F16],
+        y: &[F16],
+    ) -> Result<GemmRun, EngineError> {
+        self.gemm_inner(shape, format, x, w, Some(y), None)
     }
 
     /// Runs `Z = X * W + Y` (accumulate mode, the journal follow-up's GEMM
@@ -138,7 +175,7 @@ impl Accelerator {
         w: &[F16],
         y: &[F16],
     ) -> Result<GemmRun, EngineError> {
-        self.gemm_inner(shape, x, w, Some(y), None)
+        self.gemm_inner(shape, Format::Fp16, x, w, Some(y), None)
     }
 
     /// Runs `Z = X * W` under a [`FaultPlan`] with one of the RedMulE-FT
@@ -159,23 +196,24 @@ impl Accelerator {
         plan: &FaultPlan,
         ft: FtConfig,
     ) -> Result<GemmRun, EngineError> {
-        self.gemm_inner(shape, x, w, None, Some((plan, ft)))
+        self.gemm_inner(shape, Format::Fp16, x, w, None, Some((plan, ft)))
     }
 
     fn gemm_inner(
         &self,
         shape: GemmShape,
+        format: Format,
         x: &[F16],
         w: &[F16],
         y: Option<&[F16]>,
         ft: Option<(&FaultPlan, FtConfig)>,
     ) -> Result<GemmRun, EngineError> {
-        let (job, mut mem, mut hci) = stage_gemm_workspace(shape, x, w, y)?;
+        let (job, mut mem, mut hci) = stage_gemm_workspace_in(shape, format, x, w, y)?;
         let report = match ft {
             Some((plan, ft_cfg)) => self.engine.run_ft(job, &mut mem, &mut hci, plan, ft_cfg)?,
             None => self.engine.run(job, &mut mem, &mut hci)?,
         };
-        let z = mem.load_f16_slice(job.z_addr, shape.z_len())?;
+        let z = cast::castin_slice(&mem, format, job.z_addr, shape.z_len())?;
         Ok(GemmRun { z, report })
     }
 }
@@ -200,6 +238,25 @@ pub fn stage_gemm_workspace(
     w: &[F16],
     y: Option<&[F16]>,
 ) -> Result<(Job, Tcdm, Hci), EngineError> {
+    stage_gemm_workspace_in(shape, Format::Fp16, x, w, y)
+}
+
+/// As [`stage_gemm_workspace`], with the operands stored in `format`: FP8
+/// storage is narrowed element-wise at staging (the castout the DMA-side
+/// repacker performs) and packed at 1 byte per element, halving the
+/// workspace footprint. Read Z back with [`cast::castin_slice`] to get
+/// FP16 values regardless of format.
+///
+/// # Errors
+///
+/// As [`stage_gemm_workspace`].
+pub fn stage_gemm_workspace_in(
+    shape: GemmShape,
+    format: Format,
+    x: &[F16],
+    w: &[F16],
+    y: Option<&[F16]>,
+) -> Result<(Job, Tcdm, Hci), EngineError> {
     let check = |operand: &'static str, got: usize, expected: usize| {
         if got == expected {
             Ok(())
@@ -217,7 +274,8 @@ pub fn stage_gemm_workspace(
         check("Y", y.len(), shape.z_len())?;
     }
 
-    let needed = shape.footprint_bytes() + 256;
+    let esz = format.elem_bytes();
+    let needed = esz * (shape.x_len() + shape.w_len() + shape.z_len()) + 256;
     let mut ccfg = ClusterConfig::default();
     if needed > ccfg.tcdm_bytes() {
         ccfg = ccfg.with_tcdm_kib(needed.div_ceil(1024));
@@ -226,13 +284,13 @@ pub fn stage_gemm_workspace(
     let hci = Hci::new(&ccfg);
 
     let x_addr = 0u32;
-    let w_addr = x_addr + 2 * shape.x_len() as u32;
-    let z_addr = w_addr + 2 * shape.w_len() as u32;
-    mem.store_f16_slice(x_addr, x)?;
-    mem.store_f16_slice(w_addr, w)?;
-    let mut job = Job::new(x_addr, w_addr, z_addr, shape.m, shape.n, shape.k);
+    let w_addr = x_addr + (esz * shape.x_len()) as u32;
+    let z_addr = w_addr + (esz * shape.w_len()) as u32;
+    cast::castout_slice(&mut mem, format, x_addr, x)?;
+    cast::castout_slice(&mut mem, format, w_addr, w)?;
+    let mut job = Job::new(x_addr, w_addr, z_addr, shape.m, shape.n, shape.k).with_format(format);
     if let Some(y) = y {
-        mem.store_f16_slice(z_addr, y)?;
+        cast::castout_slice(&mut mem, format, z_addr, y)?;
         job = job.with_accumulate();
     }
     Ok((job, mem, hci))

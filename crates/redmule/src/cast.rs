@@ -1,0 +1,148 @@
+//! The cast-in/cast-out stages between TCDM storage and the FP16 datapath.
+//!
+//! Models the RTL's `redmule_castin`/`redmule_castout` modules: operands may
+//! be stored in TCDM in a narrower [`Format`] than the datapath precision.
+//! On the way in, every element is widened to FP16 (`castin`; exact for both
+//! FP8 formats), fed through the unchanged FP16 FMA core, and on the way out
+//! narrowed back to the storage format with round-to-nearest-even
+//! (`castout`, the FPU's default mode — the single rounding the real cast
+//! unit performs).
+//!
+//! The slice helpers are the software-visible counterpart: they lay a matrix
+//! of FP16 values out in TCDM in the job's storage format
+//! ([`castout_slice`]) and read it back widened ([`castin_slice`]), which is
+//! what the accelerator front end uses to stage workspaces and collect
+//! results for any format.
+
+use redmule_cluster::{MemError, Tcdm};
+use redmule_fp16::{Format, Round, E4M3, E5M2, F16};
+
+/// Reads one element stored at `addr` in `format`, widened to FP16.
+///
+/// Widening is exact: every FP8 bit pattern (subnormals, infinities and
+/// NaNs included) has a unique FP16 image.
+///
+/// # Errors
+///
+/// [`MemError`] when the access leaves the TCDM (or, for FP16 storage, is
+/// misaligned).
+pub fn castin(mem: &Tcdm, format: Format, addr: u32) -> Result<F16, MemError> {
+    Ok(match format {
+        Format::Fp16 => mem.read_f16(addr)?,
+        Format::Fp8E4M3 => E4M3::from_bits(mem.read_u8(addr)?).to_f16(),
+        Format::Fp8E5M2 => E5M2::from_bits(mem.read_u8(addr)?).to_f16(),
+    })
+}
+
+/// Narrows one FP16 element to `format` with round-to-nearest-even and
+/// stores it at `addr`.
+///
+/// # Errors
+///
+/// [`MemError`] when the access leaves the TCDM (or, for FP16 storage, is
+/// misaligned).
+pub fn castout(mem: &mut Tcdm, format: Format, addr: u32, value: F16) -> Result<(), MemError> {
+    match format {
+        Format::Fp16 => mem.write_f16(addr, value),
+        Format::Fp8E4M3 => mem.write_u8(addr, E4M3::from_f16(value, Round::NearestEven).to_bits()),
+        Format::Fp8E5M2 => mem.write_u8(addr, E5M2::from_f16(value, Round::NearestEven).to_bits()),
+    }
+}
+
+/// Stores a dense slice of FP16 values at `addr` in `format`
+/// (elements are `format.elem_bytes()` apart).
+///
+/// # Errors
+///
+/// As [`castout`]; partial writes are possible on error.
+pub fn castout_slice(
+    mem: &mut Tcdm,
+    format: Format,
+    addr: u32,
+    data: &[F16],
+) -> Result<(), MemError> {
+    let esz = format.elem_bytes() as u32;
+    for (i, v) in data.iter().enumerate() {
+        castout(mem, format, addr + esz * i as u32, *v)?;
+    }
+    Ok(())
+}
+
+/// Reads `n` densely stored elements at `addr` in `format`, widened to FP16.
+///
+/// # Errors
+///
+/// As [`castin`].
+pub fn castin_slice(mem: &Tcdm, format: Format, addr: u32, n: usize) -> Result<Vec<F16>, MemError> {
+    let esz = format.elem_bytes() as u32;
+    (0..n)
+        .map(|i| castin(mem, format, addr + esz * i as u32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redmule_cluster::ClusterConfig;
+
+    fn mem() -> Tcdm {
+        Tcdm::new(&ClusterConfig::default())
+    }
+
+    #[test]
+    fn fp16_path_is_the_plain_halfword_access() {
+        let mut m = mem();
+        let v = F16::from_bits(0x3C01);
+        castout(&mut m, Format::Fp16, 8, v).unwrap();
+        assert_eq!(m.read_u16(8).unwrap(), 0x3C01);
+        assert_eq!(castin(&m, Format::Fp16, 8).unwrap(), v);
+    }
+
+    #[test]
+    fn fp8_round_trips_are_lossless_for_stored_values() {
+        let mut m = mem();
+        for format in [Format::Fp8E4M3, Format::Fp8E5M2] {
+            for bits in 0u16..=0xFF {
+                m.write_u8(0, bits as u8).unwrap();
+                let wide = castin(&m, format, 0).unwrap();
+                castout(&mut m, format, 1, wide).unwrap();
+                assert_eq!(
+                    m.read_u8(1).unwrap(),
+                    bits as u8,
+                    "{format} pattern {bits:#04x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn castout_narrows_with_nearest_even() {
+        let mut m = mem();
+        // 1.0 + 1 ulp snaps back to 1.0 in either FP8 format.
+        castout(&mut m, Format::Fp8E4M3, 0, F16::from_bits(0x3C01)).unwrap();
+        assert_eq!(m.read_u8(0).unwrap(), E4M3::ONE.to_bits());
+        // Finite overflow follows OFP8: NaN for E4M3, Inf for E5M2.
+        castout(&mut m, Format::Fp8E4M3, 0, F16::MAX).unwrap();
+        assert!(E4M3::from_bits(m.read_u8(0).unwrap()).is_nan());
+        castout(&mut m, Format::Fp8E5M2, 0, F16::MAX).unwrap();
+        assert!(E5M2::from_bits(m.read_u8(0).unwrap()).is_infinite());
+    }
+
+    #[test]
+    fn slices_pack_at_element_pitch() {
+        let mut m = mem();
+        let data: Vec<F16> = (0..5).map(|i| F16::from_f32(i as f32)).collect();
+        castout_slice(&mut m, Format::Fp8E4M3, 3, &data).unwrap();
+        // Bytes are packed contiguously from an unaligned base address.
+        assert_eq!(m.read_u8(3).unwrap(), 0x00);
+        assert_eq!(m.read_u8(4).unwrap(), E4M3::ONE.to_bits());
+        let back = castin_slice(&m, Format::Fp8E4M3, 3, 5).unwrap();
+        for (a, b) in data.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // The FP16 path keeps the 2-byte pitch.
+        castout_slice(&mut m, Format::Fp16, 64, &data).unwrap();
+        let back = castin_slice(&m, Format::Fp16, 64, 5).unwrap();
+        assert_eq!(back[4].to_bits(), data[4].to_bits());
+    }
+}

@@ -20,6 +20,7 @@
 //! and are therefore identical to [`redmule_fp16::vector::gemm_golden`].
 
 use crate::buffers::{WBuffer, XBuffer, ZBuffer};
+use crate::cast;
 use crate::config::AccelConfig;
 use crate::datapath::{Acc0, ColumnCtrl, Datapath};
 use crate::decode::{decode_container, ContainerSpec, DecodeError};
@@ -216,6 +217,19 @@ struct Tile {
 struct StoreReq {
     addr: u32,
     data: Vec<F16>,
+}
+
+/// A candidate streamer transaction for one beat of the shallow port.
+#[derive(Clone, Copy)]
+enum Pick {
+    /// W group load: (tile, phase, column).
+    W(usize, usize, usize),
+    /// Z preload row in accumulate mode: (tile, row).
+    ZPre(usize, usize),
+    /// X row load: (tile, chunk, row).
+    X(usize, usize, usize),
+    /// Drain the head of the store queue.
+    ZStore,
 }
 
 /// Streamer policy, for design-choice ablations.
@@ -535,8 +549,11 @@ const SESSION_MAGIC: [u8; 4] = *b"RMSS";
 
 /// Version of the session snapshot payload format. Bumped whenever the
 /// serialised state layout changes; old snapshots are rejected rather than
-/// misread.
-pub const SESSION_STATE_VERSION: u32 = 2;
+/// misread. Version 3 appended the job's operand [`Format`] tag to the
+/// serialised descriptor.
+///
+/// [`Format`]: redmule_fp16::Format
+pub const SESSION_STATE_VERSION: u32 = 3;
 
 /// Envelope description of the `RMSS` session container, for the typed
 /// decoder.
@@ -1086,9 +1103,12 @@ impl EngineSession {
             return 0;
         }
         let s = &self.sim;
+        // With half-width FP8 elements the streamer serves two transactions
+        // per granted beat, so fill loads and store drains retire in pairs.
+        let beat: u64 = if s.job.format.is_fp8() { 2 } else { 1 };
         if s.compute_tile >= s.tiles.len() {
-            // Only queued stores remain; they retire one per cycle.
-            return s.store_queue.len() as u64;
+            // Only queued stores remain; they retire `beat` per cycle.
+            return (s.store_queue.len() as u64).div_ceil(beat);
         }
         if s.n_phases == 0 {
             // One tile flushes per cycle while stores drain in parallel.
@@ -1097,26 +1117,28 @@ impl EngineSession {
                 .iter()
                 .map(|t| t.rows_live as u64)
                 .sum();
-            return tiles_left.max(store_rows + s.store_queue.len() as u64);
+            return tiles_left.max((store_rows + s.store_queue.len() as u64).div_ceil(beat));
         }
         let tile_len = s.tile_len() as u64;
         let tiles_after = (s.tiles.len() - s.compute_tile - 1) as u64;
         // Mid-tile `t_local` is always < tile_len (it wraps on completion).
         let current = tile_len - (s.t_local as u64).min(tile_len);
+        // The last tile's stores leave `beat` rows per cycle, minus the
+        // store overlapping the final compute cycle (`rows - 1` for FP16).
         let drain = s
             .tiles
             .last()
-            .map_or(0, |t| t.rows_live.saturating_sub(1) as u64);
+            .map_or(0, |t| (t.rows_live as u64).div_ceil(beat).saturating_sub(1));
         // Initial pipeline fill: only before the very first tile starts.
         let fill = if s.compute_tile == 0 && !s.started {
-            (s.job.n.min(s.cfg.h) + s.job.m.min(s.cfg.l)) as u64
+            ((s.job.n.min(s.cfg.h) + s.job.m.min(s.cfg.l)) as u64).div_ceil(beat)
         } else {
             0
         };
         let compute_path = tiles_after * tile_len + current + drain + fill;
-        // The store queue drains at most one row per cycle, so it lower-
-        // bounds the remaining time under heavy contention backlog.
-        compute_path.max(s.store_queue.len() as u64)
+        // The store queue drains at most `beat` rows per cycle, so it
+        // lower-bounds the remaining time under heavy contention backlog.
+        compute_path.max((s.store_queue.len() as u64).div_ceil(beat))
     }
 
     /// Serialises the session into a [`SessionState`] snapshot.
@@ -1574,8 +1596,9 @@ impl Sim {
     }
 
     fn enqueue_stores(&mut self, tile: Tile) {
+        let esz = self.job.format.elem_bytes() as u32;
         for r in 0..tile.rows_live {
-            let addr = self.job.z_addr + 2 * ((tile.row0 + r) * self.job.z_ld() + tile.k0) as u32;
+            let addr = self.job.z_addr + esz * ((tile.row0 + r) * self.job.z_ld() + tile.k0) as u32;
             let data = self.zb.row(r)[..tile.cols_live].to_vec();
             self.store_queue.push_back(StoreReq { addr, data });
         }
@@ -1654,37 +1677,10 @@ impl Sim {
         (tile < self.tiles.len()).then_some((tile, row))
     }
 
-    /// One streamer cycle: issue at most one wide access over the shallow
-    /// port, priority W > Z-preload > X > Z-store.
-    fn streamer_cycle(
-        &mut self,
-        mem: &mut Tcdm,
-        hci: &mut Hci,
-        cycle: u64,
-        log_requests: &[(redmule_cluster::Initiator, u32)],
-    ) -> Result<Vec<bool>, EngineError> {
-        #[derive(Clone, Copy)]
-        enum Pick {
-            W(usize, usize, usize),
-            ZPre(usize, usize),
-            X(usize, usize, usize),
-            ZStore,
-        }
-
-        if self.policy == StreamerPolicy::HalfBandwidth && cycle % 2 == 1 {
-            self.stats.incr("port_gated");
-            self.record_stream_trace(' ', false);
-            let grants = hci.arbitrate(log_requests, None);
-            return Ok(grants.log_granted);
-        }
-
-        // Single-buffered-W ablation: deliver last cycle's load first; the
-        // port is free again this cycle for other streams.
-        if let Some((col, group)) = self.w_inflight.take() {
-            self.wb.stage_group(col, group);
-        }
-
-        let pick = if let Some((tile, phase, col)) = self.w_head().filter(|&(_, phase, col)| {
+    /// Selects the next transaction for the shallow port, priority
+    /// W > Z-preload > X > Z-store, or `None` when every stream is idle.
+    fn select_pick(&self) -> Option<Pick> {
+        if let Some((tile, phase, col)) = self.w_head().filter(|&(_, phase, col)| {
             phase * self.cfg.h + col < self.job.n
                 && self.wb.staging_free(col)
                 && (self.policy != StreamerPolicy::SingleBufferedW
@@ -1705,9 +1701,59 @@ impl Sim {
             Some(Pick::ZStore)
         } else {
             None
-        };
+        }
+    }
 
-        let Some(pick) = pick else {
+    /// TCDM byte address of the first element a pick touches.
+    fn pick_addr(&self, pick: Pick) -> u32 {
+        let esz = self.job.format.elem_bytes() as u32;
+        match pick {
+            Pick::W(tile, phase, col) => {
+                let n_idx = phase * self.cfg.h + col;
+                self.job.w_addr + esz * (n_idx * self.job.w_ld() + self.tiles[tile].k0) as u32
+            }
+            Pick::ZPre(tile, row) => {
+                let t = self.tiles[tile];
+                self.job.z_addr + esz * ((t.row0 + row) * self.job.z_ld() + t.k0) as u32
+            }
+            Pick::X(tile, chunk, row) => {
+                let t = self.tiles[tile];
+                self.job.x_addr + esz * ((t.row0 + row) * self.job.x_ld() + chunk * self.pw) as u32
+            }
+            // modelcheck-allow: RM-PANIC-001 -- arbitration invariant:
+            // Pick::ZStore is only selected when the store queue is
+            // non-empty (checked when building the pick).
+            Pick::ZStore => self.store_queue.front().expect("queue checked").addr,
+        }
+    }
+
+    /// One streamer cycle: issue at most one wide access over the shallow
+    /// port, priority W > Z-preload > X > Z-store. With an FP8 operand
+    /// format the elements are half-width, so one granted 256-bit beat
+    /// carries two picks' worth of elements: a second transaction is
+    /// served on the same grant (the castin/castout stages repack bytes,
+    /// doubling effective bandwidth — the journal follow-up's headline).
+    fn streamer_cycle(
+        &mut self,
+        mem: &mut Tcdm,
+        hci: &mut Hci,
+        cycle: u64,
+        log_requests: &[(redmule_cluster::Initiator, u32)],
+    ) -> Result<Vec<bool>, EngineError> {
+        if self.policy == StreamerPolicy::HalfBandwidth && cycle % 2 == 1 {
+            self.stats.incr("port_gated");
+            self.record_stream_trace(' ', false);
+            let grants = hci.arbitrate(log_requests, None);
+            return Ok(grants.log_granted);
+        }
+
+        // Single-buffered-W ablation: deliver last cycle's load first; the
+        // port is free again this cycle for other streams.
+        if let Some((col, group)) = self.w_inflight.take() {
+            self.wb.stage_group(col, group);
+        }
+
+        let Some(pick) = self.select_pick() else {
             self.stats.incr("port_idle");
             self.record_stream_trace(' ', false);
             let grants = hci.arbitrate(log_requests, None);
@@ -1722,25 +1768,7 @@ impl Sim {
 
         // The shallow port is a single wide transaction; arbitration with
         // concurrent core traffic happens in the HCI.
-        let addr = match pick {
-            Pick::W(tile, phase, col) => {
-                let n_idx = phase * self.cfg.h + col;
-                self.job.w_addr + 2 * (n_idx * self.job.w_ld() + self.tiles[tile].k0) as u32
-            }
-            Pick::ZPre(tile, row) => {
-                let t = self.tiles[tile];
-                self.job.z_addr + 2 * ((t.row0 + row) * self.job.z_ld() + t.k0) as u32
-            }
-            Pick::X(tile, chunk, row) => {
-                let t = self.tiles[tile];
-                self.job.x_addr + 2 * ((t.row0 + row) * self.job.x_ld() + chunk * self.pw) as u32
-            }
-            // modelcheck-allow: RM-PANIC-001 -- arbitration invariant:
-            // Pick::ZStore is only selected when the store queue is
-            // non-empty (checked when building the pick).
-            Pick::ZStore => self.store_queue.front().expect("queue checked").addr,
-        };
-
+        let addr = self.pick_addr(pick);
         let grants = hci.arbitrate(log_requests, Some(addr));
         if !grants.shallow_granted {
             self.stats.incr("port_conflicts");
@@ -1748,6 +1776,27 @@ impl Sim {
             return Ok(grants.log_granted);
         }
 
+        self.serve_pick(pick, mem, cycle)?;
+        if self.job.format.is_fp8() {
+            // Half-width elements: a second pick rides the same granted
+            // beat (no extra HCI arbitration — it is one wide access).
+            if let Some(second) = self.select_pick() {
+                self.serve_pick(second, mem, cycle)?;
+                self.stats.incr("fp8_pair_beats");
+            }
+        }
+
+        self.record_stream_trace(kind, true);
+        Ok(grants.log_granted)
+    }
+
+    /// Completes one picked transaction: reads operands through the castin
+    /// stage (widening FP8 storage to FP16) or drains one store row
+    /// through the castout stage (narrowing FP16 results to the job's
+    /// storage format).
+    fn serve_pick(&mut self, pick: Pick, mem: &mut Tcdm, cycle: u64) -> Result<(), EngineError> {
+        let format = self.job.format;
+        let esz = format.elem_bytes() as u32;
         match pick {
             Pick::W(tile, phase, col) => {
                 let n_idx = phase * self.cfg.h + col;
@@ -1756,7 +1805,11 @@ impl Sim {
                 for jj in 0..self.pw {
                     let kk = t.k0 + jj;
                     group.push(if kk < self.job.k {
-                        mem.read_f16(self.job.w_addr + 2 * (n_idx * self.job.w_ld() + kk) as u32)?
+                        cast::castin(
+                            mem,
+                            format,
+                            self.job.w_addr + esz * (n_idx * self.job.w_ld() + kk) as u32,
+                        )?
                     } else {
                         F16::ZERO
                     });
@@ -1777,8 +1830,10 @@ impl Sim {
                 for jj in 0..self.pw {
                     let kk = t.k0 + jj;
                     self.zpre[row][jj] = if row < t.rows_live && kk < self.job.k {
-                        mem.read_f16(
-                            self.job.z_addr + 2 * ((t.row0 + row) * self.job.z_ld() + kk) as u32,
+                        cast::castin(
+                            mem,
+                            format,
+                            self.job.z_addr + esz * ((t.row0 + row) * self.job.z_ld() + kk) as u32,
                         )?
                     } else {
                         F16::ZERO
@@ -1797,8 +1852,11 @@ impl Sim {
                 for e in 0..self.pw {
                     let n_idx = chunk * self.pw + e;
                     data.push(if n_idx < self.job.n {
-                        mem.read_f16(
-                            self.job.x_addr + 2 * ((t.row0 + row) * self.job.x_ld() + n_idx) as u32,
+                        cast::castin(
+                            mem,
+                            format,
+                            self.job.x_addr
+                                + esz * ((t.row0 + row) * self.job.x_ld() + n_idx) as u32,
                         )?
                     } else {
                         F16::ZERO
@@ -1821,14 +1879,12 @@ impl Sim {
                     inj.on_z_store(cycle, &mut data);
                 }
                 for (jj, v) in data.iter().enumerate() {
-                    mem.write_f16(addr + 2 * jj as u32, *v)?;
+                    cast::castout(mem, format, addr + esz * jj as u32, *v)?;
                 }
                 self.stats.incr("z_stores");
             }
         }
-
-        self.record_stream_trace(kind, true);
-        Ok(grants.log_granted)
+        Ok(())
     }
 
     /// Records one cycle of port activity per stream. `kind` identifies

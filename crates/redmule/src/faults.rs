@@ -24,6 +24,7 @@
 //! — both the engine and the checker see the corrupted operand. This
 //! matches real ABFT, which protects the computation, not the inputs.
 
+use crate::cast;
 use crate::config::AccelConfig;
 use crate::datapath::Datapath;
 use crate::engine::{Engine, EngineError, RunReport};
@@ -104,12 +105,13 @@ pub enum FaultSite {
         /// Bit to flip.
         bit: u8,
     },
-    /// Flip one bit of the TCDM halfword at `addr`, at or after the
+    /// Flip one bit of the TCDM element at `addr`, at or after the
     /// spec's cycle (single attempt; out-of-range strikes are dropped).
     TcdmWord {
-        /// Byte address of the halfword.
+        /// Byte address of the element (halfword for FP16 operands, a
+        /// single byte for FP8 storage).
         addr: u32,
-        /// Bit within the halfword, 0 = LSB.
+        /// Bit within the element at `addr`, 0 = LSB.
         bit: u8,
     },
 }
@@ -295,9 +297,10 @@ impl FaultPlan {
                     if elems == 0 {
                         continue;
                     }
+                    let esz = job.format.elem_bytes() as u32;
                     FaultSite::TcdmWord {
-                        addr: base + 2 * rng.below(elems as u64) as u32,
-                        bit: rng.below(16) as u8,
+                        addr: base + esz * rng.below(elems as u64) as u32,
+                        bit: rng.below(8 * u64::from(esz)) as u8,
                     }
                 }
             };
@@ -505,7 +508,10 @@ impl FaultInjector {
                 }
                 FaultSite::TcdmWord { addr, bit } if cycle >= due => {
                     let word = addr & !3;
-                    let word_bit = (bit % 16) + 16 * ((addr >> 1) & 1) as u8;
+                    // Place the flip at the element's byte offset inside the
+                    // 32-bit word; identical to the old halfword maths for
+                    // 2-aligned FP16 addresses, byte-exact for FP8 elements.
+                    let word_bit = (bit % 16) + 8 * (addr & 3) as u8;
                     if mem.flip_bit(word, word_bit).is_ok() {
                         self.log.record(
                             cycle,
@@ -768,10 +774,11 @@ impl Engine {
         }
 
         for (idx, tile) in tiles.iter().enumerate() {
+            let esz = job.format.elem_bytes() as u32;
             let sub_job = Job {
-                x_addr: job.x_addr + 2 * (tile.row0 * job.x_ld()) as u32,
-                w_addr: job.w_addr + 2 * tile.k0 as u32,
-                z_addr: job.z_addr + 2 * (tile.row0 * job.z_ld() + tile.k0) as u32,
+                x_addr: job.x_addr + esz * (tile.row0 * job.x_ld()) as u32,
+                w_addr: job.w_addr + esz * tile.k0 as u32,
+                z_addr: job.z_addr + esz * (tile.row0 * job.z_ld() + tile.k0) as u32,
                 m: tile.rows,
                 n: job.n,
                 k: tile.cols,
@@ -779,6 +786,7 @@ impl Engine {
                 x_stride: job.x_ld(),
                 w_stride: job.w_ld(),
                 z_stride: job.z_ld(),
+                format: job.format,
             };
             let geom = TileGeom {
                 rows_live: tile.rows,
@@ -790,11 +798,12 @@ impl Engine {
 
             // The Z pre-image doubles as the accumulate restore point and
             // the ABFT reference's Y operand.
+            let esz = job.format.elem_bytes() as u32;
             let z_pre: Option<Vec<Vec<F16>>> = if job.accumulate {
                 let mut rows = Vec::with_capacity(tile.rows);
                 for r in 0..tile.rows {
-                    let addr = sub_job.z_addr + 2 * (r * job.z_ld()) as u32;
-                    rows.push(mem.load_f16_slice(addr, tile.cols)?);
+                    let addr = sub_job.z_addr + esz * (r * job.z_ld()) as u32;
+                    rows.push(cast::castin_slice(mem, job.format, addr, tile.cols)?);
                 }
                 Some(rows)
             } else {
@@ -804,8 +813,8 @@ impl Engine {
                 |mem: &mut Tcdm, pre: &Option<Vec<Vec<F16>>>| -> Result<(), EngineError> {
                     if let Some(rows) = pre {
                         for (r, row) in rows.iter().enumerate() {
-                            let addr = sub_job.z_addr + 2 * (r * job.z_ld()) as u32;
-                            mem.store_f16_slice(addr, row)?;
+                            let addr = sub_job.z_addr + esz * (r * job.z_ld()) as u32;
+                            cast::castout_slice(mem, job.format, addr, row)?;
                         }
                     }
                     Ok(())
@@ -840,25 +849,32 @@ impl Engine {
                         let shape = GemmShape::new(tile.rows, job.n, tile.cols);
                         let mut x_sub = Vec::with_capacity(shape.x_len());
                         for r in 0..tile.rows {
-                            let addr = sub_job.x_addr + 2 * (r * job.x_ld()) as u32;
-                            x_sub.extend(mem.load_f16_slice(addr, job.n)?);
+                            let addr = sub_job.x_addr + esz * (r * job.x_ld()) as u32;
+                            x_sub.extend(cast::castin_slice(mem, job.format, addr, job.n)?);
                         }
                         let mut w_sub = Vec::with_capacity(shape.w_len());
                         for n_idx in 0..job.n {
-                            let addr = sub_job.w_addr + 2 * (n_idx * job.w_ld()) as u32;
-                            w_sub.extend(mem.load_f16_slice(addr, tile.cols)?);
+                            let addr = sub_job.w_addr + esz * (n_idx * job.w_ld()) as u32;
+                            w_sub.extend(cast::castin_slice(mem, job.format, addr, tile.cols)?);
                         }
                         let y_flat: Option<Vec<F16>> = z_pre.as_ref().map(|rows| rows.concat());
-                        let reference =
-                            gemm_golden_accumulate(shape, &x_sub, &w_sub, y_flat.as_deref());
+                        // The engine narrows each result through the castout
+                        // stage before it lands in TCDM, so the reference must
+                        // pass through the same quantisation or every clean
+                        // FP8 tile would look corrupted.
+                        let reference: Vec<F16> =
+                            gemm_golden_accumulate(shape, &x_sub, &w_sub, y_flat.as_deref())
+                                .into_iter()
+                                .map(|v| job.format.quantize(v))
+                                .collect();
                         let ref_rows: Vec<Vec<F16>> = reference
                             .chunks(tile.cols.max(1))
                             .map(<[F16]>::to_vec)
                             .collect();
                         let mut got_rows = Vec::with_capacity(tile.rows);
                         for r in 0..tile.rows {
-                            let addr = sub_job.z_addr + 2 * (r * job.z_ld()) as u32;
-                            got_rows.push(mem.load_f16_slice(addr, tile.cols)?);
+                            let addr = sub_job.z_addr + esz * (r * job.z_ld()) as u32;
+                            got_rows.push(cast::castin_slice(mem, job.format, addr, tile.cols)?);
                         }
                         tile_signature(&got_rows) == tile_signature(&ref_rows)
                     }
@@ -867,8 +883,8 @@ impl Engine {
                         // on the same inputs and vote bitwise.
                         let mut first = Vec::with_capacity(tile.rows);
                         for r in 0..tile.rows {
-                            let addr = sub_job.z_addr + 2 * (r * job.z_ld()) as u32;
-                            first.push(mem.load_f16_slice(addr, tile.cols)?);
+                            let addr = sub_job.z_addr + esz * (r * job.z_ld()) as u32;
+                            first.push(cast::castin_slice(mem, job.format, addr, tile.cols)?);
                         }
                         restore(mem, &z_pre)?;
                         let clean_run = self.run(sub_job, mem, hci)?;
@@ -879,8 +895,8 @@ impl Engine {
                         phases += clean_run.phases;
                         let mut second = Vec::with_capacity(tile.rows);
                         for r in 0..tile.rows {
-                            let addr = sub_job.z_addr + 2 * (r * job.z_ld()) as u32;
-                            second.push(mem.load_f16_slice(addr, tile.cols)?);
+                            let addr = sub_job.z_addr + esz * (r * job.z_ld()) as u32;
+                            second.push(cast::castin_slice(mem, job.format, addr, tile.cols)?);
                         }
                         first
                             .iter()

@@ -23,9 +23,10 @@
 use crate::config::AccelConfig;
 use crate::engine::EngineError;
 use redmule_fp16::vector::GemmShape;
-use redmule_fp16::F16;
+use redmule_fp16::{Format, F16};
 use redmule_hwsim::Cycle;
 use redmule_obs::{EventLog, TraceEvent};
+use std::borrow::Cow;
 
 /// Which execution model a GEMM runs on.
 ///
@@ -121,7 +122,7 @@ impl FunctionalGemm {
         x: &[F16],
         w: &[F16],
     ) -> Result<FunctionalRun, EngineError> {
-        self.run_inner(shape, x, w, None)
+        self.run_inner(shape, Format::Fp16, x, w, None)
     }
 
     /// Computes `Z = X * W + Y` (accumulate mode).
@@ -137,7 +138,49 @@ impl FunctionalGemm {
         w: &[F16],
         y: &[F16],
     ) -> Result<FunctionalRun, EngineError> {
-        self.run_inner(shape, x, w, Some(y))
+        self.run_inner(shape, Format::Fp16, x, w, Some(y))
+    }
+
+    /// Computes `Z = X * W` with operands stored in `format`.
+    ///
+    /// Models the cast-in/cast-out datapath exactly: operands are
+    /// projected through the storage format (castout at staging, castin
+    /// widening at buffer fill), accumulated in FP16, and the result is
+    /// projected through the format again (castout at store drain, castin
+    /// at readback) — so the output is bit-identical to staging the same
+    /// FP16 slices for [`crate::Engine::run`] and reading the workspace
+    /// back widened.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::ShapeMismatch`] when an operand slice length does
+    /// not match `shape`.
+    pub fn run_format(
+        &self,
+        shape: GemmShape,
+        format: Format,
+        x: &[F16],
+        w: &[F16],
+    ) -> Result<FunctionalRun, EngineError> {
+        self.run_inner(shape, format, x, w, None)
+    }
+
+    /// Computes `Z = X * W + Y` with operands stored in `format`
+    /// (see [`FunctionalGemm::run_format`]).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::ShapeMismatch`] when an operand slice length does
+    /// not match `shape` (`Y` must be `m x k`).
+    pub fn run_accumulate_format(
+        &self,
+        shape: GemmShape,
+        format: Format,
+        x: &[F16],
+        w: &[F16],
+        y: &[F16],
+    ) -> Result<FunctionalRun, EngineError> {
+        self.run_inner(shape, format, x, w, Some(y))
     }
 
     /// Analytical cycle estimate for `shape` on this instance, exact
@@ -158,7 +201,20 @@ impl FunctionalGemm {
     /// The same model backs
     /// [`crate::EngineSession::estimated_remaining_cycles`].
     pub fn estimated_cycles(&self, shape: GemmShape) -> Cycle {
+        self.estimated_cycles_format(shape, Format::Fp16)
+    }
+
+    /// Analytical cycle estimate for `shape` with operands stored in
+    /// `format` (see [`FunctionalGemm::estimated_cycles`] for the base
+    /// model). Bandwidth is byte-denominated: with half-width FP8 elements
+    /// the streamer serves two transactions per granted beat, so the fill
+    /// and drain terms — the only memory-bound parts of an uncontended
+    /// schedule — halve (rounded up) while the compute blocks are
+    /// unchanged. FP8 therefore never estimates slower than FP16 on the
+    /// same shape.
+    pub fn estimated_cycles_format(&self, shape: GemmShape, format: Format) -> Cycle {
         let cfg = &self.cfg;
+        let beat: u64 = if format.is_fp8() { 2 } else { 1 };
         let pw = cfg.phase_width();
         let n_phases = shape.n.div_ceil(cfg.h);
         let tiles_m = shape.m.div_ceil(cfg.l);
@@ -168,13 +224,16 @@ impl FunctionalGemm {
             return Cycle::new(0); // degenerate M == 0 or K == 0: no output
         }
         if n_phases == 0 {
-            let store_rows = (shape.m * tiles_k) as u64;
+            let store_rows = ((shape.m * tiles_k) as u64).div_ceil(beat);
             return Cycle::new(n_tiles.max(store_rows));
         }
         let tile_len = (cfg.h * cfg.latency() + n_phases * pw) as u64;
-        let fill = (shape.n.min(cfg.h) + shape.m.min(cfg.l)) as u64;
+        let fill = ((shape.n.min(cfg.h) + shape.m.min(cfg.l)) as u64).div_ceil(beat);
+        // Drain: the last tile's stores leave at `beat` rows per cycle,
+        // minus the one store that overlaps the final compute cycle —
+        // `ceil(rows/beat) - 1`, which degenerates to `rows - 1` for FP16.
         let rows_last = (shape.m - (tiles_m - 1) * cfg.l) as u64;
-        Cycle::new(n_tiles * tile_len + fill + rows_last.saturating_sub(1))
+        Cycle::new(n_tiles * tile_len + fill + rows_last.div_ceil(beat).saturating_sub(1))
     }
 
     /// Synthesises a tile-granular trace from the analytical model: one
@@ -217,6 +276,7 @@ impl FunctionalGemm {
     fn run_inner(
         &self,
         shape: GemmShape,
+        format: Format,
         x: &[F16],
         w: &[F16],
         y: Option<&[F16]>,
@@ -226,6 +286,14 @@ impl FunctionalGemm {
         if let Some(y) = y {
             check_len("Y", shape.z_len(), y.len())?;
         }
+
+        // Operands pass through TCDM storage on the way in: quantise them
+        // through the format once, exactly as castout-at-staging followed
+        // by castin-at-buffer-fill does (identity for FP16).
+        let x = quantized(format, x);
+        let w = quantized(format, w);
+        let y = y.map(|y| quantized(format, y));
+        let (x, w, y) = (&*x, &*w, y.as_deref());
 
         let (m, n, k) = (shape.m, shape.n, shape.k);
         let cfg = &self.cfg;
@@ -257,7 +325,10 @@ impl FunctionalGemm {
                                 }
                             }
                         }
-                        z[i * k + j] = acc;
+                        // Results pass through storage on the way out:
+                        // castout narrowing at store drain, castin widening
+                        // at readback (identity for FP16).
+                        z[i * k + j] = format.quantize(acc);
                     }
                 }
             }
@@ -265,9 +336,19 @@ impl FunctionalGemm {
 
         Ok(FunctionalRun {
             z,
-            estimated_cycles: self.estimated_cycles(shape),
+            estimated_cycles: self.estimated_cycles_format(shape, format),
             macs: shape.macs(),
         })
+    }
+}
+
+/// Projects a slice through the storage format (castout + castin), or
+/// borrows it unchanged for the native FP16 format.
+fn quantized(format: Format, v: &[F16]) -> Cow<'_, [F16]> {
+    if format.is_fp8() {
+        Cow::Owned(v.iter().map(|&e| format.quantize(e)).collect())
+    } else {
+        Cow::Borrowed(v)
     }
 }
 

@@ -11,6 +11,9 @@
 //! * [`datapath`] — the semi-systolic FMA array with row-ring
 //!   accumulation, bit-accurate through [`redmule_fp16`].
 //! * [`buffers`] — the X / W / Z buffers of Fig. 1.
+//! * [`cast`] — the castin/castout stages of the journal follow-up:
+//!   FP8 ([`Format`] E4M3 / E5M2) operand storage widened and narrowed
+//!   around the unchanged FP16 datapath.
 //! * [`faults`] — seeded fault injection and the RedMulE-FT replay /
 //!   redundancy protection modes.
 //! * [`Engine`] — scheduler + streamer + controller implementing the
@@ -47,6 +50,7 @@
 
 mod accelerator;
 pub mod buffers;
+pub mod cast;
 mod config;
 pub mod datapath;
 pub mod decode;
@@ -56,7 +60,7 @@ mod functional;
 mod l2;
 pub mod regfile;
 
-pub use accelerator::{stage_gemm_workspace, Accelerator, GemmRun};
+pub use accelerator::{stage_gemm_workspace, stage_gemm_workspace_in, Accelerator, GemmRun};
 pub use config::AccelConfig;
 pub use decode::DecodeError;
 pub use engine::{
@@ -69,6 +73,13 @@ pub use faults::{
 pub use functional::{BackendKind, FunctionalGemm, FunctionalRun};
 pub use l2::{L2TiledGemm, TileShape, TiledReport};
 pub use regfile::{Job, RegFile};
+
+/// Operand storage [`Format`] re-exported from [`redmule_fp16`]: jobs can
+/// keep X/W/Z in TCDM as FP16 or as OFP8 FP8 (E4M3 / E5M2), cast at the
+/// [`cast`] stages around the FP16 datapath.
+///
+/// [`Format`]: redmule_fp16::Format
+pub use redmule_fp16::Format;
 
 /// Observability vocabulary re-exported from [`redmule_obs`] so engine
 /// callers can attach sinks and consume [`RunReport::phases`] without a

@@ -7,6 +7,7 @@
 //! [`Job`].
 
 use crate::engine::EngineError;
+use redmule_fp16::Format;
 use redmule_hwsim::snapshot::{SnapshotError, StateReader, StateWriter};
 use redmule_hwsim::StuckBit;
 use std::fmt;
@@ -31,7 +32,9 @@ pub mod offsets {
     pub const N_SIZE: u32 = 0x30;
     /// Columns of W / Z (`K`).
     pub const K_SIZE: u32 = 0x34;
-    /// Job flags: bit 0 = accumulate into existing Z.
+    /// Job flags: bit 0 = accumulate into existing Z; bits \[2:1\] =
+    /// operand storage format (0 = FP16, 1 = FP8 E4M3, 2 = FP8 E5M2; the
+    /// encoding 3 is reserved and decodes as FP16).
     pub const FLAGS: u32 = 0x38;
     /// Row stride of X in elements (0 = dense, i.e. `N`).
     pub const X_STRIDE: u32 = 0x3C;
@@ -77,6 +80,10 @@ pub struct Job {
     pub w_stride: usize,
     /// Row stride of Z in elements; `0` means dense (`k`).
     pub z_stride: usize,
+    /// Storage format of the X/W/Z operands in TCDM. FP8 operands are
+    /// widened at buffer fill (castin) and narrowed at store drain
+    /// (castout); the FMA datapath always accumulates in FP16.
+    pub format: Format,
 }
 
 impl Job {
@@ -93,6 +100,7 @@ impl Job {
             x_stride: 0,
             w_stride: 0,
             z_stride: 0,
+            format: Format::Fp16,
         }
     }
 
@@ -100,6 +108,13 @@ impl Job {
     #[must_use]
     pub fn with_accumulate(mut self) -> Job {
         self.accumulate = true;
+        self
+    }
+
+    /// Returns a copy with the given operand storage format.
+    #[must_use]
+    pub fn with_format(mut self, format: Format) -> Job {
+        self.format = format;
         self
     }
 
@@ -145,19 +160,21 @@ impl Job {
         redmule_fp16::vector::GemmShape::new(self.m, self.n, self.k)
     }
 
-    /// Validates pointer alignment (FP16 operands must be 2-byte aligned).
+    /// Validates pointer alignment (operands must be element-aligned:
+    /// 2 bytes for FP16; FP8 bytes are always aligned).
     ///
     /// # Errors
     ///
     /// Returns a description of the first violated constraint.
     pub fn validate(&self) -> Result<(), String> {
+        let align = self.format.elem_bytes() as u32;
         for (name, addr) in [
             ("x_addr", self.x_addr),
             ("w_addr", self.w_addr),
             ("z_addr", self.z_addr),
         ] {
-            if addr % 2 != 0 {
-                return Err(format!("{name} ({addr:#x}) must be 2-byte aligned"));
+            if addr % align != 0 {
+                return Err(format!("{name} ({addr:#x}) must be {align}-byte aligned"));
             }
         }
         for (name, stride, dense) in [
@@ -186,6 +203,7 @@ impl Job {
         w.put(&self.x_stride);
         w.put(&self.w_stride);
         w.put(&self.z_stride);
+        w.put(&self.format.tag());
     }
 
     /// Deserialises a descriptor written by [`Job::save_state`].
@@ -201,6 +219,11 @@ impl Job {
             x_stride: r.get()?,
             w_stride: r.get()?,
             z_stride: r.get()?,
+            format: {
+                let tag: u8 = r.get()?;
+                Format::from_tag(tag)
+                    .ok_or_else(|| SnapshotError::Corrupt(format!("job format tag {tag}")))?
+            },
         })
     }
 }
@@ -218,7 +241,11 @@ impl fmt::Display for Job {
             self.w_addr,
             self.n,
             self.k
-        )
+        )?;
+        if self.format.is_fp8() {
+            write!(f, " [{}]", self.format)?;
+        }
+        Ok(())
     }
 }
 
@@ -384,6 +411,10 @@ impl RegFile {
         if self.flags & 1 != 0 {
             job = job.with_accumulate();
         }
+        // Bits [2:1] select the operand storage format; the reserved
+        // encoding 3 falls back to FP16.
+        let format = Format::from_tag(((self.flags >> 1) & 0x3) as u8).unwrap_or(Format::Fp16);
+        job = job.with_format(format);
         job = job.with_strides(
             self.x_stride as usize,
             self.w_stride as usize,
@@ -447,7 +478,33 @@ mod tests {
         let mut rf = programmed();
         rf.write(offsets::FLAGS, 1);
         rf.write(offsets::TRIGGER, 1);
-        assert!(rf.take_triggered_job().expect("triggered").accumulate);
+        let job = rf.take_triggered_job().expect("triggered");
+        assert!(job.accumulate);
+        assert_eq!(job.format, Format::Fp16);
+    }
+
+    #[test]
+    fn format_flag_bits_decode() {
+        for (flags, format) in [
+            (0b000, Format::Fp16),
+            (0b010, Format::Fp8E4M3),
+            (0b100, Format::Fp8E5M2),
+            (0b110, Format::Fp16), // reserved encoding falls back
+        ] {
+            let mut rf = programmed();
+            rf.write(offsets::FLAGS, flags);
+            rf.write(offsets::TRIGGER, 1);
+            let job = rf.take_triggered_job().expect("triggered");
+            assert_eq!(job.format, format, "flags {flags:#05b}");
+            assert!(!job.accumulate);
+        }
+        // Accumulate and format bits compose.
+        let mut rf = programmed();
+        rf.write(offsets::FLAGS, 0b011);
+        rf.write(offsets::TRIGGER, 1);
+        let job = rf.take_triggered_job().expect("triggered");
+        assert!(job.accumulate);
+        assert_eq!(job.format, Format::Fp8E4M3);
     }
 
     #[test]
@@ -503,6 +560,16 @@ mod tests {
         rf.clear_write_fault();
         rf.write(offsets::M_SIZE, 2);
         assert_eq!(rf.read(offsets::M_SIZE), 2);
+    }
+
+    #[test]
+    fn fp8_jobs_allow_byte_aligned_pointers() {
+        let odd = Job::new(0x101, 0x203, 0x305, 2, 2, 2);
+        assert!(odd.validate().is_err(), "FP16 needs 2-byte alignment");
+        assert!(odd.with_format(Format::Fp8E4M3).validate().is_ok());
+        assert!(odd.with_format(Format::Fp8E5M2).validate().is_ok());
+        let text = odd.with_format(Format::Fp8E5M2).to_string();
+        assert!(text.contains("fp8e5m2"), "format shows in display: {text}");
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! The supervisor: deadlines, cancellation, retries and degradation.
 
 use crate::checkpoint::Checkpoint;
-use redmule::{stage_gemm_workspace, Engine, EngineError, EngineSession, Job, RunReport};
+use redmule::{
+    cast, stage_gemm_workspace_in, Engine, EngineError, EngineSession, Format, Job, RunReport,
+};
 use redmule_cluster::{Hci, Tcdm};
 use redmule_fp16::vector::GemmShape;
 use redmule_fp16::F16;
@@ -352,9 +354,26 @@ impl Supervisor {
         x: &[F16],
         w: &[F16],
     ) -> Result<(Vec<F16>, SupervisedRun), EngineError> {
-        let (job, mut mem, mut hci) = stage_gemm_workspace(shape, x, w, None)?;
+        self.gemm_in(shape, Format::Fp16, x, w)
+    }
+
+    /// As [`Supervisor::gemm`], with the operands stored in `format`:
+    /// FP8 storage is narrowed at staging and the result read back
+    /// widened to FP16 through the castout image in TCDM.
+    ///
+    /// # Errors
+    ///
+    /// As [`Supervisor::gemm`].
+    pub fn gemm_in(
+        &self,
+        shape: GemmShape,
+        format: Format,
+        x: &[F16],
+        w: &[F16],
+    ) -> Result<(Vec<F16>, SupervisedRun), EngineError> {
+        let (job, mut mem, mut hci) = stage_gemm_workspace_in(shape, format, x, w, None)?;
         let run = self.run(job, &mut mem, &mut hci)?;
-        let z = mem.load_f16_slice(job.z_addr, shape.z_len())?;
+        let z = cast::castin_slice(&mem, format, job.z_addr, shape.z_len())?;
         Ok((z, run))
     }
 

@@ -22,7 +22,7 @@ use proptest::TestRng;
 use redmule_suite::cluster::{baseline::SwGemm, ClusterConfig};
 use redmule_suite::fp16::vector::GemmShape;
 use redmule_suite::fp16::F16;
-use redmule_suite::redmule::{Accelerator, FunctionalGemm};
+use redmule_suite::redmule::{Accelerator, Format, FunctionalGemm};
 
 /// One conformance case: every matrix element is derived from `seed`,
 /// so the whole case round-trips through one regression-file line.
@@ -39,10 +39,22 @@ impl Case {
         GemmShape::new(self.m, self.n, self.k)
     }
 
-    fn line(&self) -> String {
-        format!("cc {:#018x} {} {} {}", self.seed, self.m, self.n, self.k)
+    fn line(&self, tag: &str) -> String {
+        format!("{tag} {:#018x} {} {} {}", self.seed, self.m, self.n, self.k)
     }
 }
+
+/// Regression-file tag for a format's case lines: the FP16 differential
+/// cases keep the historic `cc` tag, the FP8 ones are tagged by format.
+fn format_tag(format: Format) -> &'static str {
+    match format {
+        Format::Fp16 => "cc",
+        Format::Fp8E4M3 => "e4m3",
+        Format::Fp8E5M2 => "e5m2",
+    }
+}
+
+const FP8_FORMATS: [Format; 2] = [Format::Fp8E4M3, Format::Fp8E5M2];
 
 const REGRESSIONS_PATH: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
@@ -120,6 +132,41 @@ fn run_accumulate_case(c: Case) -> Result<(), String> {
     diff("functional+Y", &func.z, "engine+Y", &hw.z)
 }
 
+/// The FP8 differential: operands stored in an 8-bit format, widened at
+/// buffer fill (castin) and narrowed at store drain (castout). The
+/// functional backend models the same quantisation boundary, so the two
+/// must agree bitwise — including NaN canonicalisation, E4M3's
+/// NaN-on-overflow and E5M2's infinities.
+fn run_fp8_case(format: Format, c: Case) -> Result<(), String> {
+    let shape = c.shape();
+    let x = matrix(shape.x_len(), c.seed ^ 0xA5A5_A5A5_A5A5_A5A5);
+    let w = matrix(shape.w_len(), c.seed ^ 0x5A5A_5A5A_5A5A_5A5A);
+
+    let func = FunctionalGemm::paper_instance()
+        .run_format(shape, format, &x, &w)
+        .map_err(|e| format!("functional backend error: {e}"))?;
+    let hw = Accelerator::paper_instance()
+        .gemm_with_format(shape, format, &x, &w)
+        .map_err(|e| format!("engine error: {e}"))?;
+    diff("functional", &func.z, "engine", &hw.z)
+}
+
+/// The FP8 accumulate-mode variant (Y is stored in the same format).
+fn run_fp8_accumulate_case(format: Format, c: Case) -> Result<(), String> {
+    let shape = c.shape();
+    let x = matrix(shape.x_len(), c.seed ^ 0xA5A5_A5A5_A5A5_A5A5);
+    let w = matrix(shape.w_len(), c.seed ^ 0x5A5A_5A5A_5A5A_5A5A);
+    let y = matrix(shape.z_len(), c.seed ^ 0x3C3C_3C3C_3C3C_3C3C);
+
+    let func = FunctionalGemm::paper_instance()
+        .run_accumulate_format(shape, format, &x, &w, &y)
+        .map_err(|e| format!("functional backend error: {e}"))?;
+    let hw = Accelerator::paper_instance()
+        .gemm_accumulate_with_format(shape, format, &x, &w, &y)
+        .map_err(|e| format!("engine error: {e}"))?;
+    diff("functional+Y", &func.z, "engine+Y", &hw.z)
+}
+
 fn diff(name_a: &str, a: &[F16], name_b: &str, b: &[F16]) -> Result<(), String> {
     let (ab, bb) = (bits(a), bits(b));
     if ab == bb {
@@ -181,8 +228,9 @@ fn minimize(mut c: Case, fails: &dyn Fn(Case) -> bool) -> Case {
     }
 }
 
-/// Reads the committed regression cases (lines `cc <seed> <m> <n> <k>`).
-fn read_regressions() -> Vec<Case> {
+/// Reads the committed regression cases for one tag (lines
+/// `<tag> <seed> <m> <n> <k>`; tags `cc`, `e4m3`, `e5m2`).
+fn read_tagged(tag: &str) -> Vec<Case> {
     let Ok(text) = std::fs::read_to_string(REGRESSIONS_PATH) else {
         return Vec::new();
     };
@@ -190,7 +238,7 @@ fn read_regressions() -> Vec<Case> {
         .filter_map(|line| {
             let line = line.split('#').next().unwrap_or("").trim();
             let mut parts = line.split_whitespace();
-            if parts.next() != Some("cc") {
+            if parts.next() != Some(tag) {
                 return None;
             }
             let seed = parts.next().and_then(parse_u64)?;
@@ -202,6 +250,10 @@ fn read_regressions() -> Vec<Case> {
         .collect()
 }
 
+fn read_regressions() -> Vec<Case> {
+    read_tagged("cc")
+}
+
 fn parse_u64(s: &str) -> Option<u64> {
     match s.strip_prefix("0x") {
         Some(hex) => u64::from_str_radix(hex, 16).ok(),
@@ -211,9 +263,9 @@ fn parse_u64(s: &str) -> Option<u64> {
 
 /// Appends a minimized failing case to the regressions file so the next
 /// run (and everyone else's) replays it first.
-fn persist(c: Case, note: &str) {
+fn persist(tag: &str, c: Case, note: &str) {
     use std::io::Write as _;
-    let line = format!("{} # {}\n", c.line(), note.replace('\n', " "));
+    let line = format!("{} # {}\n", c.line(tag), note.replace('\n', " "));
     let file = std::fs::OpenOptions::new()
         .create(true)
         .append(true)
@@ -227,17 +279,23 @@ fn persist(c: Case, note: &str) {
 }
 
 /// Runs `case`, minimizing and persisting on failure before panicking.
-fn check_with(case: Case, runner: &dyn Fn(Case) -> Result<(), String>) {
+/// `tag` selects the regression-file namespace the minimized case lands
+/// in (`cc` for FP16, the format tag for FP8).
+fn check_tagged(tag: &str, case: Case, runner: &dyn Fn(Case) -> Result<(), String>) {
     if let Err(msg) = runner(case) {
         let min = minimize(case, &|c| runner(c).is_err());
         let min_msg = runner(min).err().unwrap_or_else(|| msg.clone());
-        persist(min, &min_msg);
+        persist(tag, min, &min_msg);
         panic!(
             "conformance failure: {msg}\n  case     {case:?}\n  minimized {min:?}: {min_msg}\n  \
              appended `{}` to {REGRESSIONS_PATH} — commit that file",
-            min.line(),
+            min.line(tag),
         );
     }
+}
+
+fn check_with(case: Case, runner: &dyn Fn(Case) -> Result<(), String>) {
+    check_tagged("cc", case, runner);
 }
 
 fn base_seed(name: &str) -> u64 {
@@ -358,5 +416,132 @@ fn deep_sweep_over_larger_shapes() {
         };
         check_with(case, &run_case);
         check_with(case, &run_accumulate_case);
+    }
+}
+
+/// The committed FP8 regression cases must keep passing, forever —
+/// same contract as the FP16 `cc` lines.
+#[test]
+fn fp8_committed_regression_cases_still_pass() {
+    for format in FP8_FORMATS {
+        for case in read_tagged(format_tag(format)) {
+            if let Err(msg) = run_fp8_case(format, case) {
+                panic!("committed {format} regression case {case:?} fails again: {msg}");
+            }
+            if let Err(msg) = run_fp8_accumulate_case(format, case) {
+                panic!(
+                    "committed {format} regression case {case:?} fails in accumulate mode: {msg}"
+                );
+            }
+        }
+    }
+}
+
+/// The FP8 differential sweep: for each format, the functional backend
+/// and the cycle-accurate engine (castin/castout datapath, paired-beat
+/// streamer) must agree bitwise over shapes crossing every tile boundary,
+/// with special-value-seeded data. Replays the committed cases first.
+#[test]
+fn fp8_functional_and_engine_agree_bitwise() {
+    for format in FP8_FORMATS {
+        let tag = format_tag(format);
+        let runner = move |c: Case| run_fp8_case(format, c);
+        for case in read_tagged(tag) {
+            check_tagged(tag, case, &runner);
+        }
+        let mut rng = TestRng::seeded(base_seed(tag));
+        for _ in 0..384 {
+            let case = Case {
+                seed: rng.next_u64(),
+                m: 1 + rng.below(10) as usize,
+                n: rng.below(19) as usize,
+                k: 1 + rng.below(18) as usize,
+            };
+            check_tagged(tag, case, &runner);
+        }
+    }
+}
+
+/// FP8 accumulate mode (Z = X·W + Y with Y quantised to the storage
+/// format too) agrees bitwise between functional backend and engine.
+#[test]
+fn fp8_accumulate_mode_agrees_bitwise() {
+    for format in FP8_FORMATS {
+        let tag = format_tag(format);
+        let runner = move |c: Case| run_fp8_accumulate_case(format, c);
+        let mut rng = TestRng::seeded(base_seed("fp8_accumulate_mode_agrees_bitwise"));
+        for _ in 0..128 {
+            let case = Case {
+                seed: rng.next_u64(),
+                m: 1 + rng.below(10) as usize,
+                n: rng.below(19) as usize,
+                k: 1 + rng.below(18) as usize,
+            };
+            check_tagged(tag, case, &runner);
+        }
+    }
+}
+
+/// Directed all-special FP8 matrices: NaN payloads (canonicalised
+/// differently per format), infinities (E5M2 keeps them, E4M3 turns
+/// them into NaN at castin), subnormals at the 8-bit flush boundary and
+/// signed zeros — all through both execution paths.
+#[test]
+fn fp8_all_special_value_matrices_agree() {
+    let shape = GemmShape::new(9, 17, 20); // crosses every tile boundary
+    let fills: [(&str, Box<dyn Fn(usize) -> F16>); 4] = [
+        (
+            "all-NaN",
+            Box::new(|i| F16::from_bits(0x7C01 + (i % 0x3FE) as u16)),
+        ),
+        (
+            "alternating +/-Inf",
+            Box::new(|i| F16::from_bits(if i % 2 == 0 { 0x7C00 } else { 0xFC00 })),
+        ),
+        (
+            "fp8 underflow band", // straddles both formats' min subnormals
+            Box::new(|i| F16::from_bits(0x0001 + (i % 0x1900) as u16)),
+        ),
+        (
+            "signed zeros",
+            Box::new(|i| F16::from_bits(if i % 2 == 0 { 0x0000 } else { 0x8000 })),
+        ),
+    ];
+    for format in FP8_FORMATS {
+        for (name, fill) in &fills {
+            let x: Vec<F16> = (0..shape.x_len()).map(|i| fill(i)).collect();
+            let w: Vec<F16> = (0..shape.w_len()).map(|i| fill(i + 7)).collect();
+            let func = FunctionalGemm::paper_instance()
+                .run_format(shape, format, &x, &w)
+                .expect("functional");
+            let hw = Accelerator::paper_instance()
+                .gemm_with_format(shape, format, &x, &w)
+                .expect("engine");
+            assert_eq!(
+                bits(&func.z),
+                bits(&hw.z),
+                "{format}/{name}: functional vs engine"
+            );
+        }
+    }
+}
+
+/// FP8 deep sweep over larger shapes — nightly CI only.
+#[test]
+#[ignore = "deep FP8 conformance sweep; run with --include-ignored (nightly CI)"]
+fn fp8_deep_sweep_over_larger_shapes() {
+    for format in FP8_FORMATS {
+        let tag = format_tag(format);
+        let mut rng = TestRng::seeded(base_seed("fp8_deep_sweep_over_larger_shapes"));
+        for _ in 0..128 {
+            let case = Case {
+                seed: rng.next_u64(),
+                m: 1 + rng.below(40) as usize,
+                n: rng.below(64) as usize,
+                k: 1 + rng.below(48) as usize,
+            };
+            check_tagged(tag, case, &move |c| run_fp8_case(format, c));
+            check_tagged(tag, case, &move |c| run_fp8_accumulate_case(format, c));
+        }
     }
 }
