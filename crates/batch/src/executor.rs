@@ -6,6 +6,7 @@ use redmule::obs::{EventLog, TraceEvent};
 use redmule::{
     cast, stage_gemm_workspace_in, AccelConfig, BackendKind, Engine, FaultInjector, FunctionalGemm,
 };
+use redmule_fp16::F16;
 use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
 use std::sync::{Mutex, PoisonError};
@@ -123,6 +124,7 @@ pub struct BatchExecutor {
     workers: usize,
     engine: Engine,
     trace: bool,
+    intra: usize,
 }
 
 impl BatchExecutor {
@@ -132,6 +134,7 @@ impl BatchExecutor {
             workers,
             engine: Engine::new(AccelConfig::paper()),
             trace: false,
+            intra: 1,
         }
     }
 
@@ -153,9 +156,30 @@ impl BatchExecutor {
         self
     }
 
+    /// Splits each *functional-backend* job's compute across up to
+    /// `threads` scoped host threads, one output band per unit of work.
+    /// Bands are dealt round-robin onto the threads and each band writes
+    /// a disjoint `Z` slice ([`FunctionalPlan::compute_band_into`] is
+    /// pure), so results, reports and traces stay byte-identical at any
+    /// setting — this knob only changes wall-clock time. `0` and `1`
+    /// both mean serial (the default). Cycle-accurate jobs are
+    /// inherently serial and ignore it.
+    ///
+    /// [`FunctionalPlan::compute_band_into`]: redmule::FunctionalPlan::compute_band_into
+    #[must_use]
+    pub fn with_intra_job_parallelism(mut self, threads: usize) -> BatchExecutor {
+        self.intra = threads.max(1);
+        self
+    }
+
     /// The configured worker count.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The configured intra-job thread count (1 = serial per job).
+    pub fn intra_job_parallelism(&self) -> usize {
+        self.intra
     }
 
     /// Runs every job and returns the batch outcome.
@@ -205,9 +229,10 @@ impl BatchExecutor {
                     let deques = &deques;
                     let results = &results;
                     let trace = self.trace;
+                    let intra = self.intra;
                     scope.spawn(move || {
                         while let Some(idx) = next_job(deques, w) {
-                            let result = exec_job(engine, &jobs_ref[idx], trace);
+                            let result = exec_job(engine, &jobs_ref[idx], trace, intra);
                             lock(results)[idx] = Some(result);
                         }
                     })
@@ -332,11 +357,11 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 /// Executes one job on a private engine/workspace. Infallible by design:
 /// every failure mode lands in the result's [`JobStatus`].
-fn exec_job(engine: &Engine, job: &GemmJob, trace: bool) -> JobResult {
+fn exec_job(engine: &Engine, job: &GemmJob, trace: bool, intra: usize) -> JobResult {
     let cfg = *engine.config();
     let tiles_total = job.shape.m.div_ceil(cfg.l) * job.shape.k.div_ceil(cfg.phase_width());
     match (&job.faults, job.backend) {
-        (None, BackendKind::Functional) => exec_functional(&cfg, job, tiles_total, trace),
+        (None, BackendKind::Functional) => exec_functional(&cfg, job, tiles_total, trace, intra),
         (Some(JobFaults::Protected { plan, ft }), _) => {
             exec_protected(engine, job, tiles_total, plan, *ft, trace)
         }
@@ -344,36 +369,68 @@ fn exec_job(engine: &Engine, job: &GemmJob, trace: bool) -> JobResult {
     }
 }
 
-fn exec_functional(cfg: &AccelConfig, job: &GemmJob, tiles_total: usize, trace: bool) -> JobResult {
+fn exec_functional(
+    cfg: &AccelConfig,
+    job: &GemmJob,
+    tiles_total: usize,
+    trace: bool,
+    intra: usize,
+) -> JobResult {
     let model = FunctionalGemm::new(*cfg);
-    let run = match &job.y {
-        Some(y) => model.run_accumulate_format(job.shape, job.format, &job.x, &job.w, y),
-        None => model.run_format(job.shape, job.format, &job.x, &job.w),
+    let plan = match model.plan(job.shape, job.format, &job.x, &job.w, job.y.as_deref()) {
+        Ok(plan) => plan,
+        Err(e) => return failed(job, BackendKind::Functional, tiles_total, e.to_string()),
     };
-    match run {
-        Ok(run) => JobResult {
-            id: job.id,
-            backend: BackendKind::Functional,
-            format: job.format,
-            shape: job.shape,
-            z: run.z,
-            cycles: run.estimated_cycles.count(),
-            macs: run.macs,
-            stall_cycles: 0,
-            status: JobStatus::Completed,
-            degraded: false,
-            retries: 0,
-            backoff_cycles: 0,
-            fault_events: 0,
-            tiles_done: tiles_total,
-            tiles_total,
-            events: if trace {
-                model.synthetic_events(job.shape)
-            } else {
-                EventLog::new()
-            },
+    let mut z = vec![F16::ZERO; job.shape.z_len()];
+    let threads = intra.min(plan.n_bands()).max(1);
+    if threads > 1 {
+        // Each band owns a disjoint row-band slice of Z (exactly what
+        // chunks_mut yields), so the deal below is a pure partition of
+        // the output: which thread computes which band cannot change a
+        // single bit, only the wall-clock time.
+        let mut lanes: Vec<Vec<(usize, &mut [F16])>> = (0..threads).map(|_| Vec::new()).collect();
+        for (band, chunk) in z.chunks_mut(plan.band_stride()).enumerate() {
+            lanes[band % threads].push((band, chunk));
+        }
+        let plan = &plan;
+        // modelcheck-allow: RM-ERR-001 -- name collision: this is
+        // std::thread::scope returning the closure's unit value, not the
+        // workspace's Result-returning `scope`.
+        thread::scope(|scope| {
+            for lane in lanes {
+                scope.spawn(move || {
+                    for (band, out) in lane {
+                        plan.compute_band_into(band, out);
+                    }
+                });
+            }
+        });
+    } else {
+        for (band, chunk) in z.chunks_mut(plan.band_stride()).enumerate() {
+            plan.compute_band_into(band, chunk);
+        }
+    }
+    JobResult {
+        id: job.id,
+        backend: BackendKind::Functional,
+        format: job.format,
+        shape: job.shape,
+        z,
+        cycles: model.estimated_cycles_format(job.shape, job.format).count(),
+        macs: job.shape.macs(),
+        stall_cycles: 0,
+        status: JobStatus::Completed,
+        degraded: false,
+        retries: 0,
+        backoff_cycles: 0,
+        fault_events: 0,
+        tiles_done: tiles_total,
+        tiles_total,
+        events: if trace {
+            model.synthetic_events_format(job.shape, job.format)
+        } else {
+            EventLog::new()
         },
-        Err(e) => failed(job, BackendKind::Functional, tiles_total, e.to_string()),
     }
 }
 
@@ -618,6 +675,63 @@ mod tests {
         );
         assert!(parallel.schedule.parallel_speedup() > 1.5);
         assert_eq!(serial.schedule.parallel_speedup(), 1.0);
+    }
+
+    #[test]
+    fn intra_job_parallelism_is_invisible_in_the_report() {
+        // All-functional jobs with shapes spanning 1..5 row bands, traced,
+        // so both the canonical report bytes and the event logs are under
+        // test. Any intra-thread count must reproduce the serial bytes.
+        let jobs: Vec<GemmJob> = (0..8u64)
+            .map(|id| {
+                let dims = [(4, 8, 6), (40, 16, 16), (17, 5, 33), (25, 12, 40)][id as usize % 4];
+                let shape = GemmShape::new(dims.0, dims.1, dims.2);
+                let (x, w) = data(shape, id as u32);
+                GemmJob::new(id, shape, x, w).with_backend(BackendKind::Functional)
+            })
+            .collect();
+        let serial = BatchExecutor::new(2)
+            .with_event_trace()
+            .run(jobs.clone())
+            .expect("serial batch");
+        let baseline = serial.report.to_canonical_json();
+        for intra in [2, 4, 7] {
+            let outcome = BatchExecutor::new(2)
+                .with_event_trace()
+                .with_intra_job_parallelism(intra)
+                .run(jobs.clone())
+                .expect("parallel batch");
+            assert_eq!(
+                outcome.report.to_canonical_json(),
+                baseline,
+                "canonical report must be byte-identical at intra={intra}"
+            );
+            for (a, b) in serial.report.jobs.iter().zip(outcome.report.jobs.iter()) {
+                assert_eq!(a.events.events(), b.events.events(), "job {} trace", a.id);
+            }
+        }
+    }
+
+    #[test]
+    fn functional_trace_is_format_aware() {
+        use redmule::Format;
+        let shape = GemmShape::new(16, 32, 16);
+        let (x, w) = data(shape, 3);
+        let jobs = vec![GemmJob::new(0, shape, x, w)
+            .with_backend(BackendKind::Functional)
+            .with_format(Format::Fp8E4M3)];
+        let outcome = BatchExecutor::new(1)
+            .with_event_trace()
+            .run(jobs)
+            .expect("traced batch");
+        let model = FunctionalGemm::paper_instance();
+        let expected = model.synthetic_events_format(shape, Format::Fp8E4M3);
+        assert_eq!(outcome.report.jobs[0].events.events(), expected.events());
+        assert_ne!(
+            expected.events(),
+            model.synthetic_events(shape).events(),
+            "FP8 must change the synthetic trace, or this test is vacuous"
+        );
     }
 
     #[test]

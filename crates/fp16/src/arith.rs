@@ -81,7 +81,7 @@ pub(crate) fn classify(bits: u16) -> Class {
     }
 }
 
-fn pack_inf(sign: bool) -> u16 {
+pub(crate) fn pack_inf(sign: bool) -> u16 {
     if sign {
         SIGN_MASK | EXP_MASK
     } else {
@@ -89,7 +89,7 @@ fn pack_inf(sign: bool) -> u16 {
     }
 }
 
-fn pack_zero(sign: bool) -> u16 {
+pub(crate) fn pack_zero(sign: bool) -> u16 {
     if sign {
         SIGN_MASK
     } else {
@@ -97,24 +97,42 @@ fn pack_zero(sign: bool) -> u16 {
     }
 }
 
-fn pack_max_finite(sign: bool) -> u16 {
+pub(crate) fn pack_max_finite(sign: bool) -> u16 {
     // 0x7BFF = 65504.0
     pack_zero(sign) | 0x7BFF
 }
 
+/// A correctly rounded binary16 value before encoding, as produced by
+/// [`round_core`]: the single source of truth shared by the scalar
+/// [`round_pack`] (which encodes to bits) and the batched kernel's
+/// accumulator (which stays unpacked between FMA steps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Rounded {
+    /// `(-1)^sign * sig * 2^q`; `sig` is either normalised
+    /// (`2^10 <= sig < 2^11`, `q >= -24`) or a subnormal count of `2^-24`
+    /// units (`sig <= 2^10`, `q == -24`). `sig == 0` means the magnitude
+    /// rounded all the way down to a (signed) zero.
+    Finite { sign: bool, q: i32, sig: u32 },
+    /// Magnitude above the largest finite value; resolves per mode to
+    /// max-finite or infinity (see [`overflow`]).
+    Overflow { sign: bool },
+}
+
 /// Rounds the exact value `(-1)^sign * mag * 2^q` (with `mag != 0`) to the
-/// nearest representable binary16 under `mode`, producing the result bits.
+/// nearest representable binary16 under `mode`, without encoding.
 ///
 /// This is the single rounding step shared by every operation; it implements
 /// normalisation, gradual underflow into subnormals, round-up carry
-/// propagation and mode-dependent overflow saturation.
-pub(crate) fn round_pack(sign: bool, mag: u128, q: i32, mode: Round) -> u16 {
-    debug_assert!(mag != 0, "round_pack requires a non-zero magnitude");
+/// propagation and overflow detection. Encoding (and mode-dependent overflow
+/// saturation) happens in [`round_pack`] / the kernel's packers.
+#[inline]
+pub(crate) fn round_core(sign: bool, mag: u128, q: i32, mode: Round) -> Rounded {
+    debug_assert!(mag != 0, "round_core requires a non-zero magnitude");
     let msb = 127 - mag.leading_zeros() as i32;
     let e = msb + q; // value is in [2^e, 2^(e+1))
 
     if e > EXP_MAX {
-        return overflow(sign, mode);
+        return Rounded::Overflow { sign };
     }
 
     // Number of low bits to discard so the kept significand has its leading
@@ -151,22 +169,61 @@ pub(crate) fn round_pack(sign: bool, mag: u128, q: i32, mode: Round) -> u16 {
             kept >>= 1;
             e += 1;
             if e > EXP_MAX {
-                return overflow(sign, mode);
+                return Rounded::Overflow { sign };
             }
         }
         debug_assert!((HIDDEN_BIT..HIDDEN_BIT << 1).contains(&kept));
-        let exp_field = (e + EXP_BIAS) as u16;
-        pack_zero(sign) | (exp_field << FRAC_BITS) | (kept as u16 & FRAC_MASK)
+        Rounded::Finite {
+            sign,
+            q: e - FRAC_BITS as i32,
+            sig: kept,
+        }
     } else {
         // Subnormal result; `kept` counts units of 2^-24. If rounding carried
-        // into 2^10 the encoding is, conveniently, exactly the minimum
-        // normal number.
+        // into 2^10 the value is, conveniently, exactly the minimum normal
+        // number; if it rounded to 0 the result is a signed zero.
         debug_assert!(kept <= HIDDEN_BIT);
-        pack_zero(sign) | kept as u16
+        Rounded::Finite {
+            sign,
+            q: -(EXP_BIAS - 1 + FRAC_BITS as i32), // -24
+            sig: kept,
+        }
     }
 }
 
-fn overflow(sign: bool, mode: Round) -> u16 {
+/// Rounds the exact value `(-1)^sign * mag * 2^q` (with `mag != 0`) to the
+/// nearest representable binary16 under `mode`, producing the result bits.
+pub(crate) fn round_pack(sign: bool, mag: u128, q: i32, mode: Round) -> u16 {
+    match round_core(sign, mag, q, mode) {
+        Rounded::Finite { sign, q, sig } => pack_finite(sign, q, sig),
+        Rounded::Overflow { sign } => overflow(sign, mode),
+    }
+}
+
+/// Encodes a finite `(-1)^sign * sig * 2^q` that is exactly representable
+/// in binary16 (any [`Rounded::Finite`], or any value produced by
+/// [`classify`]). `sig == 0` encodes the signed zero.
+pub(crate) fn pack_finite(sign: bool, q: i32, sig: u32) -> u16 {
+    debug_assert!(sig < HIDDEN_BIT << 1);
+    if sig >= HIDDEN_BIT {
+        let e = q + FRAC_BITS as i32;
+        if e >= EXP_MIN {
+            debug_assert!(e <= EXP_MAX);
+            let exp_field = (e + EXP_BIAS) as u16;
+            pack_zero(sign) | (exp_field << FRAC_BITS) | (sig as u16 & FRAC_MASK)
+        } else {
+            // classify-normalised subnormal: denormalise back to units of
+            // 2^-24. The normalisation only shifted left, so this is exact.
+            pack_zero(sign) | ((sig >> (EXP_MIN - e)) as u16)
+        }
+    } else {
+        // Subnormal count of 2^-24 units (or zero).
+        debug_assert!(sig == 0 || q == -(EXP_BIAS - 1 + FRAC_BITS as i32));
+        pack_zero(sign) | sig as u16
+    }
+}
+
+pub(crate) fn overflow(sign: bool, mode: Round) -> u16 {
     if mode.overflow_saturates(sign) {
         pack_max_finite(sign)
     } else {

@@ -49,6 +49,7 @@
 pub mod arith;
 mod f16;
 mod fp8;
+pub mod kernel;
 mod round;
 pub mod vector;
 

@@ -8,7 +8,7 @@
 //! single-rounding claim holds.
 
 use proptest::prelude::*;
-use redmule_fp16::{arith, Round, F16};
+use redmule_fp16::{arith, kernel, Round, F16};
 
 /// Exact value of a finite F16 scaled by 2^48, as an integer.
 fn scaled_exact(v: F16) -> i128 {
@@ -231,4 +231,67 @@ fn scale24(v: F16) -> i128 {
     let f = v.to_f64() * 2f64.powi(24);
     debug_assert_eq!(f.fract(), 0.0, "f16 * 2^24 must be an integer");
     f as i128
+}
+
+/// Strategy over *any* FP16 bit pattern, weighted so the special classes
+/// (NaN, infinities, zeros, subnormals) appear often enough to exercise
+/// every kernel dispatch arm in a short run.
+fn any_class_f16() -> impl Strategy<Value = u16> {
+    prop_oneof![
+        4 => any::<u16>(),
+        1 => prop::sample::select(vec![
+            0x0000u16, 0x8000, 0x7C00, 0xFC00, 0x7E00, 0x7C01, 0xFE55,
+            0x0001, 0x8001, 0x03FF, 0x83FF, 0x0400, 0x7BFF, 0xFBFF,
+        ]),
+        1 => (0u16..0x0400).prop_map(|m| m | 0x8000), // negative subnormals
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The batched kernel's row fold must equal the scalar fold of `fma`
+    /// over the same row, in every rounding mode — including rows salted
+    /// with NaN/Inf/zero/subnormal operands and special initial
+    /// accumulators.
+    #[test]
+    fn fma_acc_row_fold_matches_scalar_fma_fold(
+        xs in prop::collection::vec(any_class_f16(), 0..48),
+        ws in prop::collection::vec(any_class_f16(), 0..48),
+        init in any_class_f16(),
+        mode in prop::sample::select(Round::ALL.to_vec()),
+    ) {
+        let len = xs.len().min(ws.len());
+        let (xs, ws) = (&xs[..len], &ws[..len]);
+        let xo: Vec<kernel::Operand> = xs.iter().map(|&v| kernel::Operand::from_bits(v)).collect();
+        let wo: Vec<kernel::Operand> = ws.iter().map(|&v| kernel::Operand::from_bits(v)).collect();
+        let fast = kernel::dot_acc(&xo, &wo, kernel::Acc::from_bits(init), mode).to_bits();
+        let mut slow = init;
+        for (&a, &b) in xs.iter().zip(ws.iter()) {
+            slow = arith::fma(a, b, slow, mode);
+        }
+        // A NaN that survives zero steps stays un-canonicalised in the
+        // scalar fold but canonicalises through Acc; both encode the same
+        // value class.
+        if len == 0 && F16::from_bits(init).is_nan() {
+            prop_assert!(F16::from_bits(fast).is_nan());
+        } else {
+            prop_assert_eq!(fast, slow, "len={} mode={:?}", len, mode);
+        }
+    }
+
+    /// Step-level agreement on fully random (possibly special) operands.
+    #[test]
+    fn fma_acc_step_matches_fma(
+        a in any_class_f16(), b in any_class_f16(), c in any_class_f16(),
+        mode in prop::sample::select(Round::ALL.to_vec()),
+    ) {
+        let got = kernel::fma_acc(
+            kernel::Operand::from_bits(a),
+            kernel::Operand::from_bits(b),
+            kernel::Acc::from_bits(c),
+            mode,
+        ).to_bits();
+        prop_assert_eq!(got, arith::fma(a, b, c, mode));
+    }
 }

@@ -12,6 +12,17 @@
 //! to `redmule_fp16::vector::gemm_golden`; only the cycle count differs
 //! (here an analytical estimate instead of a measurement).
 //!
+//! Execution is staged through a [`FunctionalPlan`]: operands are cast
+//! through the storage format and pre-staged into the batched kernel's
+//! structure-of-arrays [`Staged`] form **once**, then every output element
+//! folds its reduction through `redmule_fp16::kernel::fma_row_staged` —
+//! the per-element FMA order (the bit-exactness contract) is untouched;
+//! only work *between* independent output elements is restructured for
+//! speed and vectorisation. The plan exposes
+//! pure per-tile ([`FunctionalPlan::compute_tile`]) and per-band
+//! ([`FunctionalPlan::compute_band_into`]) entry points so hosts can
+//! partition a job across threads with deterministic writeback.
+//!
 //! Bit-exactness with the cycle model is a hard invariant, enforced by
 //! the differential conformance harness (`tests/conformance.rs` at the
 //! workspace root) in addition to the unit tests below.
@@ -22,11 +33,11 @@
 
 use crate::config::AccelConfig;
 use crate::engine::EngineError;
+use redmule_fp16::kernel::{fma_row_staged, Acc, Staged};
 use redmule_fp16::vector::GemmShape;
-use redmule_fp16::{Format, F16};
+use redmule_fp16::{Format, Round, F16};
 use redmule_hwsim::Cycle;
 use redmule_obs::{EventLog, TraceEvent};
-use std::borrow::Cow;
 
 /// Which execution model a GEMM runs on.
 ///
@@ -183,6 +194,45 @@ impl FunctionalGemm {
         self.run_inner(shape, format, x, w, Some(y))
     }
 
+    /// Stages a job for execution: casts the operands through the storage
+    /// format and pre-classifies them into the batched kernel's operand
+    /// form, exactly once. The returned [`FunctionalPlan`] computes any
+    /// tile or band of the output independently (and therefore in
+    /// parallel, on the host's initiative) with bit-identical results.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::ShapeMismatch`] when an operand slice length does
+    /// not match `shape` (`Y` must be `m x k`).
+    pub fn plan(
+        &self,
+        shape: GemmShape,
+        format: Format,
+        x: &[F16],
+        w: &[F16],
+        y: Option<&[F16]>,
+    ) -> Result<FunctionalPlan, EngineError> {
+        check_len("X", shape.x_len(), x.len())?;
+        check_len("W", shape.w_len(), w.len())?;
+        if let Some(y) = y {
+            check_len("Y", shape.z_len(), y.len())?;
+        }
+        // Operands pass through TCDM storage on the way in: quantise them
+        // through the format once, exactly as castout-at-staging followed
+        // by castin-at-buffer-fill does (identity for FP16), fused with
+        // the one-time kernel staging.
+        let stage = |v: &F16| format.quantize(*v).to_bits();
+        Ok(FunctionalPlan {
+            shape,
+            format,
+            l: self.cfg.l,
+            pw: self.cfg.phase_width(),
+            xo: Staged::from_bits_iter(x.iter().map(stage)),
+            wo: Staged::from_bits_iter(w.iter().map(stage)),
+            y: y.map(|y| y.iter().map(|&v| format.quantize(v)).collect()),
+        })
+    }
+
     /// Analytical cycle estimate for `shape` on this instance, exact
     /// against [`crate::Engine::run`] for uncontended fault-free runs
     /// (pinned by the `cycle_model` regression tests):
@@ -236,29 +286,53 @@ impl FunctionalGemm {
         Cycle::new(n_tiles * tile_len + fill + rows_last.div_ceil(beat).saturating_sub(1))
     }
 
+    /// Synthesises a tile-granular trace from the analytical model for
+    /// FP16 storage; see [`FunctionalGemm::synthetic_events_format`].
+    pub fn synthetic_events(&self, shape: GemmShape) -> EventLog {
+        self.synthetic_events_format(shape, Format::Fp16)
+    }
+
     /// Synthesises a tile-granular trace from the analytical model: one
     /// `TileStart`/`TileEnd` pair per output tile in the engine's
-    /// enumeration order (L-row bands, phase-width panels, row-major),
-    /// each spanning the model's back-to-back `tile_len` compute block.
-    /// A pure function of shape and configuration, so batch traces of
-    /// functional jobs stay worker-count invariant.
-    pub fn synthetic_events(&self, shape: GemmShape) -> EventLog {
+    /// enumeration order (L-row bands, phase-width panels, row-major).
+    ///
+    /// The spans mirror [`FunctionalGemm::estimated_cycles_format`] term
+    /// for term: compute blocks start after the initial `fill` beats and
+    /// run back to back, and the final tile's span stretches through the
+    /// store drain so that the trace ends exactly at
+    /// `estimated_cycles_format(shape, format) - 1`. A pure function of
+    /// shape, format and configuration, so batch traces of functional
+    /// jobs stay worker-count invariant.
+    pub fn synthetic_events_format(&self, shape: GemmShape, format: Format) -> EventLog {
         let cfg = &self.cfg;
-        let pw = cfg.phase_width().max(1);
-        let n_phases = shape.n.div_ceil(cfg.h.max(1));
+        let beat: u64 = if format.is_fp8() { 2 } else { 1 };
+        let pw = cfg.phase_width();
+        let n_phases = shape.n.div_ceil(cfg.h);
+        let tiles_m = shape.m.div_ceil(cfg.l);
+        let tiles_k = shape.k.div_ceil(pw);
+        let n_tiles = (tiles_m * tiles_k) as u32;
         let tile_len = (cfg.h * cfg.latency() + n_phases * pw) as u64;
+        let fill = ((shape.n.min(cfg.h) + shape.m.min(cfg.l)) as u64).div_ceil(beat);
+        let total = self.estimated_cycles_format(shape, format).count();
         let mut log = EventLog::new();
         let mut tile = 0u32;
-        for row0 in (0..shape.m).step_by(cfg.l.max(1)) {
+        for row0 in (0..shape.m).step_by(cfg.l) {
             for k0 in (0..shape.k).step_by(pw) {
                 // Empty-reduction tiles flush one per cycle; compute
-                // tiles run back to back for tile_len cycles each.
-                let (start, end) = if n_phases == 0 {
+                // tiles start after the fill and run back to back for
+                // tile_len cycles each.
+                let (start, mut end) = if n_phases == 0 {
                     (u64::from(tile), u64::from(tile))
                 } else {
                     let t = u64::from(tile);
-                    (t * tile_len, (t + 1) * tile_len - 1)
+                    (fill + t * tile_len, fill + (t + 1) * tile_len - 1)
                 };
+                if tile + 1 == n_tiles {
+                    // The last tile's stores drain through the model's
+                    // final cycles; its span closes the trace at the
+                    // estimate's last cycle.
+                    end = total.saturating_sub(1);
+                }
                 log.push(TraceEvent::TileStart {
                     cycle: start,
                     tile,
@@ -281,59 +355,11 @@ impl FunctionalGemm {
         w: &[F16],
         y: Option<&[F16]>,
     ) -> Result<FunctionalRun, EngineError> {
-        check_len("X", shape.x_len(), x.len())?;
-        check_len("W", shape.w_len(), w.len())?;
-        if let Some(y) = y {
-            check_len("Y", shape.z_len(), y.len())?;
-        }
-
-        // Operands pass through TCDM storage on the way in: quantise them
-        // through the format once, exactly as castout-at-staging followed
-        // by castin-at-buffer-fill does (identity for FP16).
-        let x = quantized(format, x);
-        let w = quantized(format, w);
-        let y = y.map(|y| quantized(format, y));
-        let (x, w, y) = (&*x, &*w, y.as_deref());
-
-        let (m, n, k) = (shape.m, shape.n, shape.k);
-        let cfg = &self.cfg;
-        let pw = cfg.phase_width();
-        let n_phases = n.div_ceil(cfg.h);
+        let plan = self.plan(shape, format, x, w, y)?;
         let mut z = vec![F16::ZERO; shape.z_len()];
-
-        // The engine's tile enumeration: L-row bands, phase_width-column
-        // panels, row-major. Within a tile, outputs retire z-row-major;
-        // each output element folds its N reduction terms in index order
-        // through H-wide phases — the exact FMA sequence the datapath's
-        // row ring performs, so rounding is identical step by step.
-        // Padding lanes (beyond `rows_live`/`cols_live`/`n`) are
-        // clock-gated in hardware and simply not computed here.
-        for row0 in (0..m).step_by(cfg.l.max(1)) {
-            for k0 in (0..k).step_by(pw.max(1)) {
-                let rows_live = (m - row0).min(cfg.l);
-                let cols_live = (k - k0).min(pw);
-                for r in 0..rows_live {
-                    let i = row0 + r;
-                    for c in 0..cols_live {
-                        let j = k0 + c;
-                        let mut acc = y.map_or(F16::ZERO, |y| y[i * k + j]);
-                        for phase in 0..n_phases {
-                            for lane in 0..cfg.h {
-                                let l = phase * cfg.h + lane;
-                                if l < n {
-                                    acc = x[i * n + l].mul_add(w[l * k + j], acc);
-                                }
-                            }
-                        }
-                        // Results pass through storage on the way out:
-                        // castout narrowing at store drain, castin widening
-                        // at readback (identity for FP16).
-                        z[i * k + j] = format.quantize(acc);
-                    }
-                }
-            }
+        for (band, chunk) in z.chunks_mut(plan.band_stride()).enumerate() {
+            plan.compute_band_into(band, chunk);
         }
-
         Ok(FunctionalRun {
             z,
             estimated_cycles: self.estimated_cycles_format(shape, format),
@@ -342,13 +368,174 @@ impl FunctionalGemm {
     }
 }
 
-/// Projects a slice through the storage format (castout + castin), or
-/// borrows it unchanged for the native FP16 format.
-fn quantized(format: Format, v: &[F16]) -> Cow<'_, [F16]> {
-    if format.is_fp8() {
-        Cow::Owned(v.iter().map(|&e| format.quantize(e)).collect())
-    } else {
-        Cow::Borrowed(v)
+/// A staged functional GEMM: operands cast through the storage format and
+/// pre-classified for the batched kernel, ready to compute any part of
+/// the output independently.
+///
+/// Created by [`FunctionalGemm::plan`]. The plan is immutable; every
+/// compute entry point is a pure function of the plan and the requested
+/// region, so hosts may compute disjoint regions concurrently and write
+/// them back in any order with bit-identical results.
+#[derive(Debug, Clone)]
+pub struct FunctionalPlan {
+    shape: GemmShape,
+    format: Format,
+    /// Band height (the instance's `L`).
+    l: usize,
+    /// Panel width (the instance's `phase_width`).
+    pw: usize,
+    /// Cast-in, pre-staged X (`m x n`, row-major, structure-of-arrays).
+    xo: Staged,
+    /// Cast-in, pre-staged W (`n x k`, row-major, structure-of-arrays).
+    wo: Staged,
+    /// Cast-in Y accumulator initialiser (`m x k`, row-major), if any.
+    y: Option<Vec<F16>>,
+}
+
+impl FunctionalPlan {
+    /// The job's shape.
+    pub fn shape(&self) -> GemmShape {
+        self.shape
+    }
+
+    /// Number of L-row output bands (`ceil(m / L)`). A band is one row of
+    /// tiles and owns the contiguous `Z` slice `[band*L*k, ..)`.
+    pub fn n_bands(&self) -> usize {
+        self.shape.m.div_ceil(self.l)
+    }
+
+    /// Number of output tiles in the engine's enumeration order.
+    pub fn n_tiles(&self) -> usize {
+        self.n_bands() * self.shape.k.div_ceil(self.pw)
+    }
+
+    /// Elements of `Z` covered by one full band (`L * k`); the final band
+    /// may be shorter. This is the chunk size for
+    /// [`FunctionalPlan::compute_band_into`] writeback partitioning.
+    pub fn band_stride(&self) -> usize {
+        // A zero-area output has no bands to split; any non-zero stride
+        // keeps `chunks_mut` well-formed on the empty `Z`.
+        (self.l * self.shape.k).max(1)
+    }
+
+    /// Computes one output tile (engine enumeration order: L-row bands,
+    /// phase-width panels, row-major) and returns its `rows_live x
+    /// cols_live` row-major block. Pure: depends only on the plan and
+    /// `tile_idx`.
+    ///
+    /// Tiles with `tile_idx >= n_tiles()` return an empty block.
+    pub fn compute_tile(&self, tile_idx: usize) -> Vec<F16> {
+        let (k, n) = (self.shape.k, self.shape.n);
+        let tiles_k = k.div_ceil(self.pw);
+        if tiles_k == 0 || tile_idx >= self.n_tiles() {
+            return Vec::new();
+        }
+        let row0 = (tile_idx / tiles_k) * self.l;
+        let k0 = (tile_idx % tiles_k) * self.pw;
+        let rows_live = (self.shape.m - row0).min(self.l);
+        let cols_live = (k - k0).min(self.pw);
+        if n == 0 {
+            return self.passthrough_block(row0, rows_live, k0, cols_live);
+        }
+        let mut accs = self.band_accs(row0, rows_live, k0, cols_live);
+        for l in 0..n {
+            for (r, arow) in accs.chunks_exact_mut(cols_live).enumerate() {
+                fma_row_staged(
+                    &self.xo,
+                    (row0 + r) * n + l,
+                    &self.wo,
+                    l * k + k0,
+                    arow,
+                    Round::NearestEven,
+                );
+            }
+        }
+        accs.iter().map(|a| self.cast_out(*a)).collect()
+    }
+
+    /// Computes one full band of output tiles straight into `out`, which
+    /// must be the band's contiguous `Z` slice (`rows_live * k` elements —
+    /// exactly what `z.chunks_mut(plan.band_stride())` yields). Pure in
+    /// the functional sense: the contents written depend only on the plan
+    /// and `band_idx`, never on execution order, so disjoint bands may be
+    /// computed concurrently.
+    ///
+    /// The per-element reduction folds its N terms in index order — the
+    /// H-wide phase walk of the datapath visits `l = phase*H + lane`,
+    /// skipping the clock-gated lanes past `N`, which is precisely
+    /// `l = 0..n` — so every output element rounds identically to the
+    /// cycle-accurate engine, element by element, step by step.
+    pub fn compute_band_into(&self, band_idx: usize, out: &mut [F16]) {
+        let (k, n) = (self.shape.k, self.shape.n);
+        let row0 = band_idx * self.l;
+        debug_assert!(row0 < self.shape.m || out.is_empty());
+        let rows_live = (self.shape.m.saturating_sub(row0)).min(self.l);
+        debug_assert_eq!(out.len(), rows_live * k);
+        if n == 0 {
+            out.copy_from_slice(&self.passthrough_block(row0, rows_live, 0, k));
+            return;
+        }
+        let mut accs = self.band_accs(row0, rows_live, 0, k);
+        for l in 0..n {
+            // One W row serves every live output row of the band; the
+            // staged kernel slices it once per call, keeping the vector
+            // inner loop bounds-check free.
+            for (r, arow) in accs.chunks_exact_mut(k).enumerate() {
+                fma_row_staged(
+                    &self.xo,
+                    (row0 + r) * n + l,
+                    &self.wo,
+                    l * k,
+                    arow,
+                    Round::NearestEven,
+                );
+            }
+        }
+        for (z, acc) in out.iter_mut().zip(accs.iter()) {
+            *z = self.cast_out(*acc);
+        }
+    }
+
+    /// Zero-step pass-through for an empty reduction (`N == 0`): no FMA
+    /// ever fires, so `Z` is the cast-in `Y` (or zero) *bit for bit*.
+    /// Routing it through the kernel's widen/narrow round-trip would
+    /// canonicalize NaN payloads and signs the datapath preserves.
+    fn passthrough_block(&self, row0: usize, rows: usize, k0: usize, cols: usize) -> Vec<F16> {
+        let k = self.shape.k;
+        match &self.y {
+            Some(y) => {
+                let mut out = Vec::with_capacity(rows * cols);
+                for r in 0..rows {
+                    let base = (row0 + r) * k + k0;
+                    out.extend_from_slice(&y[base..base + cols]);
+                }
+                out
+            }
+            None => vec![F16::ZERO; rows * cols],
+        }
+    }
+
+    /// Accumulator block for rows `[row0, row0+rows)` x columns
+    /// `[k0, k0+cols)`, initialised from the cast-in `Y` (or zero).
+    fn band_accs(&self, row0: usize, rows: usize, k0: usize, cols: usize) -> Vec<Acc> {
+        let k = self.shape.k;
+        match &self.y {
+            Some(y) => {
+                let mut accs = Vec::with_capacity(rows * cols);
+                for r in 0..rows {
+                    let yrow = &y[(row0 + r) * k + k0..(row0 + r) * k + k0 + cols];
+                    accs.extend(yrow.iter().map(|v| Acc::from_bits(v.to_bits())));
+                }
+                accs
+            }
+            None => vec![Acc::ZERO; rows * cols],
+        }
+    }
+
+    /// Results pass through storage on the way out: castout narrowing at
+    /// store drain, castin widening at readback (identity for FP16).
+    fn cast_out(&self, acc: Acc) -> F16 {
+        self.format.quantize(F16::from_bits(acc.to_bits()))
     }
 }
 
@@ -414,6 +601,35 @@ mod tests {
     }
 
     #[test]
+    fn tiles_assemble_to_the_full_result() {
+        // compute_tile is pure and covers the output exactly: stitching
+        // every tile back together reproduces run() bit for bit.
+        for (m, n, k) in [(8, 16, 16), (5, 11, 7), (20, 24, 20), (3, 0, 5)] {
+            let shape = GemmShape::new(m, n, k);
+            let (x, w) = operands(shape, 42);
+            let f = FunctionalGemm::paper_instance();
+            let full = f.run(shape, &x, &w).expect("functional run");
+            let plan = f
+                .plan(shape, Format::Fp16, &x, &w, None)
+                .expect("plan stages");
+            let cfg = f.config();
+            let (pw, tiles_k) = (cfg.phase_width(), k.div_ceil(cfg.phase_width()));
+            let mut stitched = vec![F16::ZERO; shape.z_len()];
+            for t in 0..plan.n_tiles() {
+                let block = plan.compute_tile(t);
+                let row0 = (t / tiles_k) * cfg.l;
+                let k0 = (t % tiles_k) * pw;
+                let cols = (k - k0).min(pw);
+                for (r, brow) in block.chunks(cols).enumerate() {
+                    stitched[(row0 + r) * k + k0..(row0 + r) * k + k0 + cols].copy_from_slice(brow);
+                }
+            }
+            assert_eq!(bits(&stitched), bits(&full.z), "at {m}x{n}x{k}");
+            assert!(plan.compute_tile(plan.n_tiles()).is_empty());
+        }
+    }
+
+    #[test]
     fn accumulate_matches_engine() {
         let shape = GemmShape::new(10, 12, 18);
         let (x, w) = operands(shape, 7);
@@ -469,6 +685,22 @@ mod tests {
     }
 
     #[test]
+    fn empty_reduction_passes_y_through_bit_exactly() {
+        // Zero FMA steps means Z == Y bit for bit — including NaN
+        // payloads and signs, which the kernel's f64 round-trip would
+        // canonicalize if Y were routed through it.
+        let shape = GemmShape::new(2, 0, 3);
+        let y: Vec<F16> = [0x7D16u16, 0xFE00, 0x8000, 0x7C00, 0x0001, 0x3C00]
+            .iter()
+            .map(|&b| F16::from_bits(b))
+            .collect();
+        let fast = FunctionalGemm::paper_instance()
+            .run_accumulate(shape, &[], &[], &y)
+            .expect("functional run");
+        assert_eq!(bits(&fast.z), bits(&y));
+    }
+
+    #[test]
     fn shape_mismatch_is_rejected() {
         let shape = GemmShape::new(2, 2, 2);
         let bad = vec![F16::ONE; 3];
@@ -506,6 +738,58 @@ mod tests {
         assert_eq!(f.estimated_cycles(empty).count(), 32);
         // Degenerate empty output.
         assert_eq!(f.estimated_cycles(GemmShape::new(0, 4, 8)).count(), 0);
+    }
+
+    #[test]
+    fn synthetic_trace_spans_the_full_estimate() {
+        // The trace is the model: the first tile starts right after the
+        // fill, tiles are back to back, and the last TileEnd lands on the
+        // estimate's final cycle — for every format and ragged shape.
+        let f = FunctionalGemm::paper_instance();
+        for format in [Format::Fp16, Format::Fp8E4M3, Format::Fp8E5M2] {
+            for (m, n, k) in [
+                (8, 16, 16),
+                (16, 16, 32),
+                (5, 11, 7),
+                (20, 24, 20),
+                (16, 0, 32),
+            ] {
+                let shape = GemmShape::new(m, n, k);
+                let log = f.synthetic_events_format(shape, format);
+                let total = f.estimated_cycles_format(shape, format).count();
+                let beat = if format.is_fp8() { 2 } else { 1 };
+                let starts: Vec<u64> = log
+                    .events()
+                    .iter()
+                    .filter_map(|e| match e {
+                        TraceEvent::TileStart { cycle, .. } => Some(*cycle),
+                        _ => None,
+                    })
+                    .collect();
+                let ends: Vec<u64> = log
+                    .events()
+                    .iter()
+                    .filter_map(|e| match e {
+                        TraceEvent::TileEnd { cycle, .. } => Some(*cycle),
+                        _ => None,
+                    })
+                    .collect();
+                assert!(!ends.is_empty(), "at {m}x{n}x{k}");
+                if n > 0 {
+                    let fill = ((n.min(4) + m.min(8)) as u64).div_ceil(beat);
+                    assert_eq!(starts[0], fill, "fill offset at {m}x{n}x{k} {format:?}");
+                }
+                assert_eq!(
+                    ends.last().copied().unwrap() + 1,
+                    total,
+                    "trace end vs estimate at {m}x{n}x{k} {format:?}"
+                );
+                // Spans are ordered and non-overlapping tile to tile.
+                for t in 1..starts.len() {
+                    assert!(starts[t] > ends[t - 1] || n == 0, "overlap at tile {t}");
+                }
+            }
+        }
     }
 
     #[test]

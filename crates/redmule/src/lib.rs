@@ -70,7 +70,7 @@ pub use engine::{
 pub use faults::{
     FaultInjector, FaultPlan, FaultSite, FaultSpec, FtConfig, FtMode, TransientTarget,
 };
-pub use functional::{BackendKind, FunctionalGemm, FunctionalRun};
+pub use functional::{BackendKind, FunctionalGemm, FunctionalPlan, FunctionalRun};
 pub use l2::{L2TiledGemm, TileShape, TiledReport};
 pub use regfile::{Job, RegFile};
 

@@ -1,0 +1,73 @@
+//! Property-based tests for the analytical cycle model: the estimate
+//! must behave like a cost function (monotone in the problem size) and
+//! the FP8 cast datapath must never be modeled as *slower* than FP16 —
+//! half-width operands halve streamer beats, they cannot add any.
+
+use proptest::prelude::*;
+use redmule::{AccelConfig, Format, FunctionalGemm};
+use redmule_fp16::vector::GemmShape;
+
+fn models() -> Vec<FunctionalGemm> {
+    vec![
+        FunctionalGemm::paper_instance(),
+        FunctionalGemm::new(AccelConfig::new(2, 4, 1)),
+        FunctionalGemm::new(AccelConfig::new(8, 16, 2)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Growing any one dimension of the GEMM by one never makes the
+    /// estimate cheaper: more rows, a longer reduction or more output
+    /// columns each add work (or, at a tile boundary, at least break
+    /// even on fill/drain overlap — never a negative amount).
+    #[test]
+    fn estimate_is_monotone_in_every_dimension(
+        m in 1usize..40,
+        n in 0usize..40,
+        k in 1usize..40,
+        fmt in prop::sample::select(vec![Format::Fp16, Format::Fp8E4M3, Format::Fp8E5M2]),
+    ) {
+        for model in models() {
+            let base = model
+                .estimated_cycles_format(GemmShape::new(m, n, k), fmt)
+                .count();
+            for grown in [
+                GemmShape::new(m + 1, n, k),
+                GemmShape::new(m, n + 1, k),
+                GemmShape::new(m, n, k + 1),
+            ] {
+                let bigger = model.estimated_cycles_format(grown, fmt).count();
+                prop_assert!(
+                    bigger >= base,
+                    "estimate shrank from {base} to {bigger} going {:?} -> {:?} ({fmt:?})",
+                    (m, n, k),
+                    (grown.m, grown.n, grown.k),
+                );
+            }
+        }
+    }
+
+    /// FP8 storage only narrows the streamed operands; with two elements
+    /// per beat, fill and drain can only get cheaper. The model must
+    /// never charge an FP8 job more cycles than the same job in FP16.
+    #[test]
+    fn fp8_never_costs_more_cycles_than_fp16(
+        m in 1usize..48,
+        n in 0usize..48,
+        k in 1usize..48,
+    ) {
+        let shape = GemmShape::new(m, n, k);
+        for model in models() {
+            let fp16 = model.estimated_cycles_format(shape, Format::Fp16).count();
+            for fmt in [Format::Fp8E4M3, Format::Fp8E5M2] {
+                let fp8 = model.estimated_cycles_format(shape, fmt).count();
+                prop_assert!(
+                    fp8 <= fp16,
+                    "{fmt:?} modeled at {fp8} cycles > FP16 at {fp16} for {shape:?}"
+                );
+            }
+        }
+    }
+}
